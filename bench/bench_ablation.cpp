@@ -1,0 +1,133 @@
+// Ablation study over the SCFI design choices called out in DESIGN.md:
+//   (a) MDS construction (the paper notes the matrix "can be changed
+//       according to design requirements, i.e., area or timing constraints")
+//       — area, depth and max frequency per registered construction;
+//   (b) error-bit count e per lane — area cost vs. residual exploitable
+//       fraction in the whole-logic SYNFI analysis;
+//   (c) redundancy copy-sharing — what happens to the baseline when the
+//       optimizer is allowed to merge the redundant comparators (the §6.4
+//       warning about optimization weakening countermeasures).
+#include <cstdio>
+
+#include "core/harden.h"
+#include "mds/registry.h"
+#include "redundancy/redundancy.h"
+#include "rtlil/design.h"
+#include "synfi/synfi.h"
+#include "synth/lower.h"
+#include "synth/opt.h"
+#include "synth/sta.h"
+#include "synth/stat.h"
+
+namespace {
+
+scfi::fsm::Fsm eval_fsm() {
+  scfi::fsm::Fsm f;
+  f.name = "abl";
+  f.inputs = {"a", "b", "c"};
+  f.outputs = {"o"};
+  f.add_transition("IDLE", "1--", "CFG", "0");
+  f.add_transition("CFG", "-1-", "ARM", "0");
+  f.add_transition("CFG", "-00", "IDLE", "0");
+  f.add_transition("ARM", "--1", "FIRE", "1");
+  f.add_transition("ARM", "1-0", "CFG", "0");
+  f.add_transition("FIRE", "1--", "COOL", "0");
+  f.add_transition("FIRE", "01-", "ARM", "0");
+  f.add_transition("COOL", "-1-", "IDLE", "0");
+  f.add_transition("COOL", "-01", "ARM", "0");
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  const scfi::fsm::Fsm f = eval_fsm();
+
+  std::printf("(a) MDS construction ablation (hardened 14-edge FSM, N=2):\n");
+  std::printf("    %-14s %10s %7s %12s %12s\n", "construction", "xor-gates", "depth",
+              "module [GE]", "fmax [MHz]");
+  for (const std::string& name : scfi::mds::construction_names()) {
+    const scfi::mds::Construction& c = scfi::mds::construction(name);
+    scfi::rtlil::Design d;
+    scfi::core::ScfiConfig config;
+    config.protection_level = 2;
+    config.mds = name;
+    const scfi::fsm::CompiledFsm hard = scfi::core::scfi_harden(f, d, config);
+    scfi::synth::lower_to_gates(*hard.module);
+    scfi::synth::optimize(*hard.module);
+    const double area = scfi::synth::area_report(*hard.module).total_ge;
+    const double fmax = scfi::synth::analyze_timing(*hard.module).max_freq_mhz;
+    std::printf("    %-14s %10d %7d %12.0f %12.1f\n", name.c_str(), c.xor_gates, c.depth, area,
+                fmax);
+  }
+
+  std::printf("\n(b) error bits per lane (N=2): area vs. residual exploitable share\n");
+  std::printf("    %-6s %12s %14s %12s\n", "e", "module [GE]", "whole-logic", "MDS-only");
+  for (int e = 1; e <= 6; ++e) {
+    scfi::rtlil::Design d;
+    scfi::core::ScfiConfig config;
+    config.protection_level = 2;
+    config.error_bits = e;
+    const scfi::fsm::CompiledFsm hard = scfi::core::scfi_harden(f, d, config);
+    scfi::synfi::SynfiConfig whole;
+    whole.wire_prefix = "";
+    const scfi::synfi::SynfiReport rw = scfi::synfi::analyze(f, hard, whole);
+    const scfi::synfi::SynfiReport rm = scfi::synfi::analyze(f, hard);
+    scfi::synth::lower_to_gates(*hard.module);
+    scfi::synth::optimize(*hard.module);
+    const double area = scfi::synth::area_report(*hard.module).total_ge;
+    std::printf("    %-6d %12.0f %13.2f%% %11.2f%%\n", e, area, rw.exploitable_pct(),
+                rm.exploitable_pct());
+  }
+
+  std::printf("\n(c) paper §7 extensions (N=2): selector encoding and output protection\n");
+  std::printf("    %-22s %12s %16s\n", "variant", "module [GE]", "whole-logic expl");
+  const struct {
+    const char* label;
+    bool encoded;
+    bool outputs;
+  } variants[] = {
+      {"prototype (1-bit)", false, false},
+      {"encoded selectors", true, false},
+      {"enc. sel + outputs", true, true},
+  };
+  for (const auto& v : variants) {
+    scfi::rtlil::Design d;
+    scfi::core::ScfiConfig config;
+    config.protection_level = 2;
+    config.encoded_selectors = v.encoded;
+    config.protect_outputs = v.outputs;
+    const scfi::fsm::CompiledFsm hard = scfi::core::scfi_harden(f, d, config);
+    scfi::synfi::SynfiConfig whole;
+    whole.wire_prefix = "";
+    const scfi::synfi::SynfiReport r = scfi::synfi::analyze(f, hard, whole);
+    scfi::synth::lower_to_gates(*hard.module);
+    scfi::synth::optimize(*hard.module);
+    const double area = scfi::synth::area_report(*hard.module).total_ge;
+    std::printf("    %-22s %12.0f %15.2f%%\n", v.label, area, r.exploitable_pct());
+  }
+
+  std::printf("\n(d) redundancy copy sharing (N=3): merged copies lose their detection\n");
+  {
+    scfi::rtlil::Design d;
+    scfi::redundancy::RedundancyConfig rc;
+    rc.protection_level = 3;
+    const scfi::fsm::CompiledFsm red = scfi::redundancy::build_redundant(f, d, rc);
+    // Separate copies (share groups intact).
+    scfi::rtlil::Design d2;
+    rc.module_suffix = "_merged";
+    const scfi::fsm::CompiledFsm merged = scfi::redundancy::build_redundant(f, d2, rc);
+    for (scfi::rtlil::Cell* cell : merged.module->cells()) cell->set_share_group(0);
+    scfi::synth::lower_to_gates(*red.module);
+    scfi::synth::optimize(*red.module);
+    scfi::synth::lower_to_gates(*merged.module);
+    scfi::synth::optimize(*merged.module);
+    const double a0 = scfi::synth::area_report(*red.module).total_ge;
+    const double a1 = scfi::synth::area_report(*merged.module).total_ge;
+    std::printf("    separate copies: %.0f GE; optimizer-merged: %.0f GE (-%.0f%%)\n", a0, a1,
+                100.0 * (a0 - a1) / a0);
+    std::printf("    (the saved comparators are exactly the single points of failure the\n");
+    std::printf("     paper warns about in §6.4 — the merged version trades security for area)\n");
+  }
+  return 0;
+}

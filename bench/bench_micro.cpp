@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark): throughput of the core substrates —
+// MDS evaluation, netlist simulation, SCFI hardening, SAT solving.
+#include <benchmark/benchmark.h>
+
+#include "core/harden.h"
+#include "fsm/compile.h"
+#include "mds/registry.h"
+#include "ot/zoo.h"
+#include "rtlil/design.h"
+#include "sat/cnf.h"
+#include "sim/netlist_sim.h"
+#include "synth/lower.h"
+#include "synth/opt.h"
+
+namespace {
+
+scfi::fsm::Fsm bench_fsm() {
+  scfi::fsm::Fsm f;
+  f.name = "bench";
+  f.inputs = {"a", "b", "c"};
+  f.outputs = {"o"};
+  f.add_transition("IDLE", "1--", "CFG", "0");
+  f.add_transition("CFG", "-1-", "ARM", "0");
+  f.add_transition("CFG", "-0-", "IDLE", "0");
+  f.add_transition("ARM", "--1", "FIRE", "1");
+  f.add_transition("FIRE", "0--", "ARM", "0");
+  f.add_transition("FIRE", "1--", "IDLE", "0");
+  return f;
+}
+
+void BM_MdsEval(benchmark::State& state) {
+  const scfi::mds::Construction& c = scfi::mds::default_construction();
+  std::vector<std::uint8_t> in{0x12, 0x34, 0x56, 0x78};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.slp.eval(in));
+    in[0] ^= 1;
+  }
+}
+BENCHMARK(BM_MdsEval);
+
+void BM_MdsBitMatrixMul(benchmark::State& state) {
+  const scfi::mds::Construction& c = scfi::mds::default_construction();
+  scfi::gf2::BitVec x(32);
+  x.set(3, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.bit_matrix.mul(x));
+  }
+}
+BENCHMARK(BM_MdsBitMatrixMul);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  scfi::rtlil::Design d;
+  const scfi::fsm::Fsm f = bench_fsm();
+  scfi::core::ScfiConfig config;
+  const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+  scfi::sim::Simulator s(*c.module);
+  const std::uint64_t sym = c.symbol_codes.begin()->second;
+  s.set_input(c.symbol_input_wire, sym);
+  for (auto _ : state) {
+    s.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorStep);
+
+void BM_SimulatorStepGateLevel(benchmark::State& state) {
+  scfi::rtlil::Design d;
+  const scfi::fsm::Fsm f = bench_fsm();
+  scfi::core::ScfiConfig config;
+  const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+  scfi::synth::lower_to_gates(*c.module);
+  scfi::synth::optimize(*c.module);
+  scfi::sim::Simulator s(*c.module);
+  s.set_input(c.symbol_input_wire, c.symbol_codes.begin()->second);
+  for (auto _ : state) {
+    s.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorStepGateLevel);
+
+void BM_ScfiHardenPass(benchmark::State& state) {
+  const scfi::fsm::Fsm f = bench_fsm();
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    scfi::rtlil::Design d;
+    scfi::core::ScfiConfig config;
+    config.protection_level = static_cast<int>(2 + (counter++ % 3));
+    benchmark::DoNotOptimize(scfi::core::scfi_harden(f, d, config));
+  }
+}
+BENCHMARK(BM_ScfiHardenPass);
+
+void BM_SynthesizeAdcCtrl(benchmark::State& state) {
+  const scfi::ot::OtEntry entry = scfi::ot::ot_entry("adc_ctrl_fsm");
+  for (auto _ : state) {
+    scfi::rtlil::Design d;
+    auto c = scfi::ot::build_ot_variant(entry, d, scfi::ot::Variant::kUnprotected, 2, "m");
+    benchmark::DoNotOptimize(scfi::ot::synthesize_area(*c.module).total_ge);
+  }
+}
+BENCHMARK(BM_SynthesizeAdcCtrl);
+
+void BM_SatNextStateQuery(benchmark::State& state) {
+  scfi::rtlil::Design d;
+  const scfi::fsm::Fsm f = bench_fsm();
+  const scfi::fsm::CompiledFsm c = scfi::fsm::compile_unprotected(f, d);
+  for (auto _ : state) {
+    scfi::sat::Solver solver;
+    scfi::sat::CnfCopy copy(solver, *c.module, {});
+    const auto next = copy.ff_next_vars(c.state_wire);
+    solver.add_unit(next[0]);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SatNextStateQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

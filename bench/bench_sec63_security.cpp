@@ -1,0 +1,96 @@
+// Reproduces the security evaluation of §6.3 as a Monte-Carlo experiment:
+// fault-injection campaigns against the unprotected FSM, the redundancy
+// baseline, and SCFI, swept over the number of simultaneous faults and the
+// three fault targets FT1 (state register), FT2 (control signals) and FT3
+// (next-state logic). Reported are the attacker's undetected-hijack rate and
+// the detection rate among effective faults.
+#include <cstdio>
+#include <vector>
+
+#include "core/harden.h"
+#include "fsm/compile.h"
+#include "redundancy/redundancy.h"
+#include "rtlil/design.h"
+#include "sim/campaign.h"
+
+namespace {
+
+scfi::fsm::Fsm eval_fsm() {
+  // The 14-edge FSM used throughout the security evaluation.
+  scfi::fsm::Fsm f;
+  f.name = "secctrl";
+  f.inputs = {"a", "b", "c"};
+  f.outputs = {"o"};
+  f.add_transition("IDLE", "1--", "CFG", "0");
+  f.add_transition("CFG", "-1-", "ARM", "0");
+  f.add_transition("CFG", "-00", "IDLE", "0");
+  f.add_transition("ARM", "--1", "FIRE", "1");
+  f.add_transition("ARM", "1-0", "CFG", "0");
+  f.add_transition("FIRE", "1--", "COOL", "0");
+  f.add_transition("FIRE", "01-", "ARM", "0");
+  f.add_transition("COOL", "-1-", "IDLE", "0");
+  f.add_transition("COOL", "-01", "ARM", "0");
+  return f;
+}
+
+const char* target_name(scfi::sim::FaultTarget t) {
+  switch (t) {
+    case scfi::sim::FaultTarget::kStateRegister: return "FT1 state reg";
+    case scfi::sim::FaultTarget::kControlInputs: return "FT2 ctrl sig";
+    case scfi::sim::FaultTarget::kLogic: return "FT3 logic";
+    default: return "all";
+  }
+}
+
+void print_result(const char* variant, scfi::sim::FaultTarget target, int faults,
+                  const scfi::sim::CampaignResult& r) {
+  std::printf("  %-12s %-14s faults=%d  hijack=%5.2f%%  lag=%5.2f%%  detect=%6.2f%%"
+              "  masked=%4d silentinv=%4d\n",
+              variant, target_name(target), faults, 100.0 * r.hijacked / r.runs,
+              100.0 * r.lagged / r.runs, 100.0 * r.detection_rate(), r.masked,
+              r.silent_invalid);
+}
+
+}  // namespace
+
+int main() {
+  const scfi::fsm::Fsm f = eval_fsm();
+  scfi::rtlil::Design d;
+  const scfi::fsm::CompiledFsm plain = scfi::fsm::compile_unprotected(f, d);
+  scfi::redundancy::RedundancyConfig rc;
+  rc.protection_level = 3;
+  const scfi::fsm::CompiledFsm redundant = scfi::redundancy::build_redundant(f, d, rc);
+  scfi::core::ScfiConfig sc;
+  sc.protection_level = 3;
+  const scfi::fsm::CompiledFsm hardened = scfi::core::scfi_harden(f, d, sc);
+
+  std::printf("Security evaluation (paper §6.3): Monte-Carlo fault campaigns on a\n");
+  std::printf("14-edge controller, protection level N=3 for both countermeasures.\n");
+  std::printf("hijack = valid wrong state reached with no alert (attacker success)\n\n");
+
+  const std::vector<scfi::sim::FaultTarget> targets = {
+      scfi::sim::FaultTarget::kStateRegister,
+      scfi::sim::FaultTarget::kControlInputs,
+      scfi::sim::FaultTarget::kLogic,
+  };
+  for (const auto target : targets) {
+    std::printf("-- target %s --\n", target_name(target));
+    for (int faults = 1; faults <= 4; ++faults) {
+      scfi::sim::CampaignConfig config;
+      config.runs = 600;
+      config.cycles = 16;
+      config.num_faults = faults;
+      config.target = target;
+      config.seed = 1000 + static_cast<std::uint64_t>(faults);
+      print_result("unprotected", target, faults, run_campaign(f, plain, config));
+      print_result("redundancy", target, faults, run_campaign(f, redundant, config));
+      print_result("scfi", target, faults, run_campaign(f, hardened, config));
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: the unprotected FSM is hijacked but never detects;\n");
+  std::printf("redundancy detects register/logic faults but is blind to common-mode\n");
+  std::printf("control-signal faults (stalls); SCFI detects across all three targets\n");
+  std::printf("and is only beaten when >= N faults align with a codeword.\n");
+  return 0;
+}

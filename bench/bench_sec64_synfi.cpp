@@ -1,0 +1,89 @@
+// Reproduces the formal analysis of §6.4: a SYNFI-style exhaustive fault
+// injection into the MDS diffusion logic of an SCFI-hardened FSM with 14
+// state transitions at protection level 2. The paper injects 7644 single
+// bit-flips into the (gate-level) MDS multiplication and finds 32 (0.42%)
+// that hijack a transition. We report the same experiment on both the
+// word-level netlist and the technology-mapped netlist, plus the SAT
+// back-end as a cross-check on a reduced region.
+#include <cstdio>
+
+#include "core/harden.h"
+#include "rtlil/design.h"
+#include "synfi/synfi.h"
+#include "synth/lower.h"
+#include "synth/opt.h"
+
+namespace {
+
+scfi::fsm::Fsm synfi_fsm() {
+  scfi::fsm::Fsm f;
+  f.name = "synfi14";
+  f.inputs = {"a", "b", "c"};
+  f.outputs = {"o"};
+  f.add_transition("IDLE", "1--", "CFG", "0");
+  f.add_transition("CFG", "-1-", "ARM", "0");
+  f.add_transition("CFG", "-00", "IDLE", "0");
+  f.add_transition("ARM", "--1", "FIRE", "1");
+  f.add_transition("ARM", "1-0", "CFG", "0");
+  f.add_transition("FIRE", "1--", "COOL", "0");
+  f.add_transition("FIRE", "01-", "ARM", "0");
+  f.add_transition("COOL", "-1-", "IDLE", "0");
+  f.add_transition("COOL", "-01", "ARM", "0");
+  return f;
+}
+
+void report(const char* label, const scfi::synfi::SynfiReport& r) {
+  std::printf("%-34s sites=%5d injections=%6d exploitable=%4d (%.2f%%) "
+              "detected=%6d masked=%5d stalls=%d\n",
+              label, r.sites, r.injections, r.exploitable, r.exploitable_pct(), r.detected,
+              r.masked, r.stalls);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Formal security analysis (paper §6.4): exhaustive single bit-flips into\n");
+  std::printf("the MDS diffusion logic of a 14-transition FSM hardened at N=2.\n");
+  std::printf("Paper reference: 7644 injections, 32 exploitable (0.42%%).\n\n");
+
+  const scfi::fsm::Fsm f = synfi_fsm();
+  scfi::core::ScfiConfig config;
+  config.protection_level = 2;
+
+  {
+    scfi::rtlil::Design d;
+    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+    scfi::synfi::SynfiConfig synfi_config;
+    report("word-level MDS region (sim)", scfi::synfi::analyze(f, c, synfi_config));
+    synfi_config.backend = scfi::synfi::Backend::kSat;
+    report("word-level MDS region (SAT)", scfi::synfi::analyze(f, c, synfi_config));
+  }
+  {
+    // Gate level without optimization: every XOR2 of the diffusion network
+    // stays a distinct fault site, matching the paper's per-gate injection.
+    scfi::rtlil::Design d;
+    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+    scfi::synth::lower_to_gates(*c.module);
+    scfi::synfi::SynfiConfig synfi_config;
+    report("gate-level MDS region (sim)", scfi::synfi::analyze(f, c, synfi_config));
+  }
+  {
+    // Whole next-state logic with transient flips: exposes the small
+    // pattern-match/modifier-select residual the paper documents in §7.
+    scfi::rtlil::Design d;
+    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+    scfi::synfi::SynfiConfig synfi_config;
+    synfi_config.wire_prefix = "";
+    report("whole logic, transient (sim)", scfi::synfi::analyze(f, c, synfi_config));
+  }
+  {
+    // Whole next-state logic, stuck-at faults, as an extended experiment.
+    scfi::rtlil::Design d;
+    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+    scfi::synfi::SynfiConfig synfi_config;
+    synfi_config.wire_prefix = "";
+    synfi_config.kind = scfi::sim::FaultKind::kStuckAt1;
+    report("whole logic, stuck-at-1 (sim)", scfi::synfi::analyze(f, c, synfi_config));
+  }
+  return 0;
+}

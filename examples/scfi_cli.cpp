@@ -1,0 +1,156 @@
+// scfi_cli — command-line front door to the toolchain, the analog of the
+// paper's "call the SCFI Yosys pass in the design flow".
+//
+// Usage:
+//   scfi_cli harden  <file.kiss2> [-n LEVEL] [-o out.v] [--json out.json]
+//   scfi_cli area    <file.kiss2> [-n LEVEL]
+//   scfi_cli synfi   <file.kiss2> [-n LEVEL]
+//   scfi_cli attack  <file.kiss2> [-n LEVEL] [--faults K]
+//   scfi_cli dot     <file.kiss2>
+// Without a file argument a built-in demo FSM is used.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "backends/json.h"
+#include "base/error.h"
+#include "backends/verilog.h"
+#include "core/harden.h"
+#include "fsm/dot.h"
+#include "fsm/kiss2.h"
+#include "ot/zoo.h"
+#include "redundancy/redundancy.h"
+#include "rtlil/design.h"
+#include "sim/campaign.h"
+#include "synfi/synfi.h"
+
+namespace {
+
+const char* kDemo = R"(
+.i 2
+.o 1
+.s 3
+.p 4
+.r IDLE
+1- IDLE RUN  1
+-1 RUN  DONE 0
+-- DONE IDLE 0
+00 RUN  RUN  1
+.e
+)";
+
+scfi::fsm::Fsm load_fsm(const std::string& path) {
+  if (path.empty()) return scfi::fsm::parse_kiss2(kDemo, "demo");
+  std::ifstream in(path);
+  if (!in) throw scfi::ScfiError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return scfi::fsm::parse_kiss2(buffer.str(), path);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scfi_cli <harden|area|synfi|attack|dot> [file.kiss2]"
+               " [-n LEVEL] [-o out.v] [--json out.json] [--faults K]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::string file;
+  std::string verilog_out;
+  std::string json_out;
+  int level = 2;
+  int faults = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-n" && i + 1 < argc) {
+      level = std::atoi(argv[++i]);
+    } else if (arg == "-o" && i + 1 < argc) {
+      verilog_out = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const scfi::fsm::Fsm fsm = load_fsm(file);
+    if (command == "dot") {
+      std::cout << scfi::fsm::to_dot(fsm);
+      return 0;
+    }
+
+    scfi::rtlil::Design design;
+    scfi::core::ScfiConfig config;
+    config.protection_level = level;
+    scfi::core::ScfiReport report;
+    const scfi::fsm::CompiledFsm hard =
+        scfi::core::scfi_harden(fsm, design, config, &report);
+
+    if (command == "harden") {
+      std::printf("hardened %s: N=%d, %d states (%d-bit), %zu symbols (%d-bit), %d lane(s)\n",
+                  fsm.name.c_str(), level, fsm.num_states(), report.plan.state_width,
+                  report.plan.symbol_codes.size(), report.plan.symbol_width, report.lanes);
+      if (!verilog_out.empty()) {
+        std::ofstream out(verilog_out);
+        scfi::backends::write_verilog(*hard.module, out);
+        std::printf("wrote %s\n", verilog_out.c_str());
+      } else {
+        scfi::backends::write_verilog(*hard.module, std::cout);
+      }
+      if (!json_out.empty()) {
+        std::ofstream out(json_out);
+        scfi::backends::write_json(*hard.module, out);
+        std::printf("wrote %s\n", json_out.c_str());
+      }
+      return 0;
+    }
+    if (command == "area") {
+      scfi::rtlil::Design d2;
+      const auto plain = scfi::fsm::compile_unprotected(fsm, d2);
+      scfi::redundancy::RedundancyConfig rc;
+      rc.protection_level = level;
+      const auto redundant = scfi::redundancy::build_redundant(fsm, d2, rc);
+      const double ua = scfi::ot::synthesize_area(*plain.module).total_ge;
+      const double ra = scfi::ot::synthesize_area(*redundant.module).total_ge;
+      const double sa = scfi::ot::synthesize_area(*hard.module).total_ge;
+      std::printf("area [GE]: unprotected %.0f, redundancy %.0f (+%.0f%%), scfi %.0f (+%.0f%%)\n",
+                  ua, ra, 100.0 * (ra - ua) / ua, sa, 100.0 * (sa - ua) / ua);
+      return 0;
+    }
+    if (command == "synfi") {
+      const scfi::synfi::SynfiReport r = scfi::synfi::analyze(fsm, hard);
+      std::printf("synfi: %d sites, %d injections, %d exploitable (%.2f%%), %d detected\n",
+                  r.sites, r.injections, r.exploitable, r.exploitable_pct(), r.detected);
+      return 0;
+    }
+    if (command == "attack") {
+      scfi::sim::CampaignConfig campaign;
+      campaign.runs = 1000;
+      campaign.cycles = 20;
+      campaign.num_faults = faults;
+      const auto r = scfi::sim::run_campaign(fsm, hard, campaign);
+      std::printf("attack with %d fault(s): hijack %.2f%%, detected %.2f%% of effective,"
+                  " masked %d/%d\n",
+                  faults, 100.0 * r.hijacked / r.runs, 100.0 * r.detection_rate(), r.masked,
+                  r.runs);
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

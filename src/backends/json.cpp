@@ -1,0 +1,92 @@
+#include "backends/json.h"
+
+#include <map>
+#include <string>
+
+#include "base/error.h"
+#include "rtlil/validate.h"
+
+namespace scfi::backends {
+namespace {
+
+using rtlil::SigBit;
+using rtlil::SigSpec;
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Yosys-JSON style bit ids: 0/1 are the constants, wires get 2+.
+class BitIds {
+ public:
+  explicit BitIds(const rtlil::Module& module) {
+    int next = 2;
+    for (const rtlil::Wire* w : module.wires()) {
+      base_[w] = next;
+      next += w->width();
+    }
+  }
+  int of(const SigBit& bit) const {
+    if (bit.is_const()) return bit.const_value() ? 1 : 0;
+    return base_.at(bit.wire) + bit.offset;
+  }
+
+ private:
+  std::map<const rtlil::Wire*, int> base_;
+};
+
+void write_bits(const SigSpec& sig, const BitIds& ids, std::ostream& out) {
+  out << "[";
+  for (int i = 0; i < sig.width(); ++i) {
+    out << ids.of(sig.bit(i));
+    if (i + 1 < sig.width()) out << ", ";
+  }
+  out << "]";
+}
+
+}  // namespace
+
+void write_json(const rtlil::Module& module, std::ostream& out) {
+  const BitIds ids(module);
+  out << "{\n  \"module\": \"" << escape(module.name()) << "\",\n";
+  out << "  \"ports\": {\n";
+  bool first = true;
+  for (const rtlil::Wire* w : module.wires()) {
+    if (!w->is_input() && !w->is_output()) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << escape(w->name()) << "\": {\"direction\": \""
+        << (w->is_input() ? "input" : "output") << "\", \"bits\": ";
+    write_bits(SigSpec(w), ids, out);
+    out << "}";
+  }
+  out << "\n  },\n  \"cells\": {\n";
+  first = true;
+  for (const rtlil::Cell* cell : module.cells()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << escape(cell->name()) << "\": {\"type\": \""
+        << escape(rtlil::cell_type_name(cell->type())) << "\", \"drive\": " << cell->drive()
+        << ", \"connections\": {";
+    bool first_port = true;
+    for (const auto& [port, sig] : cell->ports()) {
+      if (!first_port) out << ", ";
+      first_port = false;
+      out << "\"" << escape(port) << "\": ";
+      write_bits(sig, ids, out);
+    }
+    out << "}";
+    if (rtlil::is_ff(cell->type())) {
+      out << ", \"reset\": \"" << cell->reset_value().to_string() << "\"";
+    }
+    out << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+}  // namespace scfi::backends

@@ -1,0 +1,13 @@
+// JSON netlist writer (Yosys-JSON-flavored): ports, cells and per-bit
+// connections, for downstream tooling and diffing.
+#pragma once
+
+#include <ostream>
+
+#include "rtlil/module.h"
+
+namespace scfi::backends {
+
+void write_json(const rtlil::Module& module, std::ostream& out);
+
+}  // namespace scfi::backends

@@ -1,0 +1,17 @@
+// Structural Verilog writer.
+//
+// Emits synthesizable Verilog-2001 for any module of the IR (word-level,
+// gate-level, or mixed), with a single clock `clk` and asynchronous
+// active-low reset `rst_n` applied to every flip-flop's reset value. This is
+// the hand-off format to a conventional tool flow.
+#pragma once
+
+#include <ostream>
+
+#include "rtlil/module.h"
+
+namespace scfi::backends {
+
+void write_verilog(const rtlil::Module& module, std::ostream& out);
+
+}  // namespace scfi::backends

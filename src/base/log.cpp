@@ -1,0 +1,25 @@
+#include "base/log.h"
+
+#include <cstdio>
+
+namespace scfi {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+void emit(LogLevel level, const char* tag, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[scfi %s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_debug(const std::string& msg) { emit(LogLevel::kDebug, "debug", msg); }
+void log_info(const std::string& msg) { emit(LogLevel::kInfo, "info", msg); }
+void log_warn(const std::string& msg) { emit(LogLevel::kWarn, "warn", msg); }
+void log_error(const std::string& msg) { emit(LogLevel::kError, "error", msg); }
+
+}  // namespace scfi

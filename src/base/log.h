@@ -1,0 +1,20 @@
+// Minimal leveled logger. Passes report through this so that examples and
+// benches can silence or surface pass diagnostics uniformly.
+#pragma once
+
+#include <string>
+
+namespace scfi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kQuiet = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace scfi

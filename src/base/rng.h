@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All randomized components of scfi (fault campaigns, stimulus generation,
+// SLP search) take an explicit Rng so that every experiment is reproducible
+// from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scfi {
+
+/// xoshiro256** by Blackman & Vigna: small, fast, high-quality, and — unlike
+/// std::mt19937 — identical across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5cf15cf15cf15cf1ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace scfi

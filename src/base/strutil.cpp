@@ -1,0 +1,73 @@
+#include "base/strutil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "base/error.h"
+
+namespace scfi {
+
+std::vector<std::string> split(std::string_view text, std::string_view seps) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && seps.find(text[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < text.size() && seps.find(text[j]) == std::string_view::npos) ++j;
+    if (j > i) out.emplace_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && (text[b] == ' ' || text[b] == '\t' || text[b] == '\r' || text[b] == '\n')) ++b;
+  while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' || text[e - 1] == '\r' ||
+                   text[e - 1] == '\n'))
+    --e;
+  return std::string(text.substr(b, e - b));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<std::size_t>(n));
+  }
+  va_end(args);
+  return out;
+}
+
+std::string to_bin(std::uint64_t value, int width) {
+  check(width >= 0 && width <= 64, "to_bin width out of range");
+  std::string out(static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i) {
+    if ((value >> i) & 1) out[static_cast<std::size_t>(width - 1 - i)] = '1';
+  }
+  return out;
+}
+
+std::uint64_t parse_bin(std::string_view text) {
+  require(!text.empty() && text.size() <= 64, "binary literal must have 1..64 digits");
+  std::uint64_t v = 0;
+  for (char c : text) {
+    require(c == '0' || c == '1', "invalid binary digit");
+    v = (v << 1) | static_cast<std::uint64_t>(c == '1');
+  }
+  return v;
+}
+
+}  // namespace scfi

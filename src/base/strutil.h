@@ -1,0 +1,29 @@
+// Small string helpers used by parsers and report printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scfi {
+
+/// Splits on any of the characters in `seps`, dropping empty fields.
+std::vector<std::string> split(std::string_view text, std::string_view seps = " \t");
+
+/// Strips leading/trailing whitespace.
+std::string trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders `value` as a binary string of `width` characters, MSB first.
+std::string to_bin(std::uint64_t value, int width);
+
+/// Parses a binary string (MSB first); characters other than 0/1 are invalid.
+std::uint64_t parse_bin(std::string_view text);
+
+}  // namespace scfi

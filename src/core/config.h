@@ -1,0 +1,44 @@
+// User-facing configuration of the SCFI hardening pass.
+#pragma once
+
+#include <string>
+
+namespace scfi::core {
+
+struct ScfiConfig {
+  /// Protection level N: valid codewords are separated by Hamming distance
+  /// >= N, so an attacker needs at least N bit flips to move between them
+  /// (paper R1/R2; evaluated for N = 2..4 in Table 1).
+  int protection_level = 2;
+
+  /// Error bits per MDS lane (the paper's `e`, §4 unmix layer). 0 selects
+  /// the protection level.
+  int error_bits = 0;
+
+  /// Registered MDS construction to instantiate (see mds/registry.h).
+  std::string mds = "scfi-m8346";
+
+  /// Suffix appended to the module name of the hardened FSM.
+  std::string module_suffix = "_scfi";
+
+  /// Paper §7 extension: the prototype's 1-bit pattern-match/modifier-select
+  /// signals are its residual single points of failure. When enabled, the
+  /// whole selector network (comparators, edge conditions, modifier ROM) is
+  /// built twice in independent share groups and a mismatch comparator
+  /// forces ERROR when the replicas disagree, so any single selector fault
+  /// is detected deterministically instead of probabilistically. Costs
+  /// roughly 2x the pattern-matching area.
+  bool encoded_selectors = false;
+
+  /// Paper §7 extension: also protect the output logic (lambda). The Mealy
+  /// output network is computed twice from independently replicated pattern
+  /// matchers; any mismatch raises fsm_alert in the same cycle, so a single
+  /// fault in the output cone cannot silently corrupt the outputs.
+  bool protect_outputs = false;
+
+  int effective_error_bits() const {
+    return error_bits > 0 ? error_bits : protection_level;
+  }
+};
+
+}  // namespace scfi::core

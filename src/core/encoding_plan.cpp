@@ -1,0 +1,38 @@
+#include "core/encoding_plan.h"
+
+#include "base/error.h"
+#include "encode/lexicode.h"
+
+namespace scfi::core {
+
+EncodingPlan plan_encoding(const fsm::Fsm& fsm, const ScfiConfig& config) {
+  require(config.protection_level >= 1, "plan_encoding: protection level must be >= 1");
+  EncodingPlan plan;
+  plan.protection_level = config.protection_level;
+
+  // R2 requires pairwise distance >= N. Weight >= 1 keeps the all-zero
+  // ERROR word out of the code; landing in ERROR is a *detected* outcome,
+  // so no extra distance to it is needed.
+  encode::CodeSpec state_spec;
+  state_spec.count = fsm.num_states();
+  state_spec.min_distance = config.protection_level;
+  state_spec.min_weight = 1;
+  const encode::Code state_code = encode::generate_code(state_spec);
+  plan.state_width = state_code.width;
+  plan.state_codes = state_code.words;
+  plan.error_code = 0;
+
+  const std::vector<std::string> symbols = fsm.symbols();
+  encode::CodeSpec sym_spec;
+  sym_spec.count = static_cast<int>(symbols.size());
+  sym_spec.min_distance = config.protection_level;
+  sym_spec.min_weight = 1;  // the quiescent all-zero bus is never valid
+  const encode::Code sym_code = encode::generate_code(sym_spec);
+  plan.symbol_width = sym_code.width;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    plan.symbol_codes[symbols[i]] = sym_code.words[i];
+  }
+  return plan;
+}
+
+}  // namespace scfi::core

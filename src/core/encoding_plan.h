@@ -1,0 +1,32 @@
+// Assignment of Hamming-distance-N codewords to states and control symbols
+// (paper requirements R1 and R2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "fsm/fsm.h"
+
+namespace scfi::core {
+
+struct EncodingPlan {
+  int protection_level = 0;
+
+  int state_width = 0;
+  std::vector<std::uint64_t> state_codes;  ///< state index -> codeword
+  std::uint64_t error_code = 0;            ///< terminal ERROR (all zero, weight
+                                           ///< >= N away from every codeword)
+
+  int symbol_width = 0;
+  std::map<std::string, std::uint64_t> symbol_codes;
+};
+
+/// Builds the plan: lexicodes with pairwise distance >= N (paper R1/R2),
+/// excluding the all-zero word so that ERROR (states) and a quiescent bus
+/// (symbols) are never valid.
+EncodingPlan plan_encoding(const fsm::Fsm& fsm, const ScfiConfig& config);
+
+}  // namespace scfi::core

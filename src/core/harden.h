@@ -1,0 +1,45 @@
+// The SCFI hardening transformation (paper §4/§5, Figures 5 and 7).
+//
+// Builds a new module implementing the protected FSM:
+//
+//   x_enc ──┬─► input pattern matching (1)  ──► modifier selection (2)
+//           │                                         │
+//   state ──┼──────────────┬──────────────────────────┤
+//           │              ▼                          ▼
+//           │            mix layer (3): k lanes of {S_Ce | X_e | Mod}
+//           │              ▼
+//           │            MDS diffusion (4): XOR network per lane
+//           │              ▼
+//           │            unmix (5): S_Ne slices + error bits E
+//           │              ▼
+//           └─► error logic (6): S_N = valid ? (S_Ne & repl(&E)) : ERROR
+//
+// Any fault into the state register (FT1), the encoded control signals
+// (FT2) or the next-state logic (FT3) avalanches through the MDS layer,
+// breaks E or the codeword, and the register collapses into the terminal
+// all-zero ERROR state while fsm_alert is raised.
+#pragma once
+
+#include "core/config.h"
+#include "core/encoding_plan.h"
+#include "core/layout.h"
+#include "core/modifier.h"
+#include "fsm/compile.h"
+
+namespace scfi::core {
+
+/// Statistics of one hardening run (for reports and benches).
+struct ScfiReport {
+  EncodingPlan plan;
+  int lanes = 0;
+  int mod_width = 0;
+  int mds_xor_gates = 0;   ///< per lane
+  int mds_depth = 0;
+  int cfg_edges = 0;
+};
+
+/// Hardens `fsm` into a new module `<name><suffix>` inside `design`.
+fsm::CompiledFsm scfi_harden(const fsm::Fsm& fsm, rtlil::Design& design,
+                             const ScfiConfig& config = {}, ScfiReport* report = nullptr);
+
+}  // namespace scfi::core

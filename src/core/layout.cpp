@@ -1,0 +1,75 @@
+#include "core/layout.h"
+
+#include "base/error.h"
+
+namespace scfi::core {
+namespace {
+
+/// Splits `total` into `k` near-equal chunks (first chunks get the extras).
+std::vector<int> split_even(int total, int k) {
+  std::vector<int> parts(static_cast<std::size_t>(k), total / k);
+  for (int i = 0; i < total % k; ++i) parts[static_cast<std::size_t>(i)] += 1;
+  return parts;
+}
+
+}  // namespace
+
+LaneLayout compute_layout(int state_width, int symbol_width, int error_bits,
+                          const mds::Construction& mds) {
+  require(state_width > 0 && symbol_width > 0, "compute_layout: bad widths");
+  require(error_bits >= 1, "compute_layout: need at least one error bit");
+  const int lane_bits = 8 * mds.slp.num_inputs();
+  const gf2::Matrix& m = mds.bit_matrix;
+  check(m.rows() == lane_bits && m.cols() == lane_bits, "compute_layout: matrix shape");
+
+  for (int k = 1; k <= 8; ++k) {
+    const std::vector<int> s_parts = split_even(state_width, k);
+    const std::vector<int> x_parts = split_even(symbol_width, k);
+    bool feasible = true;
+    LaneLayout layout;
+    layout.lane_bits = lane_bits;
+    layout.error_bits = error_bits;
+    int s_off = 0;
+    int x_off = 0;
+    for (int lane = 0; lane < k && feasible; ++lane) {
+      const int s_len = s_parts[static_cast<std::size_t>(lane)];
+      const int x_len = x_parts[static_cast<std::size_t>(lane)];
+      const int mod_len = lane_bits - s_len - x_len;
+      // Constrained outputs: s_len next-state bits + e error bits.
+      if (mod_len < s_len + error_bits || s_len + error_bits > lane_bits) {
+        feasible = false;
+        break;
+      }
+      Lane entry;
+      entry.state_lo = s_off;
+      entry.state_len = s_len;
+      entry.sym_lo = x_off;
+      entry.sym_len = x_len;
+      entry.mod_len = mod_len;
+
+      std::vector<int> out_rows;
+      for (int i = 0; i < s_len; ++i) out_rows.push_back(i);
+      for (int i = 0; i < error_bits; ++i) out_rows.push_back(lane_bits - error_bits + i);
+      std::vector<int> mod_cols;
+      for (int i = 0; i < mod_len; ++i) mod_cols.push_back(s_len + x_len + i);
+      std::vector<int> fixed_cols;
+      for (int i = 0; i < s_len + x_len; ++i) fixed_cols.push_back(i);
+
+      const gf2::Matrix mod_map = m.submatrix(out_rows, mod_cols);
+      entry.solver = gf2::LinearSolver(mod_map);
+      if (!entry.solver.full_row_rank()) {
+        feasible = false;
+        break;
+      }
+      entry.fixed_map = m.submatrix(out_rows, fixed_cols);
+      layout.lanes.push_back(std::move(entry));
+      layout.mod_width += mod_len;
+      s_off += s_len;
+      x_off += x_len;
+    }
+    if (feasible) return layout;
+  }
+  throw ScfiError("compute_layout: no feasible lane layout up to k=8");
+}
+
+}  // namespace scfi::core

@@ -1,0 +1,49 @@
+// Lane layout of the hardened next-state function (paper Figure 5).
+//
+// The input triple {S_Ce, X_e, Mod} is distributed over k parallel 32-bit
+// MDS lanes. Within each lane the input is [state slice | symbol slice |
+// modifier bits]; the output carries the next-state slice in its low bits
+// and `e` error bits at the top. The layout is feasible when the modifier
+// submatrix of each lane (columns = modifier positions, rows = constrained
+// output positions) has full row rank, which compute_layout verifies with
+// exact GF(2) rank computation.
+#pragma once
+
+#include <vector>
+
+#include "gf2/matrix.h"
+#include "mds/registry.h"
+
+namespace scfi::core {
+
+struct Lane {
+  int state_lo = 0;  ///< first encoded-state bit carried by this lane
+  int state_len = 0;
+  int sym_lo = 0;    ///< first encoded-symbol bit carried by this lane
+  int sym_len = 0;
+  int mod_len = 0;   ///< modifier bits (fill the rest of the lane input)
+  /// Solver for this lane's modifier: rows = constrained output bits
+  /// (next-state slice then error bits), columns = modifier positions.
+  gf2::LinearSolver solver;
+  /// Constrained output rows of the lane matrix applied to the fixed
+  /// (state|symbol) part — reused by the per-edge solve.
+  gf2::Matrix fixed_map;  ///< (state_len+e) x (state_len+sym_len)
+
+  Lane() : solver(gf2::Matrix(0, 0)) {}
+};
+
+struct LaneLayout {
+  int lane_bits = 32;
+  int error_bits = 0;  ///< per lane
+  int mod_width = 0;   ///< total modifier bits over all lanes
+  std::vector<Lane> lanes;
+
+  int k() const { return static_cast<int>(lanes.size()); }
+};
+
+/// Computes the minimal-k feasible layout; throws ScfiError when the state
+/// and symbol widths cannot fit (never happens for realistic FSMs).
+LaneLayout compute_layout(int state_width, int symbol_width, int error_bits,
+                          const mds::Construction& mds);
+
+}  // namespace scfi::core

@@ -1,0 +1,77 @@
+#include "core/modifier.h"
+
+#include "base/error.h"
+#include "gf2/bitvec.h"
+
+namespace scfi::core {
+using gf2::BitVec;
+
+std::vector<EdgeModifier> compute_modifiers(const fsm::Fsm& fsm, const EncodingPlan& plan,
+                                            const LaneLayout& layout,
+                                            const mds::Construction& mds) {
+  const std::vector<fsm::CfgEdge> edges = fsm.cfg_edges();
+  std::vector<EdgeModifier> result;
+  result.reserve(edges.size());
+  const int e = layout.error_bits;
+
+  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+    const fsm::CfgEdge& edge = edges[ei];
+    const std::uint64_t s_from = plan.state_codes[static_cast<std::size_t>(edge.from)];
+    const std::uint64_t s_to = plan.state_codes[static_cast<std::size_t>(edge.to)];
+    const std::uint64_t x = plan.symbol_codes.at(edge.symbol);
+
+    EdgeModifier em;
+    em.edge_index = static_cast<int>(ei);
+    for (const Lane& lane : layout.lanes) {
+      // Fixed part of the lane input and the constrained output targets.
+      BitVec fixed(lane.state_len + lane.sym_len);
+      for (int i = 0; i < lane.state_len; ++i) {
+        fixed.set(i, (s_from >> (lane.state_lo + i)) & 1);
+      }
+      for (int i = 0; i < lane.sym_len; ++i) {
+        fixed.set(lane.state_len + i, (x >> (lane.sym_lo + i)) & 1);
+      }
+      BitVec target(lane.state_len + e);
+      for (int i = 0; i < lane.state_len; ++i) {
+        target.set(i, (s_to >> (lane.state_lo + i)) & 1);
+      }
+      for (int i = 0; i < e; ++i) target.set(lane.state_len + i, true);  // E = 1...1
+
+      const BitVec rhs = target ^ lane.fixed_map.mul(fixed);
+      const auto mod = lane.solver.solve(rhs);
+      check(mod.has_value(), "compute_modifiers: unsolvable lane (layout bug)");
+      em.lane_mods.push_back(mod->to_uint());
+    }
+
+    // Forward verification through the exact MDS bit matrix.
+    {
+      int lane_index = 0;
+      for (const Lane& lane : layout.lanes) {
+        BitVec input(layout.lane_bits);
+        for (int i = 0; i < lane.state_len; ++i) {
+          input.set(i, (s_from >> (lane.state_lo + i)) & 1);
+        }
+        for (int i = 0; i < lane.sym_len; ++i) {
+          input.set(lane.state_len + i, (x >> (lane.sym_lo + i)) & 1);
+        }
+        const std::uint64_t mod = em.lane_mods[static_cast<std::size_t>(lane_index)];
+        for (int i = 0; i < lane.mod_len; ++i) {
+          input.set(lane.state_len + lane.sym_len + i, (mod >> i) & 1);
+        }
+        const BitVec out = mds.bit_matrix.mul(input);
+        for (int i = 0; i < lane.state_len; ++i) {
+          check(out.get(i) == (((s_to >> (lane.state_lo + i)) & 1) != 0),
+                "compute_modifiers: forward check failed (state bit)");
+        }
+        for (int i = 0; i < e; ++i) {
+          check(out.get(layout.lane_bits - e + i), "compute_modifiers: forward check failed (E)");
+        }
+        ++lane_index;
+      }
+    }
+    result.push_back(std::move(em));
+  }
+  return result;
+}
+
+}  // namespace scfi::core

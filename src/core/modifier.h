@@ -1,0 +1,30 @@
+// Per-edge modifier computation (paper R4 and §5.1: "the modifier Mod for
+// each state transition is determined, satisfying MDS(S_Ce, X_e, Mod) =
+// S_Ne").
+//
+// Because the diffusion layer is linear over GF(2), each lane's modifier is
+// the solution of  M_mod * mod = target ^ M_fixed * [state|symbol]  where the
+// constrained rows force the next-state slice to the target codeword and the
+// error bits to all-ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/encoding_plan.h"
+#include "core/layout.h"
+
+namespace scfi::core {
+
+struct EdgeModifier {
+  int edge_index = 0;                       ///< index into fsm.cfg_edges()
+  std::vector<std::uint64_t> lane_mods;     ///< one value per lane (mod_len bits)
+};
+
+/// Solves every CFG edge; verifies each solution by forward-evaluating the
+/// MDS map (next-state slice and error bits must match exactly).
+std::vector<EdgeModifier> compute_modifiers(const fsm::Fsm& fsm, const EncodingPlan& plan,
+                                            const LaneLayout& layout,
+                                            const mds::Construction& mds);
+
+}  // namespace scfi::core

@@ -1,0 +1,30 @@
+#include "core/pass.h"
+
+#include "base/error.h"
+#include "sim/extract.h"
+
+namespace scfi::core {
+
+PassResult run_scfi_pass(rtlil::Design& design, const std::string& module_name,
+                         const PassOptions& options) {
+  rtlil::Module* source = design.module(module_name);
+  require(source != nullptr, "run_scfi_pass: no module " + module_name);
+
+  sim::ExtractOptions extract_options;
+  extract_options.state_wire = options.state_wire;
+  PassResult result;
+  result.extracted = sim::extract_fsm(*source, extract_options);
+  // Reuse the source module's name for the hardened FSM.
+  result.extracted.name = module_name;
+  result.hardened = scfi_harden(result.extracted, design, options.config, &result.report);
+  if (options.verify) {
+    synfi::SynfiConfig synfi_config;  // MDS diffusion region, transient flips
+    result.verification = synfi::analyze(result.extracted, result.hardened, synfi_config);
+    require(result.verification->exploitable == 0,
+            "run_scfi_pass: verification found exploitable faults in the diffusion layer of " +
+                module_name);
+  }
+  return result;
+}
+
+}  // namespace scfi::core

@@ -1,0 +1,42 @@
+// Generation of binary codes with guaranteed minimum Hamming distance.
+//
+// SCFI requirements R1/R2: state symbols and control-signal symbols must be
+// encoded so that any two valid codewords differ in at least N bits. We use
+// the classic greedy lexicode construction, optionally excluding low-weight
+// words so that the all-zero ERROR state keeps distance >= N from every valid
+// codeword.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scfi::encode {
+
+struct CodeSpec {
+  int count = 0;         ///< number of codewords required
+  int min_distance = 1;  ///< pairwise Hamming distance lower bound (N)
+  int width = 0;         ///< 0 = choose the smallest feasible width
+  int min_weight = 0;    ///< minimum popcount of every codeword (distance to the
+                         ///< all-zero ERROR word); 0 = no constraint
+  bool forbid_all_ones = false;  ///< exclude the all-ones word
+};
+
+struct Code {
+  int width = 0;
+  int min_distance = 0;
+  std::vector<std::uint64_t> words;
+};
+
+/// Builds a code satisfying `spec`; throws ScfiError when infeasible within
+/// the supported width range (<= 28 bits, far beyond any FSM in this repo).
+Code generate_code(const CodeSpec& spec);
+
+/// Exact minimum pairwise Hamming distance (>= 1 codeword required; returns
+/// width for a single codeword by convention of "unconstrained").
+int min_pairwise_distance(const std::vector<std::uint64_t>& words, int width);
+
+/// Smallest width that could possibly satisfy (count, distance) by the
+/// Singleton bound; used as the search floor.
+int singleton_floor(int count, int min_distance);
+
+}  // namespace scfi::encode

@@ -1,0 +1,69 @@
+// FSM-to-netlist compilation (the unprotected reference implementation) and
+// the shared description of compiled FSM variants.
+//
+// Three kinds of modules are produced in this repo:
+//   * unprotected (here): raw control bits, priority guard logic, plain
+//     binary state register — the paper's reference (i).
+//   * redundancy (src/redundancy): encoded control symbols, N-fold
+//     next-state logic + registers, mismatch alert — the paper's (ii).
+//   * SCFI (src/core): encoded control symbols, MDS-hardened next-state
+//     function, infective error logic — the paper's (iii).
+// All three fill in a CompiledFsm so simulators and fault campaigns can
+// locate the state register, decode states, and drive inputs uniformly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+#include "rtlil/design.h"
+
+namespace scfi::fsm {
+
+/// Uniform handle on a compiled FSM variant.
+struct CompiledFsm {
+  rtlil::Module* module = nullptr;
+  std::string state_wire;                        ///< Q wire of the state register
+  int state_width = 0;
+  std::vector<std::uint64_t> state_codes;        ///< state index -> register code
+  std::map<std::string, std::uint64_t> symbol_codes;  ///< symbol -> codeword (encoded variants)
+  int symbol_width = 0;                          ///< 0 for raw-bit variants
+  std::string symbol_input_wire;                 ///< input wire for encoded variants
+  std::string alert_wire;                        ///< 1-bit alert output ("" if none)
+  std::uint64_t error_code = 0;                  ///< terminal ERROR register value (SCFI)
+  bool has_error_state = false;
+
+  /// Maps a register value back to a state index; -1 when invalid.
+  int decode_state(std::uint64_t reg_value) const;
+};
+
+struct CompileOptions {
+  std::string module_name;                 ///< default: fsm.name
+  std::vector<std::uint64_t> state_codes;  ///< empty = binary encoding
+  int state_width = 0;                     ///< 0 = minimal binary width
+};
+
+/// Compiles the unprotected FSM: raw control-bit inputs, Mealy outputs,
+/// priority-ordered guard logic, no alert.
+CompiledFsm compile_unprotected(const Fsm& fsm, rtlil::Design& design,
+                                const CompileOptions& options = {});
+
+/// Builds the combinational "one copy" of a symbol-encoded next-state
+/// function: for every CFG edge, (state == enc(from)) && (x == code(sym))
+/// selects enc(to); unmatched inputs keep the current state. Shared by the
+/// redundancy baseline. Returns the next-state signal.
+rtlil::SigSpec build_symbol_next_state(rtlil::Module& module, const Fsm& fsm,
+                                       const rtlil::SigSpec& state, const rtlil::SigSpec& xenc,
+                                       const std::vector<std::uint64_t>& state_codes,
+                                       const std::map<std::string, std::uint64_t>& symbol_codes);
+
+/// Builds per-edge exclusive activation signals from raw control bits with
+/// priority semantics; edge order matches fsm.cfg_edges() restricted to
+/// explicit transitions. Used for Mealy output logic.
+std::vector<rtlil::SigSpec> build_raw_edge_actives(rtlil::Module& module, const Fsm& fsm,
+                                                   const rtlil::SigSpec& state,
+                                                   const std::vector<rtlil::SigSpec>& input_bits,
+                                                   const std::vector<std::uint64_t>& state_codes);
+
+}  // namespace scfi::fsm

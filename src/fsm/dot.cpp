@@ -1,0 +1,24 @@
+#include "fsm/dot.h"
+
+#include <sstream>
+
+namespace scfi::fsm {
+
+std::string to_dot(const Fsm& fsm) {
+  std::ostringstream out;
+  out << "digraph \"" << fsm.name << "\" {\n";
+  out << "  rankdir=LR;\n";
+  out << "  node [shape=circle];\n";
+  out << "  __reset [shape=point];\n";
+  out << "  __reset -> \"" << fsm.states[static_cast<std::size_t>(fsm.reset_state)] << "\";\n";
+  for (const CfgEdge& e : fsm.cfg_edges()) {
+    out << "  \"" << fsm.states[static_cast<std::size_t>(e.from)] << "\" -> \""
+        << fsm.states[static_cast<std::size_t>(e.to)] << "\" [label=\"" << e.symbol << "\"";
+    if (e.transition_index < 0) out << ", style=dashed";
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace scfi::fsm

@@ -1,0 +1,13 @@
+// Graphviz DOT export of the FSM control-flow graph (paper Figure 2).
+#pragma once
+
+#include <string>
+
+#include "fsm/fsm.h"
+
+namespace scfi::fsm {
+
+/// Renders the CFG; implicit idle self-loops are drawn dashed.
+std::string to_dot(const Fsm& fsm);
+
+}  // namespace scfi::fsm

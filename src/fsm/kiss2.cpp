@@ -1,0 +1,74 @@
+#include "fsm/kiss2.h"
+
+#include <sstream>
+
+#include "base/error.h"
+#include "base/strutil.h"
+
+namespace scfi::fsm {
+
+Fsm parse_kiss2(const std::string& text, const std::string& name) {
+  Fsm fsm;
+  fsm.name = name;
+  int declared_inputs = -1;
+  int declared_outputs = -1;
+  std::string reset_name;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::string stripped = trim(line.substr(0, line.find('#')));
+    if (stripped.empty()) continue;
+    const std::vector<std::string> tok = split(stripped);
+    if (tok[0] == ".i") {
+      require(tok.size() == 2, "kiss2: malformed .i");
+      declared_inputs = std::stoi(tok[1]);
+    } else if (tok[0] == ".o") {
+      require(tok.size() == 2, "kiss2: malformed .o");
+      declared_outputs = std::stoi(tok[1]);
+    } else if (tok[0] == ".r") {
+      require(tok.size() == 2, "kiss2: malformed .r");
+      reset_name = tok[1];
+    } else if (tok[0] == ".s" || tok[0] == ".p" || tok[0] == ".e" || tok[0] == ".end") {
+      continue;  // counts are recomputed; .e terminates
+    } else {
+      require(tok.size() == 4, "kiss2: transition line needs 4 fields: " + stripped);
+      if (fsm.inputs.empty()) {
+        require(declared_inputs >= 0 && declared_outputs >= 0,
+                "kiss2: .i/.o must precede transitions");
+        for (int i = 0; i < declared_inputs; ++i) fsm.inputs.push_back("x" + std::to_string(i));
+        for (int i = 0; i < declared_outputs; ++i) fsm.outputs.push_back("y" + std::to_string(i));
+      }
+      require(tok[0].size() == static_cast<std::size_t>(declared_inputs),
+              "kiss2: input pattern width mismatch: " + stripped);
+      require(tok[3].size() == static_cast<std::size_t>(declared_outputs),
+              "kiss2: output pattern width mismatch: " + stripped);
+      fsm.add_transition(tok[1], tok[0], tok[2], tok[3]);
+    }
+  }
+  require(!fsm.states.empty(), "kiss2: no transitions found");
+  if (!reset_name.empty()) {
+    const int r = fsm.state_index(reset_name);
+    require(r >= 0, "kiss2: reset state " + reset_name + " never used");
+    fsm.reset_state = r;
+  }
+  fsm.check();
+  return fsm;
+}
+
+std::string write_kiss2(const Fsm& fsm) {
+  std::ostringstream out;
+  out << ".i " << fsm.num_inputs() << "\n";
+  out << ".o " << fsm.num_outputs() << "\n";
+  out << ".p " << fsm.transitions.size() << "\n";
+  out << ".s " << fsm.num_states() << "\n";
+  out << ".r " << fsm.states[static_cast<std::size_t>(fsm.reset_state)] << "\n";
+  for (const Transition& t : fsm.transitions) {
+    out << t.guard << " " << fsm.states[static_cast<std::size_t>(t.from)] << " "
+        << fsm.states[static_cast<std::size_t>(t.to)] << " "
+        << (t.output.empty() ? std::string(fsm.outputs.size(), '-') : t.output) << "\n";
+  }
+  out << ".e\n";
+  return out.str();
+}
+
+}  // namespace scfi::fsm

@@ -1,0 +1,19 @@
+// KISS2 reader/writer — the standard interchange format for FSM benchmarks
+// (LGSynth/MCNC). Lets the SCFI flow consume third-party state machines.
+#pragma once
+
+#include <string>
+
+#include "fsm/fsm.h"
+
+namespace scfi::fsm {
+
+/// Parses KISS2 text. Supported directives: .i .o .s .p .r .e; transitions
+/// are `<input-pattern> <from> <to> <output-pattern>`. Input names are
+/// generated as x0..x{n-1}, outputs as y0..y{m-1}.
+Fsm parse_kiss2(const std::string& text, const std::string& name = "kiss2");
+
+/// Serializes an FSM to KISS2 text.
+std::string write_kiss2(const Fsm& fsm);
+
+}  // namespace scfi::fsm

@@ -1,0 +1,98 @@
+#include "gf2/bitvec.h"
+
+#include <bit>
+
+#include "base/error.h"
+
+namespace scfi::gf2 {
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(static_cast<int>(bits.size()));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    require(c == '0' || c == '1', "BitVec::from_string: invalid character");
+    v.set(static_cast<int>(bits.size() - 1 - i), c == '1');
+  }
+  return v;
+}
+
+BitVec BitVec::from_uint(std::uint64_t value, int size) {
+  check(size >= 0 && size <= 64, "BitVec::from_uint size out of range");
+  BitVec v(size);
+  for (int i = 0; i < size; ++i) v.set(i, (value >> i) & 1);
+  return v;
+}
+
+bool BitVec::get(int i) const {
+  check(i >= 0 && i < size_, "BitVec::get index out of range");
+  return (words_[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1;
+}
+
+void BitVec::set(int i, bool v) {
+  check(i >= 0 && i < size_, "BitVec::set index out of range");
+  const std::uint64_t mask = 1ULL << (i % 64);
+  auto& word = words_[static_cast<std::size_t>(i) / 64];
+  word = v ? (word | mask) : (word & ~mask);
+}
+
+void BitVec::flip(int i) { set(i, !get(i)); }
+
+void BitVec::operator^=(const BitVec& other) {
+  check(size_ == other.size_, "BitVec xor: size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+}
+
+BitVec BitVec::operator^(const BitVec& other) const {
+  BitVec r = *this;
+  r ^= other;
+  return r;
+}
+
+int BitVec::popcount() const {
+  int n = 0;
+  for (std::uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+bool BitVec::is_zero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int BitVec::distance(const BitVec& other) const {
+  check(size_ == other.size_, "BitVec distance: size mismatch");
+  int n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) n += std::popcount(words_[w] ^ other.words_[w]);
+  return n;
+}
+
+bool BitVec::dot(const BitVec& other) const {
+  check(size_ == other.size_, "BitVec dot: size mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) acc ^= words_[w] & other.words_[w];
+  return std::popcount(acc) & 1;
+}
+
+std::uint64_t BitVec::to_uint() const {
+  check(size_ <= 64, "BitVec::to_uint requires size <= 64");
+  return words_.empty() ? 0 : words_[0] & (size_ == 64 ? ~0ULL : ((1ULL << size_) - 1));
+}
+
+std::string BitVec::to_string() const {
+  std::string s(static_cast<std::size_t>(size_), '0');
+  for (int i = 0; i < size_; ++i) {
+    if (get(i)) s[static_cast<std::size_t>(size_ - 1 - i)] = '1';
+  }
+  return s;
+}
+
+BitVec BitVec::slice(int lo, int len) const {
+  check(lo >= 0 && len >= 0 && lo + len <= size_, "BitVec::slice out of range");
+  BitVec v(len);
+  for (int i = 0; i < len; ++i) v.set(i, get(lo + i));
+  return v;
+}
+
+}  // namespace scfi::gf2

@@ -1,0 +1,60 @@
+// Dynamic bit vector over GF(2), packed into 64-bit words.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scfi::gf2 {
+
+/// Fixed-size (after construction) vector of bits with GF(2) arithmetic.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(int size) : size_(size), words_((static_cast<std::size_t>(size) + 63) / 64, 0) {}
+
+  /// Builds from a binary string, MSB first ("1011" -> bit3=1,bit2=0,...).
+  static BitVec from_string(const std::string& bits);
+
+  /// Builds from the low `size` bits of `value` (bit 0 = LSB).
+  static BitVec from_uint(std::uint64_t value, int size);
+
+  int size() const { return size_; }
+
+  bool get(int i) const;
+  void set(int i, bool v);
+  void flip(int i);
+
+  /// XOR-accumulates `other` into this vector (sizes must match).
+  void operator^=(const BitVec& other);
+  BitVec operator^(const BitVec& other) const;
+
+  bool operator==(const BitVec& other) const = default;
+
+  /// Number of set bits.
+  int popcount() const;
+
+  /// True when all bits are zero.
+  bool is_zero() const;
+
+  /// Hamming distance to `other` (sizes must match).
+  int distance(const BitVec& other) const;
+
+  /// Dot product over GF(2).
+  bool dot(const BitVec& other) const;
+
+  /// Low 64 bits as an integer (size must be <= 64 for a faithful value).
+  std::uint64_t to_uint() const;
+
+  /// Binary string, MSB first.
+  std::string to_string() const;
+
+  /// Extracts bits [lo, lo+len) into a new vector.
+  BitVec slice(int lo, int len) const;
+
+ private:
+  int size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace scfi::gf2

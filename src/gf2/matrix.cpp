@@ -1,0 +1,143 @@
+#include "gf2/matrix.h"
+
+#include "base/error.h"
+
+namespace scfi::gf2 {
+
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  check(rows >= 0 && cols >= 0, "Matrix dimensions must be non-negative");
+  row_.assign(static_cast<std::size_t>(rows), BitVec(cols));
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+BitVec Matrix::mul(const BitVec& x) const {
+  check(x.size() == cols_, "Matrix::mul dimension mismatch");
+  BitVec y(rows_);
+  for (int r = 0; r < rows_; ++r) y.set(r, row_[static_cast<std::size_t>(r)].dot(x));
+  return y;
+}
+
+Matrix Matrix::mul(const Matrix& other) const {
+  check(cols_ == other.rows_, "Matrix::mul dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      if (get(r, k)) out.row(r) ^= other.row(k);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (get(r, c)) t.set(c, r, true);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::submatrix(const std::vector<int>& rows, const std::vector<int>& cols) const {
+  Matrix s(static_cast<int>(rows.size()), static_cast<int>(cols.size()));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      s.set(static_cast<int>(r), static_cast<int>(c), get(rows[r], cols[c]));
+    }
+  }
+  return s;
+}
+
+int Matrix::rank() const {
+  Matrix work = *this;
+  int rank = 0;
+  for (int c = 0; c < cols_ && rank < rows_; ++c) {
+    int pivot = -1;
+    for (int r = rank; r < rows_; ++r) {
+      if (work.get(r, c)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(work.row(rank), work.row(pivot));
+    for (int r = 0; r < rows_; ++r) {
+      if (r != rank && work.get(r, c)) work.row(r) ^= work.row(rank);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool Matrix::invertible() const { return rows_ == cols_ && rank() == rows_; }
+
+std::optional<Matrix> Matrix::inverse() const {
+  check(rows_ == cols_, "Matrix::inverse requires a square matrix");
+  Matrix work = *this;
+  Matrix inv = identity(rows_);
+  int rank = 0;
+  for (int c = 0; c < cols_; ++c) {
+    int pivot = -1;
+    for (int r = rank; r < rows_; ++r) {
+      if (work.get(r, c)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return std::nullopt;
+    std::swap(work.row(rank), work.row(pivot));
+    std::swap(inv.row(rank), inv.row(pivot));
+    for (int r = 0; r < rows_; ++r) {
+      if (r != rank && work.get(r, c)) {
+        work.row(r) ^= work.row(rank);
+        inv.row(r) ^= inv.row(rank);
+      }
+    }
+    ++rank;
+  }
+  return inv;
+}
+
+LinearSolver::LinearSolver(const Matrix& a)
+    : rows_(a.rows()), cols_(a.cols()), reduced_(a), transform_(Matrix::identity(a.rows())) {
+  for (int c = 0; c < cols_ && rank_ < rows_; ++c) {
+    int pivot = -1;
+    for (int r = rank_; r < rows_; ++r) {
+      if (reduced_.get(r, c)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(reduced_.row(rank_), reduced_.row(pivot));
+    std::swap(transform_.row(rank_), transform_.row(pivot));
+    for (int r = 0; r < rows_; ++r) {
+      if (r != rank_ && reduced_.get(r, c)) {
+        reduced_.row(r) ^= reduced_.row(rank_);
+        transform_.row(r) ^= transform_.row(rank_);
+      }
+    }
+    pivot_col_.push_back(c);
+    ++rank_;
+  }
+}
+
+std::optional<BitVec> LinearSolver::solve(const BitVec& b) const {
+  check(b.size() == rows_, "LinearSolver::solve rhs size mismatch");
+  const BitVec tb = transform_.mul(b);
+  // Rows beyond the rank are all-zero in `reduced_`; the system is
+  // inconsistent if the transformed rhs is nonzero there.
+  for (int r = rank_; r < rows_; ++r) {
+    if (tb.get(r)) return std::nullopt;
+  }
+  BitVec x(cols_);
+  for (int r = 0; r < rank_; ++r) x.set(pivot_col_[static_cast<std::size_t>(r)], tb.get(r));
+  return x;
+}
+
+}  // namespace scfi::gf2

@@ -1,0 +1,80 @@
+// Dense GF(2) matrices with Gaussian elimination, rank, solve and inverse.
+//
+// Matrices are row-major collections of BitVec rows. These are small
+// (hundreds of bits) throughout scfi, so the dense representation is ideal.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gf2/bitvec.h"
+
+namespace scfi::gf2 {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  static Matrix identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  bool get(int r, int c) const { return row_[static_cast<std::size_t>(r)].get(c); }
+  void set(int r, int c, bool v) { row_[static_cast<std::size_t>(r)].set(c, v); }
+
+  const BitVec& row(int r) const { return row_[static_cast<std::size_t>(r)]; }
+  BitVec& row(int r) { return row_[static_cast<std::size_t>(r)]; }
+
+  /// Matrix-vector product y = M x.
+  BitVec mul(const BitVec& x) const;
+
+  /// Matrix-matrix product.
+  Matrix mul(const Matrix& other) const;
+
+  Matrix transpose() const;
+
+  /// Selects a submatrix by explicit row and column index lists.
+  Matrix submatrix(const std::vector<int>& rows, const std::vector<int>& cols) const;
+
+  int rank() const;
+
+  /// True iff square and invertible.
+  bool invertible() const;
+
+  /// Inverse of a square invertible matrix (nullopt when singular).
+  std::optional<Matrix> inverse() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<BitVec> row_;
+};
+
+/// Precomputed echelon factorization of `A` for repeatedly solving A x = b
+/// with different right-hand sides (used for per-edge modifier solving).
+class LinearSolver {
+ public:
+  explicit LinearSolver(const Matrix& a);
+
+  int rank() const { return rank_; }
+
+  /// True when A x = b is solvable for EVERY b (A has full row rank).
+  bool full_row_rank() const { return rank_ == rows_; }
+
+  /// One solution of A x = b, or nullopt when inconsistent.
+  std::optional<BitVec> solve(const BitVec& b) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  int rank_ = 0;
+  Matrix reduced_;           // row-reduced echelon form of A
+  Matrix transform_;         // transform_ * A == reduced_
+  std::vector<int> pivot_col_;  // pivot column of each echelon row
+};
+
+}  // namespace scfi::gf2

@@ -1,0 +1,51 @@
+#include "gf2/poly8.h"
+
+#include "base/error.h"
+
+namespace scfi::gf2 {
+
+std::uint8_t xtime(std::uint8_t a) {
+  const std::uint16_t shifted = static_cast<std::uint16_t>(a) << 1;
+  // X^8 == X^2 + 1 (mod X^8+X^2+1): folding the overflow bit costs 1 XOR in
+  // hardware (bit 0 is a plain rewire of the carry).
+  return static_cast<std::uint8_t>((shifted & 0xff) ^ ((shifted & 0x100) ? 0x05 : 0x00));
+}
+
+std::uint8_t ring_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t acc = 0;
+  std::uint8_t shifted = a;
+  for (int i = 0; i < 8; ++i) {
+    if ((b >> i) & 1) acc = static_cast<std::uint8_t>(acc ^ shifted);
+    shifted = xtime(shifted);
+  }
+  return acc;
+}
+
+std::uint8_t ring_mul_xk(std::uint8_t a, int k) {
+  check(k >= 0, "ring_mul_xk: negative exponent");
+  std::uint8_t v = a;
+  for (int i = 0; i < k; ++i) v = xtime(v);
+  return v;
+}
+
+std::uint8_t mod_radical(std::uint8_t a) {
+  // Divide the degree-<8 polynomial `a` by X^4+X+1, return the remainder.
+  std::uint16_t rem = a;
+  for (int deg = 7; deg >= 4; --deg) {
+    if (rem & (1u << deg)) rem ^= static_cast<std::uint16_t>(kScfiRadical) << (deg - 4);
+  }
+  return static_cast<std::uint8_t>(rem & 0x0f);
+}
+
+bool ring_is_unit(std::uint8_t a) { return mod_radical(a) != 0; }
+
+std::uint8_t ring_inverse(std::uint8_t a) {
+  require(ring_is_unit(a), "ring_inverse: element is not a unit");
+  // R has 256 elements; brute force is instant and obviously correct.
+  for (int b = 1; b < 256; ++b) {
+    if (ring_mul(a, static_cast<std::uint8_t>(b)) == 1) return static_cast<std::uint8_t>(b);
+  }
+  unreachable("unit without inverse in F2[X]/(X^8+X^2+1)");
+}
+
+}  // namespace scfi::gf2

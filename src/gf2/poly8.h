@@ -1,0 +1,40 @@
+// Arithmetic in the byte ring R = F2[X] / (X^8 + X^2 + 1).
+//
+// SCFI's diffusion layer works in F2[alpha] with alpha a root of
+// X^8 + X^2 + 1 (paper §5.1). Note that X^8+X^2+1 = (X^4+X+1)^2 over GF(2),
+// so R is a *ring*, not a field: an element is a unit iff it is not divisible
+// by X^4+X+1. MDS matrices over R are still well-defined (every square
+// submatrix must be a unit-determinant matrix); multiplication by alpha costs
+// a single XOR gate, which is why the paper picked this modulus.
+#pragma once
+
+#include <cstdint>
+
+namespace scfi::gf2 {
+
+/// Reduction polynomial X^8 + X^2 + 1 (bit 8, bit 2, bit 0).
+inline constexpr std::uint16_t kScfiPoly = 0x105;
+
+/// The radical generator X^4 + X + 1 whose square is kScfiPoly.
+inline constexpr std::uint16_t kScfiRadical = 0x13;
+
+/// Multiplication by alpha (i.e. by X) modulo kScfiPoly.
+std::uint8_t xtime(std::uint8_t a);
+
+/// Ring multiplication modulo kScfiPoly.
+std::uint8_t ring_mul(std::uint8_t a, std::uint8_t b);
+
+/// a * X^k modulo kScfiPoly.
+std::uint8_t ring_mul_xk(std::uint8_t a, int k);
+
+/// True iff `a` is a unit of R (not divisible by X^4+X+1).
+bool ring_is_unit(std::uint8_t a);
+
+/// Multiplicative inverse of a unit (undefined behaviour checked: throws for
+/// non-units).
+std::uint8_t ring_inverse(std::uint8_t a);
+
+/// Remainder of polynomial `a` (degree < 8) modulo X^4+X+1, as a 4-bit value.
+std::uint8_t mod_radical(std::uint8_t a);
+
+}  // namespace scfi::gf2

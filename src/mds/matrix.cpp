@@ -1,0 +1,174 @@
+#include "mds/matrix.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "base/error.h"
+#include "gf2/poly8.h"
+
+namespace scfi::mds {
+
+RingMatrix::RingMatrix(int n, std::vector<std::uint8_t> entries) : n_(n), e_(std::move(entries)) {
+  check(n > 0 && e_.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+        "RingMatrix: entry count mismatch");
+}
+
+RingMatrix RingMatrix::circulant(std::vector<std::uint8_t> first_row) {
+  const int n = static_cast<int>(first_row.size());
+  std::vector<std::uint8_t> entries(static_cast<std::size_t>(n) * n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      // Row r is the first row rotated right by r positions.
+      entries[static_cast<std::size_t>(r) * n + c] =
+          first_row[static_cast<std::size_t>(((c - r) % n + n) % n)];
+    }
+  }
+  return RingMatrix(n, std::move(entries));
+}
+
+std::uint8_t RingMatrix::at(int r, int c) const {
+  check(r >= 0 && r < n_ && c >= 0 && c < n_, "RingMatrix::at out of range");
+  return e_[static_cast<std::size_t>(r) * n_ + c];
+}
+
+gf2::Matrix RingMatrix::to_bit_matrix() const {
+  gf2::Matrix m(8 * n_, 8 * n_);
+  for (int r = 0; r < n_; ++r) {
+    for (int c = 0; c < n_; ++c) {
+      const std::uint8_t coeff = at(r, c);
+      // Column bit b of block (r,c): coeff * X^b reduced.
+      for (int b = 0; b < 8; ++b) {
+        const std::uint8_t col = gf2::ring_mul_xk(coeff, b);
+        for (int ob = 0; ob < 8; ++ob) {
+          if ((col >> ob) & 1) m.set(8 * r + ob, 8 * c + b, true);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+bool RingMatrix::is_mds() const { return mds::is_mds(to_bit_matrix(), n_); }
+
+namespace {
+
+/// Determinant over the commutative ring by Laplace expansion (n <= 4).
+std::uint8_t ring_det(const std::vector<std::uint8_t>& m, const std::vector<int>& rows,
+                      const std::vector<int>& cols, int n) {
+  if (rows.size() == 1) {
+    return m[static_cast<std::size_t>(rows[0]) * n + cols[0]];
+  }
+  std::uint8_t acc = 0;
+  std::vector<int> sub_rows(rows.begin() + 1, rows.end());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const std::uint8_t pivot = m[static_cast<std::size_t>(rows[0]) * n + cols[c]];
+    if (pivot == 0) continue;
+    std::vector<int> sub_cols;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (k != c) sub_cols.push_back(cols[k]);
+    }
+    // Characteristic 2: all cofactor signs are +1.
+    acc = static_cast<std::uint8_t>(acc ^ gf2::ring_mul(pivot, ring_det(m, sub_rows, sub_cols, n)));
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool RingMatrix::is_mds_by_minors() const {
+  // Every square submatrix must be invertible over the ring, i.e. have a
+  // unit determinant (equivalent to the bit-level block criterion).
+  for (std::uint32_t rmask = 1; rmask < (1u << n_); ++rmask) {
+    for (std::uint32_t cmask = 1; cmask < (1u << n_); ++cmask) {
+      if (std::popcount(rmask) != std::popcount(cmask)) continue;
+      std::vector<int> rows;
+      std::vector<int> cols;
+      for (int i = 0; i < n_; ++i) {
+        if ((rmask >> i) & 1) rows.push_back(i);
+        if ((cmask >> i) & 1) cols.push_back(i);
+      }
+      if (!gf2::ring_is_unit(ring_det(e_, rows, cols, n_))) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<std::uint8_t>> ring_coefficients(const Slp& slp) {
+  const int n = slp.num_inputs();
+  std::vector<std::vector<std::uint8_t>> coeff;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(n), 0);
+    row[static_cast<std::size_t>(i)] = 1;
+    coeff.push_back(std::move(row));
+  }
+  for (const SlpOp& op : slp.ops()) {
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(n), 0);
+    const auto& a = coeff[static_cast<std::size_t>(op.a)];
+    if (op.kind == SlpOp::Kind::kXor) {
+      const auto& b = coeff[static_cast<std::size_t>(op.b)];
+      for (int i = 0; i < n; ++i) {
+        row[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+            a[static_cast<std::size_t>(i)] ^ b[static_cast<std::size_t>(i)]);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        row[static_cast<std::size_t>(i)] = gf2::ring_mul(a[static_cast<std::size_t>(i)], 0x02);
+      }
+    }
+    coeff.push_back(std::move(row));
+  }
+  return coeff;
+}
+
+RingMatrix ring_matrix_of(const Slp& slp) {
+  const int n = slp.num_inputs();
+  check(static_cast<int>(slp.outputs().size()) == n, "ring_matrix_of: needs a square map");
+  const std::vector<std::vector<std::uint8_t>> coeff = ring_coefficients(slp);
+  std::vector<std::uint8_t> entries;
+  for (int out : slp.outputs()) {
+    for (int i = 0; i < n; ++i) {
+      entries.push_back(coeff[static_cast<std::size_t>(out)][static_cast<std::size_t>(i)]);
+    }
+  }
+  return RingMatrix(n, std::move(entries));
+}
+
+Slp RingMatrix::to_naive_slp() const {
+  Slp slp(n_);
+  // Shared xtime chains: chain[c][k] holds the value index of X^k * input c.
+  int max_deg = 0;
+  for (std::uint8_t e : e_) {
+    for (int b = 7; b >= 0; --b) {
+      if ((e >> b) & 1) {
+        max_deg = std::max(max_deg, b);
+        break;
+      }
+    }
+  }
+  std::vector<std::vector<int>> chain(static_cast<std::size_t>(n_));
+  for (int c = 0; c < n_; ++c) {
+    chain[static_cast<std::size_t>(c)].push_back(c);
+    for (int k = 1; k <= max_deg; ++k) {
+      chain[static_cast<std::size_t>(c)].push_back(
+          slp.add_mul_alpha(chain[static_cast<std::size_t>(c)].back()));
+    }
+  }
+  std::vector<int> outs;
+  for (int r = 0; r < n_; ++r) {
+    int acc = -1;
+    for (int c = 0; c < n_; ++c) {
+      const std::uint8_t coeff = at(r, c);
+      for (int b = 0; b <= max_deg; ++b) {
+        if (!((coeff >> b) & 1)) continue;
+        const int term = chain[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)];
+        acc = (acc < 0) ? term : slp.add_xor(acc, term);
+      }
+    }
+    check(acc >= 0, "RingMatrix::to_naive_slp: zero row cannot be MDS");
+    outs.push_back(acc);
+  }
+  slp.set_outputs(std::move(outs));
+  return slp;
+}
+
+}  // namespace scfi::mds

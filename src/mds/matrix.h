@@ -1,0 +1,51 @@
+// Word-level matrices over the ring F2[X]/(X^8+X^2+1) and their compilation
+// into straight-line programs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mds/slp.h"
+
+namespace scfi::mds {
+
+class RingMatrix;
+
+/// Extracts the ring-level matrix computed by an SLP (every SLP op is
+/// ring-linear, so this is always possible).
+RingMatrix ring_matrix_of(const Slp& slp);
+
+/// Ring coefficients of every SSA value of the program over its inputs
+/// (one row per value, num_inputs() entries each).
+std::vector<std::vector<std::uint8_t>> ring_coefficients(const Slp& slp);
+
+/// Square word matrix with ring-element entries (row-major).
+class RingMatrix {
+ public:
+  RingMatrix(int n, std::vector<std::uint8_t> entries);
+
+  static RingMatrix circulant(std::vector<std::uint8_t> first_row);
+
+  int size() const { return n_; }
+  std::uint8_t at(int r, int c) const;
+
+  /// Exact MDS test via the block-submatrix criterion on the bit expansion.
+  bool is_mds() const;
+
+  /// Equivalent MDS test via ring minors: every square submatrix determinant
+  /// must be a unit of F2[X]/(X^8+X^2+1). Much faster; used by the search.
+  bool is_mds_by_minors() const;
+
+  /// Naive SLP: per-row xtime chains and XOR accumulation, with the xtime
+  /// chains shared between rows. No cross-row subexpression sharing.
+  Slp to_naive_slp() const;
+
+  /// Bit-level expansion ((8n) x (8n)).
+  gf2::Matrix to_bit_matrix() const;
+
+ private:
+  int n_;
+  std::vector<std::uint8_t> e_;
+};
+
+}  // namespace scfi::mds

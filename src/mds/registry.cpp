@@ -1,0 +1,111 @@
+#include "mds/registry.h"
+
+#include <map>
+
+#include "base/error.h"
+#include "mds/matrix.h"
+
+namespace scfi::mds {
+namespace {
+
+Construction make(const std::string& name, Slp slp) {
+  gf2::Matrix m = slp.to_bit_matrix();
+  check(static_cast<int>(slp.outputs().size()) == slp.num_inputs(),
+        "MDS construction must be square");
+  check(is_mds(m, slp.num_inputs()), "construction '" + name + "' failed the MDS check");
+  const int gates = slp.xor_gate_count();
+  const int depth = slp.xor_depth();
+  return Construction{name, std::move(slp), std::move(m), gates, depth};
+}
+
+/// Hand-optimized shared-subexpression program for circ(a, a+1, 1, 1) with
+/// a = alpha. Row i computes a*(x_i + x_{i+1}) + (sum of the other three).
+Slp shared_circulant_slp() {
+  Slp s(4);
+  const int x0 = 0;
+  const int x1 = 1;
+  const int x2 = 2;
+  const int x3 = 3;
+  const int s01 = s.add_xor(x0, x1);
+  const int s12 = s.add_xor(x1, x2);
+  const int s23 = s.add_xor(x2, x3);
+  const int s30 = s.add_xor(x3, x0);
+  const int t01 = s.add_mul_alpha(s01);
+  const int t12 = s.add_mul_alpha(s12);
+  const int t23 = s.add_mul_alpha(s23);
+  const int t30 = s.add_mul_alpha(s30);
+  const int u0 = s.add_xor(s23, x1);  // x1+x2+x3
+  const int u1 = s.add_xor(s23, x0);  // x0+x2+x3
+  const int u2 = s.add_xor(s01, x3);  // x0+x1+x3
+  const int u3 = s.add_xor(s01, x2);  // x0+x1+x2
+  const int y0 = s.add_xor(t01, u0);  // a(x0+x1) + x1+x2+x3
+  const int y1 = s.add_xor(t12, u1);  // a(x1+x2) + x2+x3+x0
+  const int y2 = s.add_xor(t23, u2);  // a(x2+x3) + x3+x0+x1
+  const int y3 = s.add_xor(t30, u3);  // a(x3+x0) + x0+x1+x2
+  s.set_outputs({y0, y1, y2, y3});
+  return s;
+}
+
+RingMatrix scfi_matrix() {
+  // circ(alpha, alpha+1, 1, 1): the AES-MixColumns shape transplanted into
+  // the SCFI ring F2[X]/(X^8+X^2+1); verified MDS by the block criterion.
+  return RingMatrix::circulant({0x02, 0x03, 0x01, 0x01});
+}
+
+/// Reconstruction of the paper's lightweight M^{8,3}_{4,6}: a 9-operation
+/// in-place generalized-XOR program (x_d ^= [alpha*] x_s) discovered by the
+/// exhaustive search in src/mds/search (the 8-op space is provably empty).
+/// Cost: 6 plain word XORs (8 gates) + 3 alpha-scaled XORs (9 gates) = 75.
+Slp m8346_slp() {
+  Slp s(4);
+  // Registers start as (x0, x1, x2, x3); each step updates one register.
+  const int v4 = s.add_xor(0, 1);                    // x0 ^= x1
+  const int v5 = s.add_xor(2, 3);                    // x2 ^= x3
+  const int v7 = s.add_xor(1, s.add_mul_alpha(v5));  // x1 ^= a*x2
+  const int v9 = s.add_xor(v5, s.add_mul_alpha(v4)); // x2 ^= a*x0
+  const int v11 = s.add_xor(v4, s.add_mul_alpha(v7)); // x0 ^= a*x1
+  const int v12 = s.add_xor(v11, 3);                 // x0 ^= x3
+  const int v13 = s.add_xor(3, v7);                  // x3 ^= x1
+  const int v14 = s.add_xor(v7, v12);                // x1 ^= x0
+  const int v15 = s.add_xor(v13, v9);                // x3 ^= x2
+  s.set_outputs({v12, v14, v9, v15});
+  return s;
+}
+
+std::map<std::string, Construction> build_registry() {
+  std::map<std::string, Construction> reg;
+  {
+    Slp slp = shared_circulant_slp();
+    // The shared program must compute exactly the circulant matrix.
+    check(slp.to_bit_matrix() == scfi_matrix().to_bit_matrix(),
+          "shared circulant SLP does not match its matrix");
+    reg.emplace("scfi-shared", make("scfi-shared", std::move(slp)));
+  }
+  reg.emplace("scfi-naive", make("scfi-naive", scfi_matrix().to_naive_slp()));
+  reg.emplace("scfi-m8346", make("scfi-m8346", m8346_slp()));
+  return reg;
+}
+
+const std::map<std::string, Construction>& registry() {
+  static const std::map<std::string, Construction> reg = build_registry();
+  return reg;
+}
+
+}  // namespace
+
+const Construction& construction(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(name);
+  require(it != reg.end(), "unknown MDS construction: " + name);
+  return it->second;
+}
+
+const Construction& default_construction() { return construction("scfi-m8346"); }
+
+std::vector<std::string> construction_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, unused] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace scfi::mds

@@ -1,0 +1,45 @@
+// Named, pre-verified MDS diffusion constructions.
+//
+// The paper instantiates the Duval-Leurent M^{8,3}_{4,6} matrix (4x4 bytes,
+// 67 XOR gates, alpha-multiplications costing one XOR each, low XOR count
+// traded against a slightly larger logical depth). The exact published
+// straight-line program is not reproduced in the paper, so this registry
+// provides:
+//   * "scfi-m8346"  — the default: a 9-op in-place program found by the
+//                     exhaustive generalized-XOR search (src/mds/search.h):
+//                     6 plain + 3 alpha-scaled ops = 75 XOR gates. Like the
+//                     paper's M_{4,6} it minimizes XOR count at the price of
+//                     depth.
+//   * "scfi-shared" — hand-optimized circulant(alpha, alpha+1, 1, 1):
+//                     12 word-XORs + 4 alpha = 100 XOR gates, only 3 XOR
+//                     layers deep (the low-depth alternative).
+//   * "scfi-naive"  — the circulant compiled naively (ablation baseline).
+// All constructions are verified MDS (branch number 5) at construction time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mds/slp.h"
+
+namespace scfi::mds {
+
+struct Construction {
+  std::string name;
+  Slp slp;
+  gf2::Matrix bit_matrix;  ///< 32x32 exact linear map
+  int xor_gates = 0;
+  int depth = 0;
+};
+
+/// Returns the construction registered under `name`; throws ScfiError for
+/// unknown names.
+const Construction& construction(const std::string& name);
+
+/// Default construction used by the SCFI pass.
+const Construction& default_construction();
+
+/// All registered names.
+std::vector<std::string> construction_names();
+
+}  // namespace scfi::mds

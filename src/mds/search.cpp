@@ -1,0 +1,233 @@
+#include "mds/search.h"
+
+#include <algorithm>
+#include <functional>
+#include <bit>
+
+#include "base/error.h"
+#include "gf2/poly8.h"
+#include "mds/matrix.h"
+
+namespace scfi::mds {
+namespace {
+
+/// Samples one random SLP within the budget. Outputs are the last `words`
+/// defined values, which biases the search toward programs that actually use
+/// their late operations.
+Slp sample(const SearchSpec& spec, Rng& rng) {
+  Slp slp(spec.words);
+  std::vector<SlpOp::Kind> kinds;
+  const int xors = static_cast<int>(rng.range(static_cast<std::uint64_t>(spec.words * 2),
+                                              static_cast<std::uint64_t>(spec.max_xor_ops)));
+  const int alphas = static_cast<int>(rng.range(1, static_cast<std::uint64_t>(spec.max_alpha_ops)));
+  for (int i = 0; i < xors; ++i) kinds.push_back(SlpOp::Kind::kXor);
+  for (int i = 0; i < alphas; ++i) kinds.push_back(SlpOp::Kind::kMulAlpha);
+  rng.shuffle(kinds);
+  for (const auto kind : kinds) {
+    const int n = slp.num_values();
+    if (kind == SlpOp::Kind::kXor) {
+      const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      if (b == a) b = (b + 1) % n;
+      slp.add_xor(a, b);
+    } else {
+      slp.add_mul_alpha(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))));
+    }
+  }
+  std::vector<int> outs;
+  for (int i = 0; i < spec.words; ++i) outs.push_back(slp.num_values() - spec.words + i);
+  slp.set_outputs(std::move(outs));
+  return slp;
+}
+
+}  // namespace
+
+namespace {
+
+/// Tries every 4-subset of the program's full-weight values as the output
+/// tuple; returns an MDS-selecting Slp when one exists.
+std::optional<Slp> select_mds_outputs(const Slp& cand, int words) {
+  const std::vector<std::vector<std::uint8_t>> coeffs = ring_coefficients(cand);
+  std::vector<int> full_weight;
+  for (int v = words; v < cand.num_values(); ++v) {
+    bool full = true;
+    for (int c = 0; c < words; ++c) {
+      full &= coeffs[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] != 0;
+    }
+    if (full) full_weight.push_back(v);
+  }
+  if (static_cast<int>(full_weight.size()) < words) return std::nullopt;
+  // Enumerate subsets (the candidate pool is small in practice).
+  const std::size_t n = full_weight.size();
+  std::vector<std::size_t> idx(static_cast<std::size_t>(words));
+  for (std::size_t a = 0; a + 3 < n; ++a) {
+    for (std::size_t b = a + 1; b + 2 < n; ++b) {
+      for (std::size_t c = b + 1; c + 1 < n; ++c) {
+        for (std::size_t d = c + 1; d < n; ++d) {
+          Slp trial = cand;
+          trial.set_outputs({full_weight[a], full_weight[b], full_weight[c], full_weight[d]});
+          if (ring_matrix_of(trial).is_mds_by_minors()) return trial;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+namespace {
+
+struct InplaceOp {
+  bool scaled = false;  // dst ^= alpha * src (else dst ^= src)
+  int dst = 0;
+  int src = 0;
+};
+
+/// Applies the program to the identity and counts unit minors (max 69 for
+/// 4x4); 69 means MDS.
+int score_inplace(const std::vector<InplaceOp>& ops) {
+  std::uint8_t m[4][4] = {};
+  for (int i = 0; i < 4; ++i) m[i][i] = 1;
+  for (const InplaceOp& op : ops) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint8_t term =
+          op.scaled ? gf2::ring_mul(m[op.src][c], 0x02) : m[op.src][c];
+      m[op.dst][c] = static_cast<std::uint8_t>(m[op.dst][c] ^ term);
+    }
+  }
+  // Count unit minors over all square submatrices.
+  std::vector<std::uint8_t> flat;
+  for (auto& row : m) {
+    for (std::uint8_t e : row) flat.push_back(e);
+  }
+  const RingMatrix rm(4, flat);
+  int good = 0;
+  for (std::uint32_t rmask = 1; rmask < 16; ++rmask) {
+    for (std::uint32_t cmask = 1; cmask < 16; ++cmask) {
+      if (std::popcount(rmask) != std::popcount(cmask)) continue;
+      std::vector<int> rows;
+      std::vector<int> cols;
+      for (int i = 0; i < 4; ++i) {
+        if ((rmask >> i) & 1) rows.push_back(i);
+        if ((cmask >> i) & 1) cols.push_back(i);
+      }
+      // Submatrix-restricted determinant check via a tiny RingMatrix.
+      std::vector<std::uint8_t> sub;
+      for (int r : rows) {
+        for (int c : cols) sub.push_back(rm.at(r, c));
+      }
+      const RingMatrix s(static_cast<int>(rows.size()), sub);
+      // Reuse the minors check at full size 1: determinant of the whole sub.
+      std::vector<std::uint8_t> m2 = sub;
+      // Inline determinant via recursion on RingMatrix is private; emulate:
+      // for sizes 1..4 compute by expansion.
+      std::function<std::uint8_t(std::vector<int>, std::vector<int>)> det =
+          [&](std::vector<int> rr, std::vector<int> cc) -> std::uint8_t {
+        if (rr.size() == 1) return rm.at(rr[0], cc[0]);
+        std::uint8_t acc = 0;
+        std::vector<int> rest(rr.begin() + 1, rr.end());
+        for (std::size_t k = 0; k < cc.size(); ++k) {
+          const std::uint8_t pivot = rm.at(rr[0], cc[k]);
+          if (pivot == 0) continue;
+          std::vector<int> sub_c;
+          for (std::size_t j = 0; j < cc.size(); ++j) {
+            if (j != k) sub_c.push_back(cc[j]);
+          }
+          acc = static_cast<std::uint8_t>(acc ^ gf2::ring_mul(pivot, det(rest, sub_c)));
+        }
+        return acc;
+      };
+      if (gf2::ring_is_unit(det(rows, cols))) ++good;
+    }
+  }
+  return good;
+}
+
+Slp inplace_to_slp(const std::vector<InplaceOp>& ops) {
+  Slp slp(4);
+  int reg[4] = {0, 1, 2, 3};
+  for (const InplaceOp& op : ops) {
+    int term = reg[op.src];
+    if (op.scaled) term = slp.add_mul_alpha(term);
+    reg[op.dst] = slp.add_xor(reg[op.dst], term);
+  }
+  slp.set_outputs({reg[0], reg[1], reg[2], reg[3]});
+  return slp;
+}
+
+}  // namespace
+
+std::optional<SearchResult> search_mds_inplace(const InplaceSearchSpec& spec, Rng& rng) {
+  const int total_ops = spec.plain_ops + spec.scaled_ops;
+  const auto random_program = [&]() {
+    std::vector<InplaceOp> ops;
+    std::vector<bool> kinds;
+    for (int i = 0; i < spec.plain_ops; ++i) kinds.push_back(false);
+    for (int i = 0; i < spec.scaled_ops; ++i) kinds.push_back(true);
+    rng.shuffle(kinds);
+    for (bool scaled : kinds) {
+      InplaceOp op;
+      op.scaled = scaled;
+      op.dst = static_cast<int>(rng.below(4));
+      op.src = static_cast<int>((op.dst + 1 + rng.below(3)) % 4);
+      ops.push_back(op);
+    }
+    return ops;
+  };
+  const auto mutate = [&](std::vector<InplaceOp> ops) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(ops.size()));
+    if (rng.chance(0.5)) {
+      ops[i].dst = static_cast<int>(rng.below(4));
+    }
+    ops[i].src = static_cast<int>((ops[i].dst + 1 + rng.below(3)) % 4);
+    if (rng.chance(0.2) && static_cast<int>(i) + 1 < total_ops) {
+      std::swap(ops[i], ops[i + 1]);
+    }
+    return ops;
+  };
+
+  std::optional<SearchResult> best;
+  for (int restart = 0; restart < spec.restarts; ++restart) {
+    std::vector<InplaceOp> ops = random_program();
+    int score = score_inplace(ops);
+    for (int step = 0; step < spec.climb_steps && score < 69; ++step) {
+      std::vector<InplaceOp> cand = mutate(ops);
+      const int cand_score = score_inplace(cand);
+      if (cand_score >= score) {
+        ops = std::move(cand);
+        score = cand_score;
+      }
+    }
+    if (score == 69) {
+      Slp slp = inplace_to_slp(ops);
+      check(ring_matrix_of(slp).is_mds_by_minors(), "in-place search: inconsistent result");
+      SearchResult r{slp, slp.xor_gate_count(), slp.xor_depth()};
+      if (!best || r.xor_gates < best->xor_gates) best = std::move(r);
+    }
+  }
+  return best;
+}
+
+std::optional<SearchResult> search_mds_slp(const SearchSpec& spec, Rng& rng) {
+  check(spec.words >= 2, "search_mds_slp: need at least 2 words");
+  std::optional<SearchResult> best;
+  for (int it = 0; it < spec.iterations; ++it) {
+    Slp cand = sample(spec, rng);
+    if (cand.num_values() < spec.words * 2) continue;
+    std::optional<Slp> selected;
+    if (spec.words == 4) {
+      selected = select_mds_outputs(cand, spec.words);
+    } else if (ring_matrix_of(cand).is_mds_by_minors()) {
+      selected = cand;
+    }
+    if (!selected) continue;
+    // Trim unused trailing ops from the cost accounting by re-counting only
+    // ops reachable from the outputs.
+    SearchResult r{*selected, selected->xor_gate_count(), selected->xor_depth()};
+    if (!best || r.xor_gates < best->xor_gates) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace scfi::mds

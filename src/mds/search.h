@@ -1,0 +1,46 @@
+// Randomized search for low-XOR-count MDS straight-line programs.
+//
+// The paper notes (§7) that adapting the MDS matrix to the input size could
+// further improve the area-time product. This module provides the search
+// harness used to explore alternative programs: it samples random SLPs with
+// a bounded operation budget and keeps those that pass the exact MDS check.
+#pragma once
+
+#include <optional>
+
+#include "base/rng.h"
+#include "mds/slp.h"
+
+namespace scfi::mds {
+
+struct SearchSpec {
+  int words = 4;          ///< matrix dimension (byte words)
+  int max_xor_ops = 12;   ///< word-XOR budget
+  int max_alpha_ops = 4;  ///< alpha-multiplication budget
+  int iterations = 20000; ///< random samples to try
+};
+
+struct SearchResult {
+  Slp slp;
+  int xor_gates = 0;
+  int depth = 0;
+};
+
+/// Returns the cheapest MDS program found within the budget, if any.
+std::optional<SearchResult> search_mds_slp(const SearchSpec& spec, Rng& rng);
+
+/// Searches over *in-place* register programs of generalized XORs
+/// xi ^= scale * xj with scale in {1, alpha} — the program shape of the
+/// Duval-Leurent lightweight MDS constructions (a plain op costs 8 XOR
+/// gates, an alpha-scaled op 9, so 5 plain + 3 scaled = the paper's 67).
+/// Hill climbing on the number of unit minors with random restarts. This is
+/// how the repository's baked-in low-XOR construction was produced.
+struct InplaceSearchSpec {
+  int plain_ops = 5;
+  int scaled_ops = 3;
+  int restarts = 2000;
+  int climb_steps = 400;
+};
+std::optional<SearchResult> search_mds_inplace(const InplaceSearchSpec& spec, Rng& rng);
+
+}  // namespace scfi::mds

@@ -1,0 +1,140 @@
+#include "mds/slp.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "base/error.h"
+#include "gf2/poly8.h"
+
+namespace scfi::mds {
+
+Slp::Slp(int inputs) : inputs_(inputs) {
+  check(inputs > 0, "Slp: need at least one input");
+}
+
+int Slp::add_xor(int a, int b) {
+  check(a >= 0 && a < num_values() && b >= 0 && b < num_values(), "Slp::add_xor: bad operand");
+  ops_.push_back(SlpOp{SlpOp::Kind::kXor, a, b});
+  return num_values() - 1;
+}
+
+int Slp::add_mul_alpha(int a) {
+  check(a >= 0 && a < num_values(), "Slp::add_mul_alpha: bad operand");
+  ops_.push_back(SlpOp{SlpOp::Kind::kMulAlpha, a, 0});
+  return num_values() - 1;
+}
+
+void Slp::set_outputs(std::vector<int> outputs) {
+  for (int v : outputs) check(v >= 0 && v < num_values(), "Slp::set_outputs: bad value index");
+  outputs_ = std::move(outputs);
+}
+
+std::vector<std::uint8_t> Slp::eval(std::span<const std::uint8_t> in) const {
+  check(static_cast<int>(in.size()) == inputs_, "Slp::eval: wrong input count");
+  std::vector<std::uint8_t> value(in.begin(), in.end());
+  value.reserve(static_cast<std::size_t>(num_values()));
+  for (const SlpOp& op : ops_) {
+    const std::uint8_t va = value[static_cast<std::size_t>(op.a)];
+    if (op.kind == SlpOp::Kind::kXor) {
+      value.push_back(static_cast<std::uint8_t>(va ^ value[static_cast<std::size_t>(op.b)]));
+    } else {
+      value.push_back(gf2::xtime(va));
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(outputs_.size());
+  for (int v : outputs_) out.push_back(value[static_cast<std::size_t>(v)]);
+  return out;
+}
+
+gf2::Matrix Slp::to_bit_matrix() const {
+  check(!outputs_.empty(), "Slp::to_bit_matrix: outputs not set");
+  const int in_bits = 8 * inputs_;
+  // Track, for every SSA value, each of its 8 bits as a linear combination of
+  // the input bits.
+  std::vector<std::array<gf2::BitVec, 8>> value;
+  value.reserve(static_cast<std::size_t>(num_values()));
+  for (int w = 0; w < inputs_; ++w) {
+    std::array<gf2::BitVec, 8> bits;
+    for (int b = 0; b < 8; ++b) {
+      bits[static_cast<std::size_t>(b)] = gf2::BitVec(in_bits);
+      bits[static_cast<std::size_t>(b)].set(8 * w + b, true);
+    }
+    value.push_back(std::move(bits));
+  }
+  for (const SlpOp& op : ops_) {
+    std::array<gf2::BitVec, 8> bits;
+    const auto& va = value[static_cast<std::size_t>(op.a)];
+    if (op.kind == SlpOp::Kind::kXor) {
+      const auto& vb = value[static_cast<std::size_t>(op.b)];
+      for (int b = 0; b < 8; ++b) {
+        bits[static_cast<std::size_t>(b)] =
+            va[static_cast<std::size_t>(b)] ^ vb[static_cast<std::size_t>(b)];
+      }
+    } else {
+      // alpha * v: out[0]=v[7], out[1]=v[0], out[2]=v[1]^v[7], out[k]=v[k-1].
+      bits[0] = va[7];
+      for (int b = 1; b < 8; ++b) bits[static_cast<std::size_t>(b)] = va[static_cast<std::size_t>(b - 1)];
+      bits[2] ^= va[7];
+    }
+    value.push_back(std::move(bits));
+  }
+  gf2::Matrix m(8 * static_cast<int>(outputs_.size()), in_bits);
+  for (std::size_t w = 0; w < outputs_.size(); ++w) {
+    const auto& bits = value[static_cast<std::size_t>(outputs_[w])];
+    for (int b = 0; b < 8; ++b) m.row(static_cast<int>(8 * w) + b) = bits[static_cast<std::size_t>(b)];
+  }
+  return m;
+}
+
+int Slp::xor_gate_count() const {
+  int n = 0;
+  for (const SlpOp& op : ops_) n += (op.kind == SlpOp::Kind::kXor) ? 8 : 1;
+  return n;
+}
+
+int Slp::xor_depth() const {
+  std::vector<int> depth(static_cast<std::size_t>(num_values()), 0);
+  int i = inputs_;
+  for (const SlpOp& op : ops_) {
+    const int da = depth[static_cast<std::size_t>(op.a)];
+    if (op.kind == SlpOp::Kind::kXor) {
+      depth[static_cast<std::size_t>(i)] = std::max(da, depth[static_cast<std::size_t>(op.b)]) + 1;
+    } else {
+      depth[static_cast<std::size_t>(i)] = da + 1;
+    }
+    ++i;
+  }
+  int worst = 0;
+  for (int v : outputs_) worst = std::max(worst, depth[static_cast<std::size_t>(v)]);
+  return worst;
+}
+
+bool is_mds(const gf2::Matrix& bit_matrix, int words, int word_bits) {
+  check(bit_matrix.rows() == words * word_bits && bit_matrix.cols() == words * word_bits,
+        "is_mds: matrix shape mismatch");
+  // Criterion (exact, standard for codes over vector alphabets): the map has
+  // branch number words+1 iff every square block submatrix is nonsingular.
+  const int n = words;
+  for (std::uint32_t rmask = 1; rmask < (1u << n); ++rmask) {
+    for (std::uint32_t cmask = 1; cmask < (1u << n); ++cmask) {
+      if (std::popcount(rmask) != std::popcount(cmask)) continue;
+      std::vector<int> rows;
+      std::vector<int> cols;
+      for (int i = 0; i < n; ++i) {
+        if ((rmask >> i) & 1) {
+          for (int b = 0; b < word_bits; ++b) rows.push_back(i * word_bits + b);
+        }
+        if ((cmask >> i) & 1) {
+          for (int b = 0; b < word_bits; ++b) cols.push_back(i * word_bits + b);
+        }
+      }
+      const gf2::Matrix sub = bit_matrix.submatrix(rows, cols);
+      if (sub.rank() != static_cast<int>(rows.size())) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scfi::mds

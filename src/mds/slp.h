@@ -1,0 +1,68 @@
+// Straight-line programs (SLPs) over byte words.
+//
+// An MDS diffusion circuit is represented as an SSA sequence of word
+// operations: XOR of two previously defined words, or multiplication by alpha
+// in F2[X]/(X^8+X^2+1). An SLP can be evaluated on concrete bytes, expanded
+// into its exact GF(2) bit-matrix, costed in 2-input XOR gates, and emitted
+// as a gate netlist by the hardening pass.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf2/matrix.h"
+
+namespace scfi::mds {
+
+struct SlpOp {
+  enum class Kind { kXor, kMulAlpha };
+  Kind kind = Kind::kXor;
+  int a = 0;  ///< operand value index
+  int b = 0;  ///< second operand (kXor only)
+};
+
+class Slp {
+ public:
+  /// `inputs` byte-wide input words; operations are appended with add_*().
+  explicit Slp(int inputs);
+
+  /// Appends dst = a ^ b; returns the new value index.
+  int add_xor(int a, int b);
+
+  /// Appends dst = alpha * a; returns the new value index.
+  int add_mul_alpha(int a);
+
+  /// Declares the output word order (value indices).
+  void set_outputs(std::vector<int> outputs);
+
+  int num_inputs() const { return inputs_; }
+  int num_values() const { return inputs_ + static_cast<int>(ops_.size()); }
+  const std::vector<SlpOp>& ops() const { return ops_; }
+  const std::vector<int>& outputs() const { return outputs_; }
+
+  /// Evaluates on concrete bytes (in.size() == num_inputs()).
+  std::vector<std::uint8_t> eval(std::span<const std::uint8_t> in) const;
+
+  /// Exact bit-level linear map: (8*outputs) x (8*inputs) over GF(2).
+  /// Bit layout: word w bit b maps to index 8*w + b.
+  gf2::Matrix to_bit_matrix() const;
+
+  /// Total 2-input XOR gates: 8 per word XOR, 1 per alpha multiplication.
+  int xor_gate_count() const;
+
+  /// Longest chain of XOR layers from any input to any output.
+  int xor_depth() const;
+
+ private:
+  int inputs_;
+  std::vector<SlpOp> ops_;
+  std::vector<int> outputs_;
+};
+
+/// True iff the linear map is MDS, i.e. has branch number words+1 when the
+/// 8w x 8w bit matrix is interpreted as w x w blocks of 8x8. Uses the exact
+/// criterion: every square block submatrix must be nonsingular.
+bool is_mds(const gf2::Matrix& bit_matrix, int words, int word_bits = 8);
+
+}  // namespace scfi::mds

@@ -1,0 +1,85 @@
+// ADC controller (modeled after OpenTitan's adc_ctrl_fsm): power sequencing,
+// one-shot and low-power sampling modes, dual-channel filter evaluation.
+#include "ot/datapath.h"
+#include "ot/zoo.h"
+
+namespace scfi::ot {
+namespace {
+
+// Inputs: [oneshot, lp_mode, adc_done, match, timer_done, pwr_req]
+fsm::Fsm build_fsm() {
+  fsm::Fsm f;
+  f.name = "adc_ctrl_fsm";
+  f.inputs = {"oneshot", "lp_mode", "adc_done", "match", "timer_done", "pwr_req"};
+  f.outputs = {"chn_sel", "adc_pd_n", "sample_en", "oneshot_done", "wakeup"};
+  //                   o l d m t p            csel pdn smp osd wak
+  f.add_transition("PWRDN",      "-----1", "PWRUP",      "01000");
+  f.add_transition("PWRUP",      "----1-", "IDLE",       "01000");
+  f.add_transition("IDLE",       "1-----", "ONEST_0",    "11100");
+  f.add_transition("IDLE",       "01----", "LP_0",       "11100");
+  f.add_transition("IDLE",       "00---1", "NP_0",       "11100");
+  f.add_transition("IDLE",       "00---0", "PWRDN",      "00000");
+  f.add_transition("ONEST_0",    "--1---", "ONEST_1",    "11100");
+  f.add_transition("ONEST_1",    "--1---", "ONEST_DONE", "01010");
+  f.add_transition("ONEST_DONE", "-----0", "PWRDN",      "00010");
+  f.add_transition("ONEST_DONE", "1----1", "ONEST_0",    "11100");
+  f.add_transition("LP_0",       "--1---", "LP_EVAL",    "11000");
+  f.add_transition("LP_EVAL",    "---1--", "NP_0",       "11101");
+  f.add_transition("LP_EVAL",    "---0--", "LP_SLP",     "00000");
+  f.add_transition("LP_SLP",     "----1-", "LP_PWRUP",   "01000");
+  f.add_transition("LP_PWRUP",   "----1-", "LP_0",       "11100");
+  f.add_transition("NP_0",       "--1---", "NP_EVAL",    "11000");
+  f.add_transition("NP_EVAL",    "---1--", "NP_DONE",    "01001");
+  f.add_transition("NP_EVAL",    "---0-1", "NP_0",       "11100");
+  f.add_transition("NP_EVAL",    "---0-0", "PWRDN",      "00000");
+  f.add_transition("NP_DONE",    "-----0", "PWRDN",      "00000");
+  f.add_transition("NP_DONE",    "-----1", "NP_0",       "11100");
+  f.reset_state = f.state_index("PWRDN");
+  return f;
+}
+
+void build_datapath(rtlil::Module& m) {
+  using rtlil::SigSpec;
+  const SigSpec sample_en(m.wire("sample_en"));
+  const SigSpec wakeup(m.wire("wakeup"));
+  const SigSpec pd_n(m.wire("adc_pd_n"));
+  const SigSpec chn_sel(m.wire("chn_sel"));
+
+  // ADC sample value input and filter thresholds.
+  rtlil::Wire* adc_d = m.add_input("adc_d", 10);
+  const SigSpec sample(adc_d);
+
+  // Power-up and wakeup timers.
+  const SigSpec not_pd = m.make_not(pd_n, "npd");
+  const SigSpec pwrup_cnt = dp_counter(m, 8, pd_n, not_pd, "pwrup_timer");
+  const SigSpec wakeup_cnt = dp_counter(m, 16, sample_en, wakeup, "wakeup_timer");
+
+  // Two channel filters: accumulate samples while enabled, compare against
+  // thresholds.
+  const SigSpec clr = m.make_not(sample_en, "nsmp");
+  const SigSpec acc0 = dp_accumulator(m, sample, sample_en, clr, "filter0");
+  const SigSpec ch1_en = m.make_and(sample_en, chn_sel, "ch1en");
+  const SigSpec acc1 = dp_accumulator(m, sample, ch1_en, clr, "filter1");
+
+  // Match detection history.
+  const SigSpec m0 = dp_matches(m, acc0, 0x2a0, "match0");
+  const SigSpec m1 = dp_matches(m, acc1, 0x150, "match1");
+  const SigSpec any = m.make_or(m0, m1, "anym");
+  const SigSpec hist = dp_shift_reg(m, 4, any, sample_en, "match_hist");
+
+  rtlil::Wire* debug = m.add_output("dbg_status", 8);
+  SigSpec status = hist;
+  status.append(m0);
+  status.append(m1);
+  status.append(dp_matches(m, pwrup_cnt, 0x30, "pw_done"));
+  status.append(dp_matches(m, wakeup_cnt, 0x1000, "wk_done"));
+  m.drive(SigSpec(debug), status);
+}
+
+}  // namespace
+
+OtEntry adc_ctrl_entry() {
+  return OtEntry{"adc_ctrl_fsm", build_fsm(), build_datapath};
+}
+
+}  // namespace scfi::ot

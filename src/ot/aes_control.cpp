@@ -1,0 +1,64 @@
+// AES unit controller (modeled after OpenTitan's aes_control): block load,
+// round iteration, output handshake and secure clearing.
+#include "ot/datapath.h"
+#include "ot/zoo.h"
+
+namespace scfi::ot {
+namespace {
+
+// Inputs: [start, in_valid, rounds_done, out_ack, clear_req, key_ready]
+fsm::Fsm build_fsm() {
+  fsm::Fsm f;
+  f.name = "aes_control";
+  f.inputs = {"start", "in_valid", "rounds_done", "out_ack", "clear_req", "key_ready"};
+  f.outputs = {"state_we", "key_we", "round_en", "out_valid", "busy", "clear_we"};
+  //                 s v r a c k             swe kwe ren ov bsy cwe
+  f.add_transition("IDLE",     "1----1", "INIT",     "010010");
+  f.add_transition("IDLE",     "----1-", "CLEAR_S",  "000011");
+  f.add_transition("INIT",     "-1----", "LOAD",     "110010");
+  f.add_transition("LOAD",     "------", "UPDATE",   "101010");
+  f.add_transition("UPDATE",   "--1---", "FINISH",   "100110");
+  f.add_transition("UPDATE",   "--0---", "UPDATE",   "101010");
+  f.add_transition("FINISH",   "---1--", "IDLE",     "000100");
+  f.add_transition("CLEAR_S",  "------", "CLEAR_KD", "100011");
+  f.add_transition("CLEAR_KD", "------", "IDLE",     "010001");
+  f.reset_state = f.state_index("IDLE");
+  return f;
+}
+
+void build_datapath(rtlil::Module& m) {
+  using rtlil::SigSpec;
+  const SigSpec round_en(m.wire("round_en"));
+  const SigSpec state_we(m.wire("state_we"));
+  const SigSpec clear_we(m.wire("clear_we"));
+
+  // Round counter and comparison (up to 14 rounds for AES-256).
+  const SigSpec round_cnt = dp_counter(m, 4, round_en, clear_we, "round_cnt");
+  const SigSpec last_round = dp_matches(m, round_cnt, 14, "last_round");
+
+  // A slice of the state/key pipeline: shift register banks that stand in
+  // for the (much larger) datapath controlled by this FSM.
+  rtlil::Wire* din = m.add_input("data_in", 8);
+  const SigSpec data(din);
+  const SigSpec bank0 = dp_shift_reg(m, 24, data.extract(0, 1), state_we, "bank0");
+  const SigSpec bank1 = dp_shift_reg(m, 24, data.extract(1, 1), round_en, "bank1");
+  const SigSpec bank2 = dp_shift_reg(m, 24, data.extract(2, 1), clear_we, "bank2");
+  const SigSpec iv = dp_accumulator(m, data, round_en, clear_we, "iv_acc");
+  const SigSpec mixed = m.make_xor(m.make_xor(bank0, bank1, "mixa"), bank2, "mix");
+  const SigSpec folded = m.make_xor(mixed.extract(0, 8), mixed.extract(8, 8), "fold");
+  const SigSpec masked = m.make_xor(
+      m.make_xor(m.make_xor(folded, mixed.extract(16, 8), "fold2"), iv, "fold3"), data, "mask");
+
+  rtlil::Wire* dout = m.add_output("data_out", 8);
+  m.drive(SigSpec(dout), masked);
+  rtlil::Wire* last = m.add_output("last_round_o", 1);
+  m.drive(SigSpec(last), last_round);
+}
+
+}  // namespace
+
+OtEntry aes_control_entry() {
+  return OtEntry{"aes_control", build_fsm(), build_datapath};
+}
+
+}  // namespace scfi::ot

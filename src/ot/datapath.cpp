@@ -1,0 +1,116 @@
+#include "ot/datapath.h"
+
+#include "base/error.h"
+
+namespace scfi::ot {
+
+using rtlil::Const;
+using rtlil::Module;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+
+SigSpec dp_increment(Module& m, const SigSpec& a, const std::string& name) {
+  SigSpec sum;
+  SigSpec carry(SigBit(true));
+  for (int i = 0; i < a.width(); ++i) {
+    const SigSpec bit = a.extract(i, 1);
+    sum.append(m.make_xor(bit, carry, name + "_s"));
+    if (i + 1 < a.width()) carry = m.make_and(bit, carry, name + "_c");
+  }
+  return sum;
+}
+
+SigSpec dp_adder(Module& m, const SigSpec& a, const SigSpec& b, const std::string& name) {
+  check(a.width() == b.width(), "dp_adder: width mismatch");
+  SigSpec sum;
+  SigSpec carry(SigBit(false));
+  for (int i = 0; i < a.width(); ++i) {
+    const SigSpec ai = a.extract(i, 1);
+    const SigSpec bi = b.extract(i, 1);
+    const SigSpec axb = m.make_xor(ai, bi, name + "_x");
+    sum.append(m.make_xor(axb, carry, name + "_s"));
+    if (i + 1 < a.width()) {
+      const SigSpec t1 = m.make_and(ai, bi, name + "_c1");
+      const SigSpec t2 = m.make_and(axb, carry, name + "_c2");
+      carry = m.make_or(t1, t2, name + "_c");
+    }
+  }
+  return sum;
+}
+
+SigSpec dp_counter(Module& m, int width, const SigSpec& enable, const SigSpec& clear,
+                   const std::string& name) {
+  rtlil::Wire* q_wire = m.add_wire(m.uniquify(name + "_q"), width);
+  const SigSpec q(q_wire);
+  const SigSpec inc = dp_increment(m, q, name);
+  const SigSpec kept = m.make_mux(enable, q, inc, name + "_en");
+  const SigSpec next = m.make_mux(clear, kept, SigSpec(Const::from_uint(0, width)), name + "_clr");
+  rtlil::Cell* ff = m.add_cell(m.uniquify(name + "_ff"), rtlil::CellType::kDff);
+  ff->set_port("D", next);
+  ff->set_port("Q", q);
+  ff->set_reset_value(Const::from_uint(0, width));
+  return q;
+}
+
+SigSpec dp_accumulator(Module& m, const SigSpec& in, const SigSpec& enable, const SigSpec& clear,
+                       const std::string& name) {
+  const int width = in.width();
+  rtlil::Wire* q_wire = m.add_wire(m.uniquify(name + "_q"), width);
+  const SigSpec q(q_wire);
+  const SigSpec sum = dp_adder(m, q, in, name);
+  const SigSpec kept = m.make_mux(enable, q, sum, name + "_en");
+  const SigSpec next = m.make_mux(clear, kept, SigSpec(Const::from_uint(0, width)), name + "_clr");
+  rtlil::Cell* ff = m.add_cell(m.uniquify(name + "_ff"), rtlil::CellType::kDff);
+  ff->set_port("D", next);
+  ff->set_port("Q", q);
+  ff->set_reset_value(Const::from_uint(0, width));
+  return q;
+}
+
+SigSpec dp_shift_reg(Module& m, int width, const SigSpec& serial_in, const SigSpec& enable,
+                     const std::string& name) {
+  rtlil::Wire* q_wire = m.add_wire(m.uniquify(name + "_q"), width);
+  const SigSpec q(q_wire);
+  SigSpec shifted = serial_in;
+  if (width > 1) {
+    SigSpec tail = q.extract(0, width - 1);
+    SigSpec combined = serial_in;
+    combined.append(tail);
+    shifted = combined;
+  }
+  const SigSpec next = m.make_mux(enable, q, shifted, name + "_en");
+  rtlil::Cell* ff = m.add_cell(m.uniquify(name + "_ff"), rtlil::CellType::kDff);
+  ff->set_port("D", next);
+  ff->set_port("Q", q);
+  ff->set_reset_value(Const::from_uint(0, width));
+  return q;
+}
+
+SigSpec dp_lfsr(Module& m, int width, std::uint64_t taps, const SigSpec& enable,
+                const std::string& name) {
+  rtlil::Wire* q_wire = m.add_wire(m.uniquify(name + "_q"), width);
+  const SigSpec q(q_wire);
+  SigSpec feedback;
+  for (int i = 0; i < width; ++i) {
+    if (!((taps >> i) & 1)) continue;
+    const SigSpec bit = q.extract(i, 1);
+    feedback = feedback.empty() ? bit : m.make_xor(feedback, bit, name + "_fb");
+  }
+  check(!feedback.empty(), "dp_lfsr: empty tap mask");
+  SigSpec rotated = feedback;
+  if (width > 1) rotated.append(q.extract(0, width - 1));
+  const SigSpec next = m.make_mux(enable, q, rotated, name + "_en");
+  rtlil::Cell* ff = m.add_cell(m.uniquify(name + "_ff"), rtlil::CellType::kDff);
+  ff->set_port("D", next);
+  ff->set_port("Q", q);
+  // Non-zero seed so the LFSR cycles.
+  ff->set_reset_value(Const::from_uint(1, width));
+  return q;
+}
+
+SigSpec dp_matches(Module& m, const SigSpec& value, std::uint64_t threshold,
+                   const std::string& name) {
+  return m.make_eq(value, SigSpec(Const::from_uint(threshold, value.width())), name);
+}
+
+}  // namespace scfi::ot

@@ -1,0 +1,44 @@
+// Datapath component library for the OpenTitan-inspired evaluation modules.
+//
+// Table 1 of the paper reports areas of entire modules (FSM + surrounding
+// datapath); the FSM share of the module determines the relative overhead of
+// protection. These builders create the representative datapath structures
+// (timers, accumulators, shift registers, LFSRs) that the seven evaluation
+// modules wire around their control FSMs.
+#pragma once
+
+#include <string>
+
+#include "rtlil/module.h"
+
+namespace scfi::ot {
+
+/// Ripple-carry increment-by-one of `a`; returns the sum (same width).
+rtlil::SigSpec dp_increment(rtlil::Module& m, const rtlil::SigSpec& a, const std::string& name);
+
+/// Ripple-carry adder a + b (widths equal; carry out dropped).
+rtlil::SigSpec dp_adder(rtlil::Module& m, const rtlil::SigSpec& a, const rtlil::SigSpec& b,
+                        const std::string& name);
+
+/// Synchronous up-counter with enable and clear; returns the count register.
+rtlil::SigSpec dp_counter(rtlil::Module& m, int width, const rtlil::SigSpec& enable,
+                          const rtlil::SigSpec& clear, const std::string& name);
+
+/// Accumulator register: q <= clear ? 0 : (enable ? q + in : q).
+rtlil::SigSpec dp_accumulator(rtlil::Module& m, const rtlil::SigSpec& in,
+                              const rtlil::SigSpec& enable, const rtlil::SigSpec& clear,
+                              const std::string& name);
+
+/// Serial-in shift register with enable; returns the parallel register.
+rtlil::SigSpec dp_shift_reg(rtlil::Module& m, int width, const rtlil::SigSpec& serial_in,
+                            const rtlil::SigSpec& enable, const std::string& name);
+
+/// Fibonacci LFSR with the given tap mask (bit i set = tap at stage i).
+rtlil::SigSpec dp_lfsr(rtlil::Module& m, int width, std::uint64_t taps,
+                       const rtlil::SigSpec& enable, const std::string& name);
+
+/// Equality flag against a constant threshold.
+rtlil::SigSpec dp_matches(rtlil::Module& m, const rtlil::SigSpec& value, std::uint64_t threshold,
+                          const std::string& name);
+
+}  // namespace scfi::ot

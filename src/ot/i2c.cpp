@@ -1,0 +1,109 @@
+// I2C host state machine (modeled after OpenTitan's i2c_fsm): start/stop
+// conditioning, address and data phases with per-bit timing, ACK handling
+// and clock stretching.
+#include "ot/datapath.h"
+#include "ot/zoo.h"
+
+namespace scfi::ot {
+namespace {
+
+// Inputs: [host_en, sda_i, scl_i, bit_done, byte_done, ack, rw, stretch]
+fsm::Fsm build_fsm() {
+  fsm::Fsm f;
+  f.name = "i2c_fsm";
+  f.inputs = {"host_en", "sda_i", "scl_i", "bit_done", "byte_done", "ack", "rw", "stretch"};
+  f.outputs = {"sda_o", "scl_o", "shift_en", "byte_clr", "rx_we", "fmt_rd", "irq"};
+  //                     e s c b B a r t
+  f.add_transition("IDLE",        "1-------", "START_SU",    "1100000");
+  f.add_transition("START_SU",    "---1----", "START_H",     "0100000");
+  f.add_transition("START_H",     "---1----", "ADDR_TX",     "0110100");
+  f.add_transition("ADDR_TX",     "---1----", "ADDR_TX_2",   "1110000");
+  f.add_transition("ADDR_TX_2",   "----1---", "ADDR_ACK",    "1100000");
+  f.add_transition("ADDR_ACK",    "---1-1-0", "PHASE_SEL",   "1100000");
+  f.add_transition("ADDR_ACK",    "---1-0--", "STOP_SU",     "1000001");
+  f.add_transition("ADDR_ACK",    "---1-1-1", "STRETCH_A",   "1000000");
+  f.add_transition("STRETCH_A",   "-------0", "PHASE_SEL",   "1100000");
+  f.add_transition("PHASE_SEL",   "------10", "READ_BIT",    "1110000");
+  f.add_transition("PHASE_SEL",   "------11", "T_SU_DATA",   "1100000");
+  f.add_transition("PHASE_SEL",   "------0-", "WRITE_BIT",   "1110100");
+  f.add_transition("T_SU_DATA",   "---1----", "READ_BIT",    "1110000");
+  f.add_transition("READ_BIT",    "---1----", "READ_BIT_2",  "1110000");
+  f.add_transition("READ_BIT_2",  "----1---", "HOST_ACK",    "1101100");
+  f.add_transition("READ_BIT_2",  "---1-0--", "READ_BIT",    "1110000");
+  f.add_transition("HOST_ACK",    "---1--1-", "READ_BIT",    "1110000");
+  f.add_transition("HOST_ACK",    "---1--0-", "NACK_WAIT",   "1000000");
+  f.add_transition("NACK_WAIT",   "---1----", "STOP_SU",     "1000001");
+  f.add_transition("WRITE_BIT",   "---1----", "WRITE_BIT_2", "1110000");
+  f.add_transition("WRITE_BIT_2", "----1---", "DEV_ACK",     "1100000");
+  f.add_transition("WRITE_BIT_2", "---1-0--", "WRITE_BIT",   "1110100");
+  f.add_transition("DEV_ACK",     "---1-1--", "PHASE_SEL",   "1100000");
+  f.add_transition("DEV_ACK",     "---1-0-0", "STOP_SU",     "1000001");
+  f.add_transition("DEV_ACK",     "---1-0-1", "ERR_RECOVER", "1000000");
+  f.add_transition("ERR_RECOVER", "---1----", "STOP_SU",     "1000001");
+  f.add_transition("STOP_SU",     "---1----", "STOP_H",      "0000000");
+  f.add_transition("STOP_H",      "1--1---0", "REP_START",   "1100000");
+  f.add_transition("STOP_H",      "0--1---0", "IDLE",        "0000001");
+  f.add_transition("REP_START",   "---1----", "START_H",     "0100000");
+  f.reset_state = f.state_index("IDLE");
+  return f;
+}
+
+void build_datapath(rtlil::Module& m) {
+  using rtlil::SigSpec;
+  const SigSpec shift_en(m.wire("shift_en"));
+  const SigSpec byte_clr(m.wire("byte_clr"));
+  const SigSpec rx_we(m.wire("rx_we"));
+  // The datapath samples SDA through its own synchronizer input (the raw
+  // control bit "sda_i" only exists on the unprotected variant's port list).
+  const SigSpec sda_i(m.add_input("sda_sync", 1));
+
+  // Bit timing: SCL high/low period counters against programmed durations.
+  rtlil::Wire* thigh = m.add_input("t_high", 16);
+  rtlil::Wire* tlow = m.add_input("t_low", 16);
+  const SigSpec tcnt = dp_counter(m, 16, shift_en, byte_clr, "tcnt");
+  const SigSpec expired = m.make_eq(tcnt, SigSpec(thigh), "texp");
+  const SigSpec low_done = m.make_eq(tcnt, SigSpec(tlow), "tlexp");
+
+  // Bit index within a byte plus the RX/TX shift registers.
+  const SigSpec bitcnt = dp_counter(m, 4, shift_en, byte_clr, "bitcnt");
+  const SigSpec rx = dp_shift_reg(m, 8, sda_i, rx_we, "rx_sr");
+  const SigSpec tx = dp_shift_reg(m, 8, expired, shift_en, "tx_sr");
+
+  // Byte counter for multi-byte transfers.
+  const SigSpec bytecnt = dp_counter(m, 8, rx_we, byte_clr, "bytecnt");
+
+  // Small format/RX FIFOs (4 stages x 8 bit each way) with depth counters —
+  // the i2c block is FIFO-heavy in its OpenTitan namesake.
+  SigSpec fifo_taps;
+  for (int stage = 0; stage < 4; ++stage) {
+    const SigSpec fmt = dp_shift_reg(m, 8, rx.extract(stage, 1), shift_en,
+                                     "fmt_fifo" + std::to_string(stage));
+    const SigSpec rxf = dp_shift_reg(m, 8, tx.extract(stage, 1), rx_we,
+                                     "rx_fifo" + std::to_string(stage));
+    fifo_taps.append(m.make_xor(fmt.extract(7, 1), rxf.extract(7, 1), "ftap"));
+  }
+  const SigSpec fmt_depth = dp_counter(m, 4, shift_en, byte_clr, "fmt_depth");
+  const SigSpec rx_depth = dp_counter(m, 4, rx_we, byte_clr, "rx_depth");
+
+  rtlil::Wire* rdata = m.add_output("rx_data", 8);
+  m.drive(SigSpec(rdata), rx);
+  rtlil::Wire* status = m.add_output("status", 15);
+  SigSpec st = bitcnt;
+  st.append(dp_matches(m, bytecnt, 0x40, "blast"));
+  st.append(expired);
+  st.append(low_done);
+  st.append(tx.extract(7, 1));
+  st.append(dp_matches(m, bitcnt, 8, "bit8"));
+  st.append(fifo_taps);
+  st.append(dp_matches(m, fmt_depth, 4, "fmt_full"));
+  st.append(dp_matches(m, rx_depth, 4, "rx_full"));
+  m.drive(SigSpec(status), st);
+}
+
+}  // namespace
+
+OtEntry i2c_entry() {
+  return OtEntry{"i2c_fsm", build_fsm(), build_datapath};
+}
+
+}  // namespace scfi::ot

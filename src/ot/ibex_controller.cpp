@@ -1,0 +1,73 @@
+// Ibex core controller (modeled after ibex_controller): boot, sleep/wake,
+// normal issue, exception/IRQ/debug entry and pipeline flush.
+#include "ot/datapath.h"
+#include "ot/zoo.h"
+
+namespace scfi::ot {
+namespace {
+
+// Inputs: [fetch_en, irq, dbg_req, exc, wfi, done]
+fsm::Fsm build_fsm() {
+  fsm::Fsm f;
+  f.name = "ibex_controller";
+  f.inputs = {"fetch_en", "irq", "dbg_req", "exc", "wfi", "done"};
+  f.outputs = {"if_en", "pc_set", "halt", "flush", "save_csr"};
+  //                    f i d e w D
+  f.add_transition("RESET",       "1-----", "BOOT_SET",    "01000");
+  f.add_transition("BOOT_SET",    "------", "FIRST_FETCH", "11000");
+  f.add_transition("FIRST_FETCH", "--1---", "DBG_TAKEN",   "01101");
+  f.add_transition("FIRST_FETCH", "--0---", "NORMAL",      "10000");
+  f.add_transition("NORMAL",      "--1---", "DBG_TAKEN",   "01101");
+  f.add_transition("NORMAL",      "--01--", "FLUSH",       "00110");
+  f.add_transition("NORMAL",      "-10---", "IRQ_TAKEN",   "01001");
+  f.add_transition("NORMAL",      "-0-0-1", "WAIT_SLEEP",  "00100");
+  f.add_transition("IRQ_TAKEN",   "------", "NORMAL",      "11000");
+  f.add_transition("DBG_TAKEN",   "-----1", "NORMAL",      "11000");
+  f.add_transition("FLUSH",       "-----1", "NORMAL",      "10000");
+  f.add_transition("FLUSH",       "--1--0", "DBG_TAKEN",   "01101");
+  f.add_transition("WAIT_SLEEP",  "------", "SLEEP",       "00100");
+  f.add_transition("SLEEP",       "-1----", "FIRST_FETCH", "01000");
+  f.add_transition("SLEEP",       "--1---", "DBG_TAKEN",   "01101");
+  f.reset_state = f.state_index("RESET");
+  return f;
+}
+
+void build_datapath(rtlil::Module& m) {
+  using rtlil::SigSpec;
+  const SigSpec pc_set(m.wire("pc_set"));
+  const SigSpec if_en(m.wire("if_en"));
+  const SigSpec save_csr(m.wire("save_csr"));
+
+  // Program counter slice plus saved-PC and trap-value CSRs.
+  const SigSpec pc = dp_counter(m, 16, if_en, pc_set, "pc");
+  rtlil::Wire* epc_w = m.add_wire("mepc_q", 16);
+  const SigSpec epc(epc_w);
+  const SigSpec epc_next = m.make_mux(save_csr, epc, pc, "epc_mux");
+  rtlil::Cell* ff = m.add_cell("mepc_ff", rtlil::CellType::kDff);
+  ff->set_port("D", epc_next);
+  ff->set_port("Q", epc);
+  ff->set_reset_value(rtlil::Const::from_uint(0, 16));
+  rtlil::Wire* tval_in = m.add_input("tval_i", 16);
+  rtlil::Wire* tval_w = m.add_wire("mtval_q", 16);
+  const SigSpec tval(tval_w);
+  const SigSpec tval_next = m.make_mux(save_csr, tval, SigSpec(tval_in), "tval_mux");
+  rtlil::Cell* tff = m.add_cell("mtval_ff", rtlil::CellType::kDff);
+  tff->set_port("D", tval_next);
+  tff->set_port("Q", tval);
+  tff->set_reset_value(rtlil::Const::from_uint(0, 16));
+
+  rtlil::Wire* pc_o = m.add_output("pc_o", 16);
+  m.drive(SigSpec(pc_o), pc);
+  rtlil::Wire* epc_o = m.add_output("mepc_o", 16);
+  m.drive(SigSpec(epc_o), epc);
+  rtlil::Wire* tval_o = m.add_output("mtval_o", 16);
+  m.drive(SigSpec(tval_o), tval);
+}
+
+}  // namespace
+
+OtEntry ibex_controller_entry() {
+  return OtEntry{"ibex_controller", build_fsm(), build_datapath};
+}
+
+}  // namespace scfi::ot

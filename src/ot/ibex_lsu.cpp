@@ -1,0 +1,61 @@
+// Ibex load-store unit controller (modeled after ibex_load_store_unit):
+// aligned/misaligned request sequencing over a grant/rvalid memory bus.
+#include "ot/datapath.h"
+#include "ot/zoo.h"
+
+namespace scfi::ot {
+namespace {
+
+// Inputs: [req, gnt, rvalid, misaligned, err]
+fsm::Fsm build_fsm() {
+  fsm::Fsm f;
+  f.name = "ibex_lsu";
+  f.inputs = {"req", "gnt", "rvalid", "misaligned", "err"};
+  f.outputs = {"data_req", "addr_incr", "rdata_we", "done", "err_pulse"};
+  //                    r g v m e
+  f.add_transition("IDLE",          "11-0-", "WAIT_RVALID",      "10000");
+  f.add_transition("IDLE",          "11-1-", "WAIT_RVALID_MIS",  "11000");
+  f.add_transition("IDLE",          "10-0-", "WAIT_GNT",         "10000");
+  f.add_transition("IDLE",          "10-1-", "WAIT_GNT_MIS",     "10000");
+  f.add_transition("WAIT_GNT",      "-1---", "WAIT_RVALID",      "10000");
+  f.add_transition("WAIT_GNT_MIS",  "-1---", "WAIT_RVALID_MIS",  "11000");
+  f.add_transition("WAIT_RVALID",   "--1-0", "IDLE",             "00110");
+  f.add_transition("WAIT_RVALID",   "--1-1", "IDLE",             "00011");
+  f.add_transition("WAIT_RVALID_MIS", "-11-0", "WAIT_RVALID",    "10100");
+  f.add_transition("WAIT_RVALID_MIS", "-01-0", "WAIT_GNT_SPLIT", "10100");
+  f.add_transition("WAIT_RVALID_MIS", "--1-1", "IDLE",           "00011");
+  f.add_transition("WAIT_GNT_SPLIT",  "-1---", "WAIT_RVALID",    "10000");
+  f.reset_state = f.state_index("IDLE");
+  return f;
+}
+
+void build_datapath(rtlil::Module& m) {
+  using rtlil::SigSpec;
+  const SigSpec addr_incr(m.wire("addr_incr"));
+  const SigSpec rdata_we(m.wire("rdata_we"));
+  const SigSpec err_pulse(m.wire("err_pulse"));
+
+  // Address register with +4-style increment (modeled at reduced width) and
+  // the read-data capture register.
+  const SigSpec addr = dp_counter(m, 24, addr_incr, err_pulse, "addr");
+  rtlil::Wire* rdata_i = m.add_input("rdata_i", 32);
+  const SigSpec rdata(rdata_i);
+  const SigSpec buf = dp_accumulator(m, rdata, rdata_we, err_pulse, "rdata_buf");
+  // Write-data staging register (store path).
+  const SigSpec wbuf = dp_shift_reg(m, 16, rdata.extract(0, 1), rdata_we, "wdata_buf");
+
+  rtlil::Wire* addr_o = m.add_output("addr_o", 24);
+  m.drive(SigSpec(addr_o), addr);
+  rtlil::Wire* rdata_o = m.add_output("rdata_o", 32);
+  m.drive(SigSpec(rdata_o), buf);
+  rtlil::Wire* wdata_o = m.add_output("wdata_o", 16);
+  m.drive(SigSpec(wdata_o), wbuf);
+}
+
+}  // namespace
+
+OtEntry ibex_lsu_entry() {
+  return OtEntry{"ibex_lsu", build_fsm(), build_datapath};
+}
+
+}  // namespace scfi::ot

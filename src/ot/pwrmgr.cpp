@@ -1,0 +1,53 @@
+// Power manager slow FSM (modeled after OpenTitan's pwrmgr): the module is
+// almost pure FSM, which maximizes the relative cost of protection — the
+// paper's worst-case row in Table 1.
+#include "ot/datapath.h"
+#include "ot/zoo.h"
+
+namespace scfi::ot {
+namespace {
+
+// Inputs: [pwr_req, clk_ok, rst_done, otp_done, lc_done]
+fsm::Fsm build_fsm() {
+  fsm::Fsm f;
+  f.name = "pwrmgr_fsm";
+  f.inputs = {"pwr_req", "clk_ok", "rst_done", "otp_done", "lc_done"};
+  f.outputs = {"clk_en", "rst_n", "otp_go", "lc_go", "active"};
+  //                    p c r o l
+  f.add_transition("LOW_POWER",    "1----", "ENABLE_CLKS",  "10000");
+  f.add_transition("ENABLE_CLKS",  "-1---", "RELEASE_RST",  "11000");
+  f.add_transition("RELEASE_RST",  "--1--", "OTP_INIT",     "11100");
+  f.add_transition("OTP_INIT",     "---1-", "LC_INIT",      "11010");
+  f.add_transition("LC_INIT",      "----1", "ACK_PWRUP",    "11000");
+  f.add_transition("ACK_PWRUP",    "-----", "ACTIVE",       "11001");
+  f.add_transition("ACTIVE",       "0----", "DISABLE_CLKS", "01000");
+  f.add_transition("DISABLE_CLKS", "-0---", "ASSERT_RST",   "00000");
+  f.add_transition("ASSERT_RST",   "--0--", "LOW_POWER",    "00000");
+  f.reset_state = f.state_index("LOW_POWER");
+  return f;
+}
+
+void build_datapath(rtlil::Module& m) {
+  using rtlil::SigSpec;
+  const SigSpec clk_en(m.wire("clk_en"));
+  const SigSpec active(m.wire("active"));
+
+  // Tiny stabilization and wakeup timers — the module stays FSM-dominated.
+  const SigSpec not_clk = m.make_not(clk_en, "nclk");
+  const SigSpec timer = dp_counter(m, 4, clk_en, not_clk, "stab_timer");
+  const SigSpec wake_cnt = dp_counter(m, 6, active, not_clk, "wake_timer");
+  rtlil::Wire* stable = m.add_output("clk_stable", 1);
+  m.drive(SigSpec(stable), dp_matches(m, timer, 12, "stab"));
+  rtlil::Wire* wake = m.add_output("wake_elapsed", 1);
+  m.drive(SigSpec(wake), dp_matches(m, wake_cnt, 48, "wk"));
+  rtlil::Wire* led = m.add_output("active_o", 1);
+  m.drive(SigSpec(led), active);
+}
+
+}  // namespace
+
+OtEntry pwrmgr_entry() {
+  return OtEntry{"pwrmgr_fsm", build_fsm(), build_datapath};
+}
+
+}  // namespace scfi::ot

@@ -1,0 +1,23 @@
+// Classical N-modular redundancy baseline (paper §6.1, configuration (ii)).
+//
+// The control signals are HD-N encoded exactly as for SCFI; the next-state
+// logic and the state register are instantiated N times; a comparator network
+// monitors the N state registers and raises fsm_alert on any mismatch. Each
+// additional copy only protects against one additional fault, which is the
+// poor scaling SCFI improves upon.
+#pragma once
+
+#include "fsm/compile.h"
+
+namespace scfi::redundancy {
+
+struct RedundancyConfig {
+  int protection_level = 2;  ///< N: number of next-state logic instances
+  std::string module_suffix = "_red";
+};
+
+/// Builds the redundant module `<fsm.name><suffix>` inside `design`.
+fsm::CompiledFsm build_redundant(const fsm::Fsm& fsm, rtlil::Design& design,
+                                 const RedundancyConfig& config = {});
+
+}  // namespace scfi::redundancy

@@ -1,0 +1,30 @@
+#include "rtlil/design.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace scfi::rtlil {
+
+Module* Design::add_module(const std::string& name) {
+  require(modules_.count(name) == 0, "duplicate module name: " + name);
+  auto mod = std::make_unique<Module>(name);
+  Module* raw = mod.get();
+  modules_.emplace(name, std::move(mod));
+  order_.push_back(raw);
+  return raw;
+}
+
+Module* Design::module(const std::string& name) const {
+  const auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second.get();
+}
+
+void Design::remove_module(const std::string& name) {
+  Module* m = module(name);
+  if (m == nullptr) return;
+  order_.erase(std::remove(order_.begin(), order_.end(), m), order_.end());
+  modules_.erase(name);
+}
+
+}  // namespace scfi::rtlil

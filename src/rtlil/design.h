@@ -1,0 +1,30 @@
+// Design: a named collection of modules (no hierarchy — every module is
+// self-contained, as produced by flattening in a conventional flow).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlil/module.h"
+
+namespace scfi::rtlil {
+
+class Design {
+ public:
+  Design() = default;
+  Design(const Design&) = delete;
+  Design& operator=(const Design&) = delete;
+
+  Module* add_module(const std::string& name);
+  Module* module(const std::string& name) const;  ///< nullptr when absent
+  const std::vector<Module*>& modules() const { return order_; }
+  void remove_module(const std::string& name);
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Module>> modules_;
+  std::vector<Module*> order_;
+};
+
+}  // namespace scfi::rtlil

@@ -1,0 +1,76 @@
+#include "rtlil/sig.h"
+
+#include "base/error.h"
+#include "rtlil/module.h"
+
+namespace scfi::rtlil {
+
+Const Const::from_uint(std::uint64_t value, int width) {
+  check(width >= 0 && width <= 64, "Const::from_uint width out of range");
+  std::vector<bool> bits(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bits[static_cast<std::size_t>(i)] = (value >> i) & 1;
+  return Const(std::move(bits));
+}
+
+std::uint64_t Const::to_uint() const {
+  check(width() <= 64, "Const::to_uint width out of range");
+  std::uint64_t v = 0;
+  for (int i = 0; i < width(); ++i) {
+    if (bit(i)) v |= 1ULL << i;
+  }
+  return v;
+}
+
+std::string Const::to_string() const {
+  std::string s(static_cast<std::size_t>(width()), '0');
+  for (int i = 0; i < width(); ++i) {
+    if (bit(i)) s[static_cast<std::size_t>(width() - 1 - i)] = '1';
+  }
+  return s;
+}
+
+SigSpec::SigSpec(const Wire* wire) {
+  check(wire != nullptr, "SigSpec from null wire");
+  bits_.reserve(static_cast<std::size_t>(wire->width()));
+  for (int i = 0; i < wire->width(); ++i) bits_.emplace_back(wire, i);
+}
+
+SigSpec::SigSpec(const Const& value) {
+  bits_.reserve(static_cast<std::size_t>(value.width()));
+  for (int i = 0; i < value.width(); ++i) bits_.emplace_back(SigBit(value.bit(i)));
+}
+
+void SigSpec::append(const SigSpec& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+SigSpec SigSpec::extract(int lo, int len) const {
+  check(lo >= 0 && len >= 0 && lo + len <= width(), "SigSpec::extract out of range");
+  return SigSpec(std::vector<SigBit>(bits_.begin() + lo, bits_.begin() + lo + len));
+}
+
+bool SigSpec::is_fully_const() const {
+  for (const SigBit& b : bits_) {
+    if (!b.is_const()) return false;
+  }
+  return true;
+}
+
+std::uint64_t SigSpec::const_to_uint() const {
+  check(width() <= 64, "SigSpec::const_to_uint width out of range");
+  std::uint64_t v = 0;
+  for (int i = 0; i < width(); ++i) {
+    const SigBit& b = bits_[static_cast<std::size_t>(i)];
+    check(b.is_const(), "SigSpec::const_to_uint on non-constant spec");
+    if (b.const_value()) v |= 1ULL << i;
+  }
+  return v;
+}
+
+SigSpec concat(const std::vector<SigSpec>& parts) {
+  SigSpec out;
+  for (const SigSpec& p : parts) out.append(p);
+  return out;
+}
+
+}  // namespace scfi::rtlil

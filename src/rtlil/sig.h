@@ -1,0 +1,93 @@
+// Signal model of the netlist IR: constants, wires, bits and bit vectors.
+//
+// This follows the Yosys RTLIL design: a SigBit is either a constant 0/1 or
+// one bit of a named Wire; a SigSpec is an ordered list of SigBits and is the
+// universal currency for cell port connections.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scfi::rtlil {
+
+class Wire;
+
+/// A constant bit vector (LSB first).
+class Const {
+ public:
+  Const() = default;
+  explicit Const(std::vector<bool> bits) : bits_(std::move(bits)) {}
+
+  static Const from_uint(std::uint64_t value, int width);
+
+  int width() const { return static_cast<int>(bits_.size()); }
+  bool bit(int i) const { return bits_.at(static_cast<std::size_t>(i)); }
+  std::uint64_t to_uint() const;
+  std::string to_string() const;  ///< MSB-first binary
+
+  bool operator==(const Const& other) const = default;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+/// One bit: either a constant or wire[offset].
+struct SigBit {
+  const Wire* wire = nullptr;  ///< nullptr for constants
+  int offset = 0;              ///< bit offset within the wire, or const value 0/1
+
+  SigBit() = default;
+  explicit SigBit(bool value) : wire(nullptr), offset(value ? 1 : 0) {}
+  SigBit(const Wire* w, int off) : wire(w), offset(off) {}
+
+  bool is_const() const { return wire == nullptr; }
+  bool const_value() const { return offset != 0; }
+
+  bool operator==(const SigBit& other) const = default;
+};
+
+/// An ordered, possibly mixed, list of bits (LSB first).
+class SigSpec {
+ public:
+  SigSpec() = default;
+  SigSpec(const Wire* wire);                 // NOLINT(google-explicit-constructor)
+  SigSpec(const Const& value);               // NOLINT(google-explicit-constructor)
+  SigSpec(SigBit bit) : bits_{bit} {}        // NOLINT(google-explicit-constructor)
+  explicit SigSpec(std::vector<SigBit> bits) : bits_(std::move(bits)) {}
+
+  int width() const { return static_cast<int>(bits_.size()); }
+  bool empty() const { return bits_.empty(); }
+  SigBit bit(int i) const { return bits_.at(static_cast<std::size_t>(i)); }
+  const std::vector<SigBit>& bits() const { return bits_; }
+
+  /// Appends `other` above the current MSB.
+  void append(const SigSpec& other);
+
+  /// Extracts bits [lo, lo+len).
+  SigSpec extract(int lo, int len) const;
+
+  /// True when every bit is a constant.
+  bool is_fully_const() const;
+
+  /// Interprets a fully-constant spec as an unsigned integer (width <= 64).
+  std::uint64_t const_to_uint() const;
+
+  bool operator==(const SigSpec& other) const = default;
+
+ private:
+  std::vector<SigBit> bits_;
+};
+
+/// Concatenates specs, LSB-first (first argument is least significant).
+SigSpec concat(const std::vector<SigSpec>& parts);
+
+}  // namespace scfi::rtlil
+
+template <>
+struct std::hash<scfi::rtlil::SigBit> {
+  std::size_t operator()(const scfi::rtlil::SigBit& b) const noexcept {
+    return std::hash<const void*>()(b.wire) * 31 + static_cast<std::size_t>(b.offset);
+  }
+};

@@ -1,0 +1,285 @@
+#include "sat/cnf.h"
+
+#include "base/error.h"
+
+namespace scfi::sat {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+
+CnfCopy::CnfCopy(Solver& solver, const rtlil::Module& module,
+                 const std::unordered_map<SigBit, int>& bound,
+                 const std::optional<CnfFault>& fault)
+    : solver_(&solver), module_(&module), vars_(bound), fault_(fault) {
+  const_true_ = solver.new_var();
+  solver.add_unit(const_true_);
+
+  if (fault_) {
+    fault_var_ = solver.new_var();
+  }
+
+  const rtlil::NetlistIndex index(module);
+  for (const Cell* cell : index.topo_comb()) encode_cell(*cell);
+
+  if (fault_) {
+    const int orig = lookup_driven_checked();
+    switch (fault_->kind) {
+      case CnfFaultKind::kFlip:
+        // fault_var == !orig
+        solver.add_binary(fault_var_, orig);
+        solver.add_binary(-fault_var_, -orig);
+        break;
+      case CnfFaultKind::kStuckAt0:
+        solver.add_unit(-fault_var_);
+        break;
+      case CnfFaultKind::kStuckAt1:
+        solver.add_unit(fault_var_);
+        break;
+    }
+  }
+}
+
+int CnfCopy::lookup_driven_checked() {
+  // Ensure the faulted net has a variable even if nothing read it yet.
+  return lookup_driven(fault_->bit);
+}
+
+int CnfCopy::lookup_driven(const SigBit& bit) {
+  if (bit.is_const()) return bit.const_value() ? const_true_ : -const_true_;
+  const auto it = vars_.find(bit);
+  if (it != vars_.end()) return it->second;
+  const int v = solver_->new_var();
+  vars_.emplace(bit, v);
+  return v;
+}
+
+int CnfCopy::lookup(const SigBit& bit) {
+  if (fault_ && !bit.is_const() && bit == fault_->bit) return fault_var_;
+  return lookup_driven(bit);
+}
+
+int CnfCopy::emit_not(int a) { return -a; }
+
+int CnfCopy::emit_and(int a, int b) {
+  const int y = solver_->new_var();
+  solver_->add_binary(-y, a);
+  solver_->add_binary(-y, b);
+  solver_->add_ternary(y, -a, -b);
+  return y;
+}
+
+int CnfCopy::emit_or(int a, int b) {
+  const int y = solver_->new_var();
+  solver_->add_binary(y, -a);
+  solver_->add_binary(y, -b);
+  solver_->add_ternary(-y, a, b);
+  return y;
+}
+
+int CnfCopy::emit_xor(int a, int b) {
+  const int y = solver_->new_var();
+  solver_->add_ternary(-y, a, b);
+  solver_->add_ternary(-y, -a, -b);
+  solver_->add_ternary(y, -a, b);
+  solver_->add_ternary(y, a, -b);
+  return y;
+}
+
+int CnfCopy::emit_xnor(int a, int b) { return -emit_xor(a, b); }
+
+int CnfCopy::emit_mux(int s, int a, int b) {
+  // y = s ? b : a
+  const int y = solver_->new_var();
+  solver_->add_ternary(-y, s, a);
+  solver_->add_ternary(y, s, -a);
+  solver_->add_ternary(-y, -s, b);
+  solver_->add_ternary(y, -s, -b);
+  return y;
+}
+
+int CnfCopy::emit_tree_and(std::vector<int> terms) {
+  check(!terms.empty(), "CnfCopy: empty AND tree");
+  while (terms.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(emit_and(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+void CnfCopy::encode_cell(const Cell& cell) {
+  const SigSpec& y = cell.port(rtlil::output_port(cell.type()));
+  const auto bind_out = [&](int i, int lit) {
+    const SigBit bit = y.bit(i);
+    check(!bit.is_const(), "CnfCopy: cell drives constant");
+    const auto it = vars_.find(bit);
+    if (it == vars_.end()) {
+      vars_.emplace(bit, lit);
+    } else {
+      // Already referenced (or bound): tie with equivalence clauses.
+      solver_->add_binary(-it->second, lit);
+      solver_->add_binary(it->second, -lit);
+    }
+  };
+  const auto a_bits = [&](const char* p) {
+    std::vector<int> lits;
+    for (const SigBit& b : cell.port(p).bits()) lits.push_back(lookup(b));
+    return lits;
+  };
+  switch (cell.type()) {
+    case CellType::kBuf:
+    case CellType::kGateBuf: {
+      const std::vector<int> a = a_bits("A");
+      for (int i = 0; i < y.width(); ++i) bind_out(i, a[static_cast<std::size_t>(i)]);
+      break;
+    }
+    case CellType::kNot:
+    case CellType::kGateInv: {
+      const std::vector<int> a = a_bits("A");
+      for (int i = 0; i < y.width(); ++i) bind_out(i, -a[static_cast<std::size_t>(i)]);
+      break;
+    }
+    case CellType::kAnd:
+    case CellType::kGateAnd2:
+    case CellType::kGateNand2:
+    case CellType::kOr:
+    case CellType::kGateOr2:
+    case CellType::kGateNor2:
+    case CellType::kXor:
+    case CellType::kGateXor2:
+    case CellType::kXnor:
+    case CellType::kGateXnor2: {
+      const std::vector<int> a = a_bits("A");
+      const std::vector<int> b = a_bits("B");
+      for (int i = 0; i < y.width(); ++i) {
+        int lit = 0;
+        switch (cell.type()) {
+          case CellType::kAnd:
+          case CellType::kGateAnd2:
+            lit = emit_and(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+            break;
+          case CellType::kGateNand2:
+            lit = -emit_and(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+            break;
+          case CellType::kOr:
+          case CellType::kGateOr2:
+            lit = emit_or(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+            break;
+          case CellType::kGateNor2:
+            lit = -emit_or(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+            break;
+          case CellType::kXor:
+          case CellType::kGateXor2:
+            lit = emit_xor(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+            break;
+          default:
+            lit = emit_xnor(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+            break;
+        }
+        bind_out(i, lit);
+      }
+      break;
+    }
+    case CellType::kMux:
+    case CellType::kGateMux2: {
+      const std::vector<int> a = a_bits("A");
+      const std::vector<int> b = a_bits("B");
+      const int s = lookup(cell.port("S").bit(0));
+      for (int i = 0; i < y.width(); ++i) {
+        bind_out(i, emit_mux(s, a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]));
+      }
+      break;
+    }
+    case CellType::kGateAoi21: {
+      const int a = lookup(cell.port("A").bit(0));
+      const int b = lookup(cell.port("B").bit(0));
+      const int c = lookup(cell.port("C").bit(0));
+      bind_out(0, -emit_or(emit_and(a, b), c));
+      break;
+    }
+    case CellType::kGateOai21: {
+      const int a = lookup(cell.port("A").bit(0));
+      const int b = lookup(cell.port("B").bit(0));
+      const int c = lookup(cell.port("C").bit(0));
+      bind_out(0, -emit_and(emit_or(a, b), c));
+      break;
+    }
+    case CellType::kEq: {
+      const std::vector<int> a = a_bits("A");
+      const std::vector<int> b = a_bits("B");
+      std::vector<int> eqs;
+      for (std::size_t i = 0; i < a.size(); ++i) eqs.push_back(emit_xnor(a[i], b[i]));
+      bind_out(0, emit_tree_and(std::move(eqs)));
+      break;
+    }
+    case CellType::kReduceAnd:
+      bind_out(0, emit_tree_and(a_bits("A")));
+      break;
+    case CellType::kReduceOr: {
+      std::vector<int> terms = a_bits("A");
+      for (int& t : terms) t = -t;
+      bind_out(0, -emit_tree_and(std::move(terms)));
+      break;
+    }
+    case CellType::kReduceXor: {
+      std::vector<int> terms = a_bits("A");
+      int acc = terms[0];
+      for (std::size_t i = 1; i < terms.size(); ++i) acc = emit_xor(acc, terms[i]);
+      bind_out(0, acc);
+      break;
+    }
+    default:
+      unreachable(std::string("CnfCopy: unhandled cell type ") +
+                  rtlil::cell_type_name(cell.type()));
+  }
+}
+
+int CnfCopy::reader_var(const SigBit& bit) const {
+  if (fault_ && !bit.is_const() && bit == fault_->bit) return fault_var_;
+  return driven_var(bit);
+}
+
+int CnfCopy::driven_var(const SigBit& bit) const {
+  if (bit.is_const()) return bit.const_value() ? const_true_ : -const_true_;
+  const auto it = vars_.find(bit);
+  check(it != vars_.end(), "CnfCopy: bit has no variable");
+  return it->second;
+}
+
+std::vector<int> CnfCopy::wire_vars(const std::string& wire) const {
+  const rtlil::Wire* w = module_->wire(wire);
+  require(w != nullptr, "CnfCopy::wire_vars: no wire " + wire);
+  std::vector<int> out;
+  for (int i = 0; i < w->width(); ++i) out.push_back(reader_var(SigBit(w, i)));
+  return out;
+}
+
+std::vector<int> CnfCopy::ff_next_vars(const std::string& q_wire) const {
+  const rtlil::Wire* w = module_->wire(q_wire);
+  require(w != nullptr, "CnfCopy::ff_next_vars: no wire " + q_wire);
+  std::vector<int> out(static_cast<std::size_t>(w->width()), 0);
+  std::vector<bool> found(static_cast<std::size_t>(w->width()), false);
+  for (const Cell* cell : module_->cells()) {
+    if (!rtlil::is_ff(cell->type())) continue;
+    const SigSpec& q = cell->port("Q");
+    const SigSpec& d = cell->port("D");
+    for (int i = 0; i < q.width(); ++i) {
+      const SigBit qb = q.bit(i);
+      if (!qb.is_const() && qb.wire == w) {
+        out[static_cast<std::size_t>(qb.offset)] = reader_var(d.bit(i));
+        found[static_cast<std::size_t>(qb.offset)] = true;
+      }
+    }
+  }
+  for (bool f : found) {
+    require(f, "CnfCopy::ff_next_vars: wire " + q_wire + " not fully registered");
+  }
+  return out;
+}
+
+}  // namespace scfi::sat

@@ -1,0 +1,71 @@
+// Tseitin encoding of netlists into CNF, with support for shared-input
+// module copies and single-net fault overrides (the building block of the
+// SYNFI fault miters).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlil/validate.h"
+#include "sat/solver.h"
+
+namespace scfi::sat {
+
+enum class CnfFaultKind { kFlip, kStuckAt0, kStuckAt1 };
+
+struct CnfFault {
+  rtlil::SigBit bit;  ///< faulted net (as its readers see it)
+  CnfFaultKind kind = CnfFaultKind::kFlip;
+};
+
+/// One encoded copy of a module.
+class CnfCopy {
+ public:
+  /// Encodes the combinational logic of `module` into `solver`.
+  /// `bound` pre-binds wire bits to existing solver variables (use it to
+  /// share inputs and state registers between copies). Flip-flops are cut:
+  /// their Q bits become free variables (unless bound), their D bits are
+  /// readable outputs.
+  CnfCopy(Solver& solver, const rtlil::Module& module,
+          const std::unordered_map<rtlil::SigBit, int>& bound,
+          const std::optional<CnfFault>& fault = std::nullopt);
+
+  /// Variable carrying the value of `bit` as seen by readers in this copy
+  /// (i.e. after the fault override, when it targets `bit`).
+  int reader_var(const rtlil::SigBit& bit) const;
+
+  /// Variable of the bit as driven (pre-fault).
+  int driven_var(const rtlil::SigBit& bit) const;
+
+  /// Convenience: reader variables of a whole wire, LSB first.
+  std::vector<int> wire_vars(const std::string& wire) const;
+
+  /// Reader variables of a flip-flop D pin, LSB first (the "next value").
+  std::vector<int> ff_next_vars(const std::string& q_wire) const;
+
+  Solver& solver() const { return *solver_; }
+
+ private:
+  int lookup(const rtlil::SigBit& bit);  ///< creates free vars on demand
+  int lookup_driven(const rtlil::SigBit& bit);
+  int lookup_driven_checked();
+  void encode_cell(const rtlil::Cell& cell);
+  int emit_tree_and(std::vector<int> terms);
+  int emit_and(int a, int b);
+  int emit_or(int a, int b);
+  int emit_xor(int a, int b);
+  int emit_xnor(int a, int b);
+  int emit_not(int a);
+  int emit_mux(int s, int a, int b);
+
+  Solver* solver_;
+  const rtlil::Module* module_;
+  std::unordered_map<rtlil::SigBit, int> vars_;  ///< driven values
+  std::optional<CnfFault> fault_;
+  int fault_var_ = 0;  ///< readers' view of the faulted net
+  int const_true_ = 0;
+};
+
+}  // namespace scfi::sat

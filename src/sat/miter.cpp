@@ -1,0 +1,73 @@
+#include "sat/miter.h"
+
+#include "base/error.h"
+
+namespace scfi::sat {
+
+Lit differ(Solver& solver, const std::vector<int>& a, const std::vector<int>& b) {
+  check(a.size() == b.size(), "differ: size mismatch");
+  std::vector<Lit> any;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int x = solver.new_var();  // x = a[i] XOR b[i]
+    solver.add_ternary(-x, a[i], b[i]);
+    solver.add_ternary(-x, -a[i], -b[i]);
+    solver.add_ternary(x, -a[i], b[i]);
+    solver.add_ternary(x, a[i], -b[i]);
+    any.push_back(x);
+  }
+  const int y = solver.new_var();  // y = OR(any)
+  std::vector<Lit> clause{-y};
+  for (Lit x : any) {
+    solver.add_binary(y, -x);
+    clause.push_back(x);
+  }
+  solver.add_clause(clause);
+  return y;
+}
+
+void imply_equals(Solver& solver, Lit sel, const std::vector<int>& vars, std::uint64_t value) {
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    const bool bit = (value >> i) & 1;
+    solver.add_binary(-sel, bit ? vars[i] : -vars[i]);
+  }
+}
+
+Lit equals_const(Solver& solver, const std::vector<int>& vars, std::uint64_t value) {
+  const int y = solver.new_var();
+  std::vector<Lit> clause{y};
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    const bool bit = (value >> i) & 1;
+    const Lit lit = bit ? vars[i] : -vars[i];
+    solver.add_binary(-y, lit);   // y -> bit matches
+    clause.push_back(-lit);       // all bits match -> y
+  }
+  solver.add_clause(clause);
+  return y;
+}
+
+Lit member_of(Solver& solver, const std::vector<int>& vars,
+              const std::vector<std::uint64_t>& codes) {
+  std::vector<Lit> eqs;
+  eqs.reserve(codes.size());
+  for (std::uint64_t c : codes) eqs.push_back(equals_const(solver, vars, c));
+  const int y = solver.new_var();
+  std::vector<Lit> clause{-y};
+  for (Lit e : eqs) {
+    solver.add_binary(y, -e);
+    clause.push_back(e);
+  }
+  solver.add_clause(clause);
+  return y;
+}
+
+void exactly_one(Solver& solver, const std::vector<Lit>& sels) {
+  check(!sels.empty(), "exactly_one: empty selector set");
+  solver.add_clause(sels);
+  for (std::size_t i = 0; i < sels.size(); ++i) {
+    for (std::size_t j = i + 1; j < sels.size(); ++j) {
+      solver.add_binary(-sels[i], -sels[j]);
+    }
+  }
+}
+
+}  // namespace scfi::sat

@@ -1,0 +1,30 @@
+// Miter construction helpers: inequality/equality of variable vectors,
+// membership in a codeword set, and exactly-one selection — the constraint
+// vocabulary of the SYNFI exploitability query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace scfi::sat {
+
+/// Returns a literal that is true iff the two vectors differ (adds clauses).
+Lit differ(Solver& solver, const std::vector<int>& a, const std::vector<int>& b);
+
+/// Constrains `vars` to the constant `value` under activation literal `sel`
+/// (sel -> vars == value).
+void imply_equals(Solver& solver, Lit sel, const std::vector<int>& vars, std::uint64_t value);
+
+/// Returns a literal that is true iff `vars` equals `value` (adds clauses).
+Lit equals_const(Solver& solver, const std::vector<int>& vars, std::uint64_t value);
+
+/// Returns a literal that is true iff `vars` is one of `codes`.
+Lit member_of(Solver& solver, const std::vector<int>& vars,
+              const std::vector<std::uint64_t>& codes);
+
+/// Adds exactly-one constraints over the selector literals (pairwise).
+void exactly_one(Solver& solver, const std::vector<Lit>& sels);
+
+}  // namespace scfi::sat

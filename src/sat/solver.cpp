@@ -1,0 +1,284 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+
+namespace scfi::sat {
+namespace {
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...).
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t k = 1;
+  while ((1ULL << k) - 1 < i + 1) ++k;
+  while ((1ULL << k) - 1 != i + 1) {
+    i -= (1ULL << (k - 1)) - 1;
+    k = 1;
+    while ((1ULL << k) - 1 < i + 1) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+}  // namespace
+
+int Solver::new_var() {
+  assign_.push_back(kUndef);
+  phase_.push_back(kFalse);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return static_cast<int>(activity_.size());
+}
+
+void Solver::add_clause(const std::vector<Lit>& lits) {
+  std::vector<int> clause;
+  clause.reserve(lits.size());
+  for (Lit lit : lits) {
+    check(lit != 0 && std::abs(lit) <= num_vars(), "Solver::add_clause: literal out of range");
+    clause.push_back(ilit(lit));
+  }
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  // Tautology?
+  for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (clause[i] == neg(clause[i + 1])) return;
+  }
+  if (clause.empty()) {
+    trivially_unsat_ = true;
+    return;
+  }
+  if (clause.size() == 1) {
+    // Defer unit enqueueing to solve() (top level); record as clause too.
+    clause.push_back(clause[0]);  // duplicate watch trick avoided; store real unit
+    clause.pop_back();
+  }
+  const int idx = static_cast<int>(clauses_.size());
+  clauses_.push_back(clause);
+  if (clause.size() >= 2) {
+    watches_[static_cast<std::size_t>(clause[0])].push_back(idx);
+    watches_[static_cast<std::size_t>(clause[1])].push_back(idx);
+  }
+}
+
+void Solver::enqueue(int l, int reason) {
+  assign_[static_cast<std::size_t>(var(l))] =
+      static_cast<std::int8_t>((l & 1) != 0 ? kFalse : kTrue);
+  level_[static_cast<std::size_t>(var(l))] = static_cast<int>(trail_lim_.size());
+  reason_[static_cast<std::size_t>(var(l))] = reason;
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const int l = trail_[qhead_++];
+    const int falsified = neg(l);
+    std::vector<int>& watch_list = watches_[static_cast<std::size_t>(falsified)];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < watch_list.size(); ++wi) {
+      const int ci = watch_list[wi];
+      std::vector<int>& clause = clauses_[static_cast<std::size_t>(ci)];
+      // Normalize: watched literals are clause[0], clause[1].
+      if (clause[0] == falsified) std::swap(clause[0], clause[1]);
+      if (lit_value(clause[0]) == kTrue) {
+        watch_list[keep++] = ci;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < clause.size(); ++k) {
+        if (lit_value(clause[k]) != kFalse) {
+          std::swap(clause[1], clause[k]);
+          watches_[static_cast<std::size_t>(clause[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch migrated; drop from this list
+      // Unit or conflict.
+      watch_list[keep++] = ci;
+      if (lit_value(clause[0]) == kFalse) {
+        // Conflict: keep remaining watches, then report.
+        for (std::size_t k = wi + 1; k < watch_list.size(); ++k) {
+          watch_list[keep++] = watch_list[k];
+        }
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      enqueue(clause[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump(int v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay() { var_inc_ /= 0.95; }
+
+void Solver::analyze(int conflict, std::vector<int>& learned, int& backtrack_level) {
+  learned.clear();
+  learned.push_back(0);  // placeholder for the asserting literal
+  std::vector<bool> seen(static_cast<std::size_t>(num_vars()), false);
+  int counter = 0;
+  int l = -1;
+  int ci = conflict;
+  std::size_t trail_pos = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  for (;;) {
+    const std::vector<int>& clause = clauses_[static_cast<std::size_t>(ci)];
+    for (const int q : clause) {
+      if (l != -1 && q == l) continue;
+      const int v = var(q);
+      if (seen[static_cast<std::size_t>(v)] || level_[static_cast<std::size_t>(v)] == 0) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      bump(v);
+      if (level_[static_cast<std::size_t>(v)] >= current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Next literal on the trail that participates.
+    do {
+      --trail_pos;
+      l = trail_[trail_pos];
+    } while (!seen[static_cast<std::size_t>(var(l))]);
+    seen[static_cast<std::size_t>(var(l))] = false;
+    --counter;
+    if (counter == 0) break;
+    ci = reason_[static_cast<std::size_t>(var(l))];
+    check(ci >= 0, "Solver::analyze: missing reason");
+  }
+  learned[0] = neg(l);
+
+  backtrack_level = 0;
+  if (learned.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learned.size(); ++i) {
+      if (level_[static_cast<std::size_t>(var(learned[i]))] >
+          level_[static_cast<std::size_t>(var(learned[max_i]))]) {
+        max_i = i;
+      }
+    }
+    std::swap(learned[1], learned[max_i]);
+    backtrack_level = level_[static_cast<std::size_t>(var(learned[1]))];
+  }
+}
+
+void Solver::backtrack(int target) {
+  while (static_cast<int>(trail_lim_.size()) > target) {
+    const int boundary = trail_lim_.back();
+    trail_lim_.pop_back();
+    while (static_cast<int>(trail_.size()) > boundary) {
+      const int l = trail_.back();
+      trail_.pop_back();
+      const int v = var(l);
+      phase_[static_cast<std::size_t>(v)] = assign_[static_cast<std::size_t>(v)];
+      assign_[static_cast<std::size_t>(v)] = kUndef;
+      reason_[static_cast<std::size_t>(v)] = -1;
+    }
+    qhead_ = trail_.size();
+  }
+}
+
+int Solver::pick_branch() {
+  int best = -1;
+  double best_activity = -1.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (assign_[static_cast<std::size_t>(v)] != kUndef) continue;
+    if (activity_[static_cast<std::size_t>(v)] > best_activity) {
+      best_activity = activity_[static_cast<std::size_t>(v)];
+      best = v;
+    }
+  }
+  if (best < 0) return -1;
+  return 2 * best + (phase_[static_cast<std::size_t>(best)] == kTrue ? 0 : 1);
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  if (trivially_unsat_) return Result::kUnsat;
+  backtrack(0);
+  // Enqueue top-level units.
+  for (const std::vector<int>& clause : clauses_) {
+    if (clause.size() != 1) continue;
+    const std::int8_t v = lit_value(clause[0]);
+    if (v == kFalse) return Result::kUnsat;
+    if (v == kUndef) enqueue(clause[0], -1);
+  }
+  if (propagate() >= 0) return Result::kUnsat;
+
+  std::uint64_t restart_round = 0;
+  std::uint64_t conflict_budget = 128 * luby(restart_round);
+  std::uint64_t conflicts_here = 0;
+  std::vector<int> learned;
+
+  for (;;) {
+    const int conflict = propagate();
+    if (conflict >= 0) {
+      ++conflicts_;
+      ++conflicts_here;
+      if (trail_lim_.empty()) return Result::kUnsat;
+      int back_level = 0;
+      analyze(conflict, learned, back_level);
+      // Never backtrack past the assumptions.
+      const int floor_level =
+          std::min<int>(static_cast<int>(assumptions.size()), back_level);
+      backtrack(std::max(back_level, 0));
+      if (static_cast<int>(trail_lim_.size()) < floor_level) {
+        // Learned clause contradicts the assumptions.
+        return Result::kUnsat;
+      }
+      const int idx = static_cast<int>(clauses_.size());
+      clauses_.push_back(learned);
+      if (learned.size() >= 2) {
+        watches_[static_cast<std::size_t>(learned[0])].push_back(idx);
+        watches_[static_cast<std::size_t>(learned[1])].push_back(idx);
+      }
+      if (lit_value(learned[0]) == kUndef) {
+        enqueue(learned[0], learned.size() >= 2 ? idx : -1);
+      } else if (lit_value(learned[0]) == kFalse) {
+        return Result::kUnsat;
+      }
+      decay();
+      if (conflicts_here >= conflict_budget) {
+        conflicts_here = 0;
+        conflict_budget = 128 * luby(++restart_round);
+        backtrack(static_cast<int>(assumptions.size()));
+      }
+      continue;
+    }
+    // Re-assert pending assumptions as decision levels.
+    if (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      const int l = ilit(a);
+      const std::int8_t v = lit_value(l);
+      if (v == kFalse) return Result::kUnsat;
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      if (v == kUndef) enqueue(l, -1);
+      continue;
+    }
+    const int branch = pick_branch();
+    if (branch < 0) return Result::kSat;
+    ++decisions_;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(branch, -1);
+  }
+}
+
+bool Solver::value(Lit lit) const {
+  const std::int8_t v = lit_value(ilit(lit));
+  check(v != kUndef, "Solver::value: variable unassigned");
+  return v == kTrue;
+}
+
+}  // namespace scfi::sat

@@ -1,0 +1,85 @@
+// A compact CDCL SAT solver (watched literals, first-UIP clause learning,
+// VSIDS-style activities, Luby restarts, phase saving).
+//
+// Used by the SYNFI-style formal fault analysis (src/synfi) to decide
+// per-fault exploitability queries on netlist miters. The solver is complete
+// and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scfi::sat {
+
+/// External literal representation: +v / -v with v >= 1.
+using Lit = int;
+
+enum class Result { kSat, kUnsat };
+
+class Solver {
+ public:
+  Solver() = default;
+
+  /// Allocates a fresh variable, returning its index (>= 1).
+  int new_var();
+  int num_vars() const { return static_cast<int>(activity_.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially UNSAT).
+  void add_clause(const std::vector<Lit>& lits);
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  /// Decides satisfiability under the given assumptions.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model value of a literal after kSat.
+  bool value(Lit lit) const;
+
+  std::uint64_t conflicts() const { return conflicts_; }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  // Internal literal encoding: var v (0-based) -> 2v (positive), 2v+1
+  // (negated).
+  static int ilit(Lit lit) {
+    const int v = lit > 0 ? lit : -lit;
+    return 2 * (v - 1) + (lit < 0 ? 1 : 0);
+  }
+  static int neg(int l) { return l ^ 1; }
+  static int var(int l) { return l >> 1; }
+
+  enum : std::int8_t { kUndef = -1, kFalse = 0, kTrue = 1 };
+
+  std::int8_t lit_value(int l) const {
+    const std::int8_t a = assign_[static_cast<std::size_t>(var(l))];
+    if (a == kUndef) return kUndef;
+    if ((l & 1) == 0) return a;
+    return a == kTrue ? static_cast<std::int8_t>(kFalse) : static_cast<std::int8_t>(kTrue);
+  }
+
+  void enqueue(int l, int reason);
+  int propagate();  ///< returns conflicting clause index or -1
+  void analyze(int conflict, std::vector<int>& learned, int& backtrack_level);
+  void backtrack(int level);
+  int pick_branch();
+  void bump(int v);
+  void decay();
+  bool trivially_unsat_ = false;
+
+  std::vector<std::vector<int>> clauses_;       // literal lists (internal encoding)
+  std::vector<std::vector<int>> watches_;       // internal lit -> clause indices
+  std::vector<std::int8_t> assign_;             // per var
+  std::vector<std::int8_t> phase_;              // saved phases
+  std::vector<int> level_;                      // per var
+  std::vector<int> reason_;                     // per var: clause index or -1
+  std::vector<int> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace scfi::sat

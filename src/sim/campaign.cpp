@@ -1,0 +1,158 @@
+#include "sim/campaign.h"
+
+#include <map>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace scfi::sim {
+namespace {
+
+using fsm::CfgEdge;
+using fsm::CompiledFsm;
+using fsm::Fsm;
+
+/// Caches concrete raw-input assignments per CFG edge.
+class RawInputPlanner {
+ public:
+  explicit RawInputPlanner(const Fsm& fsm) : fsm_(&fsm) {}
+
+  std::vector<bool> input_for(const CfgEdge& edge) {
+    const auto key = std::make_pair(edge.from, edge.transition_index);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    std::optional<std::vector<bool>> bits;
+    if (edge.transition_index >= 0) {
+      bits = fsm_->concrete_input_for(edge.transition_index);
+    } else {
+      bits = fsm_->concrete_input_for_idle(edge.from);
+    }
+    check(bits.has_value(), "campaign: no concrete input for CFG edge");
+    cache_.emplace(key, *bits);
+    return *bits;
+  }
+
+ private:
+  const Fsm* fsm_;
+  std::map<std::pair<int, int>, std::vector<bool>> cache_;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
+                            const CampaignConfig& config) {
+  check(variant.module != nullptr, "run_campaign: variant has no module");
+  Simulator sim(*variant.module);
+  const std::vector<FaultSite> all_sites =
+      enumerate_fault_sites(*variant.module, variant.state_wire);
+  const std::vector<FaultSite> sites = filter_sites(all_sites, config.target);
+  require(!sites.empty(), "run_campaign: no fault sites for the requested target class");
+
+  // Pre-index CFG edges per state for the stimulus walk.
+  std::vector<std::vector<CfgEdge>> edges_from(static_cast<std::size_t>(fsm.num_states()));
+  for (const CfgEdge& e : fsm.cfg_edges()) {
+    edges_from[static_cast<std::size_t>(e.from)].push_back(e);
+  }
+  RawInputPlanner planner(fsm);
+  Rng rng(config.seed);
+  CampaignResult result;
+  result.runs = config.runs;
+
+  for (int run = 0; run < config.runs; ++run) {
+    // Build the walk: one CFG edge per cycle, from the golden state.
+    std::vector<CfgEdge> walk;
+    std::vector<int> golden;
+    int g = fsm.reset_state;
+    golden.push_back(g);
+    for (int t = 0; t < config.cycles; ++t) {
+      const auto& options = edges_from[static_cast<std::size_t>(g)];
+      const CfgEdge& e = options[static_cast<std::size_t>(rng.below(options.size()))];
+      walk.push_back(e);
+      g = e.to;
+      golden.push_back(g);
+    }
+
+    // Schedule the faults: distinct sites, random cycles.
+    struct Planned {
+      FaultSite site;
+      int cycle;
+    };
+    std::vector<Planned> planned;
+    std::vector<std::size_t> chosen;
+    for (int f = 0; f < config.num_faults; ++f) {
+      std::size_t idx = 0;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        idx = static_cast<std::size_t>(rng.below(sites.size()));
+        bool dup = false;
+        for (std::size_t c : chosen) dup |= (c == idx);
+        if (!dup) break;
+      }
+      chosen.push_back(idx);
+      planned.push_back(Planned{sites[idx], static_cast<int>(rng.below(
+                                                static_cast<std::uint64_t>(config.cycles)))});
+    }
+
+    sim.reset();
+    bool done = false;
+    bool deviated_valid = false;
+    bool saw_invalid = false;
+    bool lag_only = true;
+    for (int t = 0; t < config.cycles && !done; ++t) {
+      const CfgEdge& e = walk[static_cast<std::size_t>(t)];
+      if (variant.symbol_width > 0) {
+        sim.set_input(variant.symbol_input_wire, variant.symbol_codes.at(e.symbol));
+      } else {
+        const std::vector<bool> bits = planner.input_for(e);
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+          sim.set_input(fsm.inputs[i], bits[i] ? 1 : 0);
+        }
+      }
+      for (const Planned& p : planned) {
+        if (p.cycle == t) sim.inject(p.site.bit, config.kind);
+      }
+      sim.eval();
+      if (!variant.alert_wire.empty() && sim.get(variant.alert_wire) != 0) {
+        ++result.detected;
+        done = true;
+        break;
+      }
+      sim.step();
+      const std::uint64_t reg = sim.get(variant.state_wire);
+      if (variant.has_error_state && reg == variant.error_code) {
+        ++result.detected;
+        done = true;
+        break;
+      }
+      const int decoded = variant.decode_state(reg);
+      const int expect = golden[static_cast<std::size_t>(t + 1)];
+      if (decoded < 0) {
+        saw_invalid = true;
+        lag_only = false;
+      } else if (decoded != expect) {
+        deviated_valid = true;
+        if (decoded != golden[static_cast<std::size_t>(t)]) lag_only = false;
+      }
+    }
+    if (done) continue;
+    // Final combinational alert check (covers a deviation on the last cycle).
+    sim.eval();
+    if (!variant.alert_wire.empty() && sim.get(variant.alert_wire) != 0) {
+      ++result.detected;
+      continue;
+    }
+    if (saw_invalid) {
+      ++result.silent_invalid;
+    } else if (deviated_valid) {
+      if (lag_only) {
+        ++result.lagged;
+      } else {
+        ++result.hijacked;
+      }
+    } else {
+      ++result.masked;
+    }
+  }
+  return result;
+}
+
+}  // namespace scfi::sim

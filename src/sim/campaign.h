@@ -1,0 +1,56 @@
+// Monte-Carlo fault-injection campaigns over compiled FSM variants.
+//
+// Each run replays a random-but-valid control-flow walk on the device under
+// test while injecting a configurable number of faults, then classifies the
+// outcome against the golden (fault-free, symbol-level) execution:
+//
+//   masked          — state sequence identical to golden, no alert
+//   detected        — alert raised, or terminal ERROR state entered
+//   hijacked        — a *valid* state different from golden was reached with
+//                     no prior detection (the attacker's success criterion)
+//   lagged          — undetected deviation where the FSM merely missed a
+//                     transition (still in the previous golden state)
+//   silent_invalid  — register holds a non-codeword, never detected
+//                     (impossible for SCFI, common for unprotected FSMs)
+#pragma once
+
+#include <cstdint>
+
+#include "fsm/compile.h"
+#include "sim/fault.h"
+#include "sim/netlist_sim.h"
+
+namespace scfi::sim {
+
+struct CampaignConfig {
+  int runs = 1000;
+  int cycles = 24;        ///< length of each control-flow walk
+  int num_faults = 1;     ///< simultaneous faults per run (attacker strength)
+  FaultTarget target = FaultTarget::kAny;
+  FaultKind kind = FaultKind::kTransientFlip;
+  std::uint64_t seed = 1;
+};
+
+struct CampaignResult {
+  int runs = 0;
+  int masked = 0;
+  int detected = 0;
+  int hijacked = 0;
+  int lagged = 0;
+  int silent_invalid = 0;
+
+  /// Runs where the fault had any architectural effect.
+  int effective() const { return detected + hijacked + lagged + silent_invalid; }
+  /// Attacker success probability over all runs.
+  double hijack_rate() const { return runs > 0 ? static_cast<double>(hijacked) / runs : 0.0; }
+  /// Detection rate among effective faults.
+  double detection_rate() const {
+    return effective() > 0 ? static_cast<double>(detected) / effective() : 1.0;
+  }
+};
+
+/// Runs the campaign on `variant` (any of the three compiled forms).
+CampaignResult run_campaign(const fsm::Fsm& fsm, const fsm::CompiledFsm& variant,
+                            const CampaignConfig& config);
+
+}  // namespace scfi::sim

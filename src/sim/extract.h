@@ -1,0 +1,30 @@
+// Automatic FSM extraction from a compiled netlist (the analog of Yosys'
+// fsm_detect/fsm_extract, §5.1 of the paper: "our custom FSM protection pass
+// identifies the unprotected FSM by utilizing the existing Yosys FSM
+// passes").
+//
+// Method: exhaustive simulation. Starting from the reset value of the state
+// register, every reachable state is expanded over all 2^n input
+// combinations; the recovered minterm table is then compressed back into
+// cube guards (adjacent-implicant merging), yielding an Fsm that is
+// behaviourally equivalent to the netlist.
+#pragma once
+
+#include <string>
+
+#include "fsm/fsm.h"
+#include "rtlil/module.h"
+
+namespace scfi::sim {
+
+struct ExtractOptions {
+  std::string state_wire = "state_q";
+  int max_inputs = 14;  ///< exhaustive bound; throws above this
+  bool capture_outputs = true;
+};
+
+/// Extracts the FSM controlled by `state_wire`. State names are synthesized
+/// as "s<code>" (reset state first).
+fsm::Fsm extract_fsm(const rtlil::Module& module, const ExtractOptions& options = {});
+
+}  // namespace scfi::sim

@@ -1,0 +1,45 @@
+#include "sim/fault.h"
+
+#include "base/error.h"
+#include "rtlil/validate.h"
+
+namespace scfi::sim {
+
+std::vector<FaultSite> enumerate_fault_sites(const rtlil::Module& module,
+                                             const std::string& state_wire) {
+  std::vector<FaultSite> sites;
+  const rtlil::Wire* state = module.wire(state_wire);
+  for (const rtlil::Wire* w : module.wires()) {
+    if (!w->is_input()) continue;
+    for (int i = 0; i < w->width(); ++i) {
+      sites.push_back(FaultSite{rtlil::SigBit(w, i), FaultTarget::kControlInputs,
+                                w->name() + "[" + std::to_string(i) + "]"});
+    }
+  }
+  for (const rtlil::Cell* cell : module.cells()) {
+    const rtlil::SigSpec& out = cell->port(rtlil::output_port(cell->type()));
+    const bool is_state_ff =
+        rtlil::is_ff(cell->type()) && state != nullptr && out.width() > 0 &&
+        !out.bit(0).is_const() && out.bit(0).wire == state;
+    for (const rtlil::SigBit& b : out.bits()) {
+      if (b.is_const()) continue;
+      FaultSite site;
+      site.bit = b;
+      site.target = is_state_ff ? FaultTarget::kStateRegister : FaultTarget::kLogic;
+      site.description = cell->name() + ":" + b.wire->name() + "[" + std::to_string(b.offset) + "]";
+      sites.push_back(site);
+    }
+  }
+  return sites;
+}
+
+std::vector<FaultSite> filter_sites(const std::vector<FaultSite>& sites, FaultTarget target) {
+  if (target == FaultTarget::kAny) return sites;
+  std::vector<FaultSite> out;
+  for (const FaultSite& s : sites) {
+    if (s.target == target) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace scfi::sim

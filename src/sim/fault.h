@@ -1,0 +1,39 @@
+// Fault-site enumeration over compiled modules.
+//
+// Sites map onto the paper's fault targets (§3.1):
+//   FT1 — state register bits,
+//   FT2 — control signal inputs,
+//   FT3 — outputs of combinational logic in the module (incl. the hardened
+//         next-state function), plus non-state register bits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtlil/module.h"
+
+namespace scfi::sim {
+
+enum class FaultTarget {
+  kControlInputs,  ///< FT2
+  kStateRegister,  ///< FT1
+  kLogic,          ///< FT3
+  kAny,
+};
+
+struct FaultSite {
+  rtlil::SigBit bit;
+  FaultTarget target = FaultTarget::kLogic;
+  std::string description;
+};
+
+/// Enumerates all injectable sites. `state_wire` marks FT1 bits; every module
+/// input is FT2; every combinational cell output (and non-state FF output)
+/// is FT3.
+std::vector<FaultSite> enumerate_fault_sites(const rtlil::Module& module,
+                                             const std::string& state_wire);
+
+/// Filters sites by target class (kAny keeps everything).
+std::vector<FaultSite> filter_sites(const std::vector<FaultSite>& sites, FaultTarget target);
+
+}  // namespace scfi::sim

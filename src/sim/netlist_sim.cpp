@@ -1,0 +1,275 @@
+#include "sim/netlist_sim.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace scfi::sim {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+
+Simulator::Simulator(const rtlil::Module& module) : module_(&module) {
+  compile();
+  reset();
+}
+
+std::int32_t Simulator::net_of(const SigBit& bit) const {
+  if (bit.is_const()) return bit.const_value() ? 1 : 0;
+  const auto it = wire_base_.find(bit.wire);
+  check(it != wire_base_.end(), "Simulator: unknown wire " + bit.wire->name());
+  return it->second + bit.offset;
+}
+
+std::int32_t Simulator::temp_net() {
+  values_.push_back(0);
+  faults_.push_back(FaultKind::kNone);
+  return static_cast<std::int32_t>(values_.size()) - 1;
+}
+
+bool Simulator::load(std::int32_t net) const {
+  bool v = values_[static_cast<std::size_t>(net)] != 0;
+  switch (faults_[static_cast<std::size_t>(net)]) {
+    case FaultKind::kNone: return v;
+    case FaultKind::kStuckAt0: return false;
+    case FaultKind::kStuckAt1: return true;
+    case FaultKind::kTransientFlip: return !v;
+  }
+  return v;
+}
+
+void Simulator::compile() {
+  // Nets 0 and 1 are the constants.
+  values_.assign(2, 0);
+  values_[1] = 1;
+  faults_.assign(2, FaultKind::kNone);
+  for (const rtlil::Wire* w : module_->wires()) {
+    wire_base_[w] = static_cast<std::int32_t>(values_.size());
+    values_.resize(values_.size() + static_cast<std::size_t>(w->width()), 0);
+    faults_.resize(values_.size(), FaultKind::kNone);
+  }
+  const rtlil::NetlistIndex index(*module_);
+  for (const Cell* cell : index.topo_comb()) compile_cell(*cell);
+  for (const Cell* ff : index.ffs()) {
+    const SigSpec& d = ff->port("D");
+    const SigSpec& q = ff->port("Q");
+    for (int i = 0; i < q.width(); ++i) {
+      ffs_.push_back(FlatFf{net_of(d.bit(i)), net_of(q.bit(i)), ff->reset_value().bit(i)});
+    }
+  }
+}
+
+void Simulator::emit_tree(FlatOp::Kind kind, std::vector<std::int32_t> terms, std::int32_t out) {
+  check(!terms.empty(), "Simulator::emit_tree: empty");
+  while (terms.size() > 2) {
+    std::vector<std::int32_t> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      const std::int32_t t = temp_net();
+      ops_.push_back(FlatOp{kind, t, terms[i], terms[i + 1], 0});
+      next.push_back(t);
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  if (terms.size() == 2) {
+    ops_.push_back(FlatOp{kind, out, terms[0], terms[1], 0});
+  } else {
+    ops_.push_back(FlatOp{FlatOp::Kind::kBuf, out, terms[0], 0, 0});
+  }
+}
+
+void Simulator::compile_cell(const Cell& cell) {
+  const SigSpec& y = cell.port(rtlil::output_port(cell.type()));
+  const auto in = [&](const char* p) { return cell.port(p); };
+  const auto bits_of = [&](const SigSpec& s) {
+    std::vector<std::int32_t> nets;
+    nets.reserve(static_cast<std::size_t>(s.width()));
+    for (const SigBit& b : s.bits()) nets.push_back(net_of(b));
+    return nets;
+  };
+  switch (cell.type()) {
+    case CellType::kBuf:
+    case CellType::kGateBuf:
+      for (int i = 0; i < y.width(); ++i) {
+        ops_.push_back(FlatOp{FlatOp::Kind::kBuf, net_of(y.bit(i)), net_of(in("A").bit(i)), 0, 0});
+      }
+      break;
+    case CellType::kNot:
+    case CellType::kGateInv:
+      for (int i = 0; i < y.width(); ++i) {
+        ops_.push_back(FlatOp{FlatOp::Kind::kNot, net_of(y.bit(i)), net_of(in("A").bit(i)), 0, 0});
+      }
+      break;
+    case CellType::kAnd:
+    case CellType::kOr:
+    case CellType::kXor:
+    case CellType::kXnor:
+    case CellType::kGateAnd2:
+    case CellType::kGateOr2:
+    case CellType::kGateXor2:
+    case CellType::kGateXnor2:
+    case CellType::kGateNand2:
+    case CellType::kGateNor2: {
+      FlatOp::Kind k = FlatOp::Kind::kAnd;
+      switch (cell.type()) {
+        case CellType::kOr:
+        case CellType::kGateOr2: k = FlatOp::Kind::kOr; break;
+        case CellType::kXor:
+        case CellType::kGateXor2: k = FlatOp::Kind::kXor; break;
+        case CellType::kXnor:
+        case CellType::kGateXnor2: k = FlatOp::Kind::kXnor; break;
+        case CellType::kGateNand2: k = FlatOp::Kind::kNand; break;
+        case CellType::kGateNor2: k = FlatOp::Kind::kNor; break;
+        default: break;
+      }
+      for (int i = 0; i < y.width(); ++i) {
+        ops_.push_back(FlatOp{k, net_of(y.bit(i)), net_of(in("A").bit(i)),
+                              net_of(in("B").bit(i)), 0});
+      }
+      break;
+    }
+    case CellType::kMux:
+    case CellType::kGateMux2: {
+      const std::int32_t s = net_of(in("S").bit(0));
+      for (int i = 0; i < y.width(); ++i) {
+        ops_.push_back(FlatOp{FlatOp::Kind::kMux, net_of(y.bit(i)), net_of(in("A").bit(i)),
+                              net_of(in("B").bit(i)), s});
+      }
+      break;
+    }
+    case CellType::kGateAoi21:
+      ops_.push_back(FlatOp{FlatOp::Kind::kAoi21, net_of(y.bit(0)), net_of(in("A").bit(0)),
+                            net_of(in("B").bit(0)), net_of(in("C").bit(0))});
+      break;
+    case CellType::kGateOai21:
+      ops_.push_back(FlatOp{FlatOp::Kind::kOai21, net_of(y.bit(0)), net_of(in("A").bit(0)),
+                            net_of(in("B").bit(0)), net_of(in("C").bit(0))});
+      break;
+    case CellType::kEq: {
+      const std::vector<std::int32_t> a = bits_of(in("A"));
+      const std::vector<std::int32_t> b = bits_of(in("B"));
+      std::vector<std::int32_t> eq_bits;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::int32_t t = temp_net();
+        ops_.push_back(FlatOp{FlatOp::Kind::kXnor, t, a[i], b[i], 0});
+        eq_bits.push_back(t);
+      }
+      emit_tree(FlatOp::Kind::kAnd, std::move(eq_bits), net_of(y.bit(0)));
+      break;
+    }
+    case CellType::kReduceAnd:
+      emit_tree(FlatOp::Kind::kAnd, bits_of(in("A")), net_of(y.bit(0)));
+      break;
+    case CellType::kReduceOr:
+      emit_tree(FlatOp::Kind::kOr, bits_of(in("A")), net_of(y.bit(0)));
+      break;
+    case CellType::kReduceXor:
+      emit_tree(FlatOp::Kind::kXor, bits_of(in("A")), net_of(y.bit(0)));
+      break;
+    case CellType::kDff:
+    case CellType::kGateDff:
+      unreachable("compile_cell: flip-flop in combinational list");
+    default:
+      unreachable(std::string("compile_cell: unhandled type ") +
+                  rtlil::cell_type_name(cell.type()));
+  }
+}
+
+void Simulator::reset() {
+  clear_all_faults();
+  for (auto& v : values_) v = 0;
+  values_[1] = 1;
+  for (const FlatFf& ff : ffs_) values_[static_cast<std::size_t>(ff.q)] = ff.reset ? 1 : 0;
+  eval();
+}
+
+void Simulator::set_input(const std::string& wire, std::uint64_t value) {
+  const rtlil::Wire* w = module_->wire(wire);
+  require(w != nullptr && w->is_input(), "Simulator::set_input: no input wire " + wire);
+  const std::int32_t base = wire_base_.at(w);
+  for (int i = 0; i < w->width(); ++i) {
+    values_[static_cast<std::size_t>(base + i)] = (value >> i) & 1;
+  }
+}
+
+std::uint64_t Simulator::get(const std::string& wire) const {
+  const rtlil::Wire* w = module_->wire(wire);
+  require(w != nullptr, "Simulator::get: no wire " + wire);
+  check(w->width() <= 64, "Simulator::get: wire too wide");
+  const std::int32_t base = wire_base_.at(w);
+  std::uint64_t v = 0;
+  for (int i = 0; i < w->width(); ++i) {
+    if (load(base + i)) v |= 1ULL << i;
+  }
+  return v;
+}
+
+bool Simulator::get_bit(const SigBit& bit) const { return load(net_of(bit)); }
+
+void Simulator::eval() {
+  for (const FlatOp& op : ops_) {
+    bool v = false;
+    switch (op.kind) {
+      case FlatOp::Kind::kBuf: v = load(op.a); break;
+      case FlatOp::Kind::kNot: v = !load(op.a); break;
+      case FlatOp::Kind::kAnd: v = load(op.a) && load(op.b); break;
+      case FlatOp::Kind::kOr: v = load(op.a) || load(op.b); break;
+      case FlatOp::Kind::kXor: v = load(op.a) != load(op.b); break;
+      case FlatOp::Kind::kXnor: v = load(op.a) == load(op.b); break;
+      case FlatOp::Kind::kMux: v = load(op.c) ? load(op.b) : load(op.a); break;
+      case FlatOp::Kind::kAoi21: v = !((load(op.a) && load(op.b)) || load(op.c)); break;
+      case FlatOp::Kind::kOai21: v = !((load(op.a) || load(op.b)) && load(op.c)); break;
+      case FlatOp::Kind::kNand: v = !(load(op.a) && load(op.b)); break;
+      case FlatOp::Kind::kNor: v = !(load(op.a) || load(op.b)); break;
+    }
+    values_[static_cast<std::size_t>(op.out)] = v ? 1 : 0;
+  }
+}
+
+void Simulator::step() {
+  eval();
+  std::vector<std::uint8_t> latched;
+  latched.reserve(ffs_.size());
+  for (const FlatFf& ff : ffs_) latched.push_back(load(ff.d) ? 1 : 0);
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    values_[static_cast<std::size_t>(ffs_[i].q)] = latched[i];
+  }
+  // Transient faults last one cycle.
+  for (const std::int32_t net : transient_nets_) {
+    if (faults_[static_cast<std::size_t>(net)] == FaultKind::kTransientFlip) {
+      faults_[static_cast<std::size_t>(net)] = FaultKind::kNone;
+    }
+  }
+  transient_nets_.clear();
+  eval();
+}
+
+void Simulator::set_register(const std::string& wire, std::uint64_t value) {
+  const rtlil::Wire* w = module_->wire(wire);
+  require(w != nullptr, "Simulator::set_register: no wire " + wire);
+  const std::int32_t base = wire_base_.at(w);
+  for (int i = 0; i < w->width(); ++i) {
+    values_[static_cast<std::size_t>(base + i)] = (value >> i) & 1;
+  }
+  eval();
+}
+
+void Simulator::inject(const SigBit& bit, FaultKind kind) {
+  const std::int32_t net = net_of(bit);
+  check(net >= 2, "Simulator::inject: cannot fault a constant");
+  faults_[static_cast<std::size_t>(net)] = kind;
+  if (kind == FaultKind::kTransientFlip) transient_nets_.push_back(net);
+}
+
+void Simulator::clear_fault(const SigBit& bit) {
+  faults_[static_cast<std::size_t>(net_of(bit))] = FaultKind::kNone;
+}
+
+void Simulator::clear_all_faults() {
+  for (auto& f : faults_) f = FaultKind::kNone;
+  transient_nets_.clear();
+}
+
+}  // namespace scfi::sim

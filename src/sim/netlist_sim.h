@@ -1,0 +1,96 @@
+// Cycle-accurate two-valued netlist simulator with fault injection.
+//
+// The module (word-level, gate-level, or mixed) is flattened once into a
+// topologically-ordered list of bit operations; eval() interprets that list.
+// Faults are applied at *read* time, so a stuck or flipped net corrupts every
+// consumer (combinational logic, flip-flop D pins, and observers alike) —
+// matching the transient/stuck-at fault model of the paper (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlil/validate.h"
+
+namespace scfi::sim {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kStuckAt0,
+  kStuckAt1,
+  kTransientFlip,  ///< cleared automatically at the end of the next step()
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const rtlil::Module& module);
+
+  const rtlil::Module& module() const { return *module_; }
+
+  /// Applies flip-flop reset values and zeroes all inputs, then settles.
+  void reset();
+
+  /// Drives an input wire (value is LSB-first over the wire bits).
+  void set_input(const std::string& wire, std::uint64_t value);
+
+  /// Current value of a wire (fault-corrected, as consumers see it).
+  std::uint64_t get(const std::string& wire) const;
+  bool get_bit(const rtlil::SigBit& bit) const;
+
+  /// Settles combinational logic for the current inputs/state.
+  void eval();
+
+  /// One clock cycle: settle, latch every flip-flop, clear transients,
+  /// settle again.
+  void step();
+
+  /// Overwrites the stored value of a register output bit (direct state
+  /// corruption, e.g. modelling a fault that already latched).
+  void set_register(const std::string& wire, std::uint64_t value);
+
+  // --- fault injection ----------------------------------------------------
+  void inject(const rtlil::SigBit& bit, FaultKind kind);
+  void clear_fault(const rtlil::SigBit& bit);
+  void clear_all_faults();
+
+  /// Number of simulated nets (diagnostics).
+  int num_nets() const { return static_cast<int>(values_.size()); }
+
+ private:
+  struct FlatOp {
+    enum class Kind : std::uint8_t {
+      kBuf, kNot, kAnd, kOr, kXor, kXnor, kMux, kAoi21, kOai21, kNand, kNor
+    };
+    Kind kind;
+    std::int32_t out;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;  ///< S for mux, C for AOI/OAI
+  };
+  struct FlatFf {
+    std::int32_t d;
+    std::int32_t q;
+    bool reset;
+  };
+
+  std::int32_t net_of(const rtlil::SigBit& bit) const;
+  std::int32_t temp_net();
+  bool load(std::int32_t net) const;
+
+  void compile();
+  void compile_cell(const rtlil::Cell& cell);
+  /// Emits a balanced gate tree over `terms`, writing the result to `out`.
+  void emit_tree(FlatOp::Kind kind, std::vector<std::int32_t> terms, std::int32_t out);
+
+  const rtlil::Module* module_;
+  std::unordered_map<const rtlil::Wire*, std::int32_t> wire_base_;
+  std::vector<std::uint8_t> values_;
+  std::vector<FaultKind> faults_;
+  std::vector<FlatOp> ops_;
+  std::vector<FlatFf> ffs_;
+  std::vector<std::int32_t> transient_nets_;  ///< for automatic clearing
+};
+
+}  // namespace scfi::sim

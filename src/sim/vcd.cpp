@@ -1,0 +1,52 @@
+#include "sim/vcd.h"
+
+#include "base/error.h"
+
+namespace scfi::sim {
+
+VcdWriter::VcdWriter(const Simulator& sim, std::vector<std::string> wires)
+    : sim_(&sim), wires_(std::move(wires)) {
+  if (wires_.empty()) {
+    for (const rtlil::Wire* w : sim.module().wires()) {
+      if (w->is_input() || w->is_output()) wires_.push_back(w->name());
+    }
+  }
+  for (const std::string& name : wires_) {
+    require(sim.module().wire(name) != nullptr, "VcdWriter: unknown wire " + name);
+  }
+}
+
+void VcdWriter::sample(std::uint64_t t) {
+  std::vector<std::uint64_t> values;
+  values.reserve(wires_.size());
+  for (const std::string& name : wires_) values.push_back(sim_->get(name));
+  samples_.emplace_back(t, std::move(values));
+}
+
+void VcdWriter::write(std::ostream& out) const {
+  out << "$timescale 1ns $end\n";
+  out << "$scope module " << sim_->module().name() << " $end\n";
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    const rtlil::Wire* w = sim_->module().wire(wires_[i]);
+    out << "$var wire " << w->width() << " v" << i << " " << wires_[i] << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+  std::vector<std::uint64_t> last(wires_.size(), ~0ULL);
+  for (const auto& [t, values] : samples_) {
+    out << "#" << t << "\n";
+    for (std::size_t i = 0; i < wires_.size(); ++i) {
+      if (values[i] == last[i]) continue;
+      const rtlil::Wire* w = sim_->module().wire(wires_[i]);
+      if (w->width() == 1) {
+        out << (values[i] & 1) << "v" << i << "\n";
+      } else {
+        out << "b";
+        for (int b = w->width() - 1; b >= 0; --b) out << ((values[i] >> b) & 1);
+        out << " v" << i << "\n";
+      }
+      last[i] = values[i];
+    }
+  }
+}
+
+}  // namespace scfi::sim

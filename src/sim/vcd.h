@@ -1,0 +1,30 @@
+// Minimal VCD (value change dump) writer for debugging simulations.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/netlist_sim.h"
+
+namespace scfi::sim {
+
+/// Records selected wires of a running simulation and emits a VCD document.
+class VcdWriter {
+ public:
+  /// `wires` lists the wire names to trace; empty = all named ports.
+  VcdWriter(const Simulator& sim, std::vector<std::string> wires);
+
+  /// Samples the current wire values at time `t` (call once per cycle).
+  void sample(std::uint64_t t);
+
+  /// Writes the complete document.
+  void write(std::ostream& out) const;
+
+ private:
+  const Simulator* sim_;
+  std::vector<std::string> wires_;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> samples_;
+};
+
+}  // namespace scfi::sim

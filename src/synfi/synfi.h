@@ -1,0 +1,57 @@
+// Pre-silicon fault analysis in the style of SYNFI (paper §6.4).
+//
+// For every fault location inside a region of the hardened netlist and every
+// valid state transition, the analysis decides whether a single induced
+// fault lets the attacker reach a *valid but wrong* next state without
+// raising the alert — the exploitability criterion of the paper. Two
+// back-ends are provided:
+//   * exhaustive simulation (complete here, because all valid stimuli of the
+//     one-cycle property are enumerated), and
+//   * a SAT back-end building a golden/faulty miter per query (CDCL solver),
+//     which additionally supports leaving the control symbol unconstrained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/compile.h"
+#include "sim/netlist_sim.h"
+
+namespace scfi::synfi {
+
+enum class Backend { kExhaustiveSim, kSat };
+
+struct SynfiConfig {
+  /// Only fault bits of wires whose name starts with this prefix
+  /// ("" = every combinational net). "mds_" selects the diffusion layer,
+  /// matching the paper's experiment.
+  std::string wire_prefix = "mds_";
+  Backend backend = Backend::kExhaustiveSim;
+  sim::FaultKind kind = sim::FaultKind::kTransientFlip;
+  /// SAT back-end only: leave the encoded control symbol unconstrained
+  /// (any bus value, not just valid codewords).
+  bool free_symbol = false;
+  /// Also inject into module input bits (FT2 / common-mode faults). Only
+  /// meaningful with an empty or matching wire_prefix.
+  bool include_inputs = false;
+};
+
+struct SynfiReport {
+  int sites = 0;        ///< fault locations analyzed
+  int injections = 0;   ///< sites x transitions (paper: 7644)
+  int exploitable = 0;  ///< undetected control-flow hijacks (paper: 32)
+  int detected = 0;     ///< alert raised or ERROR state entered
+  int masked = 0;       ///< no architectural effect
+  int stalls = 0;       ///< exploitable injections that merely kept the old state
+  std::vector<std::string> exploitable_sites;
+
+  double exploitable_pct() const {
+    return injections > 0 ? 100.0 * exploitable / injections : 0.0;
+  }
+};
+
+/// Analyzes `variant` (a symbol-encoded compiled FSM) against `fsm`'s CFG.
+SynfiReport analyze(const fsm::Fsm& fsm, const fsm::CompiledFsm& variant,
+                    const SynfiConfig& config = {});
+
+}  // namespace scfi::synfi

@@ -1,0 +1,173 @@
+#include "synth/lower.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/error.h"
+#include "rtlil/validate.h"
+
+namespace scfi::synth {
+namespace {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::Const;
+using rtlil::Module;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+
+class Lowerer {
+ public:
+  explicit Lowerer(Module& module) : m_(module) {}
+
+  void run() {
+    // Collect first: we append gate cells while iterating.
+    std::vector<Cell*> word_cells;
+    for (Cell* c : m_.cells()) {
+      if (rtlil::is_word_level(c->type())) word_cells.push_back(c);
+    }
+    for (Cell* c : word_cells) {
+      group_ = c->share_group();
+      lower_cell(*c);
+    }
+    m_.remove_cells(word_cells);
+  }
+
+ private:
+  SigBit fresh_bit(const char* hint) {
+    return SigBit(m_.add_wire(m_.uniquify(hint), 1), 0);
+  }
+
+  /// Adds a gate whose output drives exactly `y`, inheriting the share group
+  /// of the word-level cell being decomposed.
+  void gate(CellType type, SigBit y, std::initializer_list<std::pair<const char*, SigBit>> ins) {
+    Cell* c = m_.add_cell(m_.uniquify("g"), type);
+    for (const auto& [port, bit] : ins) c->set_port(port, SigSpec(bit));
+    c->set_port("Y", SigSpec(y));
+    c->set_share_group(group_);
+  }
+
+  SigBit gate_out(CellType type, std::initializer_list<std::pair<const char*, SigBit>> ins,
+                  const char* hint) {
+    SigBit y = fresh_bit(hint);
+    gate(type, y, ins);
+    return y;
+  }
+
+  /// Balanced tree reduction into target bit `y`.
+  void tree(CellType gate2, std::vector<SigBit> terms, SigBit y, const char* hint) {
+    check(!terms.empty(), "lower: empty reduction tree");
+    while (terms.size() > 1) {
+      std::vector<SigBit> next;
+      for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+        if (terms.size() == 2) {
+          gate(gate2, y, {{"A", terms[i]}, {"B", terms[i + 1]}});
+          return;
+        }
+        next.push_back(gate_out(gate2, {{"A", terms[i]}, {"B", terms[i + 1]}}, hint));
+      }
+      if (terms.size() % 2 == 1) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    // Single term: forward through a buffer so `y` has a driver.
+    gate(CellType::kGateBuf, y, {{"A", terms[0]}});
+  }
+
+  void lower_cell(Cell& cell) {
+    const SigSpec out = cell.port(rtlil::output_port(cell.type()));
+    switch (cell.type()) {
+      case CellType::kNot: {
+        const SigSpec a = cell.port("A");
+        for (int i = 0; i < out.width(); ++i) {
+          gate(CellType::kGateInv, out.bit(i), {{"A", a.bit(i)}});
+        }
+        break;
+      }
+      case CellType::kBuf: {
+        const SigSpec a = cell.port("A");
+        for (int i = 0; i < out.width(); ++i) {
+          gate(CellType::kGateBuf, out.bit(i), {{"A", a.bit(i)}});
+        }
+        break;
+      }
+      case CellType::kAnd:
+      case CellType::kOr:
+      case CellType::kXor:
+      case CellType::kXnor: {
+        const SigSpec a = cell.port("A");
+        const SigSpec b = cell.port("B");
+        CellType g = CellType::kGateAnd2;
+        if (cell.type() == CellType::kOr) g = CellType::kGateOr2;
+        if (cell.type() == CellType::kXor) g = CellType::kGateXor2;
+        if (cell.type() == CellType::kXnor) g = CellType::kGateXnor2;
+        for (int i = 0; i < out.width(); ++i) {
+          gate(g, out.bit(i), {{"A", a.bit(i)}, {"B", b.bit(i)}});
+        }
+        break;
+      }
+      case CellType::kMux: {
+        const SigSpec a = cell.port("A");
+        const SigSpec b = cell.port("B");
+        const SigBit s = cell.port("S").bit(0);
+        for (int i = 0; i < out.width(); ++i) {
+          gate(CellType::kGateMux2, out.bit(i), {{"A", a.bit(i)}, {"B", b.bit(i)}, {"S", s}});
+        }
+        break;
+      }
+      case CellType::kEq: {
+        const SigSpec a = cell.port("A");
+        const SigSpec b = cell.port("B");
+        std::vector<SigBit> terms;
+        for (int i = 0; i < a.width(); ++i) {
+          terms.push_back(
+              gate_out(CellType::kGateXnor2, {{"A", a.bit(i)}, {"B", b.bit(i)}}, "eqb"));
+        }
+        tree(CellType::kGateAnd2, std::move(terms), out.bit(0), "eqt");
+        break;
+      }
+      case CellType::kReduceAnd:
+      case CellType::kReduceOr:
+      case CellType::kReduceXor: {
+        const SigSpec a = cell.port("A");
+        std::vector<SigBit> terms(a.bits().begin(), a.bits().end());
+        CellType g = CellType::kGateAnd2;
+        if (cell.type() == CellType::kReduceOr) g = CellType::kGateOr2;
+        if (cell.type() == CellType::kReduceXor) g = CellType::kGateXor2;
+        tree(g, std::move(terms), out.bit(0), "red");
+        break;
+      }
+      case CellType::kDff: {
+        const SigSpec d = cell.port("D");
+        for (int i = 0; i < out.width(); ++i) {
+          Cell* ff = m_.add_cell(m_.uniquify("ff"), CellType::kGateDff);
+          ff->set_port("D", SigSpec(d.bit(i)));
+          ff->set_port("Q", SigSpec(out.bit(i)));
+          ff->set_reset_value(Const::from_uint(cell.reset_value().bit(i) ? 1 : 0, 1));
+          ff->set_share_group(group_);
+        }
+        break;
+      }
+      default:
+        unreachable(std::string("lower_cell: unexpected type ") +
+                    rtlil::cell_type_name(cell.type()));
+    }
+  }
+
+  Module& m_;
+  int group_ = 0;
+};
+
+}  // namespace
+
+void lower_to_gates(rtlil::Module& module) {
+  Lowerer(module).run();
+}
+
+bool is_gate_level(const rtlil::Module& module) {
+  for (const Cell* c : module.cells()) {
+    if (rtlil::is_word_level(c->type())) return false;
+  }
+  return true;
+}
+
+}  // namespace scfi::synth

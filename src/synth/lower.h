@@ -1,0 +1,16 @@
+// Technology mapping: decomposes word-level cells into 1-bit library gates.
+#pragma once
+
+#include "rtlil/module.h"
+
+namespace scfi::synth {
+
+/// Replaces every word-level cell in `module` with an equivalent network of
+/// technology gates (INV/AND2/OR2/XOR2/XNOR2/MUX2/DFF and trees thereof).
+/// The module is structurally valid afterwards; wires are unchanged.
+void lower_to_gates(rtlil::Module& module);
+
+/// True when no word-level cell remains.
+bool is_gate_level(const rtlil::Module& module);
+
+}  // namespace scfi::synth

@@ -1,0 +1,319 @@
+#include "synth/opt.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/error.h"
+#include "rtlil/validate.h"
+
+namespace scfi::synth {
+namespace {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::Module;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+
+class Optimizer {
+ public:
+  explicit Optimizer(Module& module) : m_(module) {}
+
+  OptStats run() {
+    OptStats total;
+    for (int iter = 0; iter < 50; ++iter) {
+      OptStats round;
+      round.folded = fold_pass();
+      round.swept = sweep_pass();
+      round.dead = dead_pass();
+      round.shared = share_pass();
+      total.folded += round.folded;
+      total.swept += round.swept;
+      total.dead += round.dead;
+      total.shared += round.shared;
+      if (round.total() == 0) break;
+    }
+    return total;
+  }
+
+ private:
+  SigBit resolve(SigBit bit) {
+    while (true) {
+      const auto it = repl_.find(bit);
+      if (it == repl_.end()) return bit;
+      bit = it->second;
+    }
+  }
+
+  void apply_repl_to_inputs() {
+    if (repl_.empty()) return;
+    for (Cell* cell : m_.cells()) {
+      for (const std::string& p : rtlil::input_ports(cell->type())) {
+        if (!cell->has_port(p)) continue;
+        const SigSpec& old = cell->port(p);
+        std::vector<SigBit> bits;
+        bits.reserve(static_cast<std::size_t>(old.width()));
+        bool changed = false;
+        for (const SigBit& b : old.bits()) {
+          SigBit r = resolve(b);
+          changed |= !(r == b);
+          bits.push_back(r);
+        }
+        if (changed) cell->set_port(p, SigSpec(std::move(bits)));
+      }
+    }
+    repl_.clear();
+  }
+
+  bool output_is_port(const Cell& cell) {
+    for (const SigBit& b : cell.port(rtlil::output_port(cell.type())).bits()) {
+      if (!b.is_const() && (b.wire->is_output() || b.wire->is_input())) return true;
+    }
+    return false;
+  }
+
+  /// Replaces the cell's function with "Y = src" while keeping the Y wire
+  /// driven: either registers a bit replacement and deletes the cell, or (for
+  /// port-driving cells) converts it into a buffer.
+  void replace_with_bit(Cell* cell, SigBit src, std::vector<Cell*>& dead) {
+    if (output_is_port(*cell)) {
+      cell->set_type(CellType::kGateBuf);
+      cell->unset_port("B");
+      cell->unset_port("C");
+      cell->unset_port("S");
+      cell->set_port("A", SigSpec(src));
+    } else {
+      repl_[cell->port("Y").bit(0)] = src;
+      dead.push_back(cell);
+    }
+  }
+
+  void convert_to_inv(Cell* cell, SigBit a) {
+    cell->set_type(CellType::kGateInv);
+    cell->unset_port("B");
+    cell->unset_port("C");
+    cell->unset_port("S");
+    cell->set_port("A", SigSpec(a));
+  }
+
+  void convert_to_2in(Cell* cell, CellType type, SigBit a, SigBit b) {
+    cell->set_type(type);
+    cell->unset_port("C");
+    cell->unset_port("S");
+    cell->set_port("A", SigSpec(a));
+    cell->set_port("B", SigSpec(b));
+  }
+
+  int fold_pass() {
+    int changes = 0;
+    std::vector<Cell*> dead;
+    for (Cell* cell : m_.cells()) {
+      const CellType t = cell->type();
+      if (rtlil::is_ff(t) || t == CellType::kGateBuf || rtlil::is_word_level(t)) continue;
+      auto in = [&](const char* p) { return resolve(cell->port(p).bit(0)); };
+      const auto is0 = [](SigBit b) { return b.is_const() && !b.const_value(); };
+      const auto is1 = [](SigBit b) { return b.is_const() && b.const_value(); };
+      const SigBit czero(false);
+      const SigBit cone(true);
+      bool changed = true;
+      switch (t) {
+        case CellType::kGateInv: {
+          const SigBit a = in("A");
+          if (is0(a)) replace_with_bit(cell, cone, dead);
+          else if (is1(a)) replace_with_bit(cell, czero, dead);
+          else changed = false;
+          break;
+        }
+        case CellType::kGateAnd2:
+        case CellType::kGateNand2: {
+          const bool inv = t == CellType::kGateNand2;
+          const SigBit a = in("A");
+          const SigBit b = in("B");
+          if (is0(a) || is0(b)) replace_with_bit(cell, inv ? cone : czero, dead);
+          else if (is1(a) && is1(b)) replace_with_bit(cell, inv ? czero : cone, dead);
+          else if (is1(a)) inv ? convert_to_inv(cell, b) : replace_with_bit(cell, b, dead);
+          else if (is1(b)) inv ? convert_to_inv(cell, a) : replace_with_bit(cell, a, dead);
+          else if (a == b && !inv) replace_with_bit(cell, a, dead);
+          else if (a == b && inv) convert_to_inv(cell, a);
+          else changed = false;
+          break;
+        }
+        case CellType::kGateOr2:
+        case CellType::kGateNor2: {
+          const bool inv = t == CellType::kGateNor2;
+          const SigBit a = in("A");
+          const SigBit b = in("B");
+          if (is1(a) || is1(b)) replace_with_bit(cell, inv ? czero : cone, dead);
+          else if (is0(a) && is0(b)) replace_with_bit(cell, inv ? cone : czero, dead);
+          else if (is0(a)) inv ? convert_to_inv(cell, b) : replace_with_bit(cell, b, dead);
+          else if (is0(b)) inv ? convert_to_inv(cell, a) : replace_with_bit(cell, a, dead);
+          else if (a == b && !inv) replace_with_bit(cell, a, dead);
+          else if (a == b && inv) convert_to_inv(cell, a);
+          else changed = false;
+          break;
+        }
+        case CellType::kGateXor2:
+        case CellType::kGateXnor2: {
+          const bool inv = t == CellType::kGateXnor2;
+          const SigBit a = in("A");
+          const SigBit b = in("B");
+          if (a.is_const() && b.is_const()) {
+            const bool v = (a.const_value() ^ b.const_value()) ^ inv;
+            replace_with_bit(cell, SigBit(v), dead);
+          } else if (a == b) {
+            replace_with_bit(cell, SigBit(inv), dead);
+          } else if (is0(a)) {
+            inv ? convert_to_inv(cell, b) : replace_with_bit(cell, b, dead);
+          } else if (is0(b)) {
+            inv ? convert_to_inv(cell, a) : replace_with_bit(cell, a, dead);
+          } else if (is1(a)) {
+            inv ? replace_with_bit(cell, b, dead) : convert_to_inv(cell, b);
+          } else if (is1(b)) {
+            inv ? replace_with_bit(cell, a, dead) : convert_to_inv(cell, a);
+          } else {
+            changed = false;
+          }
+          break;
+        }
+        case CellType::kGateMux2: {
+          const SigBit a = in("A");
+          const SigBit b = in("B");
+          const SigBit s = in("S");
+          if (is0(s)) replace_with_bit(cell, a, dead);
+          else if (is1(s)) replace_with_bit(cell, b, dead);
+          else if (a == b) replace_with_bit(cell, a, dead);
+          else if (is0(a) && is1(b)) replace_with_bit(cell, s, dead);
+          else if (is1(a) && is0(b)) convert_to_inv(cell, s);
+          else changed = false;
+          break;
+        }
+        case CellType::kGateAoi21: {  // Y = !((A&B)|C)
+          const SigBit a = in("A");
+          const SigBit b = in("B");
+          const SigBit c = in("C");
+          if (is1(c)) replace_with_bit(cell, czero, dead);
+          else if (is0(c)) convert_to_2in(cell, CellType::kGateNand2, a, b);
+          else if (is0(a) || is0(b)) convert_to_inv(cell, c);
+          else if (is1(a)) convert_to_2in(cell, CellType::kGateNor2, b, c);
+          else if (is1(b)) convert_to_2in(cell, CellType::kGateNor2, a, c);
+          else changed = false;
+          break;
+        }
+        case CellType::kGateOai21: {  // Y = !((A|B)&C)
+          const SigBit a = in("A");
+          const SigBit b = in("B");
+          const SigBit c = in("C");
+          if (is0(c)) replace_with_bit(cell, cone, dead);
+          else if (is1(c)) convert_to_2in(cell, CellType::kGateNor2, a, b);
+          else if (is1(a) || is1(b)) convert_to_inv(cell, c);
+          else if (is0(a)) convert_to_2in(cell, CellType::kGateNand2, b, c);
+          else if (is0(b)) convert_to_2in(cell, CellType::kGateNand2, a, c);
+          else changed = false;
+          break;
+        }
+        default:
+          changed = false;
+          break;
+      }
+      if (changed) ++changes;
+    }
+    apply_repl_to_inputs();
+    m_.remove_cells(dead);
+    return changes;
+  }
+
+  int sweep_pass() {
+    int swept = 0;
+    std::vector<Cell*> dead;
+    for (Cell* cell : m_.cells()) {
+      if (cell->type() != CellType::kGateBuf) continue;
+      if (output_is_port(*cell)) continue;
+      repl_[cell->port("Y").bit(0)] = resolve(cell->port("A").bit(0));
+      dead.push_back(cell);
+      ++swept;
+    }
+    apply_repl_to_inputs();
+    m_.remove_cells(dead);
+    return swept;
+  }
+
+  int dead_pass() {
+    // Count readers of every bit; cells whose entire output is unread and
+    // not a module port are dead.
+    std::unordered_set<SigBit> read;
+    for (Cell* cell : m_.cells()) {
+      for (const std::string& p : rtlil::input_ports(cell->type())) {
+        if (!cell->has_port(p)) continue;
+        for (const SigBit& b : cell->port(p).bits()) read.insert(b);
+      }
+    }
+    std::vector<Cell*> dead;
+    for (Cell* cell : m_.cells()) {
+      bool used = false;
+      for (const SigBit& b : cell->port(rtlil::output_port(cell->type())).bits()) {
+        if (b.is_const() || b.wire->is_output() || b.wire->is_input() || read.count(b) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) dead.push_back(cell);
+    }
+    m_.remove_cells(dead);
+    return static_cast<int>(dead.size());
+  }
+
+  int share_pass() {
+    // Structural hashing: identical (type, drive, inputs, reset) cells merge.
+    // Commutative 2-input gates sort their operands first.
+    struct BitKey {
+      const void* wire;
+      int off;
+      bool operator<(const BitKey& o) const { return std::tie(wire, off) < std::tie(o.wire, o.off); }
+      bool operator==(const BitKey& o) const = default;
+    };
+    auto key_of = [&](SigBit b) { return BitKey{b.wire, b.is_const() ? (b.const_value() ? 1 : 0) : b.offset}; };
+    using Key = std::tuple<int, int, std::vector<BitKey>, std::string>;
+    std::map<Key, Cell*> seen;
+    std::vector<Cell*> dead;
+    int shared = 0;
+    for (Cell* cell : m_.cells()) {
+      const CellType t = cell->type();
+      if (t == CellType::kGateBuf || rtlil::is_word_level(t)) continue;
+      std::vector<BitKey> ins;
+      for (const std::string& p : rtlil::input_ports(t)) {
+        if (cell->has_port(p)) ins.push_back(key_of(resolve(cell->port(p).bit(0))));
+      }
+      const bool commutative = t == CellType::kGateAnd2 || t == CellType::kGateOr2 ||
+                               t == CellType::kGateXor2 || t == CellType::kGateXnor2 ||
+                               t == CellType::kGateNand2 || t == CellType::kGateNor2;
+      if (commutative) std::sort(ins.begin(), ins.end());
+      std::string extra = std::to_string(cell->share_group());
+      if (rtlil::is_ff(t)) extra += cell->reset_value().to_string();
+      Key key{static_cast<int>(t), cell->drive(), std::move(ins), std::move(extra)};
+      const auto [it, inserted] = seen.emplace(std::move(key), cell);
+      if (inserted) continue;
+      if (output_is_port(*cell)) continue;  // keep port drivers intact
+      repl_[cell->port(rtlil::output_port(t)).bit(0)] =
+          it->second->port(rtlil::output_port(t)).bit(0);
+      dead.push_back(cell);
+      ++shared;
+    }
+    apply_repl_to_inputs();
+    m_.remove_cells(dead);
+    return shared;
+  }
+
+  Module& m_;
+  std::unordered_map<SigBit, SigBit> repl_;
+};
+
+}  // namespace
+
+OptStats optimize(rtlil::Module& module) {
+  return Optimizer(module).run();
+}
+
+}  // namespace scfi::synth

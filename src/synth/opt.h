@@ -1,0 +1,24 @@
+// Netlist optimization passes (constant folding, buffer sweeping, dead-code
+// elimination, structural common-subexpression sharing).
+//
+// These run after lowering and before area/timing analysis, mirroring the
+// `opt`/`clean`/`share` steps of a conventional synthesis flow. All passes
+// preserve the module's I/O behaviour.
+#pragma once
+
+#include "rtlil/module.h"
+
+namespace scfi::synth {
+
+struct OptStats {
+  int folded = 0;   ///< cells replaced by constants or simplified
+  int swept = 0;    ///< buffers removed
+  int dead = 0;     ///< unread cells removed
+  int shared = 0;   ///< duplicate cells merged
+  int total() const { return folded + swept + dead + shared; }
+};
+
+/// Runs fold/sweep/clean/share to a fixpoint. Returns cumulative statistics.
+OptStats optimize(rtlil::Module& module);
+
+}  // namespace scfi::synth

@@ -1,0 +1,26 @@
+// Greedy timing-driven gate sizing.
+//
+// Starts from minimum-drive cells and upsizes gates on the critical path
+// until the requested clock period is met (or no further improvement is
+// possible). This reproduces the area-vs-period tradeoff that a commercial
+// synthesis tool exposes, which the paper uses for Figure 8.
+#pragma once
+
+#include "rtlil/module.h"
+
+namespace scfi::synth {
+
+struct SizingResult {
+  bool met = false;
+  double achieved_period_ps = 0.0;
+  double area_ge = 0.0;
+  int upsized = 0;  ///< number of upsize operations applied
+};
+
+/// Resets all drives to X1, then upsizes until `target_period_ps` is met.
+SizingResult size_for_period(rtlil::Module& module, double target_period_ps);
+
+/// Fastest achievable period (sizing with an unreachable target).
+double min_achievable_period(rtlil::Module& module);
+
+}  // namespace scfi::synth

@@ -1,0 +1,112 @@
+#include "synth/sta.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/error.h"
+#include "synth/techlib.h"
+
+namespace scfi::synth {
+namespace {
+
+using rtlil::Cell;
+using rtlil::SigBit;
+
+double load_of(const rtlil::NetlistIndex& index, const SigBit& bit) {
+  double load = 0.0;
+  for (const Cell* reader : index.readers(bit)) {
+    const GateTiming& t = techlib_gate(reader->type()).drive[static_cast<std::size_t>(reader->drive())];
+    load += t.input_cap;
+  }
+  if (!bit.is_const() && bit.wire->is_output()) load += 2.0;  // external pin load
+  return load;
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const rtlil::Module& module) {
+  const rtlil::NetlistIndex index(module);
+  std::unordered_map<SigBit, double> arrival;
+  std::unordered_map<SigBit, const Cell*> from;  // driving gate on worst path
+
+  for (const Cell* ff : index.ffs()) {
+    for (const SigBit& q : ff->port("Q").bits()) arrival[q] = dff_clk_to_q_ps();
+  }
+
+  const auto arrival_of = [&arrival](const SigBit& bit) {
+    if (bit.is_const()) return 0.0;
+    const auto it = arrival.find(bit);
+    return it == arrival.end() ? 0.0 : it->second;  // inputs / undriven: t=0
+  };
+
+  for (const Cell* cell : index.topo_comb()) {
+    double worst_in = 0.0;
+    for (const std::string& p : rtlil::input_ports(cell->type())) {
+      if (!cell->has_port(p)) continue;
+      for (const SigBit& b : cell->port(p).bits()) worst_in = std::max(worst_in, arrival_of(b));
+    }
+    const GateTiming& t = techlib_gate(cell->type()).drive[static_cast<std::size_t>(cell->drive())];
+    for (const SigBit& y : cell->port("Y").bits()) {
+      const double at = worst_in + t.intrinsic_ps + t.slope_ps * load_of(index, y);
+      arrival[y] = at;
+      from[y] = cell;
+    }
+  }
+
+  double worst = 0.0;
+  SigBit worst_bit;
+  for (const Cell* ff : index.ffs()) {
+    for (const SigBit& d : ff->port("D").bits()) {
+      const double t = arrival_of(d) + dff_setup_ps();
+      if (t > worst) {
+        worst = t;
+        worst_bit = d;
+      }
+    }
+  }
+  for (const rtlil::Wire* wire : module.wires()) {
+    if (!wire->is_output()) continue;
+    for (int i = 0; i < wire->width(); ++i) {
+      const SigBit b(wire, i);
+      const double t = arrival_of(b);
+      if (t > worst) {
+        worst = t;
+        worst_bit = b;
+      }
+    }
+  }
+
+  TimingReport report;
+  report.min_period_ps = worst;
+  report.max_freq_mhz = worst > 0.0 ? 1e6 / worst : 0.0;
+
+  // Walk the worst path backwards through `from`.
+  SigBit bit = worst_bit;
+  while (!bit.is_const()) {
+    const auto it = from.find(bit);
+    if (it == from.end()) break;
+    const Cell* cell = it->second;
+    report.critical_path.push_back(cell);
+    // Continue from the worst input of this gate.
+    double best = -1.0;
+    SigBit next;
+    bool found = false;
+    for (const std::string& p : rtlil::input_ports(cell->type())) {
+      if (!cell->has_port(p)) continue;
+      for (const SigBit& b : cell->port(p).bits()) {
+        const double t = arrival_of(b);
+        if (t > best) {
+          best = t;
+          next = b;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    bit = next;
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+}  // namespace scfi::synth

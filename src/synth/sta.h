@@ -1,0 +1,26 @@
+// Static timing analysis on mapped netlists.
+//
+// Simple but complete register-to-register model: module inputs arrive at
+// t=0, flip-flop outputs at clock-to-Q; every gate adds an intrinsic delay
+// plus a load-dependent term (sum of the input capacitances it drives); the
+// minimum clock period is the worst arrival at any flip-flop D input plus
+// setup, or at any module output.
+#pragma once
+
+#include <vector>
+
+#include "rtlil/validate.h"
+
+namespace scfi::synth {
+
+struct TimingReport {
+  double min_period_ps = 0.0;
+  double max_freq_mhz = 0.0;
+  /// Gates along the critical path, source to sink.
+  std::vector<const rtlil::Cell*> critical_path;
+};
+
+/// Analyzes `module` (must be gate-level and loop-free).
+TimingReport analyze_timing(const rtlil::Module& module);
+
+}  // namespace scfi::synth

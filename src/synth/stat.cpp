@@ -1,0 +1,22 @@
+#include "synth/stat.h"
+
+#include "base/error.h"
+#include "synth/techlib.h"
+
+namespace scfi::synth {
+
+AreaReport area_report(const rtlil::Module& module) {
+  AreaReport report;
+  for (const rtlil::Cell* cell : module.cells()) {
+    require(techlib_has(cell->type()),
+            "area_report: module " + module.name() + " contains unmapped cell " +
+                rtlil::cell_type_name(cell->type()));
+    report.total_ge += cell_area_ge(*cell);
+    report.cells += 1;
+    if (rtlil::is_ff(cell->type())) report.ffs += 1;
+    report.histogram[rtlil::cell_type_name(cell->type())] += 1;
+  }
+  return report;
+}
+
+}  // namespace scfi::synth

@@ -1,0 +1,21 @@
+// Area reporting over mapped (gate-level) netlists.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rtlil/module.h"
+
+namespace scfi::synth {
+
+struct AreaReport {
+  double total_ge = 0.0;                ///< total area in gate equivalents
+  int cells = 0;                        ///< number of cells
+  int ffs = 0;                          ///< number of flip-flops
+  std::map<std::string, int> histogram; ///< cell-type name -> count
+};
+
+/// Computes the report; the module must be gate-level (post lowering).
+AreaReport area_report(const rtlil::Module& module);
+
+}  // namespace scfi::synth

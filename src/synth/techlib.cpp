@@ -1,0 +1,95 @@
+#include "synth/techlib.h"
+
+#include "base/error.h"
+
+namespace scfi::synth {
+namespace {
+
+// Global delay calibration: the raw numbers below describe a fast general-
+// purpose corner; the paper's flow (OpenTitan at 125 MHz, Fig. 8 sweeping
+// 3200..6000 ps) corresponds to a low-leakage low-voltage corner, modeled by
+// scaling intrinsic delays and (more strongly) load-dependent delays — weak
+// X1 drivers are what timing-driven sizing trades area against.
+constexpr double kIntrinsicScale = 3.4;
+constexpr double kSlopeScale = 12.0;
+
+constexpr GateInfo make_gate(const char* name, double area, double intrinsic, double slope) {
+  // X2 ~ 1.4x area / 0.55x slope; X4 ~ 2.2x area / 0.28x slope. Input cap
+  // grows with drive (bigger transistors load the previous stage).
+  return GateInfo{
+      name,
+      {GateTiming{area, intrinsic * kIntrinsicScale, slope * kSlopeScale, 1.0},
+       GateTiming{area * 1.4, intrinsic * 0.95 * kIntrinsicScale, slope * 0.55 * kSlopeScale,
+                  1.3},
+       GateTiming{area * 2.2, intrinsic * 0.90 * kIntrinsicScale, slope * 0.28 * kSlopeScale,
+                  1.6}},
+  };
+}
+
+const GateInfo kInv = make_gate("INV", 0.67, 8.0, 6.0);
+const GateInfo kBuf = make_gate("BUF", 1.00, 12.0, 5.0);
+const GateInfo kNand2 = make_gate("NAND2", 1.00, 10.0, 7.0);
+const GateInfo kNor2 = make_gate("NOR2", 1.00, 12.0, 8.0);
+const GateInfo kAnd2 = make_gate("AND2", 1.33, 16.0, 7.0);
+const GateInfo kOr2 = make_gate("OR2", 1.33, 18.0, 8.0);
+const GateInfo kXor2 = make_gate("XOR2", 2.00, 22.0, 9.0);
+const GateInfo kXnor2 = make_gate("XNOR2", 2.00, 22.0, 9.0);
+const GateInfo kMux2 = make_gate("MUX2", 2.33, 24.0, 9.0);
+const GateInfo kAoi21 = make_gate("AOI21", 1.33, 14.0, 8.0);
+const GateInfo kOai21 = make_gate("OAI21", 1.33, 14.0, 8.0);
+const GateInfo kDff = make_gate("DFF", 4.67, 28.0, 6.0);
+
+}  // namespace
+
+bool techlib_has(rtlil::CellType type) {
+  using rtlil::CellType;
+  switch (type) {
+    case CellType::kGateInv:
+    case CellType::kGateBuf:
+    case CellType::kGateNand2:
+    case CellType::kGateNor2:
+    case CellType::kGateAnd2:
+    case CellType::kGateOr2:
+    case CellType::kGateXor2:
+    case CellType::kGateXnor2:
+    case CellType::kGateMux2:
+    case CellType::kGateAoi21:
+    case CellType::kGateOai21:
+    case CellType::kGateDff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const GateInfo& techlib_gate(rtlil::CellType type) {
+  using rtlil::CellType;
+  switch (type) {
+    case CellType::kGateInv: return kInv;
+    case CellType::kGateBuf: return kBuf;
+    case CellType::kGateNand2: return kNand2;
+    case CellType::kGateNor2: return kNor2;
+    case CellType::kGateAnd2: return kAnd2;
+    case CellType::kGateOr2: return kOr2;
+    case CellType::kGateXor2: return kXor2;
+    case CellType::kGateXnor2: return kXnor2;
+    case CellType::kGateMux2: return kMux2;
+    case CellType::kGateAoi21: return kAoi21;
+    case CellType::kGateOai21: return kOai21;
+    case CellType::kGateDff: return kDff;
+    default:
+      break;
+  }
+  unreachable(std::string("techlib_gate: not a mapped gate: ") + cell_type_name(type));
+}
+
+double cell_area_ge(const rtlil::Cell& cell) {
+  const GateInfo& info = techlib_gate(cell.type());
+  check(cell.drive() >= 0 && cell.drive() < kNumDrives, "cell_area_ge: bad drive index");
+  return info.drive[static_cast<std::size_t>(cell.drive())].area_ge;
+}
+
+double dff_clk_to_q_ps() { return 28.0 * kIntrinsicScale; }
+double dff_setup_ps() { return 25.0 * kIntrinsicScale; }
+
+}  // namespace scfi::synth

@@ -1,0 +1,44 @@
+// Standard-cell model.
+//
+// Modeled on a 45nm educational library (Nangate45-flavored): areas are in
+// gate equivalents (GE, normalized to NAND2 X1 = 1.0), delays in picoseconds
+// with a linear load term. Every function is available in three drive
+// strengths (X1/X2/X4) so the timing-driven sizing pass can trade area for
+// delay, which produces the area-time curves of the paper's Figure 8.
+#pragma once
+
+#include <array>
+
+#include "rtlil/cell.h"
+
+namespace scfi::synth {
+
+inline constexpr int kNumDrives = 3;  // X1, X2, X4
+
+struct GateTiming {
+  double area_ge = 0.0;      ///< cell area in gate equivalents
+  double intrinsic_ps = 0.0; ///< fixed propagation delay
+  double slope_ps = 0.0;     ///< additional ps per unit of fanout load
+  double input_cap = 1.0;    ///< load presented to each driving net
+};
+
+/// Per-function entry with its three drive variants.
+struct GateInfo {
+  const char* name = "";
+  std::array<GateTiming, kNumDrives> drive;
+};
+
+/// True when the cell type is implemented by the technology library.
+bool techlib_has(rtlil::CellType type);
+
+/// Library data for a mapped gate type; throws LogicBug for word-level types.
+const GateInfo& techlib_gate(rtlil::CellType type);
+
+/// Area in GE of a specific cell (drive-aware).
+double cell_area_ge(const rtlil::Cell& cell);
+
+/// Sequential overhead used by STA: clock-to-Q and setup of the DFF.
+double dff_clk_to_q_ps();
+double dff_setup_ps();
+
+}  // namespace scfi::synth

@@ -1,0 +1,117 @@
+// A small corpus of KISS2 state machines in the style of the classic MCNC
+// benchmarks (re-created for this repository: same format, comparable
+// state/input counts; machines are original but exercise the same parser and
+// flow features — don't-care-heavy guards, Mealy outputs, catch-alls).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace scfi::test {
+
+struct Kiss2Bench {
+  std::string_view name;
+  std::string_view text;
+};
+
+inline constexpr std::string_view kLion = R"(
+.i 2
+.o 1
+.s 4
+.p 8
+.r st0
+00 st0 st0 0
+-1 st0 st1 0
+11 st1 st1 0
+-0 st1 st2 1
+00 st2 st2 1
+-1 st2 st3 1
+11 st3 st3 1
+-0 st3 st0 0
+.e
+)";
+
+inline constexpr std::string_view kTrain4 = R"(
+.i 2
+.o 1
+.s 4
+.p 9
+.r stA
+00 stA stA 0
+10 stA stB 0
+01 stA stC 0
+-- stB stD 1
+-- stC stD 1
+11 stD stD 1
+10 stD stA 0
+01 stD stA 0
+00 stD stD 1
+.e
+)";
+
+inline constexpr std::string_view kMc = R"(
+.i 3
+.o 5
+.s 4
+.p 8
+.r halt
+0-- halt  halt  00000
+1-- halt  load  10000
+-0- load  run   01000
+-1- load  halt  00001
+--0 run   run   00100
+--1 run   dump  00010
+0-- dump  halt  00001
+1-- dump  run   00100
+.e
+)";
+
+inline constexpr std::string_view kBeecount = R"(
+.i 3
+.o 2
+.s 5
+.p 10
+.r out
+0-- out   out   00
+1-- out   in1   01
+-0- in1   out   00
+-1- in1   in2   01
+--0 in2   in1   01
+--1 in2   hive  10
+00- hive  hive  10
+1-- hive  in2   01
+01- hive  out   00
+--- dead  dead  11
+.e
+)";
+
+inline constexpr std::string_view kShiftCtl = R"(
+.i 2
+.o 2
+.s 6
+.p 11
+.r idle
+1- idle  ld    10
+0- idle  idle  00
+-- ld    sh1   01
+1- sh1   sh2   01
+0- sh1   idle  00
+1- sh2   sh3   01
+0- sh2   idle  00
+1- sh3   done  01
+0- sh3   idle  00
+-1 done  idle  10
+-0 done  done  10
+.e
+)";
+
+/// Machines that pass Fsm::check() (kBeecount contains an unreachable state
+/// on purpose, for parser-rejection tests).
+inline constexpr std::array<Kiss2Bench, 4> kKiss2Corpus = {{
+    {"lion", kLion},
+    {"train4", kTrain4},
+    {"mc", kMc},
+    {"shiftctl", kShiftCtl},
+}};
+
+}  // namespace scfi::test

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "backends/json.h"
+#include "backends/verilog.h"
+#include "core/harden.h"
+#include "fsm/compile.h"
+#include "rtlil/design.h"
+#include "synth/lower.h"
+#include "test_helpers.h"
+
+namespace scfi::backends {
+namespace {
+
+TEST(Verilog, WordLevelModule) {
+  rtlil::Design d;
+  const fsm::CompiledFsm c = fsm::compile_unprotected(test::paper_fsm(), d);
+  std::ostringstream out;
+  write_verilog(*c.module, out);
+  const std::string v = out.str();
+  EXPECT_NE(v.find("module paper_fig2"), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk or negedge rst_n)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // The state register must be declared reg.
+  EXPECT_NE(v.find("reg [1:0] state_q"), std::string::npos);
+}
+
+TEST(Verilog, GateLevelModule) {
+  rtlil::Design d;
+  const fsm::CompiledFsm c = fsm::compile_unprotected(test::paper_fsm(), d);
+  synth::lower_to_gates(*c.module);
+  std::ostringstream out;
+  write_verilog(*c.module, out);
+  EXPECT_NE(out.str().find("assign"), std::string::npos);
+}
+
+TEST(Verilog, HardenedModuleMentionsAlert) {
+  rtlil::Design d;
+  core::ScfiConfig config;
+  const fsm::CompiledFsm c = core::scfi_harden(test::paper_fsm(), d, config);
+  std::ostringstream out;
+  write_verilog(*c.module, out);
+  EXPECT_NE(out.str().find("fsm_alert"), std::string::npos);
+  EXPECT_NE(out.str().find("x_enc"), std::string::npos);
+}
+
+TEST(Json, StructureIsWellFormedish) {
+  rtlil::Design d;
+  const fsm::CompiledFsm c = fsm::compile_unprotected(test::toggle_fsm(), d);
+  std::ostringstream out;
+  write_json(*c.module, out);
+  const std::string j = out.str();
+  EXPECT_NE(j.find("\"module\": \"toggle\""), std::string::npos);
+  EXPECT_NE(j.find("\"ports\""), std::string::npos);
+  EXPECT_NE(j.find("\"cells\""), std::string::npos);
+  EXPECT_NE(j.find("\"$dff\""), std::string::npos);
+  // Balanced braces as a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(Json, PortsCarryDirections) {
+  rtlil::Design d;
+  const fsm::CompiledFsm c = fsm::compile_unprotected(test::toggle_fsm(), d);
+  std::ostringstream out;
+  write_json(*c.module, out);
+  EXPECT_NE(out.str().find("\"direction\": \"input\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"direction\": \"output\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scfi::backends

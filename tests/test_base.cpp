@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "base/strutil.h"
+
+namespace scfi {
+namespace {
+
+TEST(Error, CheckThrowsLogicBug) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  EXPECT_THROW(check(false, "boom"), LogicBug);
+}
+
+TEST(Error, RequireThrowsScfiError) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), ScfiError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool low = false;
+  bool high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    low |= v == 5;
+    high |= v == 8;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(StrUtil, Split) {
+  const auto parts = split("  a\tbb  ccc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "bb");
+  EXPECT_EQ(parts[2], "ccc");
+}
+
+TEST(StrUtil, SplitEmpty) { EXPECT_TRUE(split("   ").empty()); }
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  x y \r\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StrUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("mds_x_3", "mds_"));
+  EXPECT_FALSE(starts_with("md", "mds_"));
+}
+
+TEST(StrUtil, Format) { EXPECT_EQ(format("%d-%s", 7, "x"), "7-x"); }
+
+TEST(StrUtil, BinRoundTrip) {
+  EXPECT_EQ(to_bin(0b1011, 6), "001011");
+  EXPECT_EQ(parse_bin("001011"), 0b1011u);
+  EXPECT_THROW(parse_bin("012"), ScfiError);
+}
+
+}  // namespace
+}  // namespace scfi

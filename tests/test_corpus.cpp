@@ -1,0 +1,123 @@
+// End-to-end runs of the KISS2 benchmark corpus through the whole flow:
+// parse -> check -> harden (N=2,3) -> walk equivalence -> formal MDS
+// analysis -> synthesis. Also covers FSMs without implicit idle edges
+// (fully covered guard sets), which the OT zoo does not exercise.
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "core/harden.h"
+#include "fsm/kiss2.h"
+#include "kiss2_corpus.h"
+#include "ot/zoo.h"
+#include "rtlil/design.h"
+#include "sim/netlist_sim.h"
+#include "synfi/synfi.h"
+
+namespace scfi {
+namespace {
+
+class Corpus : public ::testing::TestWithParam<int> {
+ protected:
+  fsm::Fsm load() const {
+    const test::Kiss2Bench& bench = test::kKiss2Corpus[static_cast<std::size_t>(GetParam())];
+    return fsm::parse_kiss2(std::string(bench.text), std::string(bench.name));
+  }
+};
+
+TEST_P(Corpus, ParsesAndChecks) {
+  const fsm::Fsm f = load();
+  EXPECT_GE(f.num_states(), 4);
+  EXPECT_NO_THROW(f.check());
+}
+
+TEST_P(Corpus, HardenedWalkMatchesGolden) {
+  const fsm::Fsm f = load();
+  for (int n = 2; n <= 3; ++n) {
+    rtlil::Design d;
+    core::ScfiConfig config;
+    config.protection_level = n;
+    config.module_suffix = "_n" + std::to_string(n);
+    const fsm::CompiledFsm c = core::scfi_harden(f, d, config);
+    sim::Simulator s(*c.module);
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + static_cast<std::uint64_t>(n));
+    const auto edges = f.cfg_edges();
+    int golden = f.reset_state;
+    for (int t = 0; t < 80; ++t) {
+      std::vector<fsm::CfgEdge> options;
+      for (const fsm::CfgEdge& e : edges) {
+        if (e.from == golden) options.push_back(e);
+      }
+      ASSERT_FALSE(options.empty());
+      const fsm::CfgEdge& e = options[static_cast<std::size_t>(rng.below(options.size()))];
+      s.set_input(c.symbol_input_wire, c.symbol_codes.at(e.symbol));
+      s.eval();
+      ASSERT_EQ(s.get(c.alert_wire), 0u) << f.name << " N=" << n << " cycle " << t;
+      s.step();
+      golden = e.to;
+      ASSERT_EQ(s.get(c.state_wire), c.state_codes[static_cast<std::size_t>(golden)]);
+    }
+  }
+}
+
+TEST_P(Corpus, MdsRegionHasNoExploitableFault) {
+  const fsm::Fsm f = load();
+  rtlil::Design d;
+  core::ScfiConfig config;
+  config.protection_level = 2;
+  const fsm::CompiledFsm c = core::scfi_harden(f, d, config);
+  const synfi::SynfiReport report = synfi::analyze(f, c);
+  EXPECT_EQ(report.exploitable, 0) << f.name;
+  EXPECT_GT(report.injections, 0);
+}
+
+TEST_P(Corpus, SynthesizesWithFiniteArea) {
+  const fsm::Fsm f = load();
+  rtlil::Design d;
+  core::ScfiConfig config;
+  config.protection_level = 2;
+  const fsm::CompiledFsm c = core::scfi_harden(f, d, config);
+  const double area = ot::synthesize_area(*c.module).total_ge;
+  EXPECT_GT(area, 20.0) << f.name;
+  EXPECT_LT(area, 5000.0) << f.name;
+}
+
+TEST_P(Corpus, MealyOutputsMatchSpecThroughHardening) {
+  const fsm::Fsm f = load();
+  rtlil::Design d;
+  core::ScfiConfig config;
+  config.protection_level = 2;
+  config.protect_outputs = true;
+  const fsm::CompiledFsm c = core::scfi_harden(f, d, config);
+  sim::Simulator s(*c.module);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  const auto edges = f.cfg_edges();
+  int golden = f.reset_state;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<fsm::CfgEdge> options;
+    for (const fsm::CfgEdge& e : edges) {
+      if (e.from == golden) options.push_back(e);
+    }
+    const fsm::CfgEdge& e = options[static_cast<std::size_t>(rng.below(options.size()))];
+    s.set_input(c.symbol_input_wire, c.symbol_codes.at(e.symbol));
+    s.eval();
+    ASSERT_EQ(s.get(c.alert_wire), 0u);
+    for (std::size_t j = 0; j < f.outputs.size(); ++j) {
+      if (e.output[j] == '-') continue;
+      ASSERT_EQ(s.get(f.outputs[j]), e.output[j] == '1' ? 1u : 0u)
+          << f.name << " output " << f.outputs[j] << " cycle " << t;
+    }
+    s.step();
+    golden = e.to;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, Corpus,
+                         ::testing::Range(0, static_cast<int>(test::kKiss2Corpus.size())));
+
+TEST(CorpusNegative, UnreachableStateRejected) {
+  EXPECT_THROW(fsm::parse_kiss2(std::string(test::kBeecount), "beecount"), ScfiError);
+}
+
+}  // namespace
+}  // namespace scfi

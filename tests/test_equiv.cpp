@@ -1,0 +1,138 @@
+// Formal equivalence checking of the synthesis passes: for random
+// combinational netlists, the optimized/lowered result is proven equal to
+// the original by a SAT miter (UNSAT = equivalent), complementing the
+// random-vector differential tests.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "rtlil/design.h"
+#include "sat/cnf.h"
+#include "sat/miter.h"
+#include "sat/solver.h"
+#include "sim/netlist_sim.h"
+#include "synth/lower.h"
+#include "synth/opt.h"
+
+namespace scfi {
+namespace {
+
+using rtlil::Design;
+using rtlil::Module;
+using rtlil::SigSpec;
+
+/// Builds a random combinational module with `n_in` 1-bit inputs and a few
+/// outputs, using the word-level builder API.
+void build_random_comb(Module& m, Rng& rng, int n_in, int n_out) {
+  std::vector<SigSpec> pool;
+  for (int i = 0; i < n_in; ++i) pool.emplace_back(m.add_input("i" + std::to_string(i), 1));
+  const int ops = 10 + static_cast<int>(rng.below(30));
+  for (int i = 0; i < ops; ++i) {
+    const SigSpec& a = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    const SigSpec& b = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    const SigSpec& c = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    switch (rng.below(6)) {
+      case 0: pool.push_back(m.make_and(a, b)); break;
+      case 1: pool.push_back(m.make_or(a, b)); break;
+      case 2: pool.push_back(m.make_xor(a, b)); break;
+      case 3: pool.push_back(m.make_not(a)); break;
+      case 4: pool.push_back(m.make_mux(c, a, b)); break;
+      default: pool.push_back(m.make_xnor(a, b)); break;
+    }
+  }
+  for (int i = 0; i < n_out; ++i) {
+    rtlil::Wire* y = m.add_output("o" + std::to_string(i), 1);
+    m.drive(SigSpec(y), pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+  }
+}
+
+/// Proves two modules with identical interfaces equivalent via a SAT miter.
+void expect_sat_equivalent(const Module& a, const Module& b, int n_in, int n_out) {
+  sat::Solver solver;
+  std::unordered_map<rtlil::SigBit, int> bound_a;
+  std::unordered_map<rtlil::SigBit, int> bound_b;
+  for (int i = 0; i < n_in; ++i) {
+    const int v = solver.new_var();
+    bound_a.emplace(rtlil::SigBit(a.wire("i" + std::to_string(i)), 0), v);
+    bound_b.emplace(rtlil::SigBit(b.wire("i" + std::to_string(i)), 0), v);
+  }
+  const sat::CnfCopy ca(solver, a, bound_a);
+  const sat::CnfCopy cb(solver, b, bound_b);
+  std::vector<int> ya;
+  std::vector<int> yb;
+  for (int i = 0; i < n_out; ++i) {
+    ya.push_back(ca.wire_vars("o" + std::to_string(i))[0]);
+    yb.push_back(cb.wire_vars("o" + std::to_string(i))[0]);
+  }
+  solver.add_unit(sat::differ(solver, ya, yb));
+  EXPECT_EQ(solver.solve(), sat::Result::kUnsat) << "modules are NOT equivalent";
+}
+
+class SynthEquiv : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthEquiv, LoweringIsEquivalent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37);
+  Design d;
+  Module* golden = d.add_module("golden");
+  build_random_comb(*golden, rng, 5, 3);
+  Rng rng2(static_cast<std::uint64_t>(GetParam()) * 37);
+  Module* mapped = d.add_module("mapped");
+  build_random_comb(*mapped, rng2, 5, 3);
+  synth::lower_to_gates(*mapped);
+  expect_sat_equivalent(*golden, *mapped, 5, 3);
+}
+
+TEST_P(SynthEquiv, OptimizerIsEquivalent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  Design d;
+  Module* golden = d.add_module("golden");
+  build_random_comb(*golden, rng, 5, 3);
+  Rng rng2(static_cast<std::uint64_t>(GetParam()) * 101);
+  Module* opt = d.add_module("opt");
+  build_random_comb(*opt, rng2, 5, 3);
+  synth::lower_to_gates(*opt);
+  synth::optimize(*opt);
+  expect_sat_equivalent(*golden, *opt, 5, 3);
+}
+
+TEST_P(SynthEquiv, OptimizerNeverGrowsArea) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 211);
+  Design d;
+  Module* m = d.add_module("m");
+  build_random_comb(*m, rng, 6, 2);
+  synth::lower_to_gates(*m);
+  const std::size_t before = m->cells().size();
+  synth::optimize(*m);
+  EXPECT_LE(m->cells().size(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthEquiv, ::testing::Range(0, 10));
+
+TEST(SynthEquiv, MiterCatchesInjectedBug) {
+  // Negative control: deliberately different modules must be reported SAT.
+  Design d;
+  Module* a = d.add_module("a");
+  Module* b = d.add_module("b");
+  for (Module* m : {a, b}) {
+    rtlil::Wire* i0 = m->add_input("i0", 1);
+    rtlil::Wire* o0 = m->add_output("o0", 1);
+    if (m == a) {
+      m->drive(SigSpec(o0), m->make_not(SigSpec(i0)));
+    } else {
+      m->drive(SigSpec(o0), m->make_buf(SigSpec(i0)));
+    }
+  }
+  sat::Solver solver;
+  std::unordered_map<rtlil::SigBit, int> ba;
+  std::unordered_map<rtlil::SigBit, int> bb;
+  const int v = solver.new_var();
+  ba.emplace(rtlil::SigBit(a->wire("i0"), 0), v);
+  bb.emplace(rtlil::SigBit(b->wire("i0"), 0), v);
+  const sat::CnfCopy ca(solver, *a, ba);
+  const sat::CnfCopy cb(solver, *b, bb);
+  solver.add_unit(
+      sat::differ(solver, {ca.wire_vars("o0")[0]}, {cb.wire_vars("o0")[0]}));
+  EXPECT_EQ(solver.solve(), sat::Result::kSat);
+}
+
+}  // namespace
+}  // namespace scfi

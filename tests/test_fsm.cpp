@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/error.h"
+#include "fsm/compile.h"
+#include "fsm/dot.h"
+#include "fsm/kiss2.h"
+#include "rtlil/design.h"
+#include "test_helpers.h"
+
+namespace scfi::fsm {
+namespace {
+
+TEST(Fsm, PaperFigure2Checks) {
+  const Fsm f = test::paper_fsm();
+  EXPECT_NO_THROW(f.check());
+  EXPECT_EQ(f.num_states(), 4);
+  EXPECT_EQ(f.transitions.size(), 5u);
+}
+
+TEST(Fsm, SymbolsIncludeIdle) {
+  const Fsm f = test::paper_fsm();
+  const auto symbols = f.symbols();
+  EXPECT_NE(std::find(symbols.begin(), symbols.end(), f.idle_symbol()), symbols.end());
+  // 4 distinct guards ("1---" appears twice) + idle.
+  EXPECT_EQ(symbols.size(), 5u);
+}
+
+TEST(Fsm, CfgEdgesAddImplicitIdles) {
+  const Fsm f = test::paper_fsm();
+  const auto edges = f.cfg_edges();
+  // 5 explicit + 4 implicit idle self-loops.
+  EXPECT_EQ(edges.size(), 9u);
+  int implicit = 0;
+  for (const CfgEdge& e : edges) {
+    if (e.transition_index < 0) {
+      ++implicit;
+      EXPECT_EQ(e.from, e.to);
+      EXPECT_EQ(e.symbol, f.idle_symbol());
+    }
+  }
+  EXPECT_EQ(implicit, 4);
+}
+
+TEST(Fsm, SynfiFsmHasFourteenEdges) {
+  EXPECT_EQ(test::synfi_fsm().cfg_edges().size(), 14u);
+}
+
+TEST(Fsm, GuardMatching) {
+  EXPECT_TRUE(Fsm::guard_matches("1-0", {true, true, false}));
+  EXPECT_FALSE(Fsm::guard_matches("1-0", {false, true, false}));
+  EXPECT_TRUE(Fsm::guard_matches("---", {true, false, true}));
+}
+
+TEST(Fsm, StepRawPriority) {
+  Fsm f;
+  f.inputs = {"a", "b"};
+  f.add_transition("S", "1-", "T1");
+  f.add_transition("S", "-1", "T2");
+  const auto [to1, t1] = f.step_raw(0, {true, true});
+  EXPECT_EQ(f.states[static_cast<std::size_t>(to1)], "T1");
+  EXPECT_EQ(t1, 0);
+  const auto [to2, t2] = f.step_raw(0, {false, true});
+  EXPECT_EQ(f.states[static_cast<std::size_t>(to2)], "T2");
+  EXPECT_EQ(t2, 1);
+  const auto [to3, t3] = f.step_raw(0, {false, false});
+  EXPECT_EQ(to3, 0);
+  EXPECT_EQ(t3, -1);
+}
+
+TEST(Fsm, ConcreteInputRespectsPriority) {
+  Fsm f;
+  f.inputs = {"a", "b"};
+  f.add_transition("S", "1-", "T1");
+  f.add_transition("S", "-1", "T2");
+  const auto bits = f.concrete_input_for(1);
+  ASSERT_TRUE(bits.has_value());
+  EXPECT_FALSE((*bits)[0]);  // must dodge the higher-priority "1-"
+  EXPECT_TRUE((*bits)[1]);
+}
+
+TEST(Fsm, ShadowedTransitionRejected) {
+  Fsm f;
+  f.inputs = {"a"};
+  f.add_transition("S", "-", "T");
+  f.add_transition("S", "1", "U");  // unreachable: "-" wins always
+  EXPECT_THROW(f.check(), ScfiError);
+}
+
+TEST(Fsm, DuplicateGuardRejected) {
+  Fsm f;
+  f.inputs = {"a"};
+  f.add_transition("S", "1", "T");
+  EXPECT_NO_THROW(f.check());
+  f.add_transition("S", "1", "U");
+  EXPECT_THROW(f.check(), ScfiError);
+}
+
+TEST(Fsm, UnreachableStateRejected) {
+  Fsm f;
+  f.inputs = {"a"};
+  f.add_transition("S", "1", "T");
+  f.add_state("ORPHan");
+  EXPECT_THROW(f.check(), ScfiError);
+}
+
+TEST(Fsm, IdleInputExists) {
+  const Fsm f = test::paper_fsm();
+  const auto idle = f.concrete_input_for_idle(0);
+  ASSERT_TRUE(idle.has_value());
+  EXPECT_EQ(f.step_raw(0, *idle).second, -1);
+}
+
+TEST(Kiss2, RoundTrip) {
+  const Fsm f = test::paper_fsm();
+  const std::string text = write_kiss2(f);
+  const Fsm g = parse_kiss2(text, f.name);
+  EXPECT_EQ(g.num_states(), f.num_states());
+  EXPECT_EQ(g.transitions.size(), f.transitions.size());
+  EXPECT_EQ(g.states[static_cast<std::size_t>(g.reset_state)],
+            f.states[static_cast<std::size_t>(f.reset_state)]);
+  for (std::size_t i = 0; i < f.transitions.size(); ++i) {
+    EXPECT_EQ(g.transitions[i].guard, f.transitions[i].guard);
+  }
+}
+
+TEST(Kiss2, ParsesClassicFormat) {
+  const std::string text = R"(
+.i 2
+.o 1
+.s 2
+.p 3
+.r st0
+10 st0 st1 1
+01 st1 st0 0
+11 st1 st1 1
+.e
+)";
+  const Fsm f = parse_kiss2(text);
+  EXPECT_EQ(f.num_inputs(), 2);
+  EXPECT_EQ(f.num_states(), 2);
+  EXPECT_EQ(f.transitions.size(), 3u);
+}
+
+TEST(Kiss2, RejectsMalformed) {
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n1 st0 st1 1\n"), ScfiError);   // width
+  EXPECT_THROW(parse_kiss2("10 st0 st1 1\n"), ScfiError);              // no .i/.o
+}
+
+TEST(Dot, ContainsStatesAndEdges) {
+  const std::string dot = to_dot(test::paper_fsm());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"S0\" -> \"S1\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Compile, UnprotectedFollowsSpec) {
+  rtlil::Design d;
+  const Fsm f = test::paper_fsm();
+  const CompiledFsm c = compile_unprotected(f, d);
+  EXPECT_EQ(c.state_width, 2);
+  EXPECT_EQ(c.state_codes.size(), 4u);
+  EXPECT_TRUE(c.alert_wire.empty());
+  EXPECT_EQ(c.decode_state(2), 2);
+  EXPECT_EQ(c.decode_state(9), -1);
+}
+
+TEST(Compile, CustomEncoding) {
+  rtlil::Design d;
+  const Fsm f = test::toggle_fsm();
+  CompileOptions options;
+  options.state_codes = {0b0101, 0b1010};
+  options.state_width = 4;
+  const CompiledFsm c = compile_unprotected(f, d, options);
+  EXPECT_EQ(c.state_width, 4);
+  EXPECT_EQ(c.decode_state(0b1010), 1);
+}
+
+}  // namespace
+}  // namespace scfi::fsm

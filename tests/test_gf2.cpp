@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "gf2/bitvec.h"
+#include "gf2/matrix.h"
+#include "gf2/poly8.h"
+
+namespace scfi::gf2 {
+namespace {
+
+TEST(BitVec, FromStringRoundTrip) {
+  const BitVec v = BitVec::from_string("10110");
+  EXPECT_EQ(v.size(), 5);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_TRUE(v.get(4));
+  EXPECT_FALSE(v.get(0));
+  EXPECT_EQ(v.to_string(), "10110");
+}
+
+TEST(BitVec, FromUint) {
+  const BitVec v = BitVec::from_uint(0b1011, 6);
+  EXPECT_EQ(v.to_uint(), 0b1011u);
+  EXPECT_EQ(v.popcount(), 3);
+}
+
+TEST(BitVec, XorAndDistance) {
+  const BitVec a = BitVec::from_uint(0b1100, 4);
+  const BitVec b = BitVec::from_uint(0b1010, 4);
+  EXPECT_EQ((a ^ b).to_uint(), 0b0110u);
+  EXPECT_EQ(a.distance(b), 2);
+}
+
+TEST(BitVec, DotProduct) {
+  const BitVec a = BitVec::from_uint(0b111, 3);
+  const BitVec b = BitVec::from_uint(0b101, 3);
+  EXPECT_FALSE(a.dot(b));  // two overlapping ones
+  const BitVec c = BitVec::from_uint(0b001, 3);
+  EXPECT_TRUE(a.dot(c));
+}
+
+TEST(BitVec, SliceWordBoundary) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  const BitVec s = v.slice(60, 10);
+  EXPECT_EQ(s.popcount(), 1);
+  EXPECT_TRUE(s.get(4));  // bit 64 of the original
+}
+
+TEST(Matrix, IdentityMul) {
+  const Matrix id = Matrix::identity(8);
+  Rng rng(1);
+  const BitVec x = BitVec::from_uint(rng.next() & 0xff, 8);
+  EXPECT_EQ(id.mul(x), x);
+}
+
+TEST(Matrix, RankOfIdentity) { EXPECT_EQ(Matrix::identity(12).rank(), 12); }
+
+TEST(Matrix, RankOfSingular) {
+  Matrix m(3, 3);
+  m.set(0, 0, true);
+  m.set(1, 0, true);  // duplicate row
+  m.set(2, 2, true);
+  EXPECT_EQ(m.rank(), 2);
+  EXPECT_FALSE(m.invertible());
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m(10, 10);
+    do {
+      for (int r = 0; r < 10; ++r) {
+        for (int c = 0; c < 10; ++c) m.set(r, c, rng.chance(0.5));
+      }
+    } while (m.rank() != 10);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(m.mul(*inv), Matrix::identity(10));
+    EXPECT_EQ(inv->mul(m), Matrix::identity(10));
+  }
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(7);
+  Matrix m(5, 9);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 9; ++c) m.set(r, c, rng.chance(0.4));
+  }
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(LinearSolver, SolvesConsistentSystems) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix a(6, 10);
+    for (int r = 0; r < 6; ++r) {
+      for (int c = 0; c < 10; ++c) a.set(r, c, rng.chance(0.5));
+    }
+    BitVec x(10);
+    for (int c = 0; c < 10; ++c) x.set(c, rng.chance(0.5));
+    const BitVec b = a.mul(x);
+    const LinearSolver solver(a);
+    const auto sol = solver.solve(b);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(a.mul(*sol), b);
+  }
+}
+
+TEST(LinearSolver, DetectsInconsistent) {
+  Matrix a(2, 2);
+  a.set(0, 0, true);
+  a.set(1, 0, true);  // x0 = b0 and x0 = b1
+  const LinearSolver solver(a);
+  BitVec b(2);
+  b.set(0, true);
+  EXPECT_FALSE(solver.solve(b).has_value());
+  b.set(1, true);
+  EXPECT_TRUE(solver.solve(b).has_value());
+}
+
+TEST(LinearSolver, FullRowRank) {
+  const LinearSolver solver(Matrix::identity(4));
+  EXPECT_TRUE(solver.full_row_rank());
+}
+
+TEST(Poly8, XtimeMatchesMul) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(xtime(static_cast<std::uint8_t>(a)),
+              ring_mul(static_cast<std::uint8_t>(a), 0x02));
+  }
+}
+
+TEST(Poly8, MulCommutativeAssociative) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next());
+    const auto b = static_cast<std::uint8_t>(rng.next());
+    const auto c = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(ring_mul(a, b), ring_mul(b, a));
+    EXPECT_EQ(ring_mul(a, ring_mul(b, c)), ring_mul(ring_mul(a, b), c));
+    EXPECT_EQ(ring_mul(a, static_cast<std::uint8_t>(b ^ c)),
+              static_cast<std::uint8_t>(ring_mul(a, b) ^ ring_mul(a, c)));
+  }
+}
+
+TEST(Poly8, ModulusIsSquareOfRadical) {
+  // X^8+X^2+1 = (X^4+X+1)^2 over GF(2), so the ring is not a field: the
+  // radical itself is a zero divisor.
+  EXPECT_EQ(ring_mul(kScfiRadical, kScfiRadical), 0x00);
+  EXPECT_FALSE(ring_is_unit(kScfiRadical));
+}
+
+TEST(Poly8, UnitCountAndInverses) {
+  // Units = elements coprime to X^4+X+1: 256 - 16 = 240 of them.
+  int units = 0;
+  for (int a = 1; a < 256; ++a) {
+    if (!ring_is_unit(static_cast<std::uint8_t>(a))) continue;
+    ++units;
+    const std::uint8_t inv = ring_inverse(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(ring_mul(static_cast<std::uint8_t>(a), inv), 0x01);
+  }
+  EXPECT_EQ(units, 240);
+}
+
+TEST(Poly8, AlphaAndAlphaPlusOneAreUnits) {
+  EXPECT_TRUE(ring_is_unit(0x02));
+  EXPECT_TRUE(ring_is_unit(0x03));
+}
+
+TEST(Poly8, NonUnitThrowsOnInverse) {
+  EXPECT_THROW(ring_inverse(kScfiRadical), ScfiError);
+}
+
+}  // namespace
+}  // namespace scfi::gf2

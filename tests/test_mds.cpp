@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "gf2/poly8.h"
+#include "mds/matrix.h"
+#include "mds/registry.h"
+#include "mds/search.h"
+#include "mds/slp.h"
+
+namespace scfi::mds {
+namespace {
+
+TEST(Slp, EvalXor) {
+  Slp s(2);
+  const int y = s.add_xor(0, 1);
+  s.set_outputs({y});
+  const std::vector<std::uint8_t> out = s.eval(std::vector<std::uint8_t>{0x5a, 0xa5});
+  EXPECT_EQ(out[0], 0xff);
+}
+
+TEST(Slp, EvalMulAlphaMatchesRing) {
+  Slp s(1);
+  const int y = s.add_mul_alpha(0);
+  s.set_outputs({y});
+  for (int a = 0; a < 256; ++a) {
+    const auto out = s.eval(std::vector<std::uint8_t>{static_cast<std::uint8_t>(a)});
+    EXPECT_EQ(out[0], gf2::xtime(static_cast<std::uint8_t>(a)));
+  }
+}
+
+TEST(Slp, BitMatrixMatchesEval) {
+  const Construction& c = default_construction();
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> in(4);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.next());
+    const std::vector<std::uint8_t> out = c.slp.eval(in);
+    gf2::BitVec x(32);
+    for (int w = 0; w < 4; ++w) {
+      for (int b = 0; b < 8; ++b) x.set(8 * w + b, (in[static_cast<std::size_t>(w)] >> b) & 1);
+    }
+    const gf2::BitVec y = c.bit_matrix.mul(x);
+    for (int w = 0; w < 4; ++w) {
+      for (int b = 0; b < 8; ++b) {
+        EXPECT_EQ(y.get(8 * w + b),
+                  ((out[static_cast<std::size_t>(w)] >> b) & 1) != 0);
+      }
+    }
+  }
+}
+
+TEST(Mds, DefaultConstructionIsMds) {
+  const Construction& c = default_construction();
+  EXPECT_TRUE(is_mds(c.bit_matrix, 4));
+}
+
+TEST(Mds, IdentityIsNotMds) {
+  Slp s(2);
+  s.set_outputs({0, 1});
+  EXPECT_FALSE(is_mds(s.to_bit_matrix(), 2));
+}
+
+TEST(Mds, BranchNumberSampled) {
+  // MDS over 4 byte-words means branch number 5: for any nonzero input, the
+  // number of active (nonzero) input + output bytes is at least 5.
+  const Construction& c = default_construction();
+  Rng rng(23);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> in(4, 0);
+    const int active = 1 + static_cast<int>(rng.below(2));
+    for (int i = 0; i < active; ++i) {
+      in[static_cast<std::size_t>(rng.below(4))] |= static_cast<std::uint8_t>(rng.next() | 1);
+    }
+    int in_active = 0;
+    for (auto b : in) in_active += (b != 0);
+    if (in_active == 0) continue;
+    const auto out = c.slp.eval(in);
+    int out_active = 0;
+    for (auto b : out) out_active += (b != 0);
+    EXPECT_GE(in_active + out_active, 5);
+  }
+}
+
+TEST(Mds, SingleBitFlipAvalanche) {
+  // A single flipped input bit must disturb all four output bytes.
+  const Construction& c = default_construction();
+  for (int bit = 0; bit < 32; ++bit) {
+    std::vector<std::uint8_t> base(4, 0);
+    std::vector<std::uint8_t> flipped = base;
+    flipped[static_cast<std::size_t>(bit / 8)] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+    const auto y0 = c.slp.eval(base);
+    const auto y1 = c.slp.eval(flipped);
+    for (int w = 0; w < 4; ++w) {
+      EXPECT_NE(y0[static_cast<std::size_t>(w)], y1[static_cast<std::size_t>(w)])
+          << "input bit " << bit << " did not reach output byte " << w;
+    }
+  }
+}
+
+TEST(Mds, RegistryNamesResolve) {
+  for (const std::string& name : construction_names()) {
+    const Construction& c = construction(name);
+    EXPECT_EQ(c.name, name);
+    EXPECT_TRUE(is_mds(c.bit_matrix, 4)) << name;
+  }
+  EXPECT_THROW(construction("nope"), ScfiError);
+}
+
+TEST(Mds, SharedBeatsNaiveXorCount) {
+  const Construction& shared = construction("scfi-shared");
+  const Construction& naive = construction("scfi-naive");
+  EXPECT_LT(shared.xor_gates, naive.xor_gates);
+  EXPECT_EQ(shared.bit_matrix, naive.bit_matrix);
+}
+
+TEST(Mds, DepthAndCostTradeoff) {
+  // Paper §5.1: M_{4,6} has "a low XOR count with a slightly larger logical
+  // depth compared to other matrices in the 4x4 category". Our searched
+  // reconstruction shows the same tradeoff against the low-depth circulant.
+  const Construction& m8346 = construction("scfi-m8346");
+  const Construction& shared = construction("scfi-shared");
+  EXPECT_LT(m8346.xor_gates, shared.xor_gates);
+  EXPECT_GT(m8346.depth, shared.depth);
+  // The low-depth alternative meets the paper's four-XOR-layer bound (§6.2).
+  EXPECT_LE(shared.depth, 4);
+  // The default is the low-XOR-count construction, like the paper's choice.
+  EXPECT_EQ(default_construction().name, "scfi-m8346");
+  EXPECT_EQ(m8346.xor_gates, 75);
+}
+
+TEST(Mds, AlphaCostsOneXorGate) {
+  Slp s(1);
+  s.set_outputs({s.add_mul_alpha(0)});
+  EXPECT_EQ(s.xor_gate_count(), 1);
+}
+
+TEST(RingMatrix, CirculantStructure) {
+  const RingMatrix m = RingMatrix::circulant({1, 2, 3, 4});
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 0), 4);
+  EXPECT_EQ(m.at(1, 1), 1);
+  EXPECT_EQ(m.at(3, 0), 2);
+}
+
+TEST(RingMatrix, ScfiCirculantIsMds) {
+  EXPECT_TRUE(RingMatrix::circulant({0x02, 0x03, 0x01, 0x01}).is_mds());
+}
+
+TEST(RingMatrix, AllOnesIsNotMds) {
+  EXPECT_FALSE(RingMatrix::circulant({0x01, 0x01, 0x01, 0x01}).is_mds());
+}
+
+TEST(RingMatrix, NaiveSlpMatchesMatrix) {
+  const RingMatrix m = RingMatrix::circulant({0x02, 0x03, 0x01, 0x01});
+  EXPECT_EQ(m.to_naive_slp().to_bit_matrix(), m.to_bit_matrix());
+}
+
+TEST(Search, FindsMdsWithGenerousBudget) {
+  Rng rng(2024);
+  SearchSpec spec;
+  spec.max_xor_ops = 16;
+  spec.max_alpha_ops = 6;
+  spec.iterations = 3000;
+  const auto result = search_mds_slp(spec, rng);
+  if (result.has_value()) {
+    EXPECT_TRUE(is_mds(result->slp.to_bit_matrix(), 4));
+    EXPECT_EQ(result->xor_gates, result->slp.xor_gate_count());
+  }
+  // The randomized search may legitimately fail within the budget; the
+  // assertion above only fires on inconsistent successes.
+}
+
+}  // namespace
+}  // namespace scfi::mds

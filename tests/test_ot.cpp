@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "ot/datapath.h"
+#include "base/rng.h"
+#include "ot/zoo.h"
+#include "rtlil/validate.h"
+#include "sim/netlist_sim.h"
+#include "test_helpers.h"
+
+namespace scfi::ot {
+namespace {
+
+TEST(Zoo, HasAllSevenModules) {
+  const auto zoo = ot_zoo();
+  ASSERT_EQ(zoo.size(), 7u);
+  EXPECT_EQ(zoo[0].name, "adc_ctrl_fsm");
+  EXPECT_EQ(zoo[6].name, "pwrmgr_fsm");
+  EXPECT_THROW(ot_entry("nonesuch"), ScfiError);
+}
+
+TEST(Zoo, EveryFsmSpecIsValid) {
+  for (const OtEntry& entry : ot_zoo()) {
+    EXPECT_NO_THROW(entry.fsm.check()) << entry.name;
+    EXPECT_GE(entry.fsm.num_states(), 2) << entry.name;
+  }
+}
+
+TEST(Zoo, UnprotectedVariantsBuildAndSimulate) {
+  for (const OtEntry& entry : ot_zoo()) {
+    rtlil::Design d;
+    const fsm::CompiledFsm c =
+        build_ot_variant(entry, d, Variant::kUnprotected, 2, entry.name);
+    sim::Simulator s(*c.module);
+    s.step();
+    s.step();
+    SUCCEED() << entry.name;
+  }
+}
+
+TEST(Zoo, AllVariantsValidate) {
+  for (const OtEntry& entry : ot_zoo()) {
+    rtlil::Design d;
+    build_ot_variant(entry, d, Variant::kUnprotected, 2, entry.name + "_u");
+    build_ot_variant(entry, d, Variant::kRedundancy, 2, entry.name + "_r");
+    build_ot_variant(entry, d, Variant::kScfi, 2, entry.name + "_s");
+    for (rtlil::Module* m : d.modules()) EXPECT_NO_THROW(rtlil::validate_module(*m));
+  }
+}
+
+TEST(Zoo, ScfiVariantWalksItsCfg) {
+  for (const OtEntry& entry : ot_zoo()) {
+    rtlil::Design d;
+    const fsm::CompiledFsm c = build_ot_variant(entry, d, Variant::kScfi, 2, entry.name);
+    sim::Simulator s(*c.module);
+    Rng rng(1234);
+    const auto edges = entry.fsm.cfg_edges();
+    int golden = entry.fsm.reset_state;
+    for (int t = 0; t < 60; ++t) {
+      std::vector<fsm::CfgEdge> options;
+      for (const fsm::CfgEdge& e : edges) {
+        if (e.from == golden) options.push_back(e);
+      }
+      const fsm::CfgEdge& e = options[static_cast<std::size_t>(rng.below(options.size()))];
+      s.set_input(c.symbol_input_wire, c.symbol_codes.at(e.symbol));
+      s.step();
+      golden = e.to;
+      ASSERT_EQ(s.get(c.state_wire), c.state_codes[static_cast<std::size_t>(golden)])
+          << entry.name << " cycle " << t;
+    }
+  }
+}
+
+TEST(Zoo, SynthesisProducesSaneAreas) {
+  rtlil::Design d;
+  const OtEntry entry = ot_entry("pwrmgr_fsm");
+  const fsm::CompiledFsm u = build_ot_variant(entry, d, Variant::kUnprotected, 2, "u");
+  const fsm::CompiledFsm r = build_ot_variant(entry, d, Variant::kRedundancy, 2, "r");
+  const fsm::CompiledFsm s = build_ot_variant(entry, d, Variant::kScfi, 2, "s");
+  const double ua = synthesize_area(*u.module).total_ge;
+  const double ra = synthesize_area(*r.module).total_ge;
+  const double sa = synthesize_area(*s.module).total_ge;
+  EXPECT_GT(ua, 50.0);
+  EXPECT_GT(ra, ua);  // protection costs area
+  EXPECT_GT(sa, ua);
+}
+
+TEST(Datapath, CounterCountsAndClears) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m");
+  rtlil::Wire* en = m->add_input("en", 1);
+  rtlil::Wire* clr = m->add_input("clr", 1);
+  rtlil::Wire* q = m->add_output("q", 4);
+  m->drive(rtlil::SigSpec(q),
+           dp_counter(*m, 4, rtlil::SigSpec(en), rtlil::SigSpec(clr), "cnt"));
+  sim::Simulator s(*m);
+  s.set_input("en", 1);
+  s.set_input("clr", 0);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(s.get("q"), i % 16);
+    s.step();
+  }
+  s.set_input("clr", 1);
+  s.step();
+  EXPECT_EQ(s.get("q"), 0u);
+}
+
+TEST(Datapath, AdderMatchesArithmetic) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m");
+  rtlil::Wire* a = m->add_input("a", 8);
+  rtlil::Wire* b = m->add_input("b", 8);
+  rtlil::Wire* y = m->add_output("y", 8);
+  m->drive(rtlil::SigSpec(y), dp_adder(*m, rtlil::SigSpec(a), rtlil::SigSpec(b), "add"));
+  sim::Simulator s(*m);
+  Rng rng(8);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t av = rng.below(256);
+    const std::uint64_t bv = rng.below(256);
+    s.set_input("a", av);
+    s.set_input("b", bv);
+    s.eval();
+    EXPECT_EQ(s.get("y"), (av + bv) & 0xff);
+  }
+}
+
+TEST(Datapath, ShiftRegisterShifts) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m");
+  rtlil::Wire* in = m->add_input("in", 1);
+  rtlil::Wire* q = m->add_output("q", 4);
+  m->drive(rtlil::SigSpec(q),
+           dp_shift_reg(*m, 4, rtlil::SigSpec(in), rtlil::SigSpec(rtlil::SigBit(true)), "sr"));
+  sim::Simulator s(*m);
+  s.set_input("in", 1);
+  s.step();
+  EXPECT_EQ(s.get("q"), 0b0001u);
+  s.step();
+  EXPECT_EQ(s.get("q"), 0b0011u);
+  s.set_input("in", 0);
+  s.step();
+  EXPECT_EQ(s.get("q"), 0b0110u);
+}
+
+TEST(Datapath, LfsrHasLongPeriod) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m");
+  rtlil::Wire* q = m->add_output("q", 8);
+  m->drive(rtlil::SigSpec(q),
+           dp_lfsr(*m, 8, 0b10111000, rtlil::SigSpec(rtlil::SigBit(true)), "lfsr"));
+  sim::Simulator s(*m);
+  const std::uint64_t seed = s.get("q");
+  int period = 0;
+  for (int t = 0; t < 300; ++t) {
+    s.step();
+    ++period;
+    if (s.get("q") == seed) break;
+  }
+  EXPECT_GT(period, 60);  // taps 8,6,5,4 give a maximal 255 cycle
+}
+
+}  // namespace
+}  // namespace scfi::ot

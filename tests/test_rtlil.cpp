@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "rtlil/design.h"
+#include "rtlil/validate.h"
+
+namespace scfi::rtlil {
+namespace {
+
+TEST(Const, RoundTrip) {
+  const Const c = Const::from_uint(0b1010, 6);
+  EXPECT_EQ(c.width(), 6);
+  EXPECT_EQ(c.to_uint(), 0b1010u);
+  EXPECT_EQ(c.to_string(), "001010");
+}
+
+TEST(SigSpec, FromWireAndExtract) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* w = m->add_wire("w", 8);
+  const SigSpec s(w);
+  EXPECT_EQ(s.width(), 8);
+  const SigSpec mid = s.extract(2, 3);
+  EXPECT_EQ(mid.width(), 3);
+  EXPECT_EQ(mid.bit(0).offset, 2);
+}
+
+TEST(SigSpec, ConcatOrder) {
+  const SigSpec lo(Const::from_uint(0b01, 2));
+  const SigSpec hi(Const::from_uint(0b1, 1));
+  const SigSpec all = concat({lo, hi});
+  EXPECT_EQ(all.width(), 3);
+  EXPECT_EQ(all.const_to_uint(), 0b101u);
+}
+
+TEST(SigSpec, FullyConst) {
+  const SigSpec c(Const::from_uint(5, 3));
+  EXPECT_TRUE(c.is_fully_const());
+  EXPECT_EQ(c.const_to_uint(), 5u);
+}
+
+TEST(Module, DuplicateWireRejected) {
+  Design d;
+  Module* m = d.add_module("m");
+  m->add_wire("w", 1);
+  EXPECT_THROW(m->add_wire("w", 2), ScfiError);
+}
+
+TEST(Module, UniquifyAvoidsCollisions) {
+  Design d;
+  Module* m = d.add_module("m");
+  const std::string a = m->uniquify("x");
+  m->add_wire(a, 1);
+  const std::string b = m->uniquify("x");
+  EXPECT_NE(a, b);
+}
+
+TEST(Module, BuildersProduceValidNetlist) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* a = m->add_input("a", 4);
+  Wire* b = m->add_input("b", 4);
+  Wire* y = m->add_output("y", 4);
+  const SigSpec sum = m->make_xor(SigSpec(a), SigSpec(b));
+  const SigSpec sel = m->make_reduce_or(SigSpec(a));
+  const SigSpec out = m->make_mux(sel, sum, m->make_and(SigSpec(a), SigSpec(b)));
+  m->drive(SigSpec(y), out);
+  EXPECT_NO_THROW(validate_module(*m));
+}
+
+TEST(Validate, WidthMismatchRejected) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* a = m->add_input("a", 2);
+  Wire* y = m->add_wire("y", 3);
+  Cell* c = m->add_cell("bad", CellType::kNot);
+  c->set_port("A", SigSpec(a));
+  c->set_port("Y", SigSpec(y));
+  EXPECT_THROW(validate_module(*m), ScfiError);
+}
+
+TEST(Validate, DoubleDriverRejected) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* a = m->add_input("a", 1);
+  Wire* y = m->add_wire("y", 1);
+  for (int i = 0; i < 2; ++i) {
+    Cell* c = m->add_cell("c" + std::to_string(i), CellType::kBuf);
+    c->set_port("A", SigSpec(a));
+    c->set_port("Y", SigSpec(y));
+  }
+  EXPECT_THROW(validate_module(*m), ScfiError);
+}
+
+TEST(Validate, DrivingInputRejected) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* a = m->add_input("a", 1);
+  Cell* c = m->add_cell("c", CellType::kBuf);
+  c->set_port("A", SigSpec(SigBit(true)));
+  c->set_port("Y", SigSpec(a));
+  EXPECT_THROW(validate_module(*m), ScfiError);
+}
+
+TEST(Validate, CombinationalLoopRejected) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* x = m->add_wire("x", 1);
+  Wire* y = m->add_wire("y", 1);
+  Cell* c1 = m->add_cell("c1", CellType::kNot);
+  c1->set_port("A", SigSpec(x));
+  c1->set_port("Y", SigSpec(y));
+  Cell* c2 = m->add_cell("c2", CellType::kNot);
+  c2->set_port("A", SigSpec(y));
+  c2->set_port("Y", SigSpec(x));
+  EXPECT_THROW(validate_module(*m), ScfiError);
+}
+
+TEST(Validate, FfBreaksLoop) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* x = m->add_wire("x", 1);
+  Wire* y = m->add_wire("y", 1);
+  Cell* inv = m->add_cell("inv", CellType::kNot);
+  inv->set_port("A", SigSpec(x));
+  inv->set_port("Y", SigSpec(y));
+  Cell* ff = m->add_cell("ff", CellType::kDff);
+  ff->set_port("D", SigSpec(y));
+  ff->set_port("Q", SigSpec(x));
+  ff->set_reset_value(Const::from_uint(0, 1));
+  EXPECT_NO_THROW(validate_module(*m));
+}
+
+TEST(NetlistIndex, DriversAndReaders) {
+  Design d;
+  Module* m = d.add_module("m");
+  Wire* a = m->add_input("a", 1);
+  Wire* y = m->add_output("y", 1);
+  const SigSpec n = m->make_not(SigSpec(a));
+  m->drive(SigSpec(y), n);
+  const NetlistIndex index(*m);
+  EXPECT_EQ(index.driver(SigBit(a, 0)), nullptr);
+  EXPECT_NE(index.driver(n.bit(0)), nullptr);
+  EXPECT_EQ(index.readers(SigBit(a, 0)).size(), 1u);
+  EXPECT_EQ(index.topo_comb().size(), 2u);
+}
+
+TEST(Design, ModuleLifecycle) {
+  Design d;
+  d.add_module("a");
+  d.add_module("b");
+  EXPECT_THROW(d.add_module("a"), ScfiError);
+  EXPECT_EQ(d.modules().size(), 2u);
+  d.remove_module("a");
+  EXPECT_EQ(d.module("a"), nullptr);
+  EXPECT_NE(d.module("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace scfi::rtlil
