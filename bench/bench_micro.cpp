@@ -8,6 +8,7 @@
 #include "ot/zoo.h"
 #include "rtlil/design.h"
 #include "sat/cnf.h"
+#include "sim/campaign.h"
 #include "sim/netlist_sim.h"
 #include "synth/lower.h"
 #include "synth/opt.h"
@@ -78,6 +79,69 @@ void BM_SimulatorStepGateLevel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SimulatorStepGateLevel);
+
+void BM_SimulatorStepBatched(benchmark::State& state) {
+  // Same netlist as BM_SimulatorStep, but with 64 lanes carrying *distinct*
+  // stimulus, re-driven every cycle — the realistic batched workload
+  // including the per-lane drive overhead, counted as 64 sims per step.
+  scfi::rtlil::Design d;
+  const scfi::fsm::Fsm f = bench_fsm();
+  scfi::core::ScfiConfig config;
+  const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+  scfi::sim::Simulator s(*c.module);
+  const scfi::sim::Simulator::WireHandle symbol_h = s.input_handle(c.symbol_input_wire);
+  std::vector<std::uint64_t> codes;
+  for (const auto& [sym, code] : c.symbol_codes) codes.push_back(code);
+  std::size_t rot = 0;
+  for (auto _ : state) {
+    for (int lane = 0; lane < scfi::sim::kNumLanes; ++lane) {
+      s.set_input_lane(symbol_h, lane, codes[(rot + static_cast<std::size_t>(lane)) % codes.size()]);
+    }
+    ++rot;
+    s.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          scfi::sim::kNumLanes);
+}
+BENCHMARK(BM_SimulatorStepBatched);
+
+void BM_Campaign(benchmark::State& state) {
+  // Monte-Carlo campaign throughput (runs/s) on the SCFI-hardened
+  // controller; Arg = lanes per batch (1 = scalar path, 64 = bit-parallel).
+  scfi::rtlil::Design d;
+  const scfi::fsm::Fsm f = bench_fsm();
+  scfi::core::ScfiConfig sc;
+  sc.protection_level = 3;
+  const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, sc);
+  scfi::sim::CampaignConfig config;
+  config.runs = 1024;
+  config.cycles = 16;
+  config.num_faults = 2;
+  config.seed = 12345;
+  config.lanes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scfi::sim::run_campaign(f, c, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * config.runs);
+}
+BENCHMARK(BM_Campaign)->Arg(1)->Arg(64);
+
+void BM_CampaignUnprotected(benchmark::State& state) {
+  scfi::rtlil::Design d;
+  const scfi::fsm::Fsm f = bench_fsm();
+  const scfi::fsm::CompiledFsm c = scfi::fsm::compile_unprotected(f, d);
+  scfi::sim::CampaignConfig config;
+  config.runs = 1024;
+  config.cycles = 16;
+  config.num_faults = 2;
+  config.seed = 12345;
+  config.lanes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scfi::sim::run_campaign(f, c, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * config.runs);
+}
+BENCHMARK(BM_CampaignUnprotected)->Arg(1)->Arg(64);
 
 void BM_ScfiHardenPass(benchmark::State& state) {
   const scfi::fsm::Fsm f = bench_fsm();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: tier-1 verify (configure, build, ctest)
+# plus a smoke run of the micro-benchmarks. Mirrors the verify command in
+# ROADMAP.md; run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# Benchmark smoke test: make sure the perf harness still runs end to end.
+if [[ -x build/bench_micro ]]; then
+  build/bench_micro --benchmark_min_time=0.01 --benchmark_filter='BM_Simulator|BM_Campaign'
+else
+  echo "bench_micro not built (google-benchmark unavailable); skipping bench smoke"
+fi

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Captures simulator/campaign throughput into BENCH_sim.json so the perf
+# trajectory of the batched engine is recorded per PR.
+#
+# Usage: scripts/bench_to_json.sh [build_dir] [output_json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_sim.json}"
+BENCH="$BUILD_DIR/bench_micro"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: $BENCH not found; build with benchmarks enabled first" >&2
+  exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+"$BENCH" --benchmark_filter='BM_Simulator|BM_Campaign' \
+         --benchmark_min_time=0.3 --benchmark_format=json > "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+out = {
+    "bench": "sim",
+    "unit": "items_per_second",
+    "results": {},
+}
+for b in raw.get("benchmarks", []):
+    ips = b.get("items_per_second")
+    if ips is not None:
+        out["results"][b["name"]] = round(ips, 1)
+
+scalar = out["results"].get("BM_Campaign/1")
+batched = out["results"].get("BM_Campaign/64")
+if scalar and batched:
+    out["campaign_batch_speedup"] = round(batched / scalar, 2)
+scalar = out["results"].get("BM_SimulatorStep")
+batched = out["results"].get("BM_SimulatorStepBatched")
+if scalar and batched:
+    out["step_lane_speedup"] = round(batched / scalar, 2)
+
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]}")
+EOF

@@ -1,6 +1,10 @@
 #include "sim/campaign.h"
 
-#include <map>
+#include <bit>
+#include <exception>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
 
 #include "base/error.h"
 #include "base/rng.h"
@@ -17,8 +21,10 @@ class RawInputPlanner {
  public:
   explicit RawInputPlanner(const Fsm& fsm) : fsm_(&fsm) {}
 
-  std::vector<bool> input_for(const CfgEdge& edge) {
-    const auto key = std::make_pair(edge.from, edge.transition_index);
+  const std::vector<bool>& input_for(const CfgEdge& edge) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(edge.from))
+                               << 32) |
+                              static_cast<std::uint32_t>(edge.transition_index);
     const auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
     std::optional<std::vector<bool>> bits;
@@ -28,129 +34,328 @@ class RawInputPlanner {
       bits = fsm_->concrete_input_for_idle(edge.from);
     }
     check(bits.has_value(), "campaign: no concrete input for CFG edge");
-    cache_.emplace(key, *bits);
-    return *bits;
+    return cache_.emplace(key, std::move(*bits)).first->second;
   }
 
  private:
   const Fsm* fsm_;
-  std::map<std::pair<int, int>, std::vector<bool>> cache_;
+  std::unordered_map<std::uint64_t, std::vector<bool>> cache_;
 };
+
+/// One scheduled fault: site index (into the filtered site list) + cycle.
+struct PlannedFault {
+  std::int32_t site = 0;
+  std::int32_t cycle = 0;
+};
+
+/// The fully pre-drawn campaign: per-run walks (as global CFG edge indices),
+/// golden state sequences, and fault schedules, flattened run-major. The
+/// plan is a pure function of (fsm, sites, config.seed), so execution order
+/// — lanes, batches, threads — cannot change the outcome.
+struct CampaignPlan {
+  int runs = 0;
+  int cycles = 0;
+  int num_faults = 0;
+  std::vector<std::int32_t> edges;         ///< runs x cycles
+  std::vector<std::int32_t> golden;        ///< runs x (cycles + 1)
+  std::vector<PlannedFault> faults;        ///< runs x num_faults
+
+  std::int32_t edge_at(int run, int t) const {
+    return edges[static_cast<std::size_t>(run) * static_cast<std::size_t>(cycles) +
+                 static_cast<std::size_t>(t)];
+  }
+  std::int32_t golden_at(int run, int t) const {
+    return golden[static_cast<std::size_t>(run) * static_cast<std::size_t>(cycles + 1) +
+                  static_cast<std::size_t>(t)];
+  }
+};
+
+CampaignPlan plan_campaign(const Fsm& fsm, const std::vector<CfgEdge>& cfg,
+                           std::size_t num_sites, const CampaignConfig& config) {
+  // Index CFG edges per state for the stimulus walk.
+  std::vector<std::vector<std::int32_t>> edges_from(static_cast<std::size_t>(fsm.num_states()));
+  for (std::size_t e = 0; e < cfg.size(); ++e) {
+    edges_from[static_cast<std::size_t>(cfg[e].from)].push_back(static_cast<std::int32_t>(e));
+  }
+
+  Rng rng(config.seed);
+  CampaignPlan plan;
+  plan.runs = config.runs;
+  plan.cycles = config.cycles;
+  plan.num_faults = config.num_faults;
+  plan.edges.reserve(static_cast<std::size_t>(config.runs) *
+                     static_cast<std::size_t>(config.cycles));
+  plan.golden.reserve(static_cast<std::size_t>(config.runs) *
+                      static_cast<std::size_t>(config.cycles + 1));
+  plan.faults.reserve(static_cast<std::size_t>(config.runs) *
+                      static_cast<std::size_t>(config.num_faults));
+
+  // Site pool for distinct sampling; stays a permutation across runs, which
+  // keeps every draw uniform without re-initializing per run.
+  std::vector<std::int32_t> pool(num_sites);
+  std::iota(pool.begin(), pool.end(), 0);
+
+  for (int run = 0; run < config.runs; ++run) {
+    int g = fsm.reset_state;
+    plan.golden.push_back(g);
+    for (int t = 0; t < config.cycles; ++t) {
+      const auto& options = edges_from[static_cast<std::size_t>(g)];
+      const std::int32_t e = options[static_cast<std::size_t>(rng.below(options.size()))];
+      plan.edges.push_back(e);
+      g = cfg[static_cast<std::size_t>(e)].to;
+      plan.golden.push_back(g);
+    }
+    // Distinct fault sites via partial Fisher-Yates; only when the request
+    // exceeds the population do duplicates become possible (and unavoidable).
+    const auto n = static_cast<std::int64_t>(num_sites);
+    for (std::int64_t f = 0; f < config.num_faults; ++f) {
+      std::int32_t site = 0;
+      if (f < n) {
+        const std::int64_t j =
+            f + static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n - f)));
+        std::swap(pool[static_cast<std::size_t>(f)], pool[static_cast<std::size_t>(j)]);
+        site = pool[static_cast<std::size_t>(f)];
+      } else {
+        site = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+      }
+      const auto cycle =
+          static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(config.cycles)));
+      plan.faults.push_back(PlannedFault{site, cycle});
+    }
+  }
+  return plan;
+}
+
+/// Everything the per-batch executor needs, resolved once per campaign:
+/// symbol codes / raw input bits per CFG edge, packed as integers.
+struct StimulusTable {
+  bool encoded = false;
+  std::vector<std::uint64_t> edge_code;  ///< encoded: symbol codeword per edge
+  std::vector<std::uint64_t> edge_bits;  ///< raw: packed input bits per edge
+  int num_inputs = 0;
+};
+
+StimulusTable build_stimulus(const Fsm& fsm, const CompiledFsm& variant,
+                             const std::vector<CfgEdge>& cfg) {
+  StimulusTable table;
+  table.encoded = variant.symbol_width > 0;
+  if (table.encoded) {
+    table.edge_code.reserve(cfg.size());
+    for (const CfgEdge& e : cfg) table.edge_code.push_back(variant.symbol_codes.at(e.symbol));
+  } else {
+    require(fsm.num_inputs() <= 64,
+            "run_campaign: raw-input variants support at most 64 control bits");
+    table.num_inputs = fsm.num_inputs();
+    RawInputPlanner planner(fsm);
+    table.edge_bits.reserve(cfg.size());
+    for (const CfgEdge& e : cfg) {
+      const std::vector<bool>& bits = planner.input_for(e);
+      std::uint64_t packed = 0;
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i]) packed |= 1ULL << i;
+      }
+      table.edge_bits.push_back(packed);
+    }
+  }
+  return table;
+}
+
+/// Executes batches [batch_begin, batch_end) on a private Simulator and
+/// accumulates outcome counts. Outcomes are per-lane and the counts are
+/// plain integer sums, so sharding batches across threads cannot change the
+/// aggregate result.
+void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
+                     const std::vector<FaultSite>& sites, const CampaignPlan& plan,
+                     const CampaignConfig& config, const StimulusTable& stim, int batch_begin,
+                     int batch_end, CampaignResult& out) {
+  Simulator sim(*variant.module);
+
+  // Pre-resolve every name the cycle loop would otherwise look up.
+  std::vector<std::int32_t> site_net;
+  site_net.reserve(sites.size());
+  for (const FaultSite& s : sites) site_net.push_back(sim.net_index(s.bit));
+  const Simulator::WireHandle state_h = sim.probe(variant.state_wire);
+  Simulator::WireHandle alert_h;
+  if (!variant.alert_wire.empty()) alert_h = sim.probe(variant.alert_wire);
+  Simulator::WireHandle symbol_h;
+  std::vector<Simulator::WireHandle> raw_h;
+  if (stim.encoded) {
+    symbol_h = sim.input_handle(variant.symbol_input_wire);
+  } else {
+    for (const std::string& name : fsm.inputs) raw_h.push_back(sim.input_handle(name));
+  }
+  const int in_width = stim.encoded ? symbol_h.width : stim.num_inputs;
+  std::vector<std::uint64_t> in_words(static_cast<std::size_t>(in_width));
+  check(state_h.width <= 64, "run_campaign: state wire too wide");
+  const int state_w = state_h.width;
+  const std::size_t num_states = variant.state_codes.size();
+  std::vector<std::uint64_t> state_words(static_cast<std::size_t>(state_w));
+  std::vector<std::uint64_t> state_eq(num_states);
+
+  const int lanes = config.lanes;
+  for (int batch = batch_begin; batch < batch_end; ++batch) {
+    const int base_run = batch * lanes;
+    const int batch_runs = std::min(lanes, plan.runs - base_run);
+    const std::uint64_t batch_mask =
+        batch_runs >= 64 ? kAllLanes : (1ULL << batch_runs) - 1;
+
+    sim.reset();
+    std::uint64_t done = 0;      // lane terminated (detected)
+    std::uint64_t detected = 0;  // subset of done
+    // Folds the alert wire into detected/done for lanes still running.
+    const auto absorb_alerts = [&] {
+      if (!alert_h.valid()) return;
+      std::uint64_t alert = 0;
+      for (std::int32_t i = 0; i < alert_h.width; ++i) alert |= sim.lane_word(alert_h.base + i);
+      const std::uint64_t newly = alert & batch_mask & ~done;
+      detected |= newly;
+      done |= newly;
+    };
+    std::uint64_t deviated = 0;  // reached a valid state != golden
+    std::uint64_t invalid = 0;   // reached a non-codeword
+    std::uint64_t not_lag = 0;   // deviation beyond a missed transition
+    for (int t = 0; t < plan.cycles && done != batch_mask; ++t) {
+      // Drive per-lane stimulus for this cycle.
+      std::fill(in_words.begin(), in_words.end(), 0);
+      for (int lane = 0; lane < batch_runs; ++lane) {
+        const std::int32_t e = plan.edge_at(base_run + lane, t);
+        const std::uint64_t bits =
+            stim.encoded ? stim.edge_code[static_cast<std::size_t>(e)]
+                         : stim.edge_bits[static_cast<std::size_t>(e)];
+        for (int i = 0; i < in_width; ++i) {
+          in_words[static_cast<std::size_t>(i)] |= ((bits >> i) & 1) << lane;
+        }
+      }
+      if (stim.encoded) {
+        for (int i = 0; i < in_width; ++i) sim.set_input_word(symbol_h, i, in_words[static_cast<std::size_t>(i)]);
+      } else {
+        for (int i = 0; i < in_width; ++i) sim.set_input_word(raw_h[static_cast<std::size_t>(i)], 0, in_words[static_cast<std::size_t>(i)]);
+      }
+      // Inject this cycle's faults, lane by lane.
+      for (int lane = 0; lane < batch_runs; ++lane) {
+        const std::size_t f0 = static_cast<std::size_t>(base_run + lane) *
+                               static_cast<std::size_t>(plan.num_faults);
+        for (int f = 0; f < plan.num_faults; ++f) {
+          const PlannedFault& p = plan.faults[f0 + static_cast<std::size_t>(f)];
+          if (p.cycle == t) {
+            sim.inject_net(site_net[static_cast<std::size_t>(p.site)], config.kind,
+                           1ULL << lane);
+          }
+        }
+      }
+      sim.eval();
+      absorb_alerts();
+      sim.step();
+      // Word-parallel classification: compare the state register of all
+      // lanes against every codeword at once instead of decoding per lane.
+      for (int i = 0; i < state_w; ++i) {
+        state_words[static_cast<std::size_t>(i)] = sim.lane_word(state_h.base + i);
+      }
+      // A code with bits beyond the register width can never match.
+      const auto fits = [state_w](std::uint64_t code) {
+        return state_w >= 64 || (code >> state_w) == 0;
+      };
+      std::uint64_t live = batch_mask & ~done;
+      if (variant.has_error_state) {
+        std::uint64_t err = fits(variant.error_code) ? live : 0;
+        for (int i = 0; i < state_w && err != 0; ++i) {
+          const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
+          err &= ((variant.error_code >> i) & 1) ? w : ~w;
+        }
+        detected |= err;
+        done |= err;
+        live &= ~err;
+      }
+      std::uint64_t valid = 0;
+      for (std::size_t s = 0; s < num_states; ++s) {
+        const std::uint64_t code = variant.state_codes[s];
+        std::uint64_t eq = fits(code) ? live : 0;
+        for (int i = 0; i < state_w && eq != 0; ++i) {
+          const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
+          eq &= ((code >> i) & 1) ? w : ~w;
+        }
+        state_eq[s] = eq;
+        valid |= eq;
+      }
+      std::uint64_t match_expect = 0;
+      std::uint64_t match_prev = 0;
+      for (int lane = 0; lane < batch_runs; ++lane) {
+        const std::uint64_t bit = 1ULL << lane;
+        if (!(live & bit)) continue;
+        match_expect |=
+            state_eq[static_cast<std::size_t>(plan.golden_at(base_run + lane, t + 1))] & bit;
+        match_prev |=
+            state_eq[static_cast<std::size_t>(plan.golden_at(base_run + lane, t))] & bit;
+      }
+      invalid |= live & ~valid;
+      not_lag |= live & ~valid;
+      const std::uint64_t dev = live & valid & ~match_expect;
+      deviated |= dev;
+      not_lag |= dev & ~match_prev;
+    }
+    // Final combinational alert check (covers a deviation on the last cycle).
+    sim.eval();
+    absorb_alerts();
+    out.detected += std::popcount(detected);
+    const std::uint64_t live = batch_mask & ~done;
+    out.silent_invalid += std::popcount(live & invalid);
+    const std::uint64_t dev = live & ~invalid & deviated;
+    out.hijacked += std::popcount(dev & not_lag);
+    out.lagged += std::popcount(dev & ~not_lag);
+    out.masked += std::popcount(live & ~invalid & ~deviated);
+  }
+}
 
 }  // namespace
 
 CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
                             const CampaignConfig& config) {
   check(variant.module != nullptr, "run_campaign: variant has no module");
-  Simulator sim(*variant.module);
+  require(config.lanes >= 1 && config.lanes <= kNumLanes,
+          "run_campaign: lanes must be in [1, 64]");
   const std::vector<FaultSite> all_sites =
       enumerate_fault_sites(*variant.module, variant.state_wire);
   const std::vector<FaultSite> sites = filter_sites(all_sites, config.target);
   require(!sites.empty(), "run_campaign: no fault sites for the requested target class");
 
-  // Pre-index CFG edges per state for the stimulus walk.
-  std::vector<std::vector<CfgEdge>> edges_from(static_cast<std::size_t>(fsm.num_states()));
-  for (const CfgEdge& e : fsm.cfg_edges()) {
-    edges_from[static_cast<std::size_t>(e.from)].push_back(e);
-  }
-  RawInputPlanner planner(fsm);
-  Rng rng(config.seed);
+  const std::vector<CfgEdge> cfg = fsm.cfg_edges();
+  const CampaignPlan plan = plan_campaign(fsm, cfg, sites.size(), config);
+  const StimulusTable stim = build_stimulus(fsm, variant, cfg);
+
   CampaignResult result;
   result.runs = config.runs;
-
-  for (int run = 0; run < config.runs; ++run) {
-    // Build the walk: one CFG edge per cycle, from the golden state.
-    std::vector<CfgEdge> walk;
-    std::vector<int> golden;
-    int g = fsm.reset_state;
-    golden.push_back(g);
-    for (int t = 0; t < config.cycles; ++t) {
-      const auto& options = edges_from[static_cast<std::size_t>(g)];
-      const CfgEdge& e = options[static_cast<std::size_t>(rng.below(options.size()))];
-      walk.push_back(e);
-      g = e.to;
-      golden.push_back(g);
-    }
-
-    // Schedule the faults: distinct sites, random cycles.
-    struct Planned {
-      FaultSite site;
-      int cycle;
-    };
-    std::vector<Planned> planned;
-    std::vector<std::size_t> chosen;
-    for (int f = 0; f < config.num_faults; ++f) {
-      std::size_t idx = 0;
-      for (int attempt = 0; attempt < 16; ++attempt) {
-        idx = static_cast<std::size_t>(rng.below(sites.size()));
-        bool dup = false;
-        for (std::size_t c : chosen) dup |= (c == idx);
-        if (!dup) break;
+  const int num_batches = (config.runs + config.lanes - 1) / config.lanes;
+  const int workers = std::max(1, std::min(config.threads, num_batches));
+  if (workers <= 1) {
+    execute_batches(fsm, variant, sites, plan, config, stim, 0, num_batches, result);
+    return result;
+  }
+  std::vector<CampaignResult> partial(static_cast<std::size_t>(workers));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    const int begin = static_cast<int>(static_cast<std::int64_t>(num_batches) * w / workers);
+    const int end = static_cast<int>(static_cast<std::int64_t>(num_batches) * (w + 1) / workers);
+    pool.emplace_back([&, w, begin, end] {
+      try {
+        execute_batches(fsm, variant, sites, plan, config, stim, begin, end,
+                        partial[static_cast<std::size_t>(w)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
       }
-      chosen.push_back(idx);
-      planned.push_back(Planned{sites[idx], static_cast<int>(rng.below(
-                                                static_cast<std::uint64_t>(config.cycles)))});
-    }
-
-    sim.reset();
-    bool done = false;
-    bool deviated_valid = false;
-    bool saw_invalid = false;
-    bool lag_only = true;
-    for (int t = 0; t < config.cycles && !done; ++t) {
-      const CfgEdge& e = walk[static_cast<std::size_t>(t)];
-      if (variant.symbol_width > 0) {
-        sim.set_input(variant.symbol_input_wire, variant.symbol_codes.at(e.symbol));
-      } else {
-        const std::vector<bool> bits = planner.input_for(e);
-        for (std::size_t i = 0; i < bits.size(); ++i) {
-          sim.set_input(fsm.inputs[i], bits[i] ? 1 : 0);
-        }
-      }
-      for (const Planned& p : planned) {
-        if (p.cycle == t) sim.inject(p.site.bit, config.kind);
-      }
-      sim.eval();
-      if (!variant.alert_wire.empty() && sim.get(variant.alert_wire) != 0) {
-        ++result.detected;
-        done = true;
-        break;
-      }
-      sim.step();
-      const std::uint64_t reg = sim.get(variant.state_wire);
-      if (variant.has_error_state && reg == variant.error_code) {
-        ++result.detected;
-        done = true;
-        break;
-      }
-      const int decoded = variant.decode_state(reg);
-      const int expect = golden[static_cast<std::size_t>(t + 1)];
-      if (decoded < 0) {
-        saw_invalid = true;
-        lag_only = false;
-      } else if (decoded != expect) {
-        deviated_valid = true;
-        if (decoded != golden[static_cast<std::size_t>(t)]) lag_only = false;
-      }
-    }
-    if (done) continue;
-    // Final combinational alert check (covers a deviation on the last cycle).
-    sim.eval();
-    if (!variant.alert_wire.empty() && sim.get(variant.alert_wire) != 0) {
-      ++result.detected;
-      continue;
-    }
-    if (saw_invalid) {
-      ++result.silent_invalid;
-    } else if (deviated_valid) {
-      if (lag_only) {
-        ++result.lagged;
-      } else {
-        ++result.hijacked;
-      }
-    } else {
-      ++result.masked;
-    }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const CampaignResult& p : partial) {
+    result.masked += p.masked;
+    result.detected += p.detected;
+    result.hijacked += p.hijacked;
+    result.lagged += p.lagged;
+    result.silent_invalid += p.silent_invalid;
   }
   return result;
 }

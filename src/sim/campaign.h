@@ -12,6 +12,14 @@
 //                     transition (still in the previous golden state)
 //   silent_invalid  — register holds a non-codeword, never detected
 //                     (impossible for SCFI, common for unprotected FSMs)
+//
+// Execution is two-phase. Planning draws every walk and fault schedule from
+// a single sequential RNG in run order, so the plan depends only on the
+// seed. Execution packs `lanes` runs into the bit-parallel simulator (one
+// lane per run) and, with `threads` > 1, shards whole batches across worker
+// threads. Because the plan is fixed before execution and per-run outcomes
+// are independent, the aggregate CampaignResult is bit-identical for every
+// combination of `lanes` and `threads`.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +30,8 @@
 
 namespace scfi::sim {
 
+/// Campaign parameters. Raw-input (unencoded) variants support at most 64
+/// control bits; symbol-encoded variants are unrestricted.
 struct CampaignConfig {
   int runs = 1000;
   int cycles = 24;        ///< length of each control-flow walk
@@ -29,6 +39,8 @@ struct CampaignConfig {
   FaultTarget target = FaultTarget::kAny;
   FaultKind kind = FaultKind::kTransientFlip;
   std::uint64_t seed = 1;
+  int lanes = kNumLanes;  ///< runs per simulator batch (1..64); 1 = scalar
+  int threads = 1;        ///< worker threads sharding batches (<=1 = inline)
 };
 
 struct CampaignResult {
@@ -47,6 +59,8 @@ struct CampaignResult {
   double detection_rate() const {
     return effective() > 0 ? static_cast<double>(detected) / effective() : 1.0;
   }
+
+  bool operator==(const CampaignResult& other) const = default;
 };
 
 /// Runs the campaign on `variant` (any of the three compiled forms).

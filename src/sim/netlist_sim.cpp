@@ -23,32 +23,30 @@ std::int32_t Simulator::net_of(const SigBit& bit) const {
   return it->second + bit.offset;
 }
 
+std::int32_t Simulator::net_index(const SigBit& bit) const {
+  const std::int32_t net = net_of(bit);
+  check(net >= 2, "Simulator::net_index: constant bit has no net");
+  return net;
+}
+
 std::int32_t Simulator::temp_net() {
   values_.push_back(0);
-  faults_.push_back(FaultKind::kNone);
+  mask_and_.push_back(kAllLanes);
+  mask_xor_.push_back(0);
   return static_cast<std::int32_t>(values_.size()) - 1;
 }
 
-bool Simulator::load(std::int32_t net) const {
-  bool v = values_[static_cast<std::size_t>(net)] != 0;
-  switch (faults_[static_cast<std::size_t>(net)]) {
-    case FaultKind::kNone: return v;
-    case FaultKind::kStuckAt0: return false;
-    case FaultKind::kStuckAt1: return true;
-    case FaultKind::kTransientFlip: return !v;
-  }
-  return v;
-}
-
 void Simulator::compile() {
-  // Nets 0 and 1 are the constants.
+  // Nets 0 and 1 are the constants, in every lane.
   values_.assign(2, 0);
-  values_[1] = 1;
-  faults_.assign(2, FaultKind::kNone);
+  values_[1] = kAllLanes;
+  mask_and_.assign(2, kAllLanes);
+  mask_xor_.assign(2, 0);
   for (const rtlil::Wire* w : module_->wires()) {
     wire_base_[w] = static_cast<std::int32_t>(values_.size());
     values_.resize(values_.size() + static_cast<std::size_t>(w->width()), 0);
-    faults_.resize(values_.size(), FaultKind::kNone);
+    mask_and_.resize(values_.size(), kAllLanes);
+    mask_xor_.resize(values_.size(), 0);
   }
   const rtlil::NetlistIndex index(*module_);
   for (const Cell* cell : index.topo_comb()) compile_cell(*cell);
@@ -59,6 +57,7 @@ void Simulator::compile() {
       ffs_.push_back(FlatFf{net_of(d.bit(i)), net_of(q.bit(i)), ff->reset_value().bit(i)});
     }
   }
+  latch_buf_.resize(ffs_.size());
 }
 
 void Simulator::emit_tree(FlatOp::Kind kind, std::vector<std::int32_t> terms, std::int32_t out) {
@@ -180,95 +179,150 @@ void Simulator::compile_cell(const Cell& cell) {
 void Simulator::reset() {
   clear_all_faults();
   for (auto& v : values_) v = 0;
-  values_[1] = 1;
-  for (const FlatFf& ff : ffs_) values_[static_cast<std::size_t>(ff.q)] = ff.reset ? 1 : 0;
+  values_[1] = kAllLanes;
+  for (const FlatFf& ff : ffs_) {
+    values_[static_cast<std::size_t>(ff.q)] = ff.reset ? kAllLanes : 0;
+  }
   eval();
 }
 
-void Simulator::set_input(const std::string& wire, std::uint64_t value) {
+Simulator::WireHandle Simulator::probe(const std::string& wire) const {
   const rtlil::Wire* w = module_->wire(wire);
-  require(w != nullptr && w->is_input(), "Simulator::set_input: no input wire " + wire);
-  const std::int32_t base = wire_base_.at(w);
-  for (int i = 0; i < w->width(); ++i) {
-    values_[static_cast<std::size_t>(base + i)] = (value >> i) & 1;
+  require(w != nullptr, "Simulator::probe: no wire " + wire);
+  return WireHandle{wire_base_.at(w), w->width()};
+}
+
+Simulator::WireHandle Simulator::input_handle(const std::string& wire) const {
+  const rtlil::Wire* w = module_->wire(wire);
+  require(w != nullptr && w->is_input(), "Simulator::input_handle: no input wire " + wire);
+  return WireHandle{wire_base_.at(w), w->width()};
+}
+
+void Simulator::set_input(WireHandle h, std::uint64_t value) {
+  for (std::int32_t i = 0; i < h.width; ++i) {
+    values_[static_cast<std::size_t>(h.base + i)] = ((value >> i) & 1) ? kAllLanes : 0;
   }
 }
 
-std::uint64_t Simulator::get(const std::string& wire) const {
-  const rtlil::Wire* w = module_->wire(wire);
-  require(w != nullptr, "Simulator::get: no wire " + wire);
-  check(w->width() <= 64, "Simulator::get: wire too wide");
-  const std::int32_t base = wire_base_.at(w);
+void Simulator::set_input_lane(WireHandle h, int lane, std::uint64_t value) {
+  const std::uint64_t bit = 1ULL << lane;
+  for (std::int32_t i = 0; i < h.width; ++i) {
+    auto& word = values_[static_cast<std::size_t>(h.base + i)];
+    word = (word & ~bit) | (((value >> i) & 1) ? bit : 0);
+  }
+}
+
+void Simulator::set_input_word(WireHandle h, int bit, std::uint64_t lanes) {
+  check(bit >= 0 && bit < h.width, "Simulator::set_input_word: bit out of range");
+  values_[static_cast<std::size_t>(h.base + bit)] = lanes;
+}
+
+void Simulator::set_register(WireHandle h, std::uint64_t value) {
+  for (std::int32_t i = 0; i < h.width; ++i) {
+    values_[static_cast<std::size_t>(h.base + i)] = ((value >> i) & 1) ? kAllLanes : 0;
+  }
+}
+
+std::uint64_t Simulator::get_lane(WireHandle h, int lane) const {
+  check(h.width <= 64, "Simulator::get_lane: wire too wide");
   std::uint64_t v = 0;
-  for (int i = 0; i < w->width(); ++i) {
-    if (load(base + i)) v |= 1ULL << i;
+  for (std::int32_t i = 0; i < h.width; ++i) {
+    v |= ((load(h.base + i) >> lane) & 1) << i;
   }
   return v;
 }
 
-bool Simulator::get_bit(const SigBit& bit) const { return load(net_of(bit)); }
+void Simulator::set_input(const std::string& wire, std::uint64_t value) {
+  set_input(input_handle(wire), value);
+}
+
+std::uint64_t Simulator::get(const std::string& wire) const {
+  const WireHandle h = probe(wire);
+  check(h.width <= 64, "Simulator::get: wire too wide");
+  return get_lane(h, 0);
+}
+
+bool Simulator::get_bit(const SigBit& bit) const { return (load(net_of(bit)) & 1) != 0; }
 
 void Simulator::eval() {
   for (const FlatOp& op : ops_) {
-    bool v = false;
+    std::uint64_t v = 0;
     switch (op.kind) {
       case FlatOp::Kind::kBuf: v = load(op.a); break;
-      case FlatOp::Kind::kNot: v = !load(op.a); break;
-      case FlatOp::Kind::kAnd: v = load(op.a) && load(op.b); break;
-      case FlatOp::Kind::kOr: v = load(op.a) || load(op.b); break;
-      case FlatOp::Kind::kXor: v = load(op.a) != load(op.b); break;
-      case FlatOp::Kind::kXnor: v = load(op.a) == load(op.b); break;
-      case FlatOp::Kind::kMux: v = load(op.c) ? load(op.b) : load(op.a); break;
-      case FlatOp::Kind::kAoi21: v = !((load(op.a) && load(op.b)) || load(op.c)); break;
-      case FlatOp::Kind::kOai21: v = !((load(op.a) || load(op.b)) && load(op.c)); break;
-      case FlatOp::Kind::kNand: v = !(load(op.a) && load(op.b)); break;
-      case FlatOp::Kind::kNor: v = !(load(op.a) || load(op.b)); break;
+      case FlatOp::Kind::kNot: v = ~load(op.a); break;
+      case FlatOp::Kind::kAnd: v = load(op.a) & load(op.b); break;
+      case FlatOp::Kind::kOr: v = load(op.a) | load(op.b); break;
+      case FlatOp::Kind::kXor: v = load(op.a) ^ load(op.b); break;
+      case FlatOp::Kind::kXnor: v = ~(load(op.a) ^ load(op.b)); break;
+      case FlatOp::Kind::kMux: {
+        const std::uint64_t s = load(op.c);
+        v = (s & load(op.b)) | (~s & load(op.a));
+        break;
+      }
+      case FlatOp::Kind::kAoi21: v = ~((load(op.a) & load(op.b)) | load(op.c)); break;
+      case FlatOp::Kind::kOai21: v = ~((load(op.a) | load(op.b)) & load(op.c)); break;
+      case FlatOp::Kind::kNand: v = ~(load(op.a) & load(op.b)); break;
+      case FlatOp::Kind::kNor: v = ~(load(op.a) | load(op.b)); break;
     }
-    values_[static_cast<std::size_t>(op.out)] = v ? 1 : 0;
+    values_[static_cast<std::size_t>(op.out)] = v;
   }
 }
 
 void Simulator::step() {
   eval();
-  std::vector<std::uint8_t> latched;
-  latched.reserve(ffs_.size());
-  for (const FlatFf& ff : ffs_) latched.push_back(load(ff.d) ? 1 : 0);
+  for (std::size_t i = 0; i < ffs_.size(); ++i) latch_buf_[i] = load(ffs_[i].d);
   for (std::size_t i = 0; i < ffs_.size(); ++i) {
-    values_[static_cast<std::size_t>(ffs_[i].q)] = latched[i];
+    values_[static_cast<std::size_t>(ffs_[i].q)] = latch_buf_[i];
   }
-  // Transient faults last one cycle.
-  for (const std::int32_t net : transient_nets_) {
-    if (faults_[static_cast<std::size_t>(net)] == FaultKind::kTransientFlip) {
-      faults_[static_cast<std::size_t>(net)] = FaultKind::kNone;
-    }
+  // Transient faults last one cycle: drop the flip in the recorded lanes.
+  // Stuck lanes have mask_and_ = 0 there, so they are untouched.
+  for (const auto& [net, lanes] : transient_nets_) {
+    const auto n = static_cast<std::size_t>(net);
+    mask_xor_[n] &= ~(mask_and_[n] & lanes);
   }
   transient_nets_.clear();
   eval();
 }
 
 void Simulator::set_register(const std::string& wire, std::uint64_t value) {
-  const rtlil::Wire* w = module_->wire(wire);
-  require(w != nullptr, "Simulator::set_register: no wire " + wire);
-  const std::int32_t base = wire_base_.at(w);
-  for (int i = 0; i < w->width(); ++i) {
-    values_[static_cast<std::size_t>(base + i)] = (value >> i) & 1;
-  }
+  set_register(probe(wire), value);
   eval();
 }
 
-void Simulator::inject(const SigBit& bit, FaultKind kind) {
-  const std::int32_t net = net_of(bit);
+void Simulator::inject(const SigBit& bit, FaultKind kind, LaneMask lanes) {
+  inject_net(net_of(bit), kind, lanes);
+}
+
+void Simulator::inject_net(std::int32_t net, FaultKind kind, LaneMask lanes) {
   check(net >= 2, "Simulator::inject: cannot fault a constant");
-  faults_[static_cast<std::size_t>(net)] = kind;
-  if (kind == FaultKind::kTransientFlip) transient_nets_.push_back(net);
+  const auto n = static_cast<std::size_t>(net);
+  // Clear the affected lanes back to pass-through, then overlay the fault.
+  mask_and_[n] |= lanes;
+  mask_xor_[n] &= ~lanes;
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kStuckAt0:
+      mask_and_[n] &= ~lanes;
+      break;
+    case FaultKind::kStuckAt1:
+      mask_and_[n] &= ~lanes;
+      mask_xor_[n] |= lanes;
+      break;
+    case FaultKind::kTransientFlip:
+      mask_xor_[n] |= lanes;
+      transient_nets_.emplace_back(net, lanes);
+      break;
+  }
 }
 
 void Simulator::clear_fault(const SigBit& bit) {
-  faults_[static_cast<std::size_t>(net_of(bit))] = FaultKind::kNone;
+  inject_net(net_of(bit), FaultKind::kNone, kAllLanes);
 }
 
 void Simulator::clear_all_faults() {
-  for (auto& f : faults_) f = FaultKind::kNone;
+  std::fill(mask_and_.begin(), mask_and_.end(), kAllLanes);
+  std::fill(mask_xor_.begin(), mask_xor_.end(), 0);
   transient_nets_.clear();
 }
 

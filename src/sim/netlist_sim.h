@@ -1,10 +1,23 @@
-// Cycle-accurate two-valued netlist simulator with fault injection.
+// Cycle-accurate two-valued netlist simulator with fault injection,
+// bit-parallel over 64 independent lanes.
 //
 // The module (word-level, gate-level, or mixed) is flattened once into a
-// topologically-ordered list of bit operations; eval() interprets that list.
-// Faults are applied at *read* time, so a stuck or flipped net corrupts every
-// consumer (combinational logic, flip-flop D pins, and observers alike) —
-// matching the transient/stuck-at fault model of the paper (§2.1).
+// topologically-ordered list of bit operations. Every net stores a 64-bit
+// word whose bit k is the net's value in lane k, so one eval() advances 64
+// independent simulations at once (parallel-pattern simulation, the classic
+// fault-simulation speedup). Gate ops are full-word bitwise expressions.
+//
+// Faults are per-net, per-lane masks applied at *read* time, so a stuck or
+// flipped net corrupts every consumer (combinational logic, flip-flop D pins,
+// and observers alike) — matching the transient/stuck-at fault model of the
+// paper (§2.1) — and different lanes can fault different sites and cycles in
+// the same pass.
+//
+// The string-based API drives and reads lane 0 and broadcasts writes to all
+// lanes, so single-lane callers see exactly the scalar semantics. Hot loops
+// should pre-resolve WireHandles (input_handle()/probe()) and net indices
+// once and then use the handle/lane entry points, which never touch
+// std::string or hash maps.
 #pragma once
 
 #include <cstdint>
@@ -23,35 +36,81 @@ enum class FaultKind : std::uint8_t {
   kTransientFlip,  ///< cleared automatically at the end of the next step()
 };
 
+/// Number of independent simulation lanes per Simulator instance.
+inline constexpr int kNumLanes = 64;
+
+/// Bit k set = lane k is affected.
+using LaneMask = std::uint64_t;
+inline constexpr LaneMask kAllLanes = ~0ULL;
+
 class Simulator {
  public:
+  /// Pre-resolved wire reference: contiguous net indices [base, base+width).
+  struct WireHandle {
+    std::int32_t base = -1;
+    std::int32_t width = 0;
+    bool valid() const { return base >= 0; }
+  };
+
   explicit Simulator(const rtlil::Module& module);
 
   const rtlil::Module& module() const { return *module_; }
 
-  /// Applies flip-flop reset values and zeroes all inputs, then settles.
+  /// Applies flip-flop reset values and zeroes all inputs (all lanes), then
+  /// settles. Also clears every fault.
   void reset();
 
-  /// Drives an input wire (value is LSB-first over the wire bits).
+  /// Drives an input wire in every lane (value is LSB-first over the wire
+  /// bits).
   void set_input(const std::string& wire, std::uint64_t value);
 
-  /// Current value of a wire (fault-corrected, as consumers see it).
+  /// Lane-0 value of a wire (fault-corrected, as consumers see it).
   std::uint64_t get(const std::string& wire) const;
   bool get_bit(const rtlil::SigBit& bit) const;
 
-  /// Settles combinational logic for the current inputs/state.
+  /// Settles combinational logic for the current inputs/state (all lanes).
   void eval();
 
   /// One clock cycle: settle, latch every flip-flop, clear transients,
   /// settle again.
   void step();
 
-  /// Overwrites the stored value of a register output bit (direct state
-  /// corruption, e.g. modelling a fault that already latched).
+  /// Overwrites the stored value of a register output bit in every lane
+  /// (direct state corruption, e.g. modelling a fault that already latched),
+  /// then settles.
   void set_register(const std::string& wire, std::uint64_t value);
 
+  // --- pre-resolved handles (hot paths; no strings, no hashing) -----------
+
+  /// Handle for driving an input wire. Throws when `wire` is not an input.
+  WireHandle input_handle(const std::string& wire) const;
+  /// Handle for observing any wire.
+  WireHandle probe(const std::string& wire) const;
+  /// Net index of a (non-constant) signal bit.
+  std::int32_t net_index(const rtlil::SigBit& bit) const;
+
+  /// Drives every lane of an input wire with the same value.
+  void set_input(WireHandle h, std::uint64_t value);
+  /// Drives one lane of an input wire, leaving the other lanes untouched.
+  void set_input_lane(WireHandle h, int lane, std::uint64_t value);
+  /// Drives one bit of an input wire with an explicit 64-lane word.
+  void set_input_word(WireHandle h, int bit, std::uint64_t lanes);
+  /// Overwrites the stored register value in every lane; does NOT settle.
+  void set_register(WireHandle h, std::uint64_t value);
+  /// Fault-corrected wire value as one lane sees it.
+  std::uint64_t get_lane(WireHandle h, int lane) const;
+  std::uint64_t get(WireHandle h) const { return get_lane(h, 0); }
+  /// Fault-corrected 64-lane word of a single net.
+  std::uint64_t lane_word(std::int32_t net) const { return load(net); }
+
   // --- fault injection ----------------------------------------------------
-  void inject(const rtlil::SigBit& bit, FaultKind kind);
+
+  /// Injects in every lane (scalar semantics).
+  void inject(const rtlil::SigBit& bit, FaultKind kind) { inject(bit, kind, kAllLanes); }
+  /// Injects in the given lanes only; other lanes keep their faults.
+  void inject(const rtlil::SigBit& bit, FaultKind kind, LaneMask lanes);
+  /// Same, on a pre-resolved net index.
+  void inject_net(std::int32_t net, FaultKind kind, LaneMask lanes);
   void clear_fault(const rtlil::SigBit& bit);
   void clear_all_faults();
 
@@ -77,7 +136,14 @@ class Simulator {
 
   std::int32_t net_of(const rtlil::SigBit& bit) const;
   std::int32_t temp_net();
-  bool load(std::int32_t net) const;
+
+  /// Fault-corrected 64-lane word: lanes with a stuck fault have
+  /// mask_and_ = 0 (and mask_xor_ = the stuck value); lanes with a transient
+  /// flip have mask_xor_ = 1. Unfaulted lanes pass through.
+  std::uint64_t load(std::int32_t net) const {
+    const auto n = static_cast<std::size_t>(net);
+    return (values_[n] & mask_and_[n]) ^ mask_xor_[n];
+  }
 
   void compile();
   void compile_cell(const rtlil::Cell& cell);
@@ -86,11 +152,14 @@ class Simulator {
 
   const rtlil::Module* module_;
   std::unordered_map<const rtlil::Wire*, std::int32_t> wire_base_;
-  std::vector<std::uint8_t> values_;
-  std::vector<FaultKind> faults_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> mask_and_;
+  std::vector<std::uint64_t> mask_xor_;
   std::vector<FlatOp> ops_;
   std::vector<FlatFf> ffs_;
-  std::vector<std::int32_t> transient_nets_;  ///< for automatic clearing
+  std::vector<std::uint64_t> latch_buf_;  ///< scratch for step(), avoids reallocating
+  /// Nets (and lanes) carrying a transient flip, for automatic clearing.
+  std::vector<std::pair<std::int32_t, LaneMask>> transient_nets_;
 };
 
 }  // namespace scfi::sim

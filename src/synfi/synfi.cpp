@@ -59,23 +59,32 @@ SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfi
 
   if (config.backend == Backend::kExhaustiveSim) {
     sim::Simulator simulator(module);
+    // Pre-resolve interface wires and fault nets so the injection loop never
+    // touches strings or hash maps.
+    const sim::Simulator::WireHandle symbol_h =
+        simulator.input_handle(variant.symbol_input_wire);
+    const sim::Simulator::WireHandle state_h = simulator.probe(variant.state_wire);
+    sim::Simulator::WireHandle alert_h;
+    if (!variant.alert_wire.empty()) alert_h = simulator.probe(variant.alert_wire);
+    std::vector<std::uint64_t> edge_code;
+    edge_code.reserve(edges.size());
+    for (const CfgEdge& edge : edges) edge_code.push_back(variant.symbol_codes.at(edge.symbol));
     for (const SigBit& site : sites) {
+      const std::int32_t site_net = simulator.net_index(site);
       bool site_exploitable = false;
-      for (const CfgEdge& edge : edges) {
+      for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+        const CfgEdge& edge = edges[ei];
         ++report.injections;
         simulator.clear_all_faults();
-        simulator.set_input(variant.symbol_input_wire, variant.symbol_codes.at(edge.symbol));
-        simulator.set_register(variant.state_wire,
+        simulator.set_input(symbol_h, edge_code[ei]);
+        simulator.set_register(state_h,
                                variant.state_codes[static_cast<std::size_t>(edge.from)]);
-        simulator.inject(site, config.kind);
+        simulator.inject_net(site_net, config.kind, sim::kAllLanes);
         simulator.eval();
-        const bool alert_pre =
-            !variant.alert_wire.empty() && simulator.get(variant.alert_wire) != 0;
+        const bool alert_pre = alert_h.valid() && simulator.get(alert_h) != 0;
         simulator.step();
-        simulator.eval();
-        const bool alert_post =
-            !variant.alert_wire.empty() && simulator.get(variant.alert_wire) != 0;
-        const std::uint64_t next = simulator.get(variant.state_wire);
+        const bool alert_post = alert_h.valid() && simulator.get(alert_h) != 0;
+        const std::uint64_t next = simulator.get(state_h);
         const std::uint64_t expected =
             variant.state_codes[static_cast<std::size_t>(edge.to)];
         if (next == expected && !alert_pre) {
