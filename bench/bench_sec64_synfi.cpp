@@ -4,10 +4,24 @@
 // bit-flips into the (gate-level) MDS multiplication and finds 32 (0.42%)
 // that hijack a transition. We report the same experiment on both the
 // word-level netlist and the technology-mapped netlist, plus the SAT
-// back-end as a cross-check on a reduced region.
+// back-end as a cross-check.
+//
+// The second half benchmarks the analysis engines themselves:
+//   * exhaustive simulation, scalar (lanes=1) vs 64 batched injection jobs
+//     per simulator pass (and the `threads` knob on top), and
+//   * the SAT back-end, per-query miter rebuild vs the incremental
+//     selector-gated solver answering every query via assumptions.
+//
+// Flags: --quick  (one timing iteration; CI smoke mode)
+//        --json   (machine-readable metrics only, for scripts/bench_to_json.sh)
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 
 #include "core/harden.h"
+#include "ot/zoo.h"
 #include "rtlil/design.h"
 #include "synfi/synfi.h"
 #include "synth/lower.h"
@@ -33,57 +47,170 @@ scfi::fsm::Fsm synfi_fsm() {
 }
 
 void report(const char* label, const scfi::synfi::SynfiReport& r) {
-  std::printf("%-34s sites=%5d injections=%6d exploitable=%4d (%.2f%%) "
-              "detected=%6d masked=%5d stalls=%d\n",
-              label, r.sites, r.injections, r.exploitable, r.exploitable_pct(), r.detected,
-              r.masked, r.stalls);
+  std::printf("%-34s sites=%5lld injections=%6lld exploitable=%4lld (%.2f%%) "
+              "detected=%6lld masked=%5lld stalls=%lld\n",
+              label, static_cast<long long>(r.sites), static_cast<long long>(r.injections),
+              static_cast<long long>(r.exploitable), r.exploitable_pct(),
+              static_cast<long long>(r.detected), static_cast<long long>(r.masked),
+              static_cast<long long>(r.stalls));
+}
+
+/// Runs `iters` full sweeps and returns injections (queries) per second.
+double time_sweeps(const scfi::fsm::Fsm& f, const scfi::fsm::CompiledFsm& c,
+                   const scfi::synfi::SynfiConfig& config, int iters,
+                   scfi::synfi::SynfiReport* out = nullptr) {
+  using clock = std::chrono::steady_clock;
+  std::int64_t injections = 0;
+  const auto t0 = clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const scfi::synfi::SynfiReport r = scfi::synfi::analyze(f, c, config);
+    injections += r.injections;
+    if (out != nullptr) *out = r;
+  }
+  const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
+  return seconds > 0 ? static_cast<double>(injections) / seconds : 0.0;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Formal security analysis (paper §6.4): exhaustive single bit-flips into\n");
-  std::printf("the MDS diffusion logic of a 14-transition FSM hardened at N=2.\n");
-  std::printf("Paper reference: 7644 injections, 32 exploitable (0.42%%).\n\n");
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
 
   const scfi::fsm::Fsm f = synfi_fsm();
   scfi::core::ScfiConfig config;
   config.protection_level = 2;
 
-  {
-    scfi::rtlil::Design d;
-    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
-    scfi::synfi::SynfiConfig synfi_config;
-    report("word-level MDS region (sim)", scfi::synfi::analyze(f, c, synfi_config));
-    synfi_config.backend = scfi::synfi::Backend::kSat;
-    report("word-level MDS region (SAT)", scfi::synfi::analyze(f, c, synfi_config));
+  if (!json) {
+    std::printf("Formal security analysis (paper §6.4): exhaustive single bit-flips into\n");
+    std::printf("the MDS diffusion logic of a 14-transition FSM hardened at N=2.\n");
+    std::printf("Paper reference: 7644 injections, 32 exploitable (0.42%%).\n\n");
+
+    {
+      scfi::rtlil::Design d;
+      const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+      scfi::synfi::SynfiConfig synfi_config;
+      report("word-level MDS region (sim)", scfi::synfi::analyze(f, c, synfi_config));
+      synfi_config.backend = scfi::synfi::Backend::kSat;
+      report("word-level MDS region (SAT)", scfi::synfi::analyze(f, c, synfi_config));
+    }
+    {
+      // Gate level without optimization: every XOR2 of the diffusion network
+      // stays a distinct fault site, matching the paper's per-gate injection.
+      scfi::rtlil::Design d;
+      const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+      scfi::synth::lower_to_gates(*c.module);
+      scfi::synfi::SynfiConfig synfi_config;
+      report("gate-level MDS region (sim)", scfi::synfi::analyze(f, c, synfi_config));
+    }
+    {
+      // Whole next-state logic with transient flips: exposes the small
+      // pattern-match/modifier-select residual the paper documents in §7.
+      scfi::rtlil::Design d;
+      const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+      scfi::synfi::SynfiConfig synfi_config;
+      synfi_config.wire_prefix = "";
+      report("whole logic, transient (sim)", scfi::synfi::analyze(f, c, synfi_config));
+    }
+    {
+      // Whole next-state logic, stuck-at faults, as an extended experiment.
+      scfi::rtlil::Design d;
+      const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+      scfi::synfi::SynfiConfig synfi_config;
+      synfi_config.wire_prefix = "";
+      synfi_config.kind = scfi::sim::FaultKind::kStuckAt1;
+      report("whole logic, stuck-at-1 (sim)", scfi::synfi::analyze(f, c, synfi_config));
+    }
+    std::printf("\nAnalysis-engine throughput:\n");
   }
-  {
-    // Gate level without optimization: every XOR2 of the diffusion network
-    // stays a distinct fault site, matching the paper's per-gate injection.
-    scfi::rtlil::Design d;
-    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
-    scfi::synth::lower_to_gates(*c.module);
-    scfi::synfi::SynfiConfig synfi_config;
-    report("gate-level MDS region (sim)", scfi::synfi::analyze(f, c, synfi_config));
+
+  // --- engine benchmarks ----------------------------------------------------
+
+  // Exhaustive engine on an OpenTitan-zoo-scale sweep (the workload the
+  // batching targets: thousands of (site, edge) jobs over one variant).
+  const scfi::ot::OtEntry ot_entry = scfi::ot::ot_entry("i2c_fsm");
+  scfi::rtlil::Design ot_design;
+  const scfi::fsm::CompiledFsm ot_variant = scfi::ot::build_ot_variant(
+      ot_entry, ot_design, scfi::ot::Variant::kScfi, 2, "i2c_fsm_bench");
+  const int hw_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int sim_iters = quick ? 1 : 10;
+  const int sat_iters = quick ? 1 : 3;
+
+  scfi::synfi::SynfiConfig sweep;
+  scfi::synfi::SynfiReport scalar_report;
+  scfi::synfi::SynfiReport batched_report;
+  sweep.lanes = 1;
+  sweep.threads = 1;
+  const double sim_scalar =
+      time_sweeps(ot_entry.fsm, ot_variant, sweep, sim_iters, &scalar_report);
+  sweep.lanes = 64;
+  const double sim_batched =
+      time_sweeps(ot_entry.fsm, ot_variant, sweep, sim_iters, &batched_report);
+  sweep.threads = hw_threads;
+  scfi::synfi::SynfiReport threaded_report;
+  const double sim_threaded =
+      time_sweeps(ot_entry.fsm, ot_variant, sweep, sim_iters, &threaded_report);
+
+  // SAT engine on the §6.4 module, where the per-query rebuild baseline is
+  // still tractable.
+  scfi::rtlil::Design d;
+  const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
+  scfi::synfi::SynfiConfig sat_sweep;
+  sat_sweep.backend = scfi::synfi::Backend::kSat;
+  sat_sweep.sat_incremental = false;
+  scfi::synfi::SynfiReport sat_rebuild_report;
+  scfi::synfi::SynfiReport sat_incremental_report;
+  const double sat_rebuild = time_sweeps(f, c, sat_sweep, sat_iters, &sat_rebuild_report);
+  sat_sweep.sat_incremental = true;
+  const double sat_incremental =
+      time_sweeps(f, c, sat_sweep, sat_iters, &sat_incremental_report);
+
+  const bool engines_agree = scalar_report == batched_report &&
+                             scalar_report == threaded_report &&
+                             sat_rebuild_report == sat_incremental_report;
+  const double batch_speedup = sim_scalar > 0 ? sim_batched / sim_scalar : 0.0;
+  const double sat_speedup = sat_rebuild > 0 ? sat_incremental / sat_rebuild : 0.0;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"bench\": \"synfi\",\n");
+    std::printf("  \"unit\": \"injections_per_second\",\n");
+    std::printf("  \"exhaustive_module\": \"i2c_fsm_scfi_n2\",\n");
+    std::printf("  \"exhaustive_region\": \"mds_\",\n");
+    std::printf("  \"exhaustive_injections_per_sweep\": %lld,\n",
+                static_cast<long long>(scalar_report.injections));
+    std::printf("  \"engines_agree\": %s,\n", engines_agree ? "true" : "false");
+    std::printf("  \"exhaustive_scalar\": %.1f,\n", sim_scalar);
+    std::printf("  \"exhaustive_batched64\": %.1f,\n", sim_batched);
+    std::printf("  \"exhaustive_batched64_threads\": %.1f,\n", sim_threaded);
+    std::printf("  \"exhaustive_batch_speedup\": %.2f,\n", batch_speedup);
+    std::printf("  \"sat_module\": \"synfi14_n2\",\n");
+    std::printf("  \"sat_queries_per_sweep\": %lld,\n",
+                static_cast<long long>(sat_rebuild_report.injections));
+    std::printf("  \"sat_rebuild\": %.1f,\n", sat_rebuild);
+    std::printf("  \"sat_incremental\": %.1f,\n", sat_incremental);
+    std::printf("  \"sat_incremental_speedup\": %.2f,\n", sat_speedup);
+    std::printf("  \"threads\": %d\n", hw_threads);
+    std::printf("}\n");
+  } else {
+    std::printf("  exhaustive, i2c_fsm MDS region (%lld injections/sweep):\n",
+                static_cast<long long>(scalar_report.injections));
+    std::printf("    scalar  (lanes=1)               %12.0f inj/s\n", sim_scalar);
+    std::printf("    batched (lanes=64)              %12.0f inj/s  (%.1fx)\n", sim_batched,
+                batch_speedup);
+    std::printf("    batched + %2d threads            %12.0f inj/s\n", hw_threads,
+                sim_threaded);
+    std::printf("  SAT, synfi14 MDS region (%lld queries/sweep):\n",
+                static_cast<long long>(sat_rebuild_report.injections));
+    std::printf("    rebuild-per-query               %12.0f q/s\n", sat_rebuild);
+    std::printf("    incremental (assumptions)       %12.0f q/s  (%.1fx)\n", sat_incremental,
+                sat_speedup);
+    std::printf("  engine reports bit-identical:     %s\n", engines_agree ? "yes" : "NO");
   }
-  {
-    // Whole next-state logic with transient flips: exposes the small
-    // pattern-match/modifier-select residual the paper documents in §7.
-    scfi::rtlil::Design d;
-    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
-    scfi::synfi::SynfiConfig synfi_config;
-    synfi_config.wire_prefix = "";
-    report("whole logic, transient (sim)", scfi::synfi::analyze(f, c, synfi_config));
-  }
-  {
-    // Whole next-state logic, stuck-at faults, as an extended experiment.
-    scfi::rtlil::Design d;
-    const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
-    scfi::synfi::SynfiConfig synfi_config;
-    synfi_config.wire_prefix = "";
-    synfi_config.kind = scfi::sim::FaultKind::kStuckAt1;
-    report("whole logic, stuck-at-1 (sim)", scfi::synfi::analyze(f, c, synfi_config));
-  }
-  return 0;
+  return engines_agree ? 0 : 1;
 }

@@ -15,3 +15,8 @@ if [[ -x build/bench_micro ]]; then
 else
   echo "bench_micro not built (google-benchmark unavailable); skipping bench smoke"
 fi
+
+# SYNFI engine smoke test (one timing iteration): exercises the batched
+# exhaustive backend and the incremental SAT backend, and exits non-zero if
+# their reports ever diverge from the scalar/rebuild baselines.
+build/bench_sec64_synfi --quick

@@ -132,8 +132,10 @@ int main(int argc, char** argv) {
     }
     if (command == "synfi") {
       const scfi::synfi::SynfiReport r = scfi::synfi::analyze(fsm, hard);
-      std::printf("synfi: %d sites, %d injections, %d exploitable (%.2f%%), %d detected\n",
-                  r.sites, r.injections, r.exploitable, r.exploitable_pct(), r.detected);
+      std::printf("synfi: %lld sites, %lld injections, %lld exploitable (%.2f%%), %lld detected\n",
+                  static_cast<long long>(r.sites), static_cast<long long>(r.injections),
+                  static_cast<long long>(r.exploitable), r.exploitable_pct(),
+                  static_cast<long long>(r.detected));
       return 0;
     }
     if (command == "attack") {

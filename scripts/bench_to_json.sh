@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Captures simulator/campaign throughput into BENCH_sim.json so the perf
-# trajectory of the batched engine is recorded per PR.
+# Captures simulator/campaign throughput into BENCH_sim.json and the SYNFI
+# analysis-engine throughput into BENCH_synfi.json so the perf trajectory of
+# the batched engines is recorded per PR.
 #
-# Usage: scripts/bench_to_json.sh [build_dir] [output_json]
+# Usage: scripts/bench_to_json.sh [build_dir] [sim_output_json] [synfi_output_json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_sim.json}"
+SYNFI_OUT="${3:-BENCH_synfi.json}"
 BENCH="$BUILD_DIR/bench_micro"
+SYNFI_BENCH="$BUILD_DIR/bench_sec64_synfi"
 
 if [[ ! -x "$BENCH" ]]; then
   echo "error: $BENCH not found; build with benchmarks enabled first" >&2
@@ -45,3 +48,21 @@ if scalar and batched:
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print(f"wrote {sys.argv[2]}")
 EOF
+
+# SYNFI analysis engines: batched-vs-scalar exhaustive simulation and
+# incremental-vs-rebuild SAT. The bench emits the JSON itself; validate and
+# pretty-print it through python so a malformed run cannot land in the repo.
+if [[ -x "$SYNFI_BENCH" ]]; then
+  "$SYNFI_BENCH" --json > "$RAW"
+  python3 - "$RAW" "$SYNFI_OUT" <<'EOF'
+import json, sys
+
+out = json.load(open(sys.argv[1]))
+assert out.get("bench") == "synfi", "unexpected bench payload"
+assert out.get("engines_agree") is True, "engine reports diverged; not recording"
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]}")
+EOF
+else
+  echo "warning: $SYNFI_BENCH not found; skipping $SYNFI_OUT" >&2
+fi

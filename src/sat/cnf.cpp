@@ -12,38 +12,72 @@ using rtlil::SigSpec;
 CnfCopy::CnfCopy(Solver& solver, const rtlil::Module& module,
                  const std::unordered_map<SigBit, int>& bound,
                  const std::optional<CnfFault>& fault)
-    : solver_(&solver), module_(&module), vars_(bound), fault_(fault) {
+    : CnfCopy(solver, module, bound,
+              fault ? std::vector<CnfFault>{*fault} : std::vector<CnfFault>{}) {}
+
+CnfCopy::CnfCopy(Solver& solver, const rtlil::Module& module,
+                 const std::unordered_map<SigBit, int>& bound,
+                 const std::vector<CnfFault>& faults)
+    : solver_(&solver), module_(&module), vars_(bound), faults_(faults) {
   const_true_ = solver.new_var();
   solver.add_unit(const_true_);
 
-  if (fault_) {
-    fault_var_ = solver.new_var();
+  // Allocate the readers' view of every faulted net up front so the cell
+  // encoding below routes consumers through it.
+  fault_vars_.reserve(faults_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    check(!faults_[i].bit.is_const(), "CnfCopy: cannot fault a constant bit");
+    check(fault_index_.emplace(faults_[i].bit, i).second, "CnfCopy: duplicate fault site");
+    fault_vars_.push_back(solver.new_var());
   }
 
   const rtlil::NetlistIndex index(module);
   for (const Cell* cell : index.topo_comb()) encode_cell(*cell);
 
-  if (fault_) {
-    const int orig = lookup_driven_checked();
-    switch (fault_->kind) {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const CnfFault& f = faults_[i];
+    const int fv = fault_vars_[i];
+    // Ensure the faulted net has a variable even if nothing read it yet.
+    const int orig = lookup_driven(f.bit);
+    if (f.selector == 0) {
+      switch (f.kind) {
+        case CnfFaultKind::kFlip:
+          // fv == !orig
+          solver.add_binary(fv, orig);
+          solver.add_binary(-fv, -orig);
+          break;
+        case CnfFaultKind::kStuckAt0:
+          solver.add_unit(-fv);
+          break;
+        case CnfFaultKind::kStuckAt1:
+          solver.add_unit(fv);
+          break;
+      }
+      continue;
+    }
+    // Gated override: selector off means pass-through (fv == orig), so the
+    // same copy serves every query with exactly the selected fault active.
+    const Lit sel = f.selector;
+    switch (f.kind) {
       case CnfFaultKind::kFlip:
-        // fault_var == !orig
-        solver.add_binary(fault_var_, orig);
-        solver.add_binary(-fault_var_, -orig);
+        // fv == sel XOR orig
+        solver.add_ternary(-fv, sel, orig);
+        solver.add_ternary(-fv, -sel, -orig);
+        solver.add_ternary(fv, -sel, orig);
+        solver.add_ternary(fv, sel, -orig);
         break;
       case CnfFaultKind::kStuckAt0:
-        solver.add_unit(-fault_var_);
+        solver.add_binary(-sel, -fv);
+        solver.add_ternary(sel, -fv, orig);
+        solver.add_ternary(sel, fv, -orig);
         break;
       case CnfFaultKind::kStuckAt1:
-        solver.add_unit(fault_var_);
+        solver.add_binary(-sel, fv);
+        solver.add_ternary(sel, -fv, orig);
+        solver.add_ternary(sel, fv, -orig);
         break;
     }
   }
-}
-
-int CnfCopy::lookup_driven_checked() {
-  // Ensure the faulted net has a variable even if nothing read it yet.
-  return lookup_driven(fault_->bit);
 }
 
 int CnfCopy::lookup_driven(const SigBit& bit) {
@@ -55,8 +89,15 @@ int CnfCopy::lookup_driven(const SigBit& bit) {
   return v;
 }
 
+int CnfCopy::fault_override(const SigBit& bit) const {
+  if (fault_index_.empty() || bit.is_const()) return 0;
+  const auto it = fault_index_.find(bit);
+  return it != fault_index_.end() ? fault_vars_[it->second] : 0;
+}
+
 int CnfCopy::lookup(const SigBit& bit) {
-  if (fault_ && !bit.is_const() && bit == fault_->bit) return fault_var_;
+  const int fv = fault_override(bit);
+  if (fv != 0) return fv;
   return lookup_driven(bit);
 }
 
@@ -240,7 +281,8 @@ void CnfCopy::encode_cell(const Cell& cell) {
 }
 
 int CnfCopy::reader_var(const SigBit& bit) const {
-  if (fault_ && !bit.is_const() && bit == fault_->bit) return fault_var_;
+  const int fv = fault_override(bit);
+  if (fv != 0) return fv;
   return driven_var(bit);
 }
 

@@ -18,6 +18,13 @@ enum class CnfFaultKind { kFlip, kStuckAt0, kStuckAt1 };
 struct CnfFault {
   rtlil::SigBit bit;  ///< faulted net (as its readers see it)
   CnfFaultKind kind = CnfFaultKind::kFlip;
+  /// Activation literal: 0 = always-on (the classic single-fault miter).
+  /// Otherwise the override is conditional — selector true injects the
+  /// fault, selector false makes the net pass through unchanged. Gating
+  /// many faults on fresh selectors (plus `exactly_one`) turns one encoded
+  /// copy into a whole family of single-fault miters answerable via
+  /// `Solver::solve(assumptions)`.
+  Lit selector = 0;
 };
 
 /// One encoded copy of a module.
@@ -31,6 +38,12 @@ class CnfCopy {
   CnfCopy(Solver& solver, const rtlil::Module& module,
           const std::unordered_map<rtlil::SigBit, int>& bound,
           const std::optional<CnfFault>& fault = std::nullopt);
+
+  /// Same, with any number of (optionally selector-gated) fault overrides.
+  /// Fault sites must be distinct bits.
+  CnfCopy(Solver& solver, const rtlil::Module& module,
+          const std::unordered_map<rtlil::SigBit, int>& bound,
+          const std::vector<CnfFault>& faults);
 
   /// Variable carrying the value of `bit` as seen by readers in this copy
   /// (i.e. after the fault override, when it targets `bit`).
@@ -48,9 +61,10 @@ class CnfCopy {
   Solver& solver() const { return *solver_; }
 
  private:
+  /// Readers' view of a faulted net (0 when `bit` has no fault override).
+  int fault_override(const rtlil::SigBit& bit) const;
   int lookup(const rtlil::SigBit& bit);  ///< creates free vars on demand
   int lookup_driven(const rtlil::SigBit& bit);
-  int lookup_driven_checked();
   void encode_cell(const rtlil::Cell& cell);
   int emit_tree_and(std::vector<int> terms);
   int emit_and(int a, int b);
@@ -63,8 +77,9 @@ class CnfCopy {
   Solver* solver_;
   const rtlil::Module* module_;
   std::unordered_map<rtlil::SigBit, int> vars_;  ///< driven values
-  std::optional<CnfFault> fault_;
-  int fault_var_ = 0;  ///< readers' view of the faulted net
+  std::vector<CnfFault> faults_;
+  std::vector<int> fault_vars_;                         ///< readers' view per fault
+  std::unordered_map<rtlil::SigBit, std::size_t> fault_index_;
   int const_true_ = 0;
 };
 

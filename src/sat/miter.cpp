@@ -63,11 +63,30 @@ Lit member_of(Solver& solver, const std::vector<int>& vars,
 void exactly_one(Solver& solver, const std::vector<Lit>& sels) {
   check(!sels.empty(), "exactly_one: empty selector set");
   solver.add_clause(sels);
-  for (std::size_t i = 0; i < sels.size(); ++i) {
-    for (std::size_t j = i + 1; j < sels.size(); ++j) {
-      solver.add_binary(-sels[i], -sels[j]);
+  const std::size_t n = sels.size();
+  if (n <= 32) {
+    // Pairwise at-most-one: no auxiliary variables, fine for small sets.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        solver.add_binary(-sels[i], -sels[j]);
+      }
     }
+    return;
   }
+  // Sequential (Sinz) at-most-one: O(n) clauses instead of O(n^2), which
+  // keeps selector-gated fault miters tractable for thousands of sites.
+  // s_i == "some sels[j] with j <= i is true".
+  int prev = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const int s = solver.new_var();
+    solver.add_binary(-sels[i], s);
+    if (prev != 0) {
+      solver.add_binary(-prev, s);
+      solver.add_binary(-sels[i], -prev);
+    }
+    prev = s;
+  }
+  solver.add_binary(-sels[n - 1], -prev);
 }
 
 }  // namespace scfi::sat

@@ -51,16 +51,15 @@ void Solver::add_clause(const std::vector<Lit>& lits) {
     return;
   }
   if (clause.size() == 1) {
-    // Defer unit enqueueing to solve() (top level); record as clause too.
-    clause.push_back(clause[0]);  // duplicate watch trick avoided; store real unit
-    clause.pop_back();
+    // Defer unit enqueueing to solve() (top level); the dedicated unit list
+    // keeps the per-call scan O(units) instead of O(all clauses).
+    units_.push_back(clause[0]);
+    return;
   }
   const int idx = static_cast<int>(clauses_.size());
   clauses_.push_back(clause);
-  if (clause.size() >= 2) {
-    watches_[static_cast<std::size_t>(clause[0])].push_back(idx);
-    watches_[static_cast<std::size_t>(clause[1])].push_back(idx);
-  }
+  watches_[static_cast<std::size_t>(clause[0])].push_back(idx);
+  watches_[static_cast<std::size_t>(clause[1])].push_back(idx);
 }
 
 void Solver::enqueue(int l, int reason) {
@@ -208,14 +207,27 @@ int Solver::pick_branch() {
 Result Solver::solve(const std::vector<Lit>& assumptions) {
   if (trivially_unsat_) return Result::kUnsat;
   backtrack(0);
+  // Re-propagate the retained level-0 trail from scratch: an incremental
+  // call may have left the queue head past entries whose consequences (under
+  // clauses learned later) were never drawn, and a level-0 conflict return
+  // leaves the trail itself inconsistent. Propagation is idempotent, so
+  // replaying the prefix is cheap and restores the invariant.
+  qhead_ = 0;
   // Enqueue top-level units.
-  for (const std::vector<int>& clause : clauses_) {
-    if (clause.size() != 1) continue;
-    const std::int8_t v = lit_value(clause[0]);
-    if (v == kFalse) return Result::kUnsat;
-    if (v == kUndef) enqueue(clause[0], -1);
+  for (const int unit : units_) {
+    const std::int8_t v = lit_value(unit);
+    if (v == kFalse) {
+      trivially_unsat_ = true;
+      return Result::kUnsat;
+    }
+    if (v == kUndef) enqueue(unit, -1);
   }
-  if (propagate() >= 0) return Result::kUnsat;
+  if (propagate() >= 0) {
+    // Conflict with no decisions or assumptions on the trail: the clause
+    // database itself is contradictory, for this and every future call.
+    trivially_unsat_ = true;
+    return Result::kUnsat;
+  }
 
   std::uint64_t restart_round = 0;
   std::uint64_t conflict_budget = 128 * luby(restart_round);
@@ -227,26 +239,31 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (conflict >= 0) {
       ++conflicts_;
       ++conflicts_here;
-      if (trail_lim_.empty()) return Result::kUnsat;
-      int back_level = 0;
-      analyze(conflict, learned, back_level);
-      // Never backtrack past the assumptions.
-      const int floor_level =
-          std::min<int>(static_cast<int>(assumptions.size()), back_level);
-      backtrack(std::max(back_level, 0));
-      if (static_cast<int>(trail_lim_.size()) < floor_level) {
-        // Learned clause contradicts the assumptions.
+      if (trail_lim_.empty()) {
+        // Level-0 conflict (below every assumption): globally UNSAT.
+        trivially_unsat_ = true;
         return Result::kUnsat;
       }
-      const int idx = static_cast<int>(clauses_.size());
-      clauses_.push_back(learned);
+      int back_level = 0;
+      analyze(conflict, learned, back_level);
+      // Backtracking below the assumption levels is fine: the re-assertion
+      // loop below replays them and reports kUnsat when the learned clause
+      // contradicts one.
+      backtrack(std::max(back_level, 0));
+      int reason = -1;
       if (learned.size() >= 2) {
+        const int idx = static_cast<int>(clauses_.size());
+        clauses_.push_back(learned);
         watches_[static_cast<std::size_t>(learned[0])].push_back(idx);
         watches_[static_cast<std::size_t>(learned[1])].push_back(idx);
+        reason = idx;
+      } else {
+        units_.push_back(learned[0]);  // learned facts are globally valid
       }
       if (lit_value(learned[0]) == kUndef) {
-        enqueue(learned[0], learned.size() >= 2 ? idx : -1);
+        enqueue(learned[0], reason);
       } else if (lit_value(learned[0]) == kFalse) {
+        if (trail_lim_.empty()) trivially_unsat_ = true;
         return Result::kUnsat;
       }
       decay();

@@ -3,7 +3,9 @@
 //
 // Used by the SYNFI-style formal fault analysis (src/synfi) to decide
 // per-fault exploitability queries on netlist miters. The solver is complete
-// and deterministic.
+// and deterministic, and supports incremental use: solve(assumptions) may be
+// called any number of times on a growing clause database, with learned
+// clauses (which are always assumption-independent) carried across calls.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +70,7 @@ class Solver {
   bool trivially_unsat_ = false;
 
   std::vector<std::vector<int>> clauses_;       // literal lists (internal encoding)
+  std::vector<int> units_;                      // top-level unit literals (internal)
   std::vector<std::vector<int>> watches_;       // internal lit -> clause indices
   std::vector<std::int8_t> assign_;             // per var
   std::vector<std::int8_t> phase_;              // saved phases

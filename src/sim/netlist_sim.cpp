@@ -223,6 +223,11 @@ void Simulator::set_register(WireHandle h, std::uint64_t value) {
   }
 }
 
+void Simulator::set_register_word(WireHandle h, int bit, std::uint64_t lanes) {
+  check(bit >= 0 && bit < h.width, "Simulator::set_register_word: bit out of range");
+  values_[static_cast<std::size_t>(h.base + bit)] = lanes;
+}
+
 std::uint64_t Simulator::get_lane(WireHandle h, int lane) const {
   check(h.width <= 64, "Simulator::get_lane: wire too wide");
   std::uint64_t v = 0;

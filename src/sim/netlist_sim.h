@@ -97,6 +97,9 @@ class Simulator {
   void set_input_word(WireHandle h, int bit, std::uint64_t lanes);
   /// Overwrites the stored register value in every lane; does NOT settle.
   void set_register(WireHandle h, std::uint64_t value);
+  /// Overwrites one bit of a stored register value with an explicit 64-lane
+  /// word (per-lane state stimulus); does NOT settle.
+  void set_register_word(WireHandle h, int bit, std::uint64_t lanes);
   /// Fault-corrected wire value as one lane sees it.
   std::uint64_t get_lane(WireHandle h, int lane) const;
   std::uint64_t get(WireHandle h) const { return get_lane(h, 0); }

@@ -1,5 +1,11 @@
 #include "synfi/synfi.h"
 
+#include <algorithm>
+#include <bit>
+#include <exception>
+#include <thread>
+#include <unordered_map>
+
 #include "base/error.h"
 #include "base/strutil.h"
 #include "sat/cnf.h"
@@ -12,6 +18,10 @@ using fsm::CfgEdge;
 using fsm::CompiledFsm;
 using fsm::Fsm;
 using rtlil::SigBit;
+
+std::string format_site(const SigBit& site) {
+  return site.wire->name() + "[" + std::to_string(site.offset) + "]";
+}
 
 std::vector<SigBit> enumerate_region(const rtlil::Module& module, const std::string& prefix,
                                      bool include_inputs) {
@@ -43,114 +53,332 @@ sat::CnfFaultKind to_cnf_kind(sim::FaultKind kind) {
   }
 }
 
-}  // namespace
+/// Loop-invariant per-edge stimulus, resolved once per analyze() call and
+/// shared by both back-ends: symbol codeword plus from/to state indices
+/// (no map lookups inside the query loops).
+struct EdgeTable {
+  std::vector<std::uint64_t> code;   ///< encoded control symbol per edge
+  std::vector<std::uint64_t> from_code;
+  std::vector<std::int32_t> from;    ///< state index per edge
+  std::vector<std::int32_t> to;
+  std::size_t size() const { return code.size(); }
+};
 
-SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfig& config) {
-  check(variant.module != nullptr, "synfi: variant has no module");
-  require(variant.symbol_width > 0, "synfi: variant must use encoded control symbols");
-  const rtlil::Module& module = *variant.module;
-  const std::vector<SigBit> sites =
-      enumerate_region(module, config.wire_prefix, config.include_inputs);
-  require(!sites.empty(), "synfi: no fault sites match prefix '" + config.wire_prefix + "'");
-  const std::vector<CfgEdge> edges = fsm.cfg_edges();
+EdgeTable build_edge_table(const CompiledFsm& variant, const std::vector<CfgEdge>& edges) {
+  EdgeTable table;
+  table.code.reserve(edges.size());
+  table.from_code.reserve(edges.size());
+  table.from.reserve(edges.size());
+  table.to.reserve(edges.size());
+  for (const CfgEdge& edge : edges) {
+    table.code.push_back(variant.symbol_codes.at(edge.symbol));
+    table.from_code.push_back(variant.state_codes[static_cast<std::size_t>(edge.from)]);
+    table.from.push_back(edge.from);
+    table.to.push_back(edge.to);
+  }
+  return table;
+}
 
-  SynfiReport report;
-  report.sites = static_cast<int>(sites.size());
+/// Partial report for one contiguous site range. Counters are plain sums
+/// and exploitable_sites stays in site order, so merging shards in range
+/// order reproduces the single-threaded report exactly.
+struct ShardReport {
+  std::int64_t injections = 0;
+  std::int64_t exploitable = 0;
+  std::int64_t detected = 0;
+  std::int64_t masked = 0;
+  std::int64_t stalls = 0;
+  std::vector<std::string> exploitable_sites;
+};
 
-  if (config.backend == Backend::kExhaustiveSim) {
-    sim::Simulator simulator(module);
-    // Pre-resolve interface wires and fault nets so the injection loop never
-    // touches strings or hash maps.
-    const sim::Simulator::WireHandle symbol_h =
-        simulator.input_handle(variant.symbol_input_wire);
-    const sim::Simulator::WireHandle state_h = simulator.probe(variant.state_wire);
-    sim::Simulator::WireHandle alert_h;
-    if (!variant.alert_wire.empty()) alert_h = simulator.probe(variant.alert_wire);
-    std::vector<std::uint64_t> edge_code;
-    edge_code.reserve(edges.size());
-    for (const CfgEdge& edge : edges) edge_code.push_back(variant.symbol_codes.at(edge.symbol));
-    for (const SigBit& site : sites) {
-      const std::int32_t site_net = simulator.net_index(site);
-      bool site_exploitable = false;
-      for (std::size_t ei = 0; ei < edges.size(); ++ei) {
-        const CfgEdge& edge = edges[ei];
-        ++report.injections;
-        simulator.clear_all_faults();
-        simulator.set_input(symbol_h, edge_code[ei]);
-        simulator.set_register(state_h,
-                               variant.state_codes[static_cast<std::size_t>(edge.from)]);
-        simulator.inject_net(site_net, config.kind, sim::kAllLanes);
-        simulator.eval();
-        const bool alert_pre = alert_h.valid() && simulator.get(alert_h) != 0;
-        simulator.step();
-        const bool alert_post = alert_h.valid() && simulator.get(alert_h) != 0;
-        const std::uint64_t next = simulator.get(state_h);
-        const std::uint64_t expected =
-            variant.state_codes[static_cast<std::size_t>(edge.to)];
-        if (next == expected && !alert_pre) {
-          ++report.masked;
-        } else if (alert_pre || alert_post ||
-                   (variant.has_error_state && next == variant.error_code)) {
-          ++report.detected;
-        } else if (variant.decode_state(next) >= 0) {
-          ++report.exploitable;
-          site_exploitable = true;
-          if (next == variant.state_codes[static_cast<std::size_t>(edge.from)]) {
-            ++report.stalls;
-          }
-        } else {
-          // Invalid state without any alert: undetected corruption, counts
-          // as exploitable denial (cannot happen for SCFI variants).
-          ++report.exploitable;
-          site_exploitable = true;
-        }
-      }
-      if (site_exploitable) {
-        report.exploitable_sites.push_back(site.wire->name() + "[" +
-                                           std::to_string(site.offset) + "]");
-      }
-    }
-    return report;
+/// Exhaustive-simulation back-end over sites [site_begin, site_end): packs
+/// up to `config.lanes` (site, edge) jobs into every eval/step pass. Lane k
+/// carries job k's state/symbol stimulus (per-lane register/input words)
+/// and a single-lane fault mask; outcomes are classified word-parallel.
+/// Lanes never interact, so the per-job outcome equals the scalar
+/// one-job-per-pass path bit for bit.
+void run_exhaustive_shard(const CompiledFsm& variant, const std::vector<SigBit>& sites,
+                          const EdgeTable& edges, const SynfiConfig& config,
+                          std::size_t site_begin, std::size_t site_end, ShardReport& out) {
+  sim::Simulator simulator(*variant.module);
+  const sim::Simulator::WireHandle symbol_h = simulator.input_handle(variant.symbol_input_wire);
+  const sim::Simulator::WireHandle state_h = simulator.probe(variant.state_wire);
+  sim::Simulator::WireHandle alert_h;
+  if (!variant.alert_wire.empty()) alert_h = simulator.probe(variant.alert_wire);
+  check(state_h.width <= 64, "synfi: state wire too wide");
+  const int state_w = state_h.width;
+  const int symbol_w = symbol_h.width;
+  const std::size_t num_states = variant.state_codes.size();
+  // A code with bits beyond the register width can never match.
+  const auto fits = [state_w](std::uint64_t code) {
+    return state_w >= 64 || (code >> state_w) == 0;
+  };
+
+  std::vector<std::int32_t> site_net;
+  site_net.reserve(site_end - site_begin);
+  for (std::size_t s = site_begin; s < site_end; ++s) {
+    site_net.push_back(simulator.net_index(sites[s]));
   }
 
-  // SAT back-end: one miter per (site, edge).
-  for (const SigBit& site : sites) {
+  const std::size_t num_edges = edges.size();
+  const std::size_t num_jobs = (site_end - site_begin) * num_edges;
+  const auto lanes = static_cast<std::size_t>(config.lanes);
+  const auto alert_word = [&] {
+    std::uint64_t w = 0;
+    for (std::int32_t i = 0; i < alert_h.width; ++i) w |= simulator.lane_word(alert_h.base + i);
+    return w;
+  };
+
+  std::vector<std::uint64_t> state_words(static_cast<std::size_t>(state_w));
+  std::vector<std::uint64_t> state_eq(num_states);
+  std::vector<char> site_hit(site_end - site_begin, 0);
+
+  // Jobs stay in (site-major, edge-minor) order, so a batch starting at job
+  // j0 always drives lane k with edge (j0 + k) mod E: the 64-lane stimulus
+  // words and per-lane from/to state indices depend only on j0 mod E.
+  // Precompute them per alignment so the batch loop never repacks bits or
+  // divides.
+  struct AlignedStimulus {
+    std::vector<std::uint64_t> in_words;             ///< symbol bit -> lane word
+    std::vector<std::uint64_t> st_words;             ///< state bit -> lane word
+    std::array<std::int32_t, 64> lane_from;          ///< state index per lane
+    std::array<std::int32_t, 64> lane_to;
+  };
+  std::vector<AlignedStimulus> aligned(num_edges);
+  for (std::size_t r = 0; r < num_edges; ++r) {
+    AlignedStimulus& a = aligned[r];
+    a.in_words.assign(static_cast<std::size_t>(symbol_w), 0);
+    a.st_words.assign(static_cast<std::size_t>(state_w), 0);
+    std::size_t e = r;
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+      const std::uint64_t code = edges.code[e];
+      const std::uint64_t from_code = edges.from_code[e];
+      for (int i = 0; i < symbol_w; ++i) {
+        a.in_words[static_cast<std::size_t>(i)] |= ((code >> i) & 1) << lane;
+      }
+      for (int i = 0; i < state_w; ++i) {
+        a.st_words[static_cast<std::size_t>(i)] |= ((from_code >> i) & 1) << lane;
+      }
+      a.lane_from[lane] = edges.from[e];
+      a.lane_to[lane] = edges.to[e];
+      if (++e == num_edges) e = 0;
+    }
+  }
+
+  std::size_t cur_site = 0;  ///< shard-local site index of the next job
+  std::size_t cur_edge = 0;
+  for (std::size_t job0 = 0; job0 < num_jobs; job0 += lanes) {
+    const std::size_t batch_jobs = std::min(lanes, num_jobs - job0);
+    const std::uint64_t batch_mask =
+        batch_jobs >= 64 ? ~0ULL : (1ULL << batch_jobs) - 1;
+    const AlignedStimulus& a = aligned[cur_edge];
+
+    simulator.clear_all_faults();
+    for (int i = 0; i < symbol_w; ++i) {
+      simulator.set_input_word(symbol_h, i, a.in_words[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < state_w; ++i) {
+      simulator.set_register_word(state_h, i, a.st_words[static_cast<std::size_t>(i)]);
+    }
+    std::size_t s = cur_site;
+    std::size_t e = cur_edge;
+    for (std::size_t lane = 0; lane < batch_jobs; ++lane) {
+      simulator.inject_net(site_net[s], config.kind, 1ULL << lane);
+      if (++e == num_edges) {
+        e = 0;
+        ++s;
+      }
+    }
+
+    simulator.eval();
+    const std::uint64_t alert_pre = alert_h.valid() ? alert_word() : 0;
+    simulator.step();
+    const std::uint64_t alert_post = alert_h.valid() ? alert_word() : 0;
+    for (int i = 0; i < state_w; ++i) {
+      state_words[static_cast<std::size_t>(i)] = simulator.lane_word(state_h.base + i);
+    }
+
+    // Word-parallel classification: equality masks of the latched state
+    // against every codeword at once instead of decoding lane by lane.
+    for (std::size_t sc = 0; sc < num_states; ++sc) {
+      const std::uint64_t code = variant.state_codes[sc];
+      std::uint64_t eq = fits(code) ? batch_mask : 0;
+      for (int i = 0; i < state_w && eq != 0; ++i) {
+        const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
+        eq &= ((code >> i) & 1) ? w : ~w;
+      }
+      state_eq[sc] = eq;
+    }
+    std::uint64_t err_eq = 0;
+    if (variant.has_error_state) {
+      err_eq = fits(variant.error_code) ? batch_mask : 0;
+      for (int i = 0; i < state_w && err_eq != 0; ++i) {
+        const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
+        err_eq &= ((variant.error_code >> i) & 1) ? w : ~w;
+      }
+    }
+    std::uint64_t match_expect = 0;
+    std::uint64_t match_from = 0;
+    for (std::size_t lane = 0; lane < batch_jobs; ++lane) {
+      const std::uint64_t bit = 1ULL << lane;
+      match_expect |= state_eq[static_cast<std::size_t>(a.lane_to[lane])] & bit;
+      match_from |= state_eq[static_cast<std::size_t>(a.lane_from[lane])] & bit;
+    }
+
+    const std::uint64_t masked = match_expect & ~alert_pre & batch_mask;
+    const std::uint64_t detected = (alert_pre | alert_post | err_eq) & ~masked & batch_mask;
+    // Everything else is an undetected deviation: a valid-but-wrong state
+    // (hijack/stall) or an undetected non-codeword (cannot happen for SCFI
+    // variants) — both count as exploitable, exactly like the scalar path.
+    const std::uint64_t expl = batch_mask & ~masked & ~detected;
+
+    out.injections += static_cast<std::int64_t>(batch_jobs);
+    out.masked += std::popcount(masked);
+    out.detected += std::popcount(detected);
+    out.exploitable += std::popcount(expl);
+    out.stalls += std::popcount(expl & match_from);
+    for (std::uint64_t hits = expl; hits != 0; hits &= hits - 1) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(hits));
+      site_hit[cur_site + (cur_edge + lane) / num_edges] = 1;
+    }
+    cur_site = s;
+    cur_edge = e;
+  }
+  for (std::size_t s = site_begin; s < site_end; ++s) {
+    if (site_hit[s - site_begin]) out.exploitable_sites.push_back(format_site(sites[s]));
+  }
+}
+
+/// Interface wires of the miter, resolved once per analyze() call.
+struct MiterWires {
+  const rtlil::Wire* symbol = nullptr;
+  const rtlil::Wire* state = nullptr;
+};
+
+MiterWires resolve_interface(const rtlil::Module& module, const CompiledFsm& variant) {
+  MiterWires wires;
+  wires.symbol = module.wire(variant.symbol_input_wire);
+  wires.state = module.wire(variant.state_wire);
+  check(wires.symbol != nullptr && wires.state != nullptr, "synfi: missing interface wires");
+  return wires;
+}
+
+/// Interface variables shared between the golden and faulty CNF copies.
+struct MiterInterface {
+  std::unordered_map<SigBit, int> bound;
+  std::vector<int> xvars;
+  std::vector<int> svars;
+};
+
+MiterInterface bind_interface(sat::Solver& solver, const MiterWires& wires) {
+  MiterInterface iface;
+  for (int i = 0; i < wires.symbol->width(); ++i) {
+    const int v = solver.new_var();
+    iface.bound.emplace(SigBit(wires.symbol, i), v);
+    iface.xvars.push_back(v);
+  }
+  for (int i = 0; i < wires.state->width(); ++i) {
+    const int v = solver.new_var();
+    iface.bound.emplace(SigBit(wires.state, i), v);
+    iface.svars.push_back(v);
+  }
+  return iface;
+}
+
+void push_equals(std::vector<sat::Lit>& lits, const std::vector<int>& vars,
+                 std::uint64_t value) {
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    lits.push_back(((value >> i) & 1) ? vars[i] : -vars[i]);
+  }
+}
+
+/// Incremental SAT back-end over sites [site_begin, site_end): ONE solver
+/// holds the golden copy plus a faulty copy whose overrides are each gated
+/// on a fresh selector literal (exactly_one over the selectors), and the
+/// query-invariant property clauses (alert low, next-state mismatch, valid
+/// faulty codeword). Every (site, edge) query is then a solve(assumptions)
+/// call — selector + state/symbol units — so the CNF and all learned
+/// clauses are shared across the whole sweep instead of being rebuilt per
+/// query.
+void run_sat_incremental_shard(const CompiledFsm& variant, const std::vector<SigBit>& sites,
+                               const EdgeTable& edges, const SynfiConfig& config,
+                               std::size_t site_begin, std::size_t site_end, ShardReport& out) {
+  const rtlil::Module& module = *variant.module;
+  const MiterWires wires = resolve_interface(module, variant);
+  sat::Solver solver;
+  const MiterInterface iface = bind_interface(solver, wires);
+
+  const sat::CnfCopy golden(solver, module, iface.bound);
+  std::vector<sat::Lit> selectors;
+  std::vector<sat::CnfFault> faults;
+  selectors.reserve(site_end - site_begin);
+  faults.reserve(site_end - site_begin);
+  for (std::size_t s = site_begin; s < site_end; ++s) {
+    const sat::Lit sel = solver.new_var();
+    selectors.push_back(sel);
+    faults.push_back(sat::CnfFault{sites[s], to_cnf_kind(config.kind), sel});
+  }
+  const sat::CnfCopy faulty(solver, module, iface.bound, faults);
+  sat::exactly_one(solver, selectors);
+
+  const std::vector<int> gn = golden.ff_next_vars(variant.state_wire);
+  const std::vector<int> fn = faulty.ff_next_vars(variant.state_wire);
+  if (!variant.alert_wire.empty()) {
+    solver.add_unit(-faulty.wire_vars(variant.alert_wire)[0]);
+  }
+  solver.add_unit(sat::differ(solver, gn, fn));
+  solver.add_unit(sat::member_of(solver, fn, variant.state_codes));
+
+  std::vector<sat::Lit> assumptions;
+  for (std::size_t s = site_begin; s < site_end; ++s) {
     bool site_exploitable = false;
-    for (const CfgEdge& edge : edges) {
-      ++report.injections;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      ++out.injections;
+      assumptions.clear();
+      assumptions.push_back(selectors[s - site_begin]);
+      push_equals(assumptions, iface.svars, edges.from_code[e]);
+      if (!config.free_symbol) push_equals(assumptions, iface.xvars, edges.code[e]);
+      if (solver.solve(assumptions) == sat::Result::kSat) {
+        ++out.exploitable;
+        site_exploitable = true;
+        // Stall iff some undetected model keeps the old state: decided by a
+        // second assumption query, so the count does not depend on which
+        // model the solver happened to find.
+        push_equals(assumptions, fn, edges.from_code[e]);
+        if (solver.solve(assumptions) == sat::Result::kSat) ++out.stalls;
+      } else {
+        // Conservatively attribute UNSAT to detection/masking; the
+        // simulation back-end provides the fine-grained split.
+        ++out.detected;
+      }
+    }
+    if (site_exploitable) out.exploitable_sites.push_back(format_site(sites[s]));
+  }
+}
+
+/// Reference SAT back-end: a fresh single-fault miter per (site, edge)
+/// query. Kept as the baseline the incremental engine is validated and
+/// benchmarked against.
+void run_sat_rebuild_shard(const CompiledFsm& variant, const std::vector<SigBit>& sites,
+                           const EdgeTable& edges, const SynfiConfig& config,
+                           std::size_t site_begin, std::size_t site_end, ShardReport& out) {
+  const rtlil::Module& module = *variant.module;
+  const MiterWires wires = resolve_interface(module, variant);
+  for (std::size_t s = site_begin; s < site_end; ++s) {
+    bool site_exploitable = false;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      ++out.injections;
       sat::Solver solver;
-      // Shared input/state variables between the two copies.
-      std::unordered_map<SigBit, int> bound;
-      const rtlil::Wire* xw = module.wire(variant.symbol_input_wire);
-      const rtlil::Wire* sw = module.wire(variant.state_wire);
-      check(xw != nullptr && sw != nullptr, "synfi: missing interface wires");
-      std::vector<int> xvars;
-      std::vector<int> svars;
-      for (int i = 0; i < xw->width(); ++i) {
-        const int v = solver.new_var();
-        bound.emplace(SigBit(xw, i), v);
-        xvars.push_back(v);
-      }
-      for (int i = 0; i < sw->width(); ++i) {
-        const int v = solver.new_var();
-        bound.emplace(SigBit(sw, i), v);
-        svars.push_back(v);
-      }
-      sat::CnfCopy golden(solver, module, bound);
-      sat::CnfCopy faulty(solver, module, bound,
-                          sat::CnfFault{site, to_cnf_kind(config.kind)});
+      const MiterInterface iface = bind_interface(solver, wires);
+      const sat::CnfCopy golden(solver, module, iface.bound);
+      const sat::CnfCopy faulty(solver, module, iface.bound,
+                                sat::CnfFault{sites[s], to_cnf_kind(config.kind)});
 
       // Stimulus constraints.
-      const std::uint64_t s_from = variant.state_codes[static_cast<std::size_t>(edge.from)];
-      for (std::size_t i = 0; i < svars.size(); ++i) {
-        solver.add_unit(((s_from >> i) & 1) ? svars[i] : -svars[i]);
-      }
-      if (!config.free_symbol) {
-        const std::uint64_t x = variant.symbol_codes.at(edge.symbol);
-        for (std::size_t i = 0; i < xvars.size(); ++i) {
-          solver.add_unit(((x >> i) & 1) ? xvars[i] : -xvars[i]);
-        }
-      }
+      std::vector<sat::Lit> units;
+      push_equals(units, iface.svars, edges.from_code[e]);
+      if (!config.free_symbol) push_equals(units, iface.xvars, edges.code[e]);
+      for (const sat::Lit lit : units) solver.add_unit(lit);
 
       const std::vector<int> gn = golden.ff_next_vars(variant.state_wire);
       const std::vector<int> fn = faulty.ff_next_vars(variant.state_wire);
@@ -161,24 +389,84 @@ SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfi
       solver.add_unit(sat::member_of(solver, fn, variant.state_codes));
 
       if (solver.solve() == sat::Result::kSat) {
-        ++report.exploitable;
+        ++out.exploitable;
         site_exploitable = true;
-        // Stall classification from the model.
-        std::uint64_t next = 0;
-        for (std::size_t i = 0; i < fn.size(); ++i) {
-          if (solver.value(fn[i])) next |= 1ULL << i;
-        }
-        if (next == s_from) ++report.stalls;
+        std::vector<sat::Lit> stall_assumptions;
+        push_equals(stall_assumptions, fn, edges.from_code[e]);
+        if (solver.solve(stall_assumptions) == sat::Result::kSat) ++out.stalls;
       } else {
-        // Conservatively attribute UNSAT to detection/masking; the
-        // simulation back-end provides the fine-grained split.
-        ++report.detected;
+        ++out.detected;
       }
     }
-    if (site_exploitable) {
-      report.exploitable_sites.push_back(site.wire->name() + "[" + std::to_string(site.offset) +
-                                         "]");
+    if (site_exploitable) out.exploitable_sites.push_back(format_site(sites[s]));
+  }
+}
+
+}  // namespace
+
+SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfig& config) {
+  check(variant.module != nullptr, "synfi: variant has no module");
+  require(variant.symbol_width > 0, "synfi: variant must use encoded control symbols");
+  require(config.lanes >= 1 && config.lanes <= sim::kNumLanes,
+          "synfi: lanes must be in [1, 64]");
+  require(config.threads >= 1, "synfi: threads must be >= 1");
+  const rtlil::Module& module = *variant.module;
+  const std::vector<SigBit> sites =
+      enumerate_region(module, config.wire_prefix, config.include_inputs);
+  require(!sites.empty(), "synfi: no fault sites match prefix '" + config.wire_prefix + "'");
+  const EdgeTable edges = build_edge_table(variant, fsm.cfg_edges());
+
+  const auto run_shard = [&](std::size_t begin, std::size_t end, ShardReport& out) {
+    if (config.backend == Backend::kExhaustiveSim) {
+      run_exhaustive_shard(variant, sites, edges, config, begin, end, out);
+    } else if (config.sat_incremental) {
+      run_sat_incremental_shard(variant, sites, edges, config, begin, end, out);
+    } else {
+      run_sat_rebuild_shard(variant, sites, edges, config, begin, end, out);
     }
+  };
+
+  const int workers =
+      std::max(1, std::min<int>(config.threads, static_cast<int>(sites.size())));
+  std::vector<ShardReport> partial(static_cast<std::size_t>(workers));
+  if (workers <= 1) {
+    run_shard(0, sites.size(), partial[0]);
+  } else {
+    // Contiguous site ranges per worker: no shared mutable state, and the
+    // in-order merge below reproduces the single-threaded report exactly.
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      const auto begin = sites.size() * static_cast<std::size_t>(w) /
+                         static_cast<std::size_t>(workers);
+      const auto end = sites.size() * static_cast<std::size_t>(w + 1) /
+                       static_cast<std::size_t>(workers);
+      pool.emplace_back([&, w, begin, end] {
+        try {
+          run_shard(begin, end, partial[static_cast<std::size_t>(w)]);
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  SynfiReport report;
+  report.sites = static_cast<std::int64_t>(sites.size());
+  for (ShardReport& p : partial) {
+    report.injections += p.injections;
+    report.exploitable += p.exploitable;
+    report.detected += p.detected;
+    report.masked += p.masked;
+    report.stalls += p.stalls;
+    report.exploitable_sites.insert(report.exploitable_sites.end(),
+                                    std::make_move_iterator(p.exploitable_sites.begin()),
+                                    std::make_move_iterator(p.exploitable_sites.end()));
   }
   return report;
 }

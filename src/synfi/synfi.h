@@ -6,11 +6,27 @@
 // raising the alert — the exploitability criterion of the paper. Two
 // back-ends are provided:
 //   * exhaustive simulation (complete here, because all valid stimuli of the
-//     one-cycle property are enumerated), and
-//   * a SAT back-end building a golden/faulty miter per query (CDCL solver),
-//     which additionally supports leaving the control symbol unconstrained.
+//     one-cycle property are enumerated). (site, edge) injection jobs are
+//     packed `lanes` at a time into the 64-lane bit-parallel simulator —
+//     each lane carries its own state/symbol stimulus and a single-lane
+//     fault mask — and outcomes are classified word-parallel against the
+//     expected/error/valid codewords and the alert word.
+//   * a SAT back-end (CDCL solver) that additionally supports leaving the
+//     control symbol unconstrained. By default it builds ONE golden +
+//     selector-gated-faulty miter per variant (every fault override
+//     conditioned on a fresh selector literal, `exactly_one` over the
+//     selectors) and answers each (site, edge) query incrementally via
+//     `solve(assumptions)`, sharing the CNF and learned clauses across all
+//     queries; `sat_incremental = false` falls back to rebuilding a
+//     single-fault miter per query.
+//
+// The (site, edge) job list is sharded across `threads` workers in
+// contiguous site ranges with a deterministic merge, so every report —
+// all counters and the `exploitable_sites` order — is bit-identical for
+// every lanes/threads combination.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,20 +50,37 @@ struct SynfiConfig {
   /// Also inject into module input bits (FT2 / common-mode faults). Only
   /// meaningful with an empty or matching wire_prefix.
   bool include_inputs = false;
+  /// Exhaustive back-end: (site, edge) injection jobs per simulator pass
+  /// (1..64). 1 reproduces the scalar one-job-per-pass path.
+  int lanes = sim::kNumLanes;
+  /// Worker threads sharding the site list (both back-ends); <= 1 = inline.
+  /// The report is bit-identical for every lanes/threads combination.
+  int threads = 1;
+  /// SAT back-end: answer queries on one reusable selector-gated solver via
+  /// assumptions (default) instead of rebuilding the miter per query.
+  bool sat_incremental = true;
 };
 
 struct SynfiReport {
-  int sites = 0;        ///< fault locations analyzed
-  int injections = 0;   ///< sites x transitions (paper: 7644)
-  int exploitable = 0;  ///< undetected control-flow hijacks (paper: 32)
-  int detected = 0;     ///< alert raised or ERROR state entered
-  int masked = 0;       ///< no architectural effect
-  int stalls = 0;       ///< exploitable injections that merely kept the old state
+  std::int64_t sites = 0;        ///< fault locations analyzed
+  std::int64_t injections = 0;   ///< sites x transitions (paper: 7644)
+  std::int64_t exploitable = 0;  ///< undetected control-flow hijacks (paper: 32)
+  std::int64_t detected = 0;     ///< alert raised or ERROR state entered
+  std::int64_t masked = 0;       ///< no architectural effect
+  /// Exploitable injections that merely kept the old state. The SAT
+  /// back-end counts a query as a stall when *some* undetected model keeps
+  /// the old state (a second `solve(assumptions)` pass), which is
+  /// deterministic regardless of solver state or query order.
+  std::int64_t stalls = 0;
   std::vector<std::string> exploitable_sites;
 
   double exploitable_pct() const {
-    return injections > 0 ? 100.0 * exploitable / injections : 0.0;
+    return injections > 0 ? 100.0 * static_cast<double>(exploitable) /
+                                static_cast<double>(injections)
+                          : 0.0;
   }
+
+  bool operator==(const SynfiReport& other) const = default;
 };
 
 /// Analyzes `variant` (a symbol-encoded compiled FSM) against `fsm`'s CFG.

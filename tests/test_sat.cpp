@@ -138,6 +138,68 @@ TEST(Miter, ExactlyOne) {
   EXPECT_FALSE(s.value(sel[2]));
 }
 
+TEST(Miter, ExactlyOneSequentialEncoding) {
+  // Above the pairwise threshold the sequential (Sinz) encoding is used;
+  // the semantics must be unchanged: any single selector is a model, any
+  // pair is not, and all-off is not.
+  constexpr int kN = 80;
+  Solver s;
+  std::vector<Lit> sel;
+  for (int i = 0; i < kN; ++i) sel.push_back(s.new_var());
+  exactly_one(s, sel);
+  for (const int pick : {0, 1, 37, kN - 2, kN - 1}) {
+    ASSERT_EQ(s.solve({sel[static_cast<std::size_t>(pick)]}), Result::kSat) << pick;
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(s.value(sel[static_cast<std::size_t>(i)]), i == pick);
+    }
+  }
+  EXPECT_EQ(s.solve({sel[3], sel[61]}), Result::kUnsat);
+  EXPECT_EQ(s.solve({sel[0], sel[1]}), Result::kUnsat);
+  std::vector<Lit> all_off;
+  for (int i = 0; i < kN; ++i) all_off.push_back(-sel[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.solve(all_off), Result::kUnsat);
+}
+
+TEST(Solver, GlobalUnsatPersistsAcrossIncrementalCalls) {
+  // Regression: a level-0 conflict discovered by propagation must poison
+  // every later solve() call. The broken behavior left the level-0 trail
+  // inconsistent and returned bogus kSat on reuse.
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  s.add_unit(a);
+  s.add_binary(-a, b);
+  s.add_binary(-a, -b);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_EQ(s.solve({a}), Result::kUnsat);
+  EXPECT_EQ(s.solve({-a}), Result::kUnsat);
+}
+
+TEST(Solver, LearnedClausesStayValidAcrossAssumptionSweeps) {
+  // Pigeonhole per assumption branch: repeated UNSAT-under-assumption
+  // queries must not corrupt the shared clause database — the formula stays
+  // satisfiable whenever the selector assumption is released.
+  Solver s;
+  const int sel = s.new_var();
+  int p[3][2];
+  for (auto& row : p) {
+    for (int& x : row) x = s.new_var();
+  }
+  // sel -> pigeonhole constraints (UNSAT when sel true).
+  for (auto& row : p) s.add_ternary(-sel, row[0], row[1]);
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) s.add_ternary(-sel, -p[i][h], -p[j][h]);
+    }
+  }
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(s.solve({sel}), Result::kUnsat) << round;
+    EXPECT_EQ(s.solve({-sel}), Result::kSat) << round;
+    EXPECT_EQ(s.solve(), Result::kSat) << round;
+  }
+}
+
 TEST(Cnf, AgreesWithSimulatorOnFsm) {
   // Differential test: for random inputs/state, the CNF next-state function
   // must equal the simulator's.
@@ -190,6 +252,38 @@ TEST(Cnf, FaultFlipChangesReaderView) {
   s.add_unit(av);
   ASSERT_EQ(s.solve(), Result::kSat);
   EXPECT_FALSE(s.value(yv));  // flip inverted the path
+}
+
+TEST(Cnf, SelectorGatedFaultsTogglePerAssumption) {
+  // Two gated flips on a two-stage buffer chain: the selected fault (and
+  // only it) must invert the output; with both selectors off the copy is
+  // fault-free.
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m");
+  rtlil::Wire* a = m->add_input("a", 1);
+  rtlil::Wire* y = m->add_output("y", 1);
+  const rtlil::SigSpec mid1 = m->make_buf(rtlil::SigSpec(a), "mid1");
+  const rtlil::SigSpec mid2 = m->make_buf(mid1, "mid2");
+  m->drive(rtlil::SigSpec(y), m->make_buf(mid2, "out"));
+  Solver s;
+  const Lit sel1 = s.new_var();
+  const Lit sel2 = s.new_var();
+  const std::vector<CnfFault> faults{
+      CnfFault{mid1.bit(0), CnfFaultKind::kFlip, sel1},
+      CnfFault{mid2.bit(0), CnfFaultKind::kStuckAt1, sel2},
+  };
+  CnfCopy faulty(s, *m, {}, faults);
+  const int av = faulty.wire_vars("a")[0];
+  const int yv = faulty.wire_vars("y")[0];
+
+  ASSERT_EQ(s.solve({av, -sel1, -sel2}), Result::kSat);
+  EXPECT_TRUE(s.value(yv));  // pass-through with every selector off
+  ASSERT_EQ(s.solve({av, sel1, -sel2}), Result::kSat);
+  EXPECT_FALSE(s.value(yv));  // single flip inverts the path
+  ASSERT_EQ(s.solve({-av, -sel1, sel2}), Result::kSat);
+  EXPECT_TRUE(s.value(yv));  // stuck-at-1 overrides the low input
+  ASSERT_EQ(s.solve({av, sel1, sel2}), Result::kSat);
+  EXPECT_TRUE(s.value(yv));  // both faults compose: flip then stuck-at-1
 }
 
 }  // namespace
