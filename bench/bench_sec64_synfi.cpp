@@ -8,9 +8,12 @@
 //
 // The second half benchmarks the analysis engines themselves:
 //   * exhaustive simulation, scalar (lanes=1) vs 64 batched injection jobs
-//     per simulator pass (and the `threads` knob on top), and
+//     per simulator pass (and the `threads` knob on top),
 //   * the SAT back-end, per-query miter rebuild vs the incremental
-//     selector-gated solver answering every query via assumptions.
+//     selector-gated solver answering every query via assumptions, and
+//   * Analyzer reuse: a many-region/fault-kind sweep over one otbn_controller
+//     variant through one synfi::Analyzer vs a fresh analyze() per query
+//     (the fixed simulator-build cost amortized vs paid per call).
 //
 // Flags: --quick  (one timing iteration; CI smoke mode)
 //        --json   (machine-readable metrics only, for scripts/bench_to_json.sh)
@@ -19,6 +22,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/harden.h"
 #include "ot/zoo.h"
@@ -55,20 +59,62 @@ void report(const char* label, const scfi::synfi::SynfiReport& r) {
               static_cast<long long>(r.stalls));
 }
 
-/// Runs `iters` full sweeps and returns injections (queries) per second.
+/// Runs `iters` full sweeps on one reusable Analyzer and returns injections
+/// (queries) per second: the engine's steady-state query throughput, with
+/// the per-variant fixed cost paid once up front.
 double time_sweeps(const scfi::fsm::Fsm& f, const scfi::fsm::CompiledFsm& c,
                    const scfi::synfi::SynfiConfig& config, int iters,
                    scfi::synfi::SynfiReport* out = nullptr) {
   using clock = std::chrono::steady_clock;
+  scfi::synfi::Analyzer analyzer(f, c);
   std::int64_t injections = 0;
   const auto t0 = clock::now();
   for (int i = 0; i < iters; ++i) {
-    const scfi::synfi::SynfiReport r = scfi::synfi::analyze(f, c, config);
+    const scfi::synfi::SynfiReport r = analyzer.run(config);
     injections += r.injections;
     if (out != nullptr) *out = r;
   }
   const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
   return seconds > 0 ? static_cast<double>(injections) / seconds : 0.0;
+}
+
+/// The Analyzer-reuse experiment: `configs` queries over one variant, once
+/// through a fresh analyze() per query (fixed cost per call) and once
+/// through a single Analyzer (fixed cost amortized). Returns seconds per
+/// full config sweep; the two report vectors must match bit for bit.
+struct ReuseTiming {
+  double per_call_seconds = 0.0;
+  double analyzer_seconds = 0.0;
+  bool reports_agree = true;
+  std::int64_t injections = 0;
+};
+
+ReuseTiming time_reuse(const scfi::fsm::Fsm& f, const scfi::fsm::CompiledFsm& c,
+                       const std::vector<scfi::synfi::SynfiConfig>& configs, int iters) {
+  using clock = std::chrono::steady_clock;
+  ReuseTiming timing;
+  std::vector<scfi::synfi::SynfiReport> per_call;
+  const auto t0 = clock::now();
+  for (int i = 0; i < iters; ++i) {
+    per_call.clear();
+    for (const auto& config : configs) per_call.push_back(scfi::synfi::analyze(f, c, config));
+  }
+  timing.per_call_seconds =
+      std::chrono::duration<double>(clock::now() - t0).count() / iters;
+
+  std::vector<scfi::synfi::SynfiReport> reused;
+  const auto t1 = clock::now();
+  for (int i = 0; i < iters; ++i) {
+    scfi::synfi::Analyzer analyzer(f, c);
+    reused.clear();
+    for (const auto& config : configs) reused.push_back(analyzer.run(config));
+  }
+  timing.analyzer_seconds =
+      std::chrono::duration<double>(clock::now() - t1).count() / iters;
+
+  timing.reports_agree = per_call == reused;
+  for (const auto& r : per_call) timing.injections += r.injections;
+  return timing;
 }
 
 }  // namespace
@@ -170,9 +216,32 @@ int main(int argc, char** argv) {
   const double sat_incremental =
       time_sweeps(f, c, sat_sweep, sat_iters, &sat_incremental_report);
 
+  // Analyzer reuse on the biggest zoo module: a many-region / fault-kind
+  // sweep where the per-call simulator build dominates the small region
+  // queries (the workload SweepOrchestrator runs per variant).
+  const scfi::ot::OtEntry otbn_entry = scfi::ot::ot_entry("otbn_controller");
+  scfi::rtlil::Design otbn_design;
+  const scfi::fsm::CompiledFsm otbn_variant = scfi::ot::build_ot_variant(
+      otbn_entry, otbn_design, scfi::ot::Variant::kScfi, 2, "otbn_reuse_bench");
+  std::vector<scfi::synfi::SynfiConfig> reuse_configs;
+  for (const char* region : {"mds_", "mod", "match"}) {
+    for (const auto kind : {scfi::sim::FaultKind::kTransientFlip,
+                            scfi::sim::FaultKind::kStuckAt0, scfi::sim::FaultKind::kStuckAt1}) {
+      scfi::synfi::SynfiConfig config;
+      config.wire_prefix = region;
+      config.kind = kind;
+      reuse_configs.push_back(config);
+    }
+  }
+  const ReuseTiming reuse =
+      time_reuse(otbn_entry.fsm, otbn_variant, reuse_configs, quick ? 1 : 5);
+  const double reuse_speedup =
+      reuse.analyzer_seconds > 0 ? reuse.per_call_seconds / reuse.analyzer_seconds : 0.0;
+
   const bool engines_agree = scalar_report == batched_report &&
                              scalar_report == threaded_report &&
-                             sat_rebuild_report == sat_incremental_report;
+                             sat_rebuild_report == sat_incremental_report &&
+                             reuse.reports_agree;
   const double batch_speedup = sim_scalar > 0 ? sim_batched / sim_scalar : 0.0;
   const double sat_speedup = sat_rebuild > 0 ? sat_incremental / sat_rebuild : 0.0;
 
@@ -195,6 +264,13 @@ int main(int argc, char** argv) {
     std::printf("  \"sat_rebuild\": %.1f,\n", sat_rebuild);
     std::printf("  \"sat_incremental\": %.1f,\n", sat_incremental);
     std::printf("  \"sat_incremental_speedup\": %.2f,\n", sat_speedup);
+    std::printf("  \"analyzer_reuse_module\": \"otbn_controller_scfi_n2\",\n");
+    std::printf("  \"analyzer_reuse_configs\": %zu,\n", reuse_configs.size());
+    std::printf("  \"analyzer_reuse_injections\": %lld,\n",
+                static_cast<long long>(reuse.injections));
+    std::printf("  \"analyzer_per_call_seconds\": %.4f,\n", reuse.per_call_seconds);
+    std::printf("  \"analyzer_reused_seconds\": %.4f,\n", reuse.analyzer_seconds);
+    std::printf("  \"analyzer_reuse_speedup\": %.2f,\n", reuse_speedup);
     std::printf("  \"threads\": %d\n", hw_threads);
     std::printf("}\n");
   } else {
@@ -210,6 +286,11 @@ int main(int argc, char** argv) {
     std::printf("    rebuild-per-query               %12.0f q/s\n", sat_rebuild);
     std::printf("    incremental (assumptions)       %12.0f q/s  (%.1fx)\n", sat_incremental,
                 sat_speedup);
+    std::printf("  Analyzer reuse, otbn_controller (%zu region/kind queries, %lld injections):\n",
+                reuse_configs.size(), static_cast<long long>(reuse.injections));
+    std::printf("    fresh analyze() per query       %12.4f s/sweep\n", reuse.per_call_seconds);
+    std::printf("    one Analyzer, re-queried        %12.4f s/sweep  (%.1fx)\n",
+                reuse.analyzer_seconds, reuse_speedup);
     std::printf("  engine reports bit-identical:     %s\n", engines_agree ? "yes" : "NO");
   }
   return engines_agree ? 0 : 1;

@@ -17,6 +17,21 @@ else
 fi
 
 # SYNFI engine smoke test (one timing iteration): exercises the batched
-# exhaustive backend and the incremental SAT backend, and exits non-zero if
-# their reports ever diverge from the scalar/rebuild baselines.
+# exhaustive backend, the incremental SAT backend, and the reusable
+# Analyzer, and exits non-zero if their reports ever diverge from the
+# scalar/rebuild/per-call baselines.
 build/bench_sec64_synfi --quick
+
+# Sweep orchestrator smoke test: run a small module x kind matrix streaming
+# into a JSONL store, then re-run with --resume and assert that every job is
+# skipped (nothing re-executed).
+SWEEP_OUT="$(mktemp -d)/sweep_smoke.jsonl"
+trap 'rm -rf "$(dirname "$SWEEP_OUT")"' EXIT
+build/scfi_cli sweep --modules 'pwrmgr_fsm,adc_ctrl_fsm' --levels 2 \
+  --kinds flip,stuck1 --jobs 2 --threads 2 --out "$SWEEP_OUT"
+[[ "$(wc -l < "$SWEEP_OUT")" -eq 4 ]] || { echo "sweep smoke: expected 4 JSONL records"; exit 1; }
+RESUME_LOG="$(build/scfi_cli sweep --modules 'pwrmgr_fsm,adc_ctrl_fsm' --levels 2 \
+  --kinds flip,stuck1 --jobs 2 --threads 2 --out "$SWEEP_OUT" --resume)"
+echo "$RESUME_LOG" | tail -1
+echo "$RESUME_LOG" | grep -q 'executed 0 job(s), skipped 4' \
+  || { echo "sweep smoke: --resume re-executed jobs"; exit 1; }

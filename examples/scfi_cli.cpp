@@ -4,20 +4,31 @@
 // Usage:
 //   scfi_cli harden  <file.kiss2> [-n LEVEL] [-o out.v] [--json out.json]
 //   scfi_cli area    <file.kiss2> [-n LEVEL]
-//   scfi_cli synfi   <file.kiss2> [-n LEVEL]
-//   scfi_cli attack  <file.kiss2> [-n LEVEL] [--faults K]
+//   scfi_cli synfi   <file.kiss2> [-n LEVEL] [--backend sim|sat] [--lanes K]
+//                    [--threads K] [--no-incremental]
+//   scfi_cli attack  <file.kiss2> [-n LEVEL] [--faults K] [--lanes K] [--threads K]
+//   scfi_cli sweep   [--modules GLOBS] [--levels 2,3] [--regions mds_,all]
+//                    [--kinds flip,stuck0,stuck1] [--backend sim|sat]
+//                    [--out results.jsonl] [--resume] [--jobs K] [--threads K]
 //   scfi_cli dot     <file.kiss2>
-// Without a file argument a built-in demo FSM is used.
+// Without a file argument a built-in demo FSM is used. `sweep` runs the
+// SYNFI job matrix over every OpenTitan-zoo module matching the globs and
+// streams JSONL results into --out; --resume skips jobs already present
+// there.
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "backends/json.h"
 #include "base/error.h"
 #include "backends/verilog.h"
+#include "base/strutil.h"
 #include "core/harden.h"
 #include "fsm/dot.h"
 #include "fsm/kiss2.h"
@@ -25,6 +36,7 @@
 #include "redundancy/redundancy.h"
 #include "rtlil/design.h"
 #include "sim/campaign.h"
+#include "sweep/sweep.h"
 #include "synfi/synfi.h"
 
 namespace {
@@ -53,9 +65,32 @@ scfi::fsm::Fsm load_fsm(const std::string& path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: scfi_cli <harden|area|synfi|attack|dot> [file.kiss2]"
-               " [-n LEVEL] [-o out.v] [--json out.json] [--faults K]\n");
+               "usage: scfi_cli <harden|area|synfi|attack|sweep|dot> [file.kiss2]\n"
+               "  harden/area/synfi/attack: -n LEVEL  protection level (default 2)\n"
+               "  harden:  -o out.v --json out.json\n"
+               "  synfi:   --backend sim|sat --lanes K --threads K --no-incremental\n"
+               "  attack:  --faults K --lanes K --threads K\n"
+               "  sweep:   --modules GLOBS --levels 2,3 --regions mds_,all\n"
+               "           --kinds flip,stuck0,stuck1 --backend sim|sat\n"
+               "           --out results.jsonl --resume --jobs K --threads K --lanes K\n");
   return 2;
+}
+
+int parse_positive(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  scfi::require(end != text && *end == '\0' && value >= 1 && value <= INT_MAX,
+                "scfi_cli: " + flag + " must be a positive integer, got '" +
+                    std::string(text) + "'");
+  return static_cast<int>(value);
+}
+
+std::vector<int> parse_levels(const std::string& text) {
+  std::vector<int> levels;
+  for (const std::string& field : scfi::split(text, ",")) {
+    levels.push_back(parse_positive("--levels", field.c_str()));
+  }
+  return levels;
 }
 
 }  // namespace
@@ -66,26 +101,111 @@ int main(int argc, char** argv) {
   std::string file;
   std::string verilog_out;
   std::string json_out;
+  std::string modules = "*";
+  std::string levels = "2";
+  std::string regions = "mds_";
+  std::string kinds = "flip";
+  std::string backend_name = "sim";
+  std::string sweep_out;
+  bool resume = false;
+  bool no_incremental = false;
+  bool level_set = false;
   int level = 2;
   int faults = 1;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-n" && i + 1 < argc) {
-      level = std::atoi(argv[++i]);
-    } else if (arg == "-o" && i + 1 < argc) {
-      verilog_out = argv[++i];
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_out = argv[++i];
-    } else if (arg == "--faults" && i + 1 < argc) {
-      faults = std::atoi(argv[++i]);
-    } else if (!arg.empty() && arg[0] != '-') {
-      file = arg;
-    } else {
-      return usage();
-    }
-  }
+  int lanes = scfi::sim::kNumLanes;
+  int threads = 1;
+  int jobs = 1;
 
   try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const bool has_value = i + 1 < argc;
+      if (arg == "-n" && has_value) {
+        level = parse_positive("-n", argv[++i]);
+        level_set = true;
+      } else if (arg == "-o" && has_value) {
+        verilog_out = argv[++i];
+      } else if (arg == "--json" && has_value) {
+        json_out = argv[++i];
+      } else if (arg == "--faults" && has_value) {
+        faults = parse_positive("--faults", argv[++i]);
+      } else if (arg == "--lanes" && has_value) {
+        lanes = parse_positive("--lanes", argv[++i]);
+        scfi::require(lanes <= scfi::sim::kNumLanes, "scfi_cli: --lanes must be in [1, 64]");
+      } else if (arg == "--threads" && has_value) {
+        threads = parse_positive("--threads", argv[++i]);
+      } else if (arg == "--jobs" && has_value) {
+        jobs = parse_positive("--jobs", argv[++i]);
+      } else if (arg == "--backend" && has_value) {
+        backend_name = argv[++i];
+        scfi::sweep::backend_of(backend_name);  // validate now, use later
+      } else if (arg == "--no-incremental") {
+        no_incremental = true;
+      } else if (arg == "--modules" && has_value) {
+        modules = argv[++i];
+      } else if (arg == "--levels" && has_value) {
+        levels = argv[++i];
+      } else if (arg == "--regions" && has_value) {
+        regions = argv[++i];
+      } else if (arg == "--kinds" && has_value) {
+        kinds = argv[++i];
+      } else if (arg == "--out" && has_value) {
+        sweep_out = argv[++i];
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (!arg.empty() && arg[0] != '-') {
+        file = arg;
+      } else {
+        return usage();
+      }
+    }
+
+    if (command == "sweep") {
+      // Protection levels come from --levels and modules from --modules;
+      // reject the single-FSM flags instead of silently ignoring them.
+      scfi::require(!level_set, "scfi_cli: sweep takes --levels 2,3 (not -n)");
+      scfi::require(file.empty(),
+                    "scfi_cli: sweep runs over zoo modules (--modules), not a kiss2 file");
+      // Job matrix: modules x levels x (regions x kinds), all on one backend.
+      std::vector<scfi::synfi::SynfiConfig> configs;
+      for (const std::string& region : scfi::split(regions, ",")) {
+        for (const std::string& kind : scfi::split(kinds, ",")) {
+          scfi::synfi::SynfiConfig config;
+          config.wire_prefix = region == "all" ? "" : region;
+          config.kind = scfi::sweep::fault_kind_of(kind);
+          config.backend = scfi::sweep::backend_of(backend_name);
+          config.sat_incremental = !no_incremental;
+          configs.push_back(config);
+        }
+      }
+      const std::vector<scfi::sweep::SweepJob> sweep_jobs =
+          scfi::sweep::expand_jobs(modules, parse_levels(levels), configs);
+
+      scfi::require(!resume || !sweep_out.empty(),
+                    "scfi_cli: --resume needs --out (the JSONL store to resume from)");
+      scfi::sweep::ResultStore store;
+      if (resume) store = scfi::sweep::ResultStore::load(sweep_out);
+      scfi::sweep::SweepConfig sweep_config;
+      sweep_config.jobs = jobs;
+      sweep_config.threads = threads;
+      sweep_config.lanes = lanes;
+      const std::string out_note = sweep_out.empty() ? "" : " out=" + sweep_out;
+      std::printf("sweep config: %zu job(s), jobs=%d threads=%d lanes=%d backend=%s%s%s\n",
+                  sweep_jobs.size(), jobs, threads, lanes, backend_name.c_str(),
+                  resume ? " resume" : "", out_note.c_str());
+      scfi::sweep::SweepOrchestrator orchestrator(sweep_config);
+      const scfi::sweep::SweepStats stats =
+          orchestrator.run(sweep_jobs, store, sweep_out, resume);
+      for (const scfi::sweep::SweepResult& r : store.results()) {
+        std::printf("  %-48s injections=%6lld exploitable=%4lld (%.2f%%) [%.3fs]\n",
+                    r.key().c_str(), static_cast<long long>(r.report.injections),
+                    static_cast<long long>(r.report.exploitable), r.report.exploitable_pct(),
+                    r.seconds);
+      }
+      std::printf("sweep: executed %d job(s), skipped %d\n", stats.executed, stats.skipped);
+      return 0;
+    }
+
     const scfi::fsm::Fsm fsm = load_fsm(file);
     if (command == "dot") {
       std::cout << scfi::fsm::to_dot(fsm);
@@ -131,7 +251,14 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "synfi") {
-      const scfi::synfi::SynfiReport r = scfi::synfi::analyze(fsm, hard);
+      scfi::synfi::SynfiConfig synfi_config;
+      synfi_config.backend = scfi::sweep::backend_of(backend_name);
+      synfi_config.lanes = lanes;
+      synfi_config.threads = threads;
+      synfi_config.sat_incremental = !no_incremental;
+      std::printf("synfi config: backend=%s lanes=%d threads=%d incremental=%s\n",
+                  backend_name.c_str(), lanes, threads, no_incremental ? "no" : "yes");
+      const scfi::synfi::SynfiReport r = scfi::synfi::analyze(fsm, hard, synfi_config);
       std::printf("synfi: %lld sites, %lld injections, %lld exploitable (%.2f%%), %lld detected\n",
                   static_cast<long long>(r.sites), static_cast<long long>(r.injections),
                   static_cast<long long>(r.exploitable), r.exploitable_pct(),
@@ -143,6 +270,9 @@ int main(int argc, char** argv) {
       campaign.runs = 1000;
       campaign.cycles = 20;
       campaign.num_faults = faults;
+      campaign.lanes = lanes;
+      campaign.threads = threads;
+      std::printf("attack config: lanes=%d threads=%d\n", lanes, threads);
       const auto r = scfi::sim::run_campaign(fsm, hard, campaign);
       std::printf("attack with %d fault(s): hijack %.2f%%, detected %.2f%% of effective,"
                   " masked %d/%d\n",

@@ -1,5 +1,6 @@
 #include "backends/json.h"
 
+#include <cstdio>
 #include <map>
 #include <string>
 
@@ -11,15 +12,6 @@ namespace {
 
 using rtlil::SigBit;
 using rtlil::SigSpec;
-
-std::string escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 
 /// Yosys-JSON style bit ids: 0/1 are the constants, wires get 2+.
 class BitIds {
@@ -51,16 +43,80 @@ void write_bits(const SigSpec& sig, const BitIds& ids, std::ostream& out) {
 
 }  // namespace
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    const char e = s[++i];
+    switch (e) {
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'u': {
+        require(i + 4 < s.size(), "json_unescape: truncated \\u escape");
+        unsigned code = 0;
+        for (int d = 1; d <= 4; ++d) {
+          const char h = s[i + static_cast<std::size_t>(d)];
+          unsigned digit = 0;
+          if (h >= '0' && h <= '9') {
+            digit = static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            digit = static_cast<unsigned>(h - 'a') + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            digit = static_cast<unsigned>(h - 'A') + 10;
+          } else {
+            throw ScfiError("json_unescape: non-hex digit in \\u escape");
+          }
+          code = code * 16 + digit;
+        }
+        require(code < 0x80, "json_unescape: only ASCII \\u escapes supported");
+        out.push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default: out.push_back(e);
+    }
+  }
+  return out;
+}
+
 void write_json(const rtlil::Module& module, std::ostream& out) {
   const BitIds ids(module);
-  out << "{\n  \"module\": \"" << escape(module.name()) << "\",\n";
+  out << "{\n  \"module\": \"" << json_escape(module.name()) << "\",\n";
   out << "  \"ports\": {\n";
   bool first = true;
   for (const rtlil::Wire* w : module.wires()) {
     if (!w->is_input() && !w->is_output()) continue;
     if (!first) out << ",\n";
     first = false;
-    out << "    \"" << escape(w->name()) << "\": {\"direction\": \""
+    out << "    \"" << json_escape(w->name()) << "\": {\"direction\": \""
         << (w->is_input() ? "input" : "output") << "\", \"bits\": ";
     write_bits(SigSpec(w), ids, out);
     out << "}";
@@ -70,14 +126,14 @@ void write_json(const rtlil::Module& module, std::ostream& out) {
   for (const rtlil::Cell* cell : module.cells()) {
     if (!first) out << ",\n";
     first = false;
-    out << "    \"" << escape(cell->name()) << "\": {\"type\": \""
-        << escape(rtlil::cell_type_name(cell->type())) << "\", \"drive\": " << cell->drive()
+    out << "    \"" << json_escape(cell->name()) << "\": {\"type\": \""
+        << json_escape(rtlil::cell_type_name(cell->type())) << "\", \"drive\": " << cell->drive()
         << ", \"connections\": {";
     bool first_port = true;
     for (const auto& [port, sig] : cell->ports()) {
       if (!first_port) out << ", ";
       first_port = false;
-      out << "\"" << escape(port) << "\": ";
+      out << "\"" << json_escape(port) << "\": ";
       write_bits(sig, ids, out);
     }
     out << "}";

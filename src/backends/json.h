@@ -3,11 +3,21 @@
 #pragma once
 
 #include <ostream>
+#include <string>
 
 #include "rtlil/module.h"
 
 namespace scfi::backends {
 
 void write_json(const rtlil::Module& module, std::ostream& out);
+
+/// Escapes a string for embedding in a JSON string literal (backslash,
+/// quote, and control characters). Shared by the netlist writer and the
+/// sweep result store.
+std::string json_escape(const std::string& s);
+
+/// Inverse of json_escape for the escapes it emits (\" \\ \n \t \r \uXXXX
+/// for other control characters).
+std::string json_unescape(const std::string& s);
 
 }  // namespace scfi::backends

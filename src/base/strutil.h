@@ -17,6 +17,10 @@ std::string trim(std::string_view text);
 /// True when `text` begins with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);
 
+/// Shell-style glob match: `*` matches any run of characters, `?` matches
+/// exactly one; everything else is literal. The whole text must match.
+bool glob_match(std::string_view text, std::string_view pattern);
+
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,6 +1,7 @@
 #include "ot/zoo.h"
 
 #include "base/error.h"
+#include "base/strutil.h"
 #include "core/harden.h"
 #include "redundancy/redundancy.h"
 #include "rtlil/validate.h"
@@ -26,6 +27,20 @@ OtEntry ot_entry(const std::string& name) {
     if (entry.name == name) return entry;
   }
   throw ScfiError("ot_entry: unknown module " + name);
+}
+
+std::vector<OtEntry> ot_entries(const std::string& globs) {
+  const std::vector<std::string> patterns = split(globs, ",");
+  std::vector<OtEntry> matched;
+  for (OtEntry& entry : ot_zoo()) {
+    for (const std::string& pattern : patterns) {
+      if (glob_match(entry.name, pattern)) {
+        matched.push_back(std::move(entry));
+        break;
+      }
+    }
+  }
+  return matched;
 }
 
 fsm::CompiledFsm build_ot_variant(const OtEntry& entry, rtlil::Design& design, Variant variant,

@@ -39,6 +39,11 @@ std::vector<OtEntry> ot_zoo();
 /// Lookup by name; throws ScfiError when unknown.
 OtEntry ot_entry(const std::string& name);
 
+/// Every zoo module whose name matches one of the comma-separated glob
+/// patterns (`*`/`?`), in Table 1 order. "pwrmgr_fsm,i2c*" selects two
+/// modules; "*" selects the whole zoo. Empty result is allowed.
+std::vector<OtEntry> ot_entries(const std::string& globs);
+
 enum class Variant { kUnprotected, kRedundancy, kScfi };
 
 /// Compiles the FSM in the requested variant, attaches the datapath, and

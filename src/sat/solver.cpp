@@ -298,4 +298,19 @@ bool Solver::value(Lit lit) const {
   return v == kTrue;
 }
 
+Solver::WarmStart Solver::export_warm_start() const {
+  WarmStart warm;
+  warm.activity = activity_;
+  warm.phase = phase_;
+  warm.var_inc = var_inc_;
+  return warm;
+}
+
+void Solver::import_warm_start(const WarmStart& warm) {
+  const std::size_t n = std::min(activity_.size(), warm.activity.size());
+  std::copy_n(warm.activity.begin(), n, activity_.begin());
+  std::copy_n(warm.phase.begin(), std::min(phase_.size(), warm.phase.size()), phase_.begin());
+  if (warm.var_inc > 0) var_inc_ = warm.var_inc;
+}
+
 }  // namespace scfi::sat

@@ -41,6 +41,22 @@ class Solver {
   std::uint64_t conflicts() const { return conflicts_; }
   std::uint64_t decisions() const { return decisions_; }
 
+  /// Branching-heuristic snapshot: VSIDS activities and saved phases. Purely
+  /// heuristic state — importing one into another solver can only change the
+  /// search order, never a SAT/UNSAT verdict — so sweeps over structurally
+  /// similar instances (e.g. the per-shard SYNFI miters of one variant) can
+  /// seed fresh solvers from an already-trained one.
+  struct WarmStart {
+    std::vector<double> activity;
+    std::vector<std::int8_t> phase;
+    double var_inc = 1.0;
+    bool empty() const { return activity.empty(); }
+  };
+  WarmStart export_warm_start() const;
+  /// Copies the snapshot onto the first min(num_vars, |snapshot|) variables;
+  /// extra variables on either side are left untouched.
+  void import_warm_start(const WarmStart& warm);
+
  private:
   // Internal literal encoding: var v (0-based) -> 2v (positive), 2v+1
   // (negated).

@@ -1,5 +1,6 @@
 #include "sim/campaign.h"
 
+#include <atomic>
 #include <bit>
 #include <exception>
 #include <numeric>
@@ -7,7 +8,9 @@
 #include <unordered_map>
 
 #include "base/error.h"
+#include "base/log.h"
 #include "base/rng.h"
+#include "base/strutil.h"
 
 namespace scfi::sim {
 namespace {
@@ -308,11 +311,37 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
 
 }  // namespace
 
+std::int64_t planned_bytes(const CampaignConfig& config) {
+  const auto runs = static_cast<std::int64_t>(config.runs);
+  const auto cycles = static_cast<std::int64_t>(config.cycles);
+  const std::int64_t edges = runs * cycles * static_cast<std::int64_t>(sizeof(std::int32_t));
+  const std::int64_t golden =
+      runs * (cycles + 1) * static_cast<std::int64_t>(sizeof(std::int32_t));
+  const std::int64_t faults = runs * static_cast<std::int64_t>(config.num_faults) *
+                              static_cast<std::int64_t>(sizeof(PlannedFault));
+  return edges + golden + faults;
+}
+
 CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
                             const CampaignConfig& config) {
   check(variant.module != nullptr, "run_campaign: variant has no module");
   require(config.lanes >= 1 && config.lanes <= kNumLanes,
           "run_campaign: lanes must be in [1, 64]");
+  if (config.max_plan_bytes > 0) {
+    const std::int64_t plan_bytes = planned_bytes(config);
+    require(plan_bytes <= config.max_plan_bytes,
+            format("run_campaign: campaign plan needs ~%lld bytes, above the "
+                   "max_plan_bytes cap of %lld; shrink runs/cycles or raise the cap",
+                   static_cast<long long>(plan_bytes),
+                   static_cast<long long>(config.max_plan_bytes)));
+    static std::atomic<bool> warned{false};
+    if (plan_bytes > config.max_plan_bytes / 2 && !warned.exchange(true)) {
+      log_warn(format("run_campaign: campaign plan materializes ~%lld bytes up front "
+                      "(cap %lld); plans are ~8 bytes per run-cycle plus 8 per fault",
+                      static_cast<long long>(plan_bytes),
+                      static_cast<long long>(config.max_plan_bytes)));
+    }
+  }
   const std::vector<FaultSite> all_sites =
       enumerate_fault_sites(*variant.module, variant.state_wire);
   const std::vector<FaultSite> sites = filter_sites(all_sites, config.target);

@@ -41,7 +41,19 @@ struct CampaignConfig {
   std::uint64_t seed = 1;
   int lanes = kNumLanes;  ///< runs per simulator batch (1..64); 1 = scalar
   int threads = 1;        ///< worker threads sharding batches (<=1 = inline)
+  /// Hard cap on the materialized plan (walks, golden sequences, fault
+  /// schedules — see planned_bytes()). Planning is up-front, so a >10^7-run
+  /// campaign would otherwise allocate gigabytes before the first simulated
+  /// cycle; exceeding the cap throws ScfiError instead (a one-time warning
+  /// is logged above half the cap). 0 disables the check. Streaming
+  /// per-batch planning for such campaigns is tracked in ROADMAP.md.
+  std::int64_t max_plan_bytes = 1LL << 31;  ///< 2 GiB
 };
+
+/// Estimated bytes plan_campaign() materializes for `config`: ~8 bytes per
+/// run-cycle (a 4-byte walk edge plus a 4-byte golden state entry) plus
+/// 8 bytes per scheduled fault.
+std::int64_t planned_bytes(const CampaignConfig& config);
 
 struct CampaignResult {
   int runs = 0;

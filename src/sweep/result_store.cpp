@@ -1,0 +1,317 @@
+#include "sweep/result_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "backends/json.h"
+#include "base/error.h"
+#include "base/strutil.h"
+
+namespace scfi::sweep {
+
+const char* fault_kind_name(sim::FaultKind kind) {
+  switch (kind) {
+    case sim::FaultKind::kStuckAt0: return "stuck0";
+    case sim::FaultKind::kStuckAt1: return "stuck1";
+    case sim::FaultKind::kTransientFlip: return "flip";
+    default: return "none";
+  }
+}
+
+sim::FaultKind fault_kind_of(const std::string& name) {
+  if (name == "stuck0") return sim::FaultKind::kStuckAt0;
+  if (name == "stuck1") return sim::FaultKind::kStuckAt1;
+  if (name == "flip") return sim::FaultKind::kTransientFlip;
+  throw ScfiError("sweep: unknown fault kind '" + name +
+                  "' (expected flip, stuck0, or stuck1)");
+}
+
+const char* backend_name(synfi::Backend backend) {
+  return backend == synfi::Backend::kSat ? "sat" : "sim";
+}
+
+synfi::Backend backend_of(const std::string& name) {
+  if (name == "sat") return synfi::Backend::kSat;
+  if (name == "sim") return synfi::Backend::kExhaustiveSim;
+  throw ScfiError("sweep: unknown backend '" + name + "' (expected sim or sat)");
+}
+
+namespace {
+
+/// Minimal recursive-descent reader for the one flat object shape the store
+/// emits: string / integer / double / bool values plus one string array.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    require(pos_ < text_.size() && text_[pos_] == c,
+            std::string("result store: expected '") + c + "' in JSONL line");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string raw;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        raw.push_back(text_[pos_++]);
+      }
+      raw.push_back(text_[pos_++]);
+    }
+    expect('"');
+    return backends::json_unescape(raw);
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    require(end != begin, "result store: malformed number in JSONL line");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    throw ScfiError("result store: malformed bool in JSONL line");
+  }
+
+  std::vector<std::string> parse_string_array() {
+    std::vector<std::string> items;
+    expect('[');
+    if (consume(']')) return items;
+    do {
+      items.push_back(parse_string());
+    } while (consume(','));
+    expect(']');
+    return items;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SweepJob::key() const {
+  std::string key = module + "|" + variant + "|n" + std::to_string(protection_level) + "|r=" +
+                    synfi.wire_prefix + "|" + backend_name(synfi.backend) + "|" +
+                    fault_kind_name(synfi.kind);
+  if (synfi.include_inputs) key += "|inputs";
+  if (synfi.free_symbol) key += "|free";
+  return key;
+}
+
+std::string ResultStore::to_line(const SweepResult& result) {
+  const SweepJob& job = result.job;
+  const synfi::SynfiReport& r = result.report;
+  std::ostringstream out;
+  out << "{\"schema\":" << kSchemaVersion;
+  out << ",\"key\":\"" << backends::json_escape(result.key()) << "\"";
+  out << ",\"module\":\"" << backends::json_escape(job.module) << "\"";
+  out << ",\"variant\":\"" << backends::json_escape(job.variant) << "\"";
+  out << ",\"level\":" << job.protection_level;
+  out << ",\"region\":\"" << backends::json_escape(job.synfi.wire_prefix) << "\"";
+  out << ",\"include_inputs\":" << (job.synfi.include_inputs ? "true" : "false");
+  out << ",\"backend\":\"" << backend_name(job.synfi.backend) << "\"";
+  out << ",\"kind\":\"" << fault_kind_name(job.synfi.kind) << "\"";
+  out << ",\"free_symbol\":" << (job.synfi.free_symbol ? "true" : "false");
+  out << ",\"sites\":" << r.sites;
+  out << ",\"injections\":" << r.injections;
+  out << ",\"exploitable\":" << r.exploitable;
+  out << ",\"detected\":" << r.detected;
+  out << ",\"masked\":" << r.masked;
+  out << ",\"stalls\":" << r.stalls;
+  out << ",\"exploitable_sites\":[";
+  for (std::size_t i = 0; i < r.exploitable_sites.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << backends::json_escape(r.exploitable_sites[i]) << "\"";
+  }
+  out << "]";
+  char seconds[32];
+  std::snprintf(seconds, sizeof(seconds), "%.6f", result.seconds);
+  out << ",\"seconds\":" << seconds << "}";
+  return out.str();
+}
+
+SweepResult ResultStore::parse_line(const std::string& line) {
+  SweepResult result;
+  LineParser parser(line);
+  bool saw_schema = false;
+  parser.expect('{');
+  if (!parser.consume('}')) {
+    do {
+      const std::string field = parser.parse_string();
+      parser.expect(':');
+      if (field == "schema") {
+        const int schema = static_cast<int>(parser.parse_number());
+        require(schema == kSchemaVersion,
+                "result store: schema version " + std::to_string(schema) + " (expected " +
+                    std::to_string(kSchemaVersion) + ")");
+        saw_schema = true;
+      } else if (field == "key") {
+        parser.parse_string();  // derived; recomputed from the job fields
+      } else if (field == "module") {
+        result.job.module = parser.parse_string();
+      } else if (field == "variant") {
+        result.job.variant = parser.parse_string();
+      } else if (field == "level") {
+        result.job.protection_level = static_cast<int>(parser.parse_number());
+      } else if (field == "region") {
+        result.job.synfi.wire_prefix = parser.parse_string();
+      } else if (field == "include_inputs") {
+        result.job.synfi.include_inputs = parser.parse_bool();
+      } else if (field == "backend") {
+        result.job.synfi.backend = backend_of(parser.parse_string());
+      } else if (field == "kind") {
+        result.job.synfi.kind = fault_kind_of(parser.parse_string());
+      } else if (field == "free_symbol") {
+        result.job.synfi.free_symbol = parser.parse_bool();
+      } else if (field == "sites") {
+        result.report.sites = static_cast<std::int64_t>(parser.parse_number());
+      } else if (field == "injections") {
+        result.report.injections = static_cast<std::int64_t>(parser.parse_number());
+      } else if (field == "exploitable") {
+        result.report.exploitable = static_cast<std::int64_t>(parser.parse_number());
+      } else if (field == "detected") {
+        result.report.detected = static_cast<std::int64_t>(parser.parse_number());
+      } else if (field == "masked") {
+        result.report.masked = static_cast<std::int64_t>(parser.parse_number());
+      } else if (field == "stalls") {
+        result.report.stalls = static_cast<std::int64_t>(parser.parse_number());
+      } else if (field == "exploitable_sites") {
+        result.report.exploitable_sites = parser.parse_string_array();
+      } else if (field == "seconds") {
+        result.seconds = parser.parse_number();
+      } else {
+        // Unknown fields are skipped so minor forward extensions do not
+        // break old readers — but only scalar values, keeping this honest.
+        if (parser.peek() == '"') {
+          parser.parse_string();
+        } else if (parser.peek() == 't' || parser.peek() == 'f') {
+          parser.parse_bool();
+        } else {
+          parser.parse_number();
+        }
+      }
+    } while (parser.consume(','));
+    parser.expect('}');
+  }
+  require(saw_schema, "result store: JSONL line missing schema field");
+  require(!result.job.module.empty(), "result store: JSONL line missing module field");
+  return result;
+}
+
+ResultStore ResultStore::load(const std::string& path) {
+  ResultStore store;
+  // A missing store is a fresh start; an existing-but-unreadable one must
+  // NOT silently resume as empty (every completed job would re-execute).
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return store;
+  std::ifstream in(path);
+  require(in.good(), "result store: cannot read " + path);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    try {
+      store.add(parse_line(trimmed));
+    } catch (const ScfiError& e) {
+      throw ScfiError(path + ":" + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return store;
+}
+
+void ResultStore::add(SweepResult result) {
+  const std::string key = result.key();
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    results_[it->second] = std::move(result);
+    return;
+  }
+  index_.emplace(key, results_.size());
+  results_.push_back(std::move(result));
+}
+
+bool ResultStore::contains(const std::string& key) const { return index_.count(key) > 0; }
+
+const SweepResult* ResultStore::find(const std::string& key) const {
+  const auto it = index_.find(key);
+  return it != index_.end() ? &results_[it->second] : nullptr;
+}
+
+void ResultStore::merge(const ResultStore& other) {
+  for (const SweepResult& result : other.results_) add(result);
+}
+
+ResultStore::Diff ResultStore::diff(const ResultStore& left, const ResultStore& right) {
+  Diff diff;
+  for (const SweepResult& l : left.results_) {
+    const SweepResult* r = right.find(l.key());
+    if (r == nullptr) {
+      diff.only_left.push_back(l.key());
+    } else if (!(l.report == r->report)) {
+      diff.changed.push_back(l.key());
+    }
+  }
+  for (const SweepResult& r : right.results_) {
+    if (left.find(r.key()) == nullptr) diff.only_right.push_back(r.key());
+  }
+  std::sort(diff.only_left.begin(), diff.only_left.end());
+  std::sort(diff.only_right.begin(), diff.only_right.end());
+  std::sort(diff.changed.begin(), diff.changed.end());
+  return diff;
+}
+
+void ResultStore::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  require(out.good(), "result store: cannot write " + path);
+  for (const SweepResult& result : results_) out << to_line(result) << "\n";
+  require(out.good(), "result store: write to " + path + " failed");
+}
+
+void ResultStore::append_line(const std::string& path, const SweepResult& result) {
+  std::ofstream out(path, std::ios::app);
+  require(out.good(), "result store: cannot append to " + path);
+  out << to_line(result) << "\n" << std::flush;
+  require(out.good(), "result store: append to " + path + " failed");
+}
+
+}  // namespace scfi::sweep

@@ -1,0 +1,102 @@
+// Persistent store for SYNFI sweep results: one JSON object per line
+// (JSONL), append-only and schema-versioned, so successive sweeps over the
+// module zoo can be resumed, merged, and compared without a database.
+//
+// See src/sweep/README.md for the line schema. The store is keyed by the
+// job identity (module | variant | level | region | backend | fault kind,
+// plus the include_inputs/free_symbol flags); re-appending a key makes the
+// latest record win, which is what lets `--resume` replay an interrupted
+// sweep on top of a partially written file.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synfi/synfi.h"
+
+namespace scfi::sweep {
+
+/// Fault-kind / backend name mappings shared by the store, the
+/// orchestrator, and the CLI (one place to extend). The *_of parsers throw
+/// ScfiError on unknown names.
+const char* fault_kind_name(sim::FaultKind kind);
+sim::FaultKind fault_kind_of(const std::string& name);
+const char* backend_name(synfi::Backend backend);
+synfi::Backend backend_of(const std::string& name);
+
+/// One sweep job: which variant to build and which SYNFI query to run on
+/// it. `synfi.lanes`/`synfi.threads` are execution knobs owned by the
+/// orchestrator; everything else is job identity.
+struct SweepJob {
+  std::string module;            ///< OT zoo module name
+  /// Only "scfi" is analyzable today: unprotected variants have raw
+  /// (unencoded) control bits and redundancy variants hold N register
+  /// copies the one-cycle SYNFI stimulus does not drive.
+  std::string variant = "scfi";
+  int protection_level = 2;
+  synfi::SynfiConfig synfi;
+
+  /// Canonical identity string, e.g. "pwrmgr_fsm|scfi|n2|r=mds_|sim|flip".
+  std::string key() const;
+};
+
+/// A completed job: the job identity, its report, and the wall-clock cost.
+struct SweepResult {
+  SweepJob job;
+  synfi::SynfiReport report;
+  double seconds = 0.0;
+
+  std::string key() const { return job.key(); }
+};
+
+class ResultStore {
+ public:
+  /// Bumped whenever the line schema changes; load() rejects other versions.
+  static constexpr int kSchemaVersion = 1;
+
+  ResultStore() = default;
+
+  /// Parses an existing JSONL store. A missing file yields an empty store;
+  /// a malformed line or schema mismatch throws ScfiError.
+  static ResultStore load(const std::string& path);
+
+  /// Adds a result; an existing record with the same key is replaced
+  /// in place (latest wins).
+  void add(SweepResult result);
+
+  bool contains(const std::string& key) const;
+  const SweepResult* find(const std::string& key) const;
+  const std::vector<SweepResult>& results() const { return results_; }
+  std::size_t size() const { return results_.size(); }
+
+  /// Folds `other` into this store; on key collisions `other` wins.
+  void merge(const ResultStore& other);
+
+  /// Key-level comparison of two stores. `changed` lists keys present in
+  /// both whose reports differ (timing is ignored — only verdicts count).
+  struct Diff {
+    std::vector<std::string> only_left;
+    std::vector<std::string> only_right;
+    std::vector<std::string> changed;
+    bool empty() const { return only_left.empty() && only_right.empty() && changed.empty(); }
+  };
+  static Diff diff(const ResultStore& left, const ResultStore& right);
+
+  /// Rewrites the whole store (one line per record, key order = insertion).
+  void save(const std::string& path) const;
+
+  /// Serializes one record as a single JSONL line (no trailing newline).
+  static std::string to_line(const SweepResult& result);
+  /// Inverse of to_line; throws ScfiError on malformed input or wrong
+  /// schema version.
+  static SweepResult parse_line(const std::string& line);
+  /// Appends one record to a JSONL file (creating it if needed) and flushes.
+  static void append_line(const std::string& path, const SweepResult& result);
+
+ private:
+  std::vector<SweepResult> results_;
+  std::map<std::string, std::size_t> index_;  ///< key -> position in results_
+};
+
+}  // namespace scfi::sweep

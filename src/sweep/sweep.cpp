@@ -1,0 +1,164 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "base/error.h"
+#include "ot/zoo.h"
+#include "rtlil/design.h"
+
+namespace scfi::sweep {
+namespace {
+
+ot::Variant variant_of(const std::string& name) {
+  if (name == "scfi") return ot::Variant::kScfi;
+  // kUnprotected compiles to raw control bits, which the symbol-level SYNFI
+  // property cannot analyze, and kRedundancy holds N state-register copies
+  // of which the one-cycle SYNFI stimulus only drives the primary — its
+  // mismatch alert would fire on the stale copies and the report would be
+  // meaningless. Reject both up front instead of deep inside a worker.
+  throw ScfiError("sweep: unknown or unanalyzable variant '" + name + "' (expected scfi)");
+}
+
+/// Jobs that share a compiled variant, served by one Analyzer.
+struct VariantGroup {
+  std::string module;
+  std::string variant;
+  int protection_level = 2;
+  std::vector<std::size_t> job_indices;  ///< into the filtered job list
+};
+
+}  // namespace
+
+SweepOrchestrator::SweepOrchestrator(const SweepConfig& config) : config_(config) {
+  require(config_.jobs >= 1, "sweep: jobs must be >= 1");
+  require(config_.threads >= 1, "sweep: threads must be >= 1");
+  require(config_.lanes >= 1 && config_.lanes <= sim::kNumLanes,
+          "sweep: lanes must be in [1, 64]");
+}
+
+SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore& store,
+                                  const std::string& out_path, bool resume) {
+  SweepStats stats;
+
+  // Validate and filter up front so a bad job aborts before any work runs.
+  std::vector<SweepJob> pending;
+  for (const SweepJob& job : jobs) {
+    variant_of(job.variant);
+    if (resume && store.contains(job.key())) {
+      ++stats.skipped;
+      continue;
+    }
+    pending.push_back(job);
+  }
+  if (pending.empty()) return stats;
+
+  // Group by compiled variant, preserving first-appearance order, so one
+  // Analyzer amortizes the build across every query of that variant.
+  std::vector<VariantGroup> groups;
+  std::map<std::string, std::size_t> group_index;
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    const SweepJob& job = pending[j];
+    const std::string key =
+        job.module + "|" + job.variant + "|n" + std::to_string(job.protection_level);
+    const auto it = group_index.find(key);
+    if (it == group_index.end()) {
+      group_index.emplace(key, groups.size());
+      groups.push_back(VariantGroup{job.module, job.variant, job.protection_level, {j}});
+    } else {
+      groups[it->second].job_indices.push_back(j);
+    }
+  }
+
+  // Two-level parallelism under one shared budget: `outer` concurrent jobs,
+  // each running its queries with `inner` SYNFI worker threads.
+  const int outer =
+      std::max(1, std::min(config_.jobs, static_cast<int>(groups.size())));
+  const int inner = std::max(1, config_.threads / outer);
+
+  std::mutex emit_mutex;
+  std::atomic<std::size_t> next_group{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(outer));
+
+  const auto worker = [&](int slot) {
+    try {
+      for (;;) {
+        // The first worker error stops every worker from claiming further
+        // groups; only the groups already in flight finish.
+        if (failed.load(std::memory_order_relaxed)) return;
+        const std::size_t g = next_group.fetch_add(1);
+        if (g >= groups.size()) return;
+        const VariantGroup& group = groups[g];
+        const ot::OtEntry entry = ot::ot_entry(group.module);
+        rtlil::Design design;
+        const fsm::CompiledFsm compiled =
+            ot::build_ot_variant(entry, design, variant_of(group.variant),
+                                 group.protection_level, group.module + "_sweep");
+        synfi::Analyzer analyzer(entry.fsm, compiled);
+        for (const std::size_t j : group.job_indices) {
+          SweepResult result;
+          result.job = pending[j];
+          synfi::SynfiConfig config = result.job.synfi;
+          config.lanes = config_.lanes;
+          config.threads = inner;
+          const auto t0 = std::chrono::steady_clock::now();
+          result.report = analyzer.run(config);
+          result.seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          const std::lock_guard<std::mutex> lock(emit_mutex);
+          if (!out_path.empty()) ResultStore::append_line(out_path, result);
+          store.add(std::move(result));
+          ++stats.executed;
+        }
+      }
+    } catch (...) {
+      errors[static_cast<std::size_t>(slot)] = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (outer <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(outer));
+    for (int w = 0; w < outer; ++w) pool.emplace_back(worker, w);
+    for (std::thread& th : pool) th.join();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return stats;
+}
+
+std::vector<SweepJob> expand_jobs(const std::string& module_globs,
+                                  const std::vector<int>& levels,
+                                  const std::vector<synfi::SynfiConfig>& configs,
+                                  const std::string& variant) {
+  const std::vector<ot::OtEntry> entries = ot::ot_entries(module_globs);
+  require(!entries.empty(), "sweep: no zoo module matches '" + module_globs + "'");
+  require(!levels.empty(), "sweep: at least one protection level required");
+  require(!configs.empty(), "sweep: at least one synfi config required");
+  std::vector<SweepJob> jobs;
+  jobs.reserve(entries.size() * levels.size() * configs.size());
+  for (const ot::OtEntry& entry : entries) {
+    for (const int level : levels) {
+      for (const synfi::SynfiConfig& config : configs) {
+        SweepJob job;
+        job.module = entry.name;
+        job.variant = variant;
+        job.protection_level = level;
+        job.synfi = config;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace scfi::sweep

@@ -1,0 +1,67 @@
+// Multi-module SYNFI sweep orchestration (the paper's §6.4 evaluation run
+// as one fleet experiment over the OpenTitan zoo).
+//
+// A sweep is a set of SweepJobs — module x protection config x fault model.
+// The orchestrator groups jobs by compiled variant so that ONE
+// synfi::Analyzer serves every region/fault-kind query of that variant
+// (amortizing the simulator/CNF build), shards the groups across an outer
+// worker pool, and splits a shared thread budget between the outer pool and
+// the per-job `SynfiConfig.threads` inner parallelism. Completed jobs are
+// streamed into a ResultStore (and, when requested, appended to a JSONL
+// file as they finish), so an interrupted sweep can be resumed by skipping
+// the keys already present.
+//
+// Because every synfi report is lanes/threads-invariant and jobs are
+// independent, the per-key results are bit-identical for every jobs/threads
+// combination — only the completion (file) order varies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/result_store.h"
+
+namespace scfi::sweep {
+
+struct SweepConfig {
+  /// Maximum concurrently running jobs (outer parallelism); >= 1.
+  int jobs = 1;
+  /// Total worker-thread budget shared by all running jobs: each job runs
+  /// its SYNFI queries with max(1, threads / <outer workers>) inner
+  /// threads; >= 1.
+  int threads = 1;
+  /// Injection jobs per simulator pass for exhaustive-backend queries.
+  int lanes = sim::kNumLanes;
+};
+
+struct SweepStats {
+  int executed = 0;  ///< jobs run in this invocation
+  int skipped = 0;   ///< jobs already present in the store (resume)
+};
+
+class SweepOrchestrator {
+ public:
+  explicit SweepOrchestrator(const SweepConfig& config = {});
+
+  /// Runs `jobs`, streaming each completed result into `store` and — when
+  /// `out_path` is non-empty — appending it to that JSONL file as it
+  /// finishes. With `resume`, jobs whose key is already in `store` are
+  /// skipped (load the store from `out_path` first to resume a previous
+  /// invocation). Throws on unknown modules/variants; the first worker
+  /// error aborts the sweep after in-flight jobs complete.
+  SweepStats run(const std::vector<SweepJob>& jobs, ResultStore& store,
+                 const std::string& out_path = "", bool resume = false);
+
+ private:
+  SweepConfig config_;
+};
+
+/// Expands a module-glob x levels x configs matrix into the flat job list
+/// `SweepOrchestrator::run` consumes (modules in Table 1 order; one job per
+/// combination). Throws when the glob matches nothing.
+std::vector<SweepJob> expand_jobs(const std::string& module_globs,
+                                  const std::vector<int>& levels,
+                                  const std::vector<synfi::SynfiConfig>& configs,
+                                  const std::string& variant = "scfi");
+
+}  // namespace scfi::sweep

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <exception>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 
 #include "base/error.h"
@@ -53,9 +56,9 @@ sat::CnfFaultKind to_cnf_kind(sim::FaultKind kind) {
   }
 }
 
-/// Loop-invariant per-edge stimulus, resolved once per analyze() call and
-/// shared by both back-ends: symbol codeword plus from/to state indices
-/// (no map lookups inside the query loops).
+/// Loop-invariant per-edge stimulus, resolved once per Analyzer and shared
+/// by both back-ends: symbol codeword plus from/to state indices (no map
+/// lookups inside the query loops).
 struct EdgeTable {
   std::vector<std::uint64_t> code;   ///< encoded control symbol per edge
   std::vector<std::uint64_t> from_code;
@@ -91,21 +94,42 @@ struct ShardReport {
   std::vector<std::string> exploitable_sites;
 };
 
+/// One reusable worker context of the exhaustive back-end: the compiled
+/// 64-lane simulator plus the resolved interface handles. Building the
+/// Simulator (netlist flattening) is the fixed cost a many-region sweep
+/// amortizes, so the Analyzer keeps one context per worker slot alive
+/// across run() calls. Per-job state/symbol stimulus is fully overwritten
+/// every batch and outcome classification reads only the state/alert cone,
+/// so carried-over simulator state cannot change any verdict (the same
+/// property that makes the report lanes/threads-invariant).
+struct SimContext {
+  sim::Simulator simulator;
+  sim::Simulator::WireHandle symbol_h;
+  sim::Simulator::WireHandle state_h;
+  sim::Simulator::WireHandle alert_h;
+
+  explicit SimContext(const CompiledFsm& variant) : simulator(*variant.module) {
+    symbol_h = simulator.input_handle(variant.symbol_input_wire);
+    state_h = simulator.probe(variant.state_wire);
+    if (!variant.alert_wire.empty()) alert_h = simulator.probe(variant.alert_wire);
+    check(state_h.width <= 64, "synfi: state wire too wide");
+  }
+};
+
 /// Exhaustive-simulation back-end over sites [site_begin, site_end): packs
 /// up to `config.lanes` (site, edge) jobs into every eval/step pass. Lane k
 /// carries job k's state/symbol stimulus (per-lane register/input words)
 /// and a single-lane fault mask; outcomes are classified word-parallel.
 /// Lanes never interact, so the per-job outcome equals the scalar
 /// one-job-per-pass path bit for bit.
-void run_exhaustive_shard(const CompiledFsm& variant, const std::vector<SigBit>& sites,
-                          const EdgeTable& edges, const SynfiConfig& config,
-                          std::size_t site_begin, std::size_t site_end, ShardReport& out) {
-  sim::Simulator simulator(*variant.module);
-  const sim::Simulator::WireHandle symbol_h = simulator.input_handle(variant.symbol_input_wire);
-  const sim::Simulator::WireHandle state_h = simulator.probe(variant.state_wire);
-  sim::Simulator::WireHandle alert_h;
-  if (!variant.alert_wire.empty()) alert_h = simulator.probe(variant.alert_wire);
-  check(state_h.width <= 64, "synfi: state wire too wide");
+void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
+                          const std::vector<SigBit>& sites, const EdgeTable& edges,
+                          const SynfiConfig& config, std::size_t site_begin,
+                          std::size_t site_end, ShardReport& out) {
+  sim::Simulator& simulator = ctx.simulator;
+  const sim::Simulator::WireHandle symbol_h = ctx.symbol_h;
+  const sim::Simulator::WireHandle state_h = ctx.state_h;
+  const sim::Simulator::WireHandle alert_h = ctx.alert_h;
   const int state_w = state_h.width;
   const int symbol_w = symbol_h.width;
   const std::size_t num_states = variant.state_codes.size();
@@ -249,7 +273,7 @@ void run_exhaustive_shard(const CompiledFsm& variant, const std::vector<SigBit>&
   }
 }
 
-/// Interface wires of the miter, resolved once per analyze() call.
+/// Interface wires of the miter, resolved once per shard construction.
 struct MiterWires {
   const rtlil::Wire* symbol = nullptr;
   const rtlil::Wire* state = nullptr;
@@ -292,60 +316,82 @@ void push_equals(std::vector<sat::Lit>& lits, const std::vector<int>& vars,
   }
 }
 
-/// Incremental SAT back-end over sites [site_begin, site_end): ONE solver
-/// holds the golden copy plus a faulty copy whose overrides are each gated
-/// on a fresh selector literal (exactly_one over the selectors), and the
-/// query-invariant property clauses (alert low, next-state mismatch, valid
-/// faulty codeword). Every (site, edge) query is then a solve(assumptions)
-/// call — selector + state/symbol units — so the CNF and all learned
-/// clauses are shared across the whole sweep instead of being rebuilt per
-/// query.
-void run_sat_incremental_shard(const CompiledFsm& variant, const std::vector<SigBit>& sites,
-                               const EdgeTable& edges, const SynfiConfig& config,
-                               std::size_t site_begin, std::size_t site_end, ShardReport& out) {
+/// One live incremental SAT shard: the solver holds the golden copy plus a
+/// faulty copy whose overrides over sites [site_begin, site_end) are each
+/// gated on a fresh selector literal (exactly_one over the selectors), and
+/// the query-invariant property clauses (alert low, next-state mismatch,
+/// valid faulty codeword). Every (site, edge) query is then a
+/// solve(assumptions) call — selector + state/symbol units — so the CNF and
+/// all learned clauses are shared across the whole sweep, and (held inside
+/// an Analyzer) across every later run() that touches the same region and
+/// fault kind. `free_symbol` only changes the assumptions, never the CNF,
+/// so one shard serves both symbol modes.
+struct SatShard {
+  sat::Solver solver;
+  MiterInterface iface;
+  std::vector<sat::Lit> selectors;
+  std::vector<int> fn;  ///< faulty next-state variables
+};
+
+std::unique_ptr<SatShard> build_sat_shard(const CompiledFsm& variant,
+                                          const std::vector<SigBit>& sites,
+                                          sim::FaultKind kind, std::size_t site_begin,
+                                          std::size_t site_end,
+                                          const sat::Solver::WarmStart& warm) {
   const rtlil::Module& module = *variant.module;
   const MiterWires wires = resolve_interface(module, variant);
-  sat::Solver solver;
-  const MiterInterface iface = bind_interface(solver, wires);
+  auto shard = std::make_unique<SatShard>();
+  sat::Solver& solver = shard->solver;
+  shard->iface = bind_interface(solver, wires);
 
-  const sat::CnfCopy golden(solver, module, iface.bound);
-  std::vector<sat::Lit> selectors;
+  const sat::CnfCopy golden(solver, module, shard->iface.bound);
   std::vector<sat::CnfFault> faults;
-  selectors.reserve(site_end - site_begin);
+  shard->selectors.reserve(site_end - site_begin);
   faults.reserve(site_end - site_begin);
   for (std::size_t s = site_begin; s < site_end; ++s) {
     const sat::Lit sel = solver.new_var();
-    selectors.push_back(sel);
-    faults.push_back(sat::CnfFault{sites[s], to_cnf_kind(config.kind), sel});
+    shard->selectors.push_back(sel);
+    faults.push_back(sat::CnfFault{sites[s], to_cnf_kind(kind), sel});
   }
-  const sat::CnfCopy faulty(solver, module, iface.bound, faults);
-  sat::exactly_one(solver, selectors);
+  const sat::CnfCopy faulty(solver, module, shard->iface.bound, faults);
+  sat::exactly_one(solver, shard->selectors);
 
   const std::vector<int> gn = golden.ff_next_vars(variant.state_wire);
-  const std::vector<int> fn = faulty.ff_next_vars(variant.state_wire);
+  shard->fn = faulty.ff_next_vars(variant.state_wire);
   if (!variant.alert_wire.empty()) {
     solver.add_unit(-faulty.wire_vars(variant.alert_wire)[0]);
   }
-  solver.add_unit(sat::differ(solver, gn, fn));
-  solver.add_unit(sat::member_of(solver, fn, variant.state_codes));
+  solver.add_unit(sat::differ(solver, gn, shard->fn));
+  solver.add_unit(sat::member_of(solver, shard->fn, variant.state_codes));
 
+  // Seed the branching heuristic from what a sibling shard of this variant
+  // already learned. Pure heuristic state: search order may change, the
+  // SAT/UNSAT verdicts (and with them the report) cannot.
+  if (!warm.empty()) solver.import_warm_start(warm);
+  return shard;
+}
+
+/// Answers the (site, edge) queries of one shard via solve(assumptions).
+void run_sat_queries(SatShard& shard, const std::vector<SigBit>& sites, const EdgeTable& edges,
+                     const SynfiConfig& config, std::size_t site_begin, std::size_t site_end,
+                     ShardReport& out) {
   std::vector<sat::Lit> assumptions;
   for (std::size_t s = site_begin; s < site_end; ++s) {
     bool site_exploitable = false;
     for (std::size_t e = 0; e < edges.size(); ++e) {
       ++out.injections;
       assumptions.clear();
-      assumptions.push_back(selectors[s - site_begin]);
-      push_equals(assumptions, iface.svars, edges.from_code[e]);
-      if (!config.free_symbol) push_equals(assumptions, iface.xvars, edges.code[e]);
-      if (solver.solve(assumptions) == sat::Result::kSat) {
+      assumptions.push_back(shard.selectors[s - site_begin]);
+      push_equals(assumptions, shard.iface.svars, edges.from_code[e]);
+      if (!config.free_symbol) push_equals(assumptions, shard.iface.xvars, edges.code[e]);
+      if (shard.solver.solve(assumptions) == sat::Result::kSat) {
         ++out.exploitable;
         site_exploitable = true;
         // Stall iff some undetected model keeps the old state: decided by a
         // second assumption query, so the count does not depend on which
         // model the solver happened to find.
-        push_equals(assumptions, fn, edges.from_code[e]);
-        if (solver.solve(assumptions) == sat::Result::kSat) ++out.stalls;
+        push_equals(assumptions, shard.fn, edges.from_code[e]);
+        if (shard.solver.solve(assumptions) == sat::Result::kSat) ++out.stalls;
       } else {
         // Conservatively attribute UNSAT to detection/masking; the
         // simulation back-end provides the fine-grained split.
@@ -358,7 +404,7 @@ void run_sat_incremental_shard(const CompiledFsm& variant, const std::vector<Sig
 
 /// Reference SAT back-end: a fresh single-fault miter per (site, edge)
 /// query. Kept as the baseline the incremental engine is validated and
-/// benchmarked against.
+/// benchmarked against (never cached — it IS the rebuild cost).
 void run_sat_rebuild_shard(const CompiledFsm& variant, const std::vector<SigBit>& sites,
                            const EdgeTable& edges, const SynfiConfig& config,
                            std::size_t site_begin, std::size_t site_end, ShardReport& out) {
@@ -402,35 +448,115 @@ void run_sat_rebuild_shard(const CompiledFsm& variant, const std::vector<SigBit>
   }
 }
 
+/// Region cache key: the site list depends only on (prefix, include_inputs).
+using RegionKey = std::pair<std::string, bool>;
+
+/// Incremental SAT shard cache key: the CNF depends on the region, the fault
+/// kind, and the shard's site range (free_symbol and the stimulus live in
+/// the assumptions).
+using SatShardKey = std::tuple<std::string, bool, sim::FaultKind, std::size_t, std::size_t>;
+
 }  // namespace
 
-SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfig& config) {
+struct Analyzer::Impl {
+  const Fsm* fsm;
+  const CompiledFsm* variant;
+  EdgeTable edges;
+
+  std::map<RegionKey, std::vector<SigBit>> regions;
+  /// One simulator context per worker slot, grown on demand; slot w is only
+  /// ever touched by worker w of a run() call, so no locking is needed once
+  /// the vector is pre-sized.
+  std::vector<std::unique_ptr<SimContext>> sim_pool;
+  std::map<SatShardKey, std::unique_ptr<SatShard>> sat_shards;
+  std::mutex sat_mutex;
+  /// Branching-heuristic snapshot shared across shards of this variant.
+  sat::Solver::WarmStart warm;
+
+  const std::vector<SigBit>& region(const std::string& prefix, bool include_inputs) {
+    const RegionKey key{prefix, include_inputs};
+    const auto it = regions.find(key);
+    if (it != regions.end()) return it->second;
+    return regions.emplace(key, enumerate_region(*variant->module, prefix, include_inputs))
+        .first->second;
+  }
+
+  SatShard& sat_shard(const std::vector<SigBit>& sites, const SynfiConfig& config,
+                      std::size_t begin, std::size_t end) {
+    const SatShardKey key{config.wire_prefix, config.include_inputs, config.kind, begin, end};
+    {
+      const std::lock_guard<std::mutex> lock(sat_mutex);
+      const auto it = sat_shards.find(key);
+      if (it != sat_shards.end()) return *it->second;
+    }
+    // Shard ranges are disjoint per worker, so no two workers ever build the
+    // same key — construction can happen outside the lock.
+    sat::Solver::WarmStart warm_copy;
+    {
+      const std::lock_guard<std::mutex> lock(sat_mutex);
+      warm_copy = warm;
+    }
+    auto shard = build_sat_shard(*variant, sites, config.kind, begin, end, warm_copy);
+    const std::lock_guard<std::mutex> lock(sat_mutex);
+    return *sat_shards.emplace(key, std::move(shard)).first->second;
+  }
+};
+
+Analyzer::Analyzer(const Fsm& fsm, const CompiledFsm& variant) : impl_(new Impl) {
   check(variant.module != nullptr, "synfi: variant has no module");
   require(variant.symbol_width > 0, "synfi: variant must use encoded control symbols");
+  impl_->fsm = &fsm;
+  impl_->variant = &variant;
+  impl_->edges = build_edge_table(variant, fsm.cfg_edges());
+}
+
+Analyzer::~Analyzer() = default;
+
+const CompiledFsm& Analyzer::variant() const { return *impl_->variant; }
+
+std::size_t Analyzer::cached_simulators() const {
+  std::size_t live = 0;
+  for (const auto& ctx : impl_->sim_pool) {
+    if (ctx != nullptr) ++live;
+  }
+  return live;
+}
+
+std::size_t Analyzer::cached_sat_shards() const { return impl_->sat_shards.size(); }
+
+SynfiReport Analyzer::run(const SynfiConfig& config) {
   require(config.lanes >= 1 && config.lanes <= sim::kNumLanes,
           "synfi: lanes must be in [1, 64]");
   require(config.threads >= 1, "synfi: threads must be >= 1");
-  const rtlil::Module& module = *variant.module;
-  const std::vector<SigBit> sites =
-      enumerate_region(module, config.wire_prefix, config.include_inputs);
+  const CompiledFsm& variant = *impl_->variant;
+  const std::vector<SigBit>& sites =
+      impl_->region(config.wire_prefix, config.include_inputs);
   require(!sites.empty(), "synfi: no fault sites match prefix '" + config.wire_prefix + "'");
-  const EdgeTable edges = build_edge_table(variant, fsm.cfg_edges());
+  const EdgeTable& edges = impl_->edges;
 
-  const auto run_shard = [&](std::size_t begin, std::size_t end, ShardReport& out) {
+  const int workers =
+      std::max(1, std::min<int>(config.threads, static_cast<int>(sites.size())));
+  if (impl_->sim_pool.size() < static_cast<std::size_t>(workers) &&
+      config.backend == Backend::kExhaustiveSim) {
+    impl_->sim_pool.resize(static_cast<std::size_t>(workers));
+  }
+
+  const auto run_shard = [&](int slot, std::size_t begin, std::size_t end, ShardReport& out) {
     if (config.backend == Backend::kExhaustiveSim) {
-      run_exhaustive_shard(variant, sites, edges, config, begin, end, out);
+      auto& ctx = impl_->sim_pool[static_cast<std::size_t>(slot)];
+      if (ctx == nullptr) ctx = std::make_unique<SimContext>(variant);
+      run_exhaustive_shard(*ctx, variant, sites, edges, config, begin, end, out);
     } else if (config.sat_incremental) {
-      run_sat_incremental_shard(variant, sites, edges, config, begin, end, out);
+      SatShard& shard = impl_->sat_shard(sites, config, begin, end);
+      run_sat_queries(shard, sites, edges, config, begin, end, out);
     } else {
       run_sat_rebuild_shard(variant, sites, edges, config, begin, end, out);
     }
   };
 
-  const int workers =
-      std::max(1, std::min<int>(config.threads, static_cast<int>(sites.size())));
   std::vector<ShardReport> partial(static_cast<std::size_t>(workers));
   if (workers <= 1) {
-    run_shard(0, sites.size(), partial[0]);
+    run_shard(0, 0, sites.size(), partial[0]);
   } else {
     // Contiguous site ranges per worker: no shared mutable state, and the
     // in-order merge below reproduces the single-threaded report exactly.
@@ -444,7 +570,7 @@ SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfi
                        static_cast<std::size_t>(workers);
       pool.emplace_back([&, w, begin, end] {
         try {
-          run_shard(begin, end, partial[static_cast<std::size_t>(w)]);
+          run_shard(w, begin, end, partial[static_cast<std::size_t>(w)]);
         } catch (...) {
           errors[static_cast<std::size_t>(w)] = std::current_exception();
         }
@@ -454,6 +580,17 @@ SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfi
     for (const std::exception_ptr& e : errors) {
       if (e) std::rethrow_exception(e);
     }
+  }
+
+  // Refresh the warm-start snapshot from the first shard of this query so
+  // the next region/kind starts from trained activities. Done after the
+  // join, on the calling thread.
+  if (config.backend == Backend::kSat && config.sat_incremental) {
+    const SatShardKey key{config.wire_prefix, config.include_inputs, config.kind, 0,
+                          sites.size() / static_cast<std::size_t>(workers)};
+    const std::lock_guard<std::mutex> lock(impl_->sat_mutex);
+    const auto it = impl_->sat_shards.find(key);
+    if (it != impl_->sat_shards.end()) impl_->warm = it->second->solver.export_warm_start();
   }
 
   SynfiReport report;
@@ -469,6 +606,10 @@ SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfi
                                     std::make_move_iterator(p.exploitable_sites.end()));
   }
   return report;
+}
+
+SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfig& config) {
+  return Analyzer(fsm, variant).run(config);
 }
 
 }  // namespace scfi::synfi

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -83,7 +84,44 @@ struct SynfiReport {
   bool operator==(const SynfiReport& other) const = default;
 };
 
+/// Stateful analysis engine bound to ONE compiled variant. Construction and
+/// the first `run()` pay the fixed costs — edge table, per-worker simulators,
+/// per-region site enumeration, and (for the incremental SAT back-end) the
+/// per-shard selector-gated solvers — and every further `run()` re-queries
+/// the cached state, so a many-region / many-fault-kind sweep over one
+/// variant no longer rebuilds the Simulator or CNF per call. New incremental
+/// SAT shards are additionally warm-started from the variable activities and
+/// phases a previous shard of the same variant learned.
+///
+/// Every `run()` report is bit-identical to a fresh `analyze()` call with
+/// the same config (cached simulators/solvers can only change speed, never a
+/// verdict). `fsm` and `variant` must outlive the Analyzer. The object is
+/// not thread-safe — use one Analyzer per calling thread; `run()` itself
+/// fans out across `config.threads` workers internally.
+class Analyzer {
+ public:
+  Analyzer(const fsm::Fsm& fsm, const fsm::CompiledFsm& variant);
+  ~Analyzer();
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+
+  SynfiReport run(const SynfiConfig& config = {});
+
+  const fsm::CompiledFsm& variant() const;
+  /// Cache diagnostics (tests/benches): live simulator contexts and
+  /// incremental SAT shard solvers.
+  std::size_t cached_simulators() const;
+  std::size_t cached_sat_shards() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Analyzes `variant` (a symbol-encoded compiled FSM) against `fsm`'s CFG.
+/// One-shot convenience wrapper over `Analyzer` — construction cost is paid
+/// per call; sweeps touching one variant more than once should hold an
+/// Analyzer instead.
 SynfiReport analyze(const fsm::Fsm& fsm, const fsm::CompiledFsm& variant,
                     const SynfiConfig& config = {});
 

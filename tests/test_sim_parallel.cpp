@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "base/error.h"
 #include "base/rng.h"
 #include "core/harden.h"
 #include "fsm/compile.h"
@@ -214,6 +215,34 @@ TEST(SimParallel, DistinctFaultSitesWhenPopulationSuffices) {
   // unless every flip lands after the walk's effect horizon; the overwhelming
   // majority must be effective.
   EXPECT_GT(r.effective(), 0);
+}
+
+TEST(SimParallel, PlanBytesCapFailsLoudlyBeforePlanning) {
+  const fsm::Fsm f = test::paper_fsm();
+  rtlil::Design d;
+  const fsm::CompiledFsm plain = fsm::compile_unprotected(f, d);
+
+  CampaignConfig cfg;
+  cfg.runs = 100;
+  cfg.cycles = 8;
+  cfg.num_faults = 2;
+  // ~8 bytes per run-cycle plus 8 per scheduled fault.
+  EXPECT_EQ(planned_bytes(cfg), 100 * (8 * 4 + (8 + 1) * 4) + 100 * 2 * 8);
+
+  // A 10^8-run campaign would materialize ~8 GB of plan; the default cap
+  // rejects it up front (ScfiError, not OOM). The estimate itself must not
+  // overflow.
+  CampaignConfig huge = cfg;
+  huge.runs = 100'000'000;
+  EXPECT_GT(planned_bytes(huge), huge.max_plan_bytes);
+  EXPECT_THROW(run_campaign(f, plain, huge), ScfiError);
+
+  // A tight explicit cap rejects even a small campaign; cap 0 disables.
+  CampaignConfig capped = cfg;
+  capped.max_plan_bytes = 16;
+  EXPECT_THROW(run_campaign(f, plain, capped), ScfiError);
+  capped.max_plan_bytes = 0;
+  EXPECT_EQ(run_campaign(f, plain, capped), run_campaign(f, plain, cfg));
 }
 
 }  // namespace

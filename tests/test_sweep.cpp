@@ -1,0 +1,281 @@
+// The sweep subsystem contract: the JSONL result-store schema is pinned by
+// a golden line (schema v1 — bump ResultStore::kSchemaVersion when it has
+// to change), load/save/merge/diff round-trip, and SweepOrchestrator
+// results are bit-identical to sequential per-module synfi::analyze() for
+// every jobs/threads combination, with --resume skipping stored jobs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "base/strutil.h"
+#include "ot/zoo.h"
+#include "rtlil/design.h"
+#include "sweep/sweep.h"
+#include "synfi/synfi.h"
+
+namespace scfi::sweep {
+namespace {
+
+/// A store record with every field populated, fixed so the golden line
+/// below pins the v1 schema byte for byte.
+SweepResult golden_result() {
+  SweepResult result;
+  result.job.module = "pwrmgr_fsm";
+  result.job.variant = "scfi";
+  result.job.protection_level = 3;
+  result.job.synfi.wire_prefix = "mds_";
+  result.job.synfi.backend = synfi::Backend::kSat;
+  result.job.synfi.kind = sim::FaultKind::kStuckAt1;
+  result.job.synfi.free_symbol = true;
+  result.report.sites = 75;
+  result.report.injections = 1275;
+  result.report.exploitable = 2;
+  result.report.detected = 1200;
+  result.report.masked = 73;
+  result.report.stalls = 1;
+  result.report.exploitable_sites = {"mds_x_12[0]", "mds_a_3[1]"};
+  result.seconds = 0.125;
+  return result;
+}
+
+constexpr const char* kGoldenLine =
+    "{\"schema\":1,\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
+    "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
+    "\"seconds\":0.125000}";
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ResultStore, GoldenLinePinsSchema) {
+  EXPECT_EQ(ResultStore::to_line(golden_result()), kGoldenLine);
+}
+
+TEST(ResultStore, ParseRoundTrip) {
+  const SweepResult parsed = ResultStore::parse_line(kGoldenLine);
+  const SweepResult expected = golden_result();
+  EXPECT_EQ(parsed.key(), expected.key());
+  EXPECT_EQ(parsed.job.module, expected.job.module);
+  EXPECT_EQ(parsed.job.protection_level, expected.job.protection_level);
+  EXPECT_EQ(parsed.job.synfi.wire_prefix, expected.job.synfi.wire_prefix);
+  EXPECT_TRUE(parsed.job.synfi.backend == expected.job.synfi.backend);
+  EXPECT_TRUE(parsed.job.synfi.kind == expected.job.synfi.kind);
+  EXPECT_EQ(parsed.job.synfi.free_symbol, expected.job.synfi.free_symbol);
+  EXPECT_TRUE(parsed.report == expected.report);
+  EXPECT_DOUBLE_EQ(parsed.seconds, expected.seconds);
+  // And serializing the parse reproduces the line exactly.
+  EXPECT_EQ(ResultStore::to_line(parsed), kGoldenLine);
+}
+
+TEST(ResultStore, ParseRejectsBadInput) {
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":99,\"module\":\"m\"}"), ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"module\":\"m\"}"), ScfiError);  // no schema
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":1}"), ScfiError);      // no module
+  EXPECT_THROW(ResultStore::parse_line("not json"), ScfiError);
+  // Malformed \u escapes surface as ScfiError (with file:line context from
+  // load()), never as a bare std::invalid_argument.
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":1,\"module\":\"\\uzzzz\"}"), ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":1,\"module\":\"\\u00x1\"}"), ScfiError);
+}
+
+TEST(ResultStore, EscapedStringsRoundTrip) {
+  SweepResult result = golden_result();
+  result.job.module = "odd\"name\\with\tescapes";
+  result.report.exploitable_sites = {"wire\"x[0]"};
+  const std::string line = ResultStore::to_line(result);
+  const SweepResult parsed = ResultStore::parse_line(line);
+  EXPECT_EQ(parsed.job.module, result.job.module);
+  EXPECT_EQ(parsed.report.exploitable_sites, result.report.exploitable_sites);
+}
+
+TEST(ResultStore, SaveLoadAppendDedupe) {
+  const std::string path = temp_path("store_roundtrip.jsonl");
+  std::remove(path.c_str());
+
+  ResultStore store;
+  SweepResult a = golden_result();
+  SweepResult b = golden_result();
+  b.job.module = "aes_control";
+  store.add(a);
+  store.add(b);
+  store.save(path);
+
+  // Appending a NEWER record for a's key: on load, the later line wins.
+  a.report.exploitable = 7;
+  ResultStore::append_line(path, a);
+
+  const ResultStore loaded = ResultStore::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  ASSERT_TRUE(loaded.contains(a.key()));
+  EXPECT_EQ(loaded.find(a.key())->report.exploitable, 7);
+  EXPECT_TRUE(loaded.contains(b.key()));
+
+  // Missing file -> empty store.
+  EXPECT_EQ(ResultStore::load(temp_path("does_not_exist.jsonl")).size(), 0u);
+}
+
+TEST(ResultStore, MergeAndDiff) {
+  SweepResult a = golden_result();
+  SweepResult b = golden_result();
+  b.job.module = "aes_control";
+  SweepResult c = golden_result();
+  c.job.module = "i2c_fsm";
+
+  ResultStore left;
+  left.add(a);
+  left.add(b);
+  ResultStore right;
+  SweepResult b2 = b;
+  b2.report.exploitable += 5;
+  b2.seconds = 99.0;  // timing must NOT count as a change
+  right.add(b2);
+  right.add(c);
+
+  const ResultStore::Diff diff = ResultStore::diff(left, right);
+  EXPECT_EQ(diff.only_left, std::vector<std::string>{a.key()});
+  EXPECT_EQ(diff.only_right, std::vector<std::string>{c.key()});
+  EXPECT_EQ(diff.changed, std::vector<std::string>{b.key()});
+  EXPECT_FALSE(diff.empty());
+
+  ResultStore merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.find(b.key())->report.exploitable, b2.report.exploitable);
+  // Same-timing stores with equal reports diff empty.
+  EXPECT_TRUE(ResultStore::diff(merged, merged).empty());
+}
+
+TEST(SweepJobs, ExpandMatrixAndGlobs) {
+  synfi::SynfiConfig mds;
+  synfi::SynfiConfig whole;
+  whole.wire_prefix = "";
+  const std::vector<SweepJob> jobs =
+      expand_jobs("pwrmgr_fsm,i2c*", {2, 3}, {mds, whole});
+  ASSERT_EQ(jobs.size(), 8u);  // 2 modules x 2 levels x 2 configs
+  EXPECT_EQ(jobs[0].key(), "i2c_fsm|scfi|n2|r=mds_|sim|flip");
+  EXPECT_EQ(jobs[7].key(), "pwrmgr_fsm|scfi|n3|r=|sim|flip");
+  EXPECT_THROW(expand_jobs("no_such_module*", {2}, {mds}), ScfiError);
+  EXPECT_THROW(expand_jobs("pwrmgr_fsm", {}, {mds}), ScfiError);
+}
+
+TEST(SweepOrchestrator, MatchesSequentialAnalyzeForAllJobsThreads) {
+  synfi::SynfiConfig flip;
+  synfi::SynfiConfig stuck;
+  stuck.kind = sim::FaultKind::kStuckAt1;
+  const std::vector<SweepJob> jobs =
+      expand_jobs("pwrmgr_fsm,adc_ctrl_fsm", {2}, {flip, stuck});
+  ASSERT_EQ(jobs.size(), 4u);
+
+  // Sequential reference: fresh variant + one-shot analyze() per job.
+  ResultStore reference;
+  for (const SweepJob& job : jobs) {
+    const ot::OtEntry entry = ot::ot_entry(job.module);
+    rtlil::Design d;
+    const fsm::CompiledFsm c = ot::build_ot_variant(entry, d, ot::Variant::kScfi,
+                                                    job.protection_level, job.module + "_ref");
+    SweepResult result;
+    result.job = job;
+    result.report = synfi::analyze(entry.fsm, c, job.synfi);
+    reference.add(result);
+  }
+
+  struct JobsThreads {
+    int jobs;
+    int threads;
+  };
+  for (const JobsThreads jt : {JobsThreads{1, 1}, {2, 2}, {4, 3}, {2, 8}}) {
+    SweepConfig config;
+    config.jobs = jt.jobs;
+    config.threads = jt.threads;
+    ResultStore store;
+    SweepOrchestrator orchestrator(config);
+    const SweepStats stats = orchestrator.run(jobs, store);
+    EXPECT_EQ(stats.executed, 4);
+    EXPECT_EQ(stats.skipped, 0);
+    ASSERT_EQ(store.size(), 4u);
+    for (const SweepJob& job : jobs) {
+      const SweepResult* got = store.find(job.key());
+      ASSERT_NE(got, nullptr) << job.key();
+      EXPECT_TRUE(got->report == reference.find(job.key())->report)
+          << job.key() << " jobs=" << jt.jobs << " threads=" << jt.threads;
+    }
+  }
+}
+
+TEST(SweepOrchestrator, ResumeSkipsStoredJobs) {
+  const std::string path = temp_path("sweep_resume.jsonl");
+  std::remove(path.c_str());
+
+  synfi::SynfiConfig flip;
+  synfi::SynfiConfig stuck;
+  stuck.kind = sim::FaultKind::kStuckAt0;
+  const std::vector<SweepJob> jobs = expand_jobs("pwrmgr_fsm", {2}, {flip, stuck});
+
+  SweepConfig config;
+  config.jobs = 2;
+  config.threads = 2;
+  SweepOrchestrator orchestrator(config);
+
+  ResultStore store;
+  const SweepStats first = orchestrator.run(jobs, store, path, /*resume=*/false);
+  EXPECT_EQ(first.executed, 2);
+
+  // A second invocation resuming from the streamed file runs nothing.
+  ResultStore resumed = ResultStore::load(path);
+  EXPECT_EQ(resumed.size(), 2u);
+  const SweepStats second = orchestrator.run(jobs, resumed, path, /*resume=*/true);
+  EXPECT_EQ(second.executed, 0);
+  EXPECT_EQ(second.skipped, 2);
+
+  // Partial store: drop one record, resume runs exactly the missing job.
+  ResultStore partial;
+  partial.add(*resumed.find(jobs[0].key()));
+  const SweepStats third = orchestrator.run(jobs, partial, "", /*resume=*/true);
+  EXPECT_EQ(third.executed, 1);
+  EXPECT_EQ(third.skipped, 1);
+  EXPECT_TRUE(partial.find(jobs[1].key())->report ==
+              resumed.find(jobs[1].key())->report);
+}
+
+TEST(SweepOrchestrator, RejectsBadJobsAndConfig) {
+  EXPECT_THROW(SweepOrchestrator(SweepConfig{0, 1, 64}), ScfiError);
+  EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 0, 64}), ScfiError);
+  EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, 65}), ScfiError);
+
+  SweepOrchestrator orchestrator{SweepConfig{}};
+  ResultStore store;
+  SweepJob unknown;
+  unknown.module = "pwrmgr_fsm";
+  unknown.variant = "unprotected";  // raw control bits: not symbol-analyzable
+  EXPECT_THROW(orchestrator.run({unknown}, store), ScfiError);
+  // Redundancy variants hold N register copies the SYNFI stimulus does not
+  // drive; accepting them would produce meaningless reports.
+  unknown.variant = "redundancy";
+  EXPECT_THROW(orchestrator.run({unknown}, store), ScfiError);
+  SweepJob missing;
+  missing.module = "no_such_module";
+  EXPECT_THROW(orchestrator.run({missing}, store), ScfiError);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(GlobMatch, Basics) {
+  EXPECT_TRUE(glob_match("pwrmgr_fsm", "pwrmgr_fsm"));
+  EXPECT_TRUE(glob_match("pwrmgr_fsm", "pwr*"));
+  EXPECT_TRUE(glob_match("pwrmgr_fsm", "*fsm"));
+  EXPECT_TRUE(glob_match("pwrmgr_fsm", "*"));
+  EXPECT_TRUE(glob_match("abc", "a?c"));
+  EXPECT_TRUE(glob_match("", "*"));
+  EXPECT_FALSE(glob_match("pwrmgr_fsm", "pwr"));
+  EXPECT_FALSE(glob_match("abc", "a?d"));
+  EXPECT_FALSE(glob_match("abc", "abcd"));
+}
+
+}  // namespace
+}  // namespace scfi::sweep
