@@ -1,0 +1,204 @@
+// Campaign-at-scale benchmark: streaming vs. materialized planning.
+//
+// Runs one large Monte-Carlo campaign on the SCFI-hardened bench controller
+// twice — once with the streaming jump-ahead planner (O(lanes) planning
+// memory) and once with the same plan materialized up front — and reports
+// wall-clock throughput plus the peak-RSS cost of materialization. The two
+// paths must produce bit-identical results (exit 1 otherwise), so this
+// doubles as an end-to-end differential check at sizes the unit tests do
+// not reach. With --runs above the max_plan_bytes cap the materialized leg
+// is skipped: that regime is exactly what streaming planning exists for
+// (a 10^8-run campaign finishes here in constant memory).
+//
+// Usage: bench_campaign_scale [--runs N] [--cycles N] [--faults N]
+//                             [--lanes K] [--threads K] [--seed N]
+//                             [--quick] [--json] [--skip-materialized]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/harden.h"
+#include "fsm/fsm.h"
+#include "rtlil/design.h"
+#include "sim/campaign.h"
+
+namespace {
+
+scfi::fsm::Fsm bench_fsm() {
+  scfi::fsm::Fsm f;
+  f.name = "bench";
+  f.inputs = {"a", "b", "c"};
+  f.outputs = {"o"};
+  f.add_transition("IDLE", "1--", "CFG", "0");
+  f.add_transition("CFG", "-1-", "ARM", "0");
+  f.add_transition("CFG", "-0-", "IDLE", "0");
+  f.add_transition("ARM", "--1", "FIRE", "1");
+  f.add_transition("FIRE", "0--", "ARM", "0");
+  f.add_transition("FIRE", "1--", "IDLE", "0");
+  return f;
+}
+
+long peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+struct Timing {
+  double seconds = 0.0;
+  double runs_per_second = 0.0;
+  long peak_rss_kb = 0;
+};
+
+Timing timed_campaign(const scfi::fsm::Fsm& fsm, const scfi::fsm::CompiledFsm& variant,
+                      const scfi::sim::CampaignConfig& config,
+                      scfi::sim::CampaignResult& result) {
+  const auto t0 = std::chrono::steady_clock::now();
+  result = scfi::sim::run_campaign(fsm, variant, config);
+  Timing timing;
+  timing.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  timing.runs_per_second =
+      timing.seconds > 0.0 ? static_cast<double>(config.runs) / timing.seconds : 0.0;
+  timing.peak_rss_kb = peak_rss_kb();
+  return timing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 2'000'000;
+  int cycles = 6;
+  int faults = 1;
+  int lanes = scfi::sim::kNumLanes;
+  int threads = 1;
+  unsigned long long seed = 1;
+  bool json = false;
+  bool skip_materialized = false;
+  bool quick = false;
+  bool runs_set = false;
+  bool cycles_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--runs" && has_value) {
+      runs = std::atoll(argv[++i]);
+      runs_set = true;
+    } else if (arg == "--cycles" && has_value) {
+      cycles = std::atoi(argv[++i]);
+      cycles_set = true;
+    } else if (arg == "--faults" && has_value) {
+      faults = std::atoi(argv[++i]);
+    } else if (arg == "--lanes" && has_value) {
+      lanes = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && has_value) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && has_value) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--skip-materialized") {
+      skip_materialized = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_campaign_scale [--runs N] [--cycles N] [--faults N] "
+                   "[--lanes K] [--threads K] [--seed N] [--quick] [--json] "
+                   "[--skip-materialized]\n");
+      return 2;
+    }
+  }
+  // --quick shrinks only the knobs not set explicitly, whatever the flag
+  // order, so it composes with --runs/--cycles instead of discarding them.
+  if (quick) {
+    if (!runs_set) runs = 200'000;
+    if (!cycles_set) cycles = 4;
+  }
+  if (runs < 1 || runs > 2'000'000'000LL || cycles < 1 || faults < 1) {
+    std::fprintf(stderr, "bench_campaign_scale: bad --runs/--cycles/--faults\n");
+    return 2;
+  }
+
+  scfi::rtlil::Design design;
+  const scfi::fsm::Fsm fsm = bench_fsm();
+  scfi::core::ScfiConfig harden_config;
+  harden_config.protection_level = 3;
+  const scfi::fsm::CompiledFsm variant = scfi::core::scfi_harden(fsm, design, harden_config);
+
+  scfi::sim::CampaignConfig config;
+  config.runs = static_cast<int>(runs);
+  config.cycles = cycles;
+  config.num_faults = faults;
+  config.seed = seed;
+  config.lanes = lanes;
+  config.threads = threads;
+  const std::int64_t plan_bytes = scfi::sim::planned_bytes(config);
+  const bool plan_fits = plan_bytes <= config.max_plan_bytes;
+
+  // Streaming leg first: its footprint is the floor, so the later
+  // materialized leg's peak-RSS growth is attributable to the plan.
+  config.planner = scfi::sim::CampaignPlanner::kStreaming;
+  scfi::sim::CampaignResult streaming_result;
+  const Timing streaming = timed_campaign(fsm, variant, config, streaming_result);
+
+  bool ran_materialized = false;
+  bool agree = true;
+  Timing materialized;
+  scfi::sim::CampaignResult materialized_result;
+  if (!skip_materialized && plan_fits) {
+    config.planner = scfi::sim::CampaignPlanner::kStreamingMaterialized;
+    materialized = timed_campaign(fsm, variant, config, materialized_result);
+    ran_materialized = true;
+    agree = materialized_result == streaming_result;
+  }
+
+  if (json) {
+    std::printf("{\"bench\":\"campaign_scale\",\"runs\":%lld,\"cycles\":%d,\"faults\":%d,"
+                "\"lanes\":%d,\"threads\":%d,\"planned_bytes\":%lld,",
+                runs, cycles, faults, lanes, threads, static_cast<long long>(plan_bytes));
+    std::printf("\"streaming\":{\"seconds\":%.3f,\"runs_per_second\":%.1f,"
+                "\"peak_rss_kb\":%ld}",
+                streaming.seconds, streaming.runs_per_second, streaming.peak_rss_kb);
+    if (ran_materialized) {
+      // engines_agree only appears when the differential comparison actually
+      // ran — a skipped materialized leg must not read as a vacuous pass
+      // (bench_to_json.sh gates recording on this field being true).
+      std::printf(",\"materialized\":{\"seconds\":%.3f,\"runs_per_second\":%.1f,"
+                  "\"peak_rss_kb\":%ld,\"plan_rss_kb_delta\":%ld}"
+                  ",\"engines_agree\":%s}\n",
+                  materialized.seconds, materialized.runs_per_second, materialized.peak_rss_kb,
+                  materialized.peak_rss_kb - streaming.peak_rss_kb, agree ? "true" : "false");
+    } else {
+      std::printf("}\n");
+    }
+  } else {
+    std::printf("campaign scale: %lld runs x %d cycles, %d fault(s), lanes=%d threads=%d\n",
+                runs, cycles, faults, lanes, threads);
+    std::printf("  plan estimate: %lld bytes (%s the %lld-byte cap)\n",
+                static_cast<long long>(plan_bytes), plan_fits ? "under" : "OVER",
+                static_cast<long long>(config.max_plan_bytes));
+    std::printf("  streaming:    %8.3fs  %12.1f runs/s  peak RSS %ld KiB\n",
+                streaming.seconds, streaming.runs_per_second, streaming.peak_rss_kb);
+    if (ran_materialized) {
+      std::printf("  materialized: %8.3fs  %12.1f runs/s  peak RSS %ld KiB (+%ld KiB plan)\n",
+                  materialized.seconds, materialized.runs_per_second, materialized.peak_rss_kb,
+                  materialized.peak_rss_kb - streaming.peak_rss_kb);
+      std::printf("  engines agree: %s\n", agree ? "yes" : "NO");
+    } else {
+      std::printf("  materialized: skipped (%s)\n",
+                  plan_fits ? "--skip-materialized" : "plan exceeds max_plan_bytes");
+    }
+    std::printf("  hijack %.4f%%, detection %.2f%%, effective %d/%d\n",
+                100.0 * streaming_result.hijack_rate(),
+                100.0 * streaming_result.detection_rate(), streaming_result.effective(),
+                streaming_result.runs);
+    std::printf("  counts: masked=%d detected=%d hijacked=%d lagged=%d silent_invalid=%d\n",
+                streaming_result.masked, streaming_result.detected, streaming_result.hijacked,
+                streaming_result.lagged, streaming_result.silent_invalid);
+  }
+  return agree ? 0 : 1;
+}

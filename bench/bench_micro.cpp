@@ -126,6 +126,30 @@ void BM_Campaign(benchmark::State& state) {
 }
 BENCHMARK(BM_Campaign)->Arg(1)->Arg(64);
 
+void BM_CampaignPlanner(benchmark::State& state) {
+  // Planner comparison at 64 lanes: Arg 0 = streaming (per-batch jump-ahead
+  // RNG), 1 = the same plan materialized up front, 2 = the legacy
+  // sequential planner. Streaming trades a per-batch planning pass for the
+  // up-front allocation; the throughput delta is the price of O(lanes)
+  // memory.
+  scfi::rtlil::Design d;
+  const scfi::fsm::Fsm f = bench_fsm();
+  scfi::core::ScfiConfig sc;
+  sc.protection_level = 3;
+  const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, sc);
+  scfi::sim::CampaignConfig config;
+  config.runs = 4096;
+  config.cycles = 16;
+  config.num_faults = 2;
+  config.seed = 12345;
+  config.planner = static_cast<scfi::sim::CampaignPlanner>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scfi::sim::run_campaign(f, c, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * config.runs);
+}
+BENCHMARK(BM_CampaignPlanner)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_CampaignUnprotected(benchmark::State& state) {
   scfi::rtlil::Design d;
   const scfi::fsm::Fsm f = bench_fsm();

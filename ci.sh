@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point: tier-1 verify (configure, build, ctest)
-# plus a smoke run of the micro-benchmarks. Mirrors the verify command in
+# plus a smoke run of the micro-benchmarks, the SYNFI engines, the sweep
+# fleet (SYNFI + Monte-Carlo campaign jobs), and a sweep-diff regression
+# gate against the committed baseline store. Mirrors the verify command in
 # ROADMAP.md; run from the repository root.
+#
+# CI_SANITIZE=1 additionally builds an ASan+UBSan tree (build-asan/) and
+# runs the fast ctest subset under it.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# Optional sanitizer lane: a second compilation with AddressSanitizer +
+# UndefinedBehaviorSanitizer over the fast suites (base/store/planner/sweep
+# units, not the minutes-long corpus sweeps) so memory bugs in the hot
+# engines surface without slowing the tier-1 path.
+if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSCFI_BUILD_BENCHMARKS=OFF -DSCFI_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch'
+fi
 
 # Benchmark smoke test: make sure the perf harness still runs end to end.
 if [[ -x build/bench_micro ]]; then
@@ -22,16 +40,32 @@ fi
 # scalar/rebuild/per-call baselines.
 build/bench_sec64_synfi --quick
 
-# Sweep orchestrator smoke test: run a small module x kind matrix streaming
-# into a JSONL store, then re-run with --resume and assert that every job is
-# skipped (nothing re-executed).
+# Campaign-at-scale smoke: the streaming planner must finish an
+# over-plan-cap campaign in O(lanes) memory (one quick iteration; the full
+# comparison lands in BENCH_sim.json via scripts/bench_to_json.sh).
+build/bench_campaign_scale --quick
+
+# Sweep fleet smoke test: run a small module x kind matrix — SYNFI and
+# Monte-Carlo campaign jobs side by side — streaming into a JSONL store,
+# then re-run with --resume and assert that every job is skipped (nothing
+# re-executed). NOTE: grep reads from a herestring, not an `echo |` pipe —
+# under `set -o pipefail` grep -q exiting at the first match can SIGPIPE
+# the echo side on large logs and fail the whole script.
 SWEEP_OUT="$(mktemp -d)/sweep_smoke.jsonl"
 trap 'rm -rf "$(dirname "$SWEEP_OUT")"' EXIT
 build/scfi_cli sweep --modules 'pwrmgr_fsm,adc_ctrl_fsm' --levels 2 \
-  --kinds flip,stuck1 --jobs 2 --threads 2 --out "$SWEEP_OUT"
-[[ "$(wc -l < "$SWEEP_OUT")" -eq 4 ]] || { echo "sweep smoke: expected 4 JSONL records"; exit 1; }
+  --kinds flip,stuck1 --campaign-runs 2000 --campaign-cycles 12 \
+  --jobs 2 --threads 2 --out "$SWEEP_OUT"
+[[ "$(wc -l < "$SWEEP_OUT")" -eq 8 ]] || { echo "sweep smoke: expected 8 JSONL records"; exit 1; }
 RESUME_LOG="$(build/scfi_cli sweep --modules 'pwrmgr_fsm,adc_ctrl_fsm' --levels 2 \
-  --kinds flip,stuck1 --jobs 2 --threads 2 --out "$SWEEP_OUT" --resume)"
-echo "$RESUME_LOG" | tail -1
-echo "$RESUME_LOG" | grep -q 'executed 0 job(s), skipped 4' \
+  --kinds flip,stuck1 --campaign-runs 2000 --campaign-cycles 12 \
+  --jobs 2 --threads 2 --out "$SWEEP_OUT" --resume)"
+tail -1 <<<"$RESUME_LOG"
+grep -q 'executed 0 job(s), skipped 8' <<<"$RESUME_LOG" \
   || { echo "sweep smoke: --resume re-executed jobs"; exit 1; }
+
+# Regression gate: diff the fresh sweep against the committed baseline.
+# Exits non-zero when a verdict regresses (new exploitable injection,
+# hijack-rate increase, detection-rate drop, or a key that vanished);
+# sub-threshold metric drift is printed but does not gate.
+build/scfi_cli sweep-diff bench/baselines/sweep_smoke.jsonl "$SWEEP_OUT" --fail-on-removed

@@ -9,12 +9,23 @@
 //   scfi_cli attack  <file.kiss2> [-n LEVEL] [--faults K] [--lanes K] [--threads K]
 //   scfi_cli sweep   [--modules GLOBS] [--levels 2,3] [--regions mds_,all]
 //                    [--kinds flip,stuck0,stuck1] [--backend sim|sat]
+//                    [--campaign-runs N] [--campaign-cycles N]
+//                    [--campaign-faults N] [--campaign-seed N]
+//                    [--campaign-variants scfi,unprotected,redundancy]
+//                    [--campaign-target any|inputs|state|logic]
 //                    [--out results.jsonl] [--resume] [--jobs K] [--threads K]
+//   scfi_cli sweep-diff <baseline.jsonl> <candidate.jsonl>
+//                    [--max-exploitable-increase N]
+//                    [--max-hijack-rate-increase F] [--max-detection-rate-drop F]
+//                    [--fail-on-removed]
 //   scfi_cli dot     <file.kiss2>
 // Without a file argument a built-in demo FSM is used. `sweep` runs the
-// SYNFI job matrix over every OpenTitan-zoo module matching the globs and
-// streams JSONL results into --out; --resume skips jobs already present
-// there.
+// SYNFI job matrix over every OpenTitan-zoo module matching the globs —
+// plus, with --campaign-runs > 0, a Monte-Carlo campaign job per module x
+// level x kind x campaign-variant — and streams JSONL results into --out;
+// --resume skips jobs already present there. `sweep-diff` compares two
+// stores and exits non-zero when a metric regresses beyond its threshold
+// (rates are fractions: 0.005 = half a percentage point).
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +47,7 @@
 #include "redundancy/redundancy.h"
 #include "rtlil/design.h"
 #include "sim/campaign.h"
+#include "sweep/diff_report.h"
 #include "sweep/sweep.h"
 #include "synfi/synfi.h"
 
@@ -65,14 +77,20 @@ scfi::fsm::Fsm load_fsm(const std::string& path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: scfi_cli <harden|area|synfi|attack|sweep|dot> [file.kiss2]\n"
+               "usage: scfi_cli <harden|area|synfi|attack|sweep|sweep-diff|dot> [file.kiss2]\n"
                "  harden/area/synfi/attack: -n LEVEL  protection level (default 2)\n"
                "  harden:  -o out.v --json out.json\n"
                "  synfi:   --backend sim|sat --lanes K --threads K --no-incremental\n"
                "  attack:  --faults K --lanes K --threads K\n"
                "  sweep:   --modules GLOBS --levels 2,3 --regions mds_,all\n"
                "           --kinds flip,stuck0,stuck1 --backend sim|sat\n"
-               "           --out results.jsonl --resume --jobs K --threads K --lanes K\n");
+               "           --campaign-runs N --campaign-cycles N --campaign-faults N\n"
+               "           --campaign-seed N --campaign-variants scfi,unprotected\n"
+               "           --campaign-target any|inputs|state|logic\n"
+               "           --out results.jsonl --resume --jobs K --threads K --lanes K\n"
+               "  sweep-diff: <baseline.jsonl> <candidate.jsonl>\n"
+               "           --max-exploitable-increase N --max-hijack-rate-increase F\n"
+               "           --max-detection-rate-drop F --fail-on-removed\n");
   return 2;
 }
 
@@ -83,6 +101,24 @@ int parse_positive(const std::string& flag, const char* text) {
                 "scfi_cli: " + flag + " must be a positive integer, got '" +
                     std::string(text) + "'");
   return static_cast<int>(value);
+}
+
+long long parse_count(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  scfi::require(end != text && *end == '\0' && value >= 0,
+                "scfi_cli: " + flag + " must be a non-negative integer, got '" +
+                    std::string(text) + "'");
+  return value;
+}
+
+double parse_fraction(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  scfi::require(end != text && *end == '\0' && value >= 0.0 && value <= 1.0,
+                "scfi_cli: " + flag + " must be a fraction in [0, 1], got '" +
+                    std::string(text) + "'");
+  return value;
 }
 
 std::vector<int> parse_levels(const std::string& text) {
@@ -98,7 +134,7 @@ std::vector<int> parse_levels(const std::string& text) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  std::string file;
+  std::vector<std::string> positional;
   std::string verilog_out;
   std::string json_out;
   std::string modules = "*";
@@ -107,6 +143,8 @@ int main(int argc, char** argv) {
   std::string kinds = "flip";
   std::string backend_name = "sim";
   std::string sweep_out;
+  std::string campaign_variants = "scfi";
+  std::string campaign_target = "any";
   bool resume = false;
   bool no_incremental = false;
   bool level_set = false;
@@ -115,6 +153,11 @@ int main(int argc, char** argv) {
   int lanes = scfi::sim::kNumLanes;
   int threads = 1;
   int jobs = 1;
+  int campaign_runs = 0;
+  int campaign_cycles = 24;
+  int campaign_faults = 1;
+  long long campaign_seed = 1;
+  scfi::sweep::DiffThresholds thresholds;
 
   try {
     for (int i = 2; i < argc; ++i) {
@@ -153,11 +196,57 @@ int main(int argc, char** argv) {
         sweep_out = argv[++i];
       } else if (arg == "--resume") {
         resume = true;
+      } else if (arg == "--campaign-runs" && has_value) {
+        // 0 is the documented off state (SYNFI-only sweep), so scripts can
+        // pass it explicitly.
+        const long long value = parse_count("--campaign-runs", argv[++i]);
+        scfi::require(value <= INT_MAX, "scfi_cli: --campaign-runs too large");
+        campaign_runs = static_cast<int>(value);
+      } else if (arg == "--campaign-cycles" && has_value) {
+        campaign_cycles = parse_positive("--campaign-cycles", argv[++i]);
+      } else if (arg == "--campaign-faults" && has_value) {
+        campaign_faults = parse_positive("--campaign-faults", argv[++i]);
+      } else if (arg == "--campaign-seed" && has_value) {
+        campaign_seed = parse_count("--campaign-seed", argv[++i]);
+      } else if (arg == "--campaign-variants" && has_value) {
+        campaign_variants = argv[++i];
+      } else if (arg == "--campaign-target" && has_value) {
+        campaign_target = argv[++i];
+        scfi::sweep::fault_target_of(campaign_target);  // validate now, use later
+      } else if (arg == "--max-exploitable-increase" && has_value) {
+        thresholds.max_exploitable_increase =
+            parse_count("--max-exploitable-increase", argv[++i]);
+      } else if (arg == "--max-hijack-rate-increase" && has_value) {
+        thresholds.max_hijack_rate_increase =
+            parse_fraction("--max-hijack-rate-increase", argv[++i]);
+      } else if (arg == "--max-detection-rate-drop" && has_value) {
+        thresholds.max_detection_rate_drop =
+            parse_fraction("--max-detection-rate-drop", argv[++i]);
+      } else if (arg == "--fail-on-removed") {
+        thresholds.fail_on_removed = true;
       } else if (!arg.empty() && arg[0] != '-') {
-        file = arg;
+        positional.push_back(arg);
       } else {
         return usage();
       }
+    }
+    const std::string file = positional.empty() ? "" : positional.front();
+
+    if (command == "sweep-diff") {
+      scfi::require(positional.size() == 2,
+                    "scfi_cli: sweep-diff takes exactly two JSONL store paths");
+      const scfi::sweep::ResultStore baseline =
+          scfi::sweep::ResultStore::load(positional[0]);
+      scfi::require(baseline.size() > 0,
+                    "scfi_cli: baseline store " + positional[0] + " is missing or empty");
+      const scfi::sweep::ResultStore candidate =
+          scfi::sweep::ResultStore::load(positional[1]);
+      scfi::require(candidate.size() > 0,
+                    "scfi_cli: candidate store " + positional[1] + " is missing or empty");
+      const scfi::sweep::DiffReport report =
+          scfi::sweep::diff_report(baseline, candidate, thresholds);
+      std::fputs(report.render().c_str(), stdout);
+      return report.gate_failed ? 1 : 0;
     }
 
     if (command == "sweep") {
@@ -178,8 +267,29 @@ int main(int argc, char** argv) {
           configs.push_back(config);
         }
       }
-      const std::vector<scfi::sweep::SweepJob> sweep_jobs =
+      std::vector<scfi::sweep::SweepJob> sweep_jobs =
           scfi::sweep::expand_jobs(modules, parse_levels(levels), configs);
+      if (campaign_runs > 0) {
+        // Monte-Carlo campaign jobs ride along: one per module x level x
+        // kind x campaign-variant, executed on the streaming planner.
+        std::vector<scfi::sim::CampaignConfig> campaign_configs;
+        for (const std::string& kind : scfi::split(kinds, ",")) {
+          scfi::sim::CampaignConfig config;
+          config.runs = campaign_runs;
+          config.cycles = campaign_cycles;
+          config.num_faults = campaign_faults;
+          config.seed = static_cast<std::uint64_t>(campaign_seed);
+          config.kind = scfi::sweep::fault_kind_of(kind);
+          config.target = scfi::sweep::fault_target_of(campaign_target);
+          campaign_configs.push_back(config);
+        }
+        for (const std::string& variant : scfi::split(campaign_variants, ",")) {
+          const std::vector<scfi::sweep::SweepJob> campaign_jobs =
+              scfi::sweep::expand_campaign_jobs(modules, parse_levels(levels),
+                                                campaign_configs, variant);
+          sweep_jobs.insert(sweep_jobs.end(), campaign_jobs.begin(), campaign_jobs.end());
+        }
+      }
 
       scfi::require(!resume || !sweep_out.empty(),
                     "scfi_cli: --resume needs --out (the JSONL store to resume from)");
@@ -197,10 +307,17 @@ int main(int argc, char** argv) {
       const scfi::sweep::SweepStats stats =
           orchestrator.run(sweep_jobs, store, sweep_out, resume);
       for (const scfi::sweep::SweepResult& r : store.results()) {
-        std::printf("  %-48s injections=%6lld exploitable=%4lld (%.2f%%) [%.3fs]\n",
-                    r.key().c_str(), static_cast<long long>(r.report.injections),
-                    static_cast<long long>(r.report.exploitable), r.report.exploitable_pct(),
-                    r.seconds);
+        if (r.job.type == scfi::sweep::JobType::kCampaign) {
+          std::printf("  %-48s hijack=%.4f%% detection=%.2f%% effective=%d/%d [%.3fs]\n",
+                      r.key().c_str(), 100.0 * r.campaign.hijack_rate(),
+                      100.0 * r.campaign.detection_rate(), r.campaign.effective(),
+                      r.campaign.runs, r.seconds);
+        } else {
+          std::printf("  %-48s injections=%6lld exploitable=%4lld (%.2f%%) [%.3fs]\n",
+                      r.key().c_str(), static_cast<long long>(r.report.injections),
+                      static_cast<long long>(r.report.exploitable), r.report.exploitable_pct(),
+                      r.seconds);
+        }
       }
       std::printf("sweep: executed %d job(s), skipped %d\n", stats.executed, stats.skipped);
       return 0;

@@ -17,15 +17,30 @@ if [[ ! -x "$BENCH" ]]; then
   exit 1
 fi
 
+SCALE_BENCH="$BUILD_DIR/bench_campaign_scale"
+
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SCALE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SCALE_RAW"' EXIT
 "$BENCH" --benchmark_filter='BM_Simulator|BM_Campaign' \
          --benchmark_min_time=0.3 --benchmark_format=json > "$RAW"
 
-python3 - "$RAW" "$OUT" <<'EOF'
+# Campaign-at-scale: streaming vs. materialized planner throughput and the
+# peak-RSS cost of materializing the plan, at a size big enough for the
+# plan to matter (~50 MB) but quick to run. The bench exits non-zero if the
+# two planners ever disagree, so a divergent run cannot land in the repo.
+if [[ -x "$SCALE_BENCH" ]]; then
+  "$SCALE_BENCH" --runs 2000000 --cycles 6 --json > "$SCALE_RAW"
+else
+  echo "warning: $SCALE_BENCH not found; campaign_scale omitted from $OUT" >&2
+  echo '{}' > "$SCALE_RAW"
+fi
+
+python3 - "$RAW" "$SCALE_RAW" "$OUT" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
+scale = json.load(open(sys.argv[2]))
 out = {
     "bench": "sim",
     "unit": "items_per_second",
@@ -44,9 +59,17 @@ scalar = out["results"].get("BM_SimulatorStep")
 batched = out["results"].get("BM_SimulatorStepBatched")
 if scalar and batched:
     out["step_lane_speedup"] = round(batched / scalar, 2)
+streaming = out["results"].get("BM_CampaignPlanner/0")
+materialized = out["results"].get("BM_CampaignPlanner/1")
+if streaming and materialized:
+    out["planner_streaming_vs_materialized"] = round(streaming / materialized, 2)
 
-json.dump(out, open(sys.argv[2], "w"), indent=2)
-print(f"wrote {sys.argv[2]}")
+if scale.get("bench") == "campaign_scale":
+    assert scale.get("engines_agree") is True, "campaign planners diverged; not recording"
+    out["campaign_scale"] = scale
+
+json.dump(out, open(sys.argv[3], "w"), indent=2)
+print(f"wrote {sys.argv[3]}")
 EOF
 
 # SYNFI analysis engines: batched-vs-scalar exhaustive simulation and

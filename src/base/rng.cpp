@@ -28,6 +28,17 @@ Rng::Rng(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Absorb the pair (seed, stream) into one splitmix counter — hash the seed
+  // first so that nearby (seed, stream) pairs land far apart — then expand
+  // into the xoshiro state exactly like the single-seed constructor.
+  std::uint64_t x = seed;
+  const std::uint64_t h = splitmix(x);
+  x = h ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  for (auto& word : s_) word = splitmix(x);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
 std::uint64_t Rng::next() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

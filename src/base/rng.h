@@ -16,6 +16,13 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5cf15cf15cf15cf1ULL);
 
+  /// Jump-ahead (splittable) construction: an independent stream whose state
+  /// is derived from hash(seed, stream) in O(1), so stream k can be opened
+  /// without generating streams 0..k-1. Streaming campaign planning keys one
+  /// stream per run index; results are then independent of how runs are
+  /// packed into lanes, batches, or threads.
+  Rng(std::uint64_t seed, std::uint64_t stream);
+
   /// Next raw 64-bit value.
   std::uint64_t next();
 

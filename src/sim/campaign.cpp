@@ -6,6 +6,7 @@
 #include <numeric>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "base/error.h"
 #include "base/log.h"
@@ -51,17 +52,81 @@ struct PlannedFault {
   std::int32_t cycle = 0;
 };
 
-/// The fully pre-drawn campaign: per-run walks (as global CFG edge indices),
-/// golden state sequences, and fault schedules, flattened run-major. The
-/// plan is a pure function of (fsm, sites, config.seed), so execution order
-/// — lanes, batches, threads — cannot change the outcome.
+/// CFG edge indices grouped by source state, for the stimulus walk.
+std::vector<std::vector<std::int32_t>> index_edges_from(const Fsm& fsm,
+                                                        const std::vector<CfgEdge>& cfg) {
+  std::vector<std::vector<std::int32_t>> edges_from(static_cast<std::size_t>(fsm.num_states()));
+  for (std::size_t e = 0; e < cfg.size(); ++e) {
+    edges_from[static_cast<std::size_t>(cfg[e].from)].push_back(static_cast<std::int32_t>(e));
+  }
+  return edges_from;
+}
+
+/// Draws one run — `cycles` walk edges, `cycles`+1 golden states, and
+/// `num_faults` scheduled faults — from `rng`, appending to the out vectors.
+/// `pool` must be a permutation of [0, num_sites); distinct fault sites come
+/// from a partial Fisher-Yates over it. When `undo` is non-null the swaps
+/// are recorded so the caller can restore the pool afterwards (streaming
+/// planning needs every run to start from the identical permutation; the
+/// sequential planner deliberately lets the pool drift across runs).
+void plan_one_run(const std::vector<std::vector<std::int32_t>>& edges_from,
+                  const std::vector<CfgEdge>& cfg, int reset_state, std::size_t num_sites,
+                  const CampaignConfig& config, Rng& rng, std::vector<std::int32_t>& pool,
+                  std::vector<std::pair<std::int32_t, std::int32_t>>* undo,
+                  std::vector<std::int32_t>& edges_out, std::vector<std::int32_t>& golden_out,
+                  std::vector<PlannedFault>& faults_out) {
+  int g = reset_state;
+  golden_out.push_back(g);
+  for (int t = 0; t < config.cycles; ++t) {
+    const auto& options = edges_from[static_cast<std::size_t>(g)];
+    const std::int32_t e = options[static_cast<std::size_t>(rng.below(options.size()))];
+    edges_out.push_back(e);
+    g = cfg[static_cast<std::size_t>(e)].to;
+    golden_out.push_back(g);
+  }
+  // Distinct fault sites via partial Fisher-Yates; only when the request
+  // exceeds the population do duplicates become possible (and unavoidable).
+  const auto n = static_cast<std::int64_t>(num_sites);
+  for (std::int64_t f = 0; f < config.num_faults; ++f) {
+    std::int32_t site = 0;
+    if (f < n) {
+      const std::int64_t j =
+          f + static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n - f)));
+      std::swap(pool[static_cast<std::size_t>(f)], pool[static_cast<std::size_t>(j)]);
+      if (undo != nullptr) {
+        undo->emplace_back(static_cast<std::int32_t>(f), static_cast<std::int32_t>(j));
+      }
+      site = pool[static_cast<std::size_t>(f)];
+    } else {
+      site = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+    }
+    const auto cycle =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(config.cycles)));
+    faults_out.push_back(PlannedFault{site, cycle});
+  }
+}
+
+/// Reverts the swaps plan_one_run recorded, restoring `pool` to the
+/// permutation it held before the run, and clears `undo`.
+void undo_pool_swaps(std::vector<std::int32_t>& pool,
+                     std::vector<std::pair<std::int32_t, std::int32_t>>& undo) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    std::swap(pool[static_cast<std::size_t>(it->first)],
+              pool[static_cast<std::size_t>(it->second)]);
+  }
+  undo.clear();
+}
+
+/// A fully materialized campaign: per-run walks (as global CFG edge
+/// indices), golden state sequences, and fault schedules, flattened
+/// run-major. Only the materializing planners build one.
 struct CampaignPlan {
   int runs = 0;
   int cycles = 0;
   int num_faults = 0;
-  std::vector<std::int32_t> edges;         ///< runs x cycles
-  std::vector<std::int32_t> golden;        ///< runs x (cycles + 1)
-  std::vector<PlannedFault> faults;        ///< runs x num_faults
+  std::vector<std::int32_t> edges;   ///< runs x cycles
+  std::vector<std::int32_t> golden;  ///< runs x (cycles + 1)
+  std::vector<PlannedFault> faults;  ///< runs x num_faults
 
   std::int32_t edge_at(int run, int t) const {
     return edges[static_cast<std::size_t>(run) * static_cast<std::size_t>(cycles) +
@@ -73,15 +138,9 @@ struct CampaignPlan {
   }
 };
 
-CampaignPlan plan_campaign(const Fsm& fsm, const std::vector<CfgEdge>& cfg,
-                           std::size_t num_sites, const CampaignConfig& config) {
-  // Index CFG edges per state for the stimulus walk.
-  std::vector<std::vector<std::int32_t>> edges_from(static_cast<std::size_t>(fsm.num_states()));
-  for (std::size_t e = 0; e < cfg.size(); ++e) {
-    edges_from[static_cast<std::size_t>(cfg[e].from)].push_back(static_cast<std::int32_t>(e));
-  }
-
-  Rng rng(config.seed);
+CampaignPlan plan_campaign_materialized(const Fsm& fsm, const std::vector<CfgEdge>& cfg,
+                                        std::size_t num_sites, const CampaignConfig& config) {
+  const std::vector<std::vector<std::int32_t>> edges_from = index_edges_from(fsm, cfg);
   CampaignPlan plan;
   plan.runs = config.runs;
   plan.cycles = config.cycles;
@@ -93,41 +152,111 @@ CampaignPlan plan_campaign(const Fsm& fsm, const std::vector<CfgEdge>& cfg,
   plan.faults.reserve(static_cast<std::size_t>(config.runs) *
                       static_cast<std::size_t>(config.num_faults));
 
-  // Site pool for distinct sampling; stays a permutation across runs, which
-  // keeps every draw uniform without re-initializing per run.
   std::vector<std::int32_t> pool(num_sites);
   std::iota(pool.begin(), pool.end(), 0);
 
-  for (int run = 0; run < config.runs; ++run) {
-    int g = fsm.reset_state;
-    plan.golden.push_back(g);
-    for (int t = 0; t < config.cycles; ++t) {
-      const auto& options = edges_from[static_cast<std::size_t>(g)];
-      const std::int32_t e = options[static_cast<std::size_t>(rng.below(options.size()))];
-      plan.edges.push_back(e);
-      g = cfg[static_cast<std::size_t>(e)].to;
-      plan.golden.push_back(g);
+  if (config.planner == CampaignPlanner::kSequential) {
+    // Legacy: one sequential RNG draws the runs in order; the site pool
+    // stays a (drifting) permutation across runs, which keeps every draw
+    // uniform without re-initializing per run.
+    Rng rng(config.seed);
+    for (int run = 0; run < config.runs; ++run) {
+      plan_one_run(edges_from, cfg, fsm.reset_state, num_sites, config, rng, pool,
+                   /*undo=*/nullptr, plan.edges, plan.golden, plan.faults);
     }
-    // Distinct fault sites via partial Fisher-Yates; only when the request
-    // exceeds the population do duplicates become possible (and unavoidable).
-    const auto n = static_cast<std::int64_t>(num_sites);
-    for (std::int64_t f = 0; f < config.num_faults; ++f) {
-      std::int32_t site = 0;
-      if (f < n) {
-        const std::int64_t j =
-            f + static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n - f)));
-        std::swap(pool[static_cast<std::size_t>(f)], pool[static_cast<std::size_t>(j)]);
-        site = pool[static_cast<std::size_t>(f)];
-      } else {
-        site = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
-      }
-      const auto cycle =
-          static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(config.cycles)));
-      plan.faults.push_back(PlannedFault{site, cycle});
+  } else {
+    // The streaming plan, materialized: run k is drawn from its own
+    // jump-ahead stream against the pristine pool permutation, exactly as
+    // the on-the-fly planner does inside the workers.
+    std::vector<std::pair<std::int32_t, std::int32_t>> undo;
+    for (int run = 0; run < config.runs; ++run) {
+      Rng rng(config.seed, static_cast<std::uint64_t>(run));
+      plan_one_run(edges_from, cfg, fsm.reset_state, num_sites, config, rng, pool, &undo,
+                   plan.edges, plan.golden, plan.faults);
+      undo_pool_swaps(pool, undo);
     }
   }
   return plan;
 }
+
+/// Plan access for the batch executor, backed by a materialized plan.
+struct MaterializedPlanView {
+  const CampaignPlan* plan = nullptr;
+
+  void prepare_batch(int /*base_run*/, int /*batch_runs*/) {}
+  std::int32_t edge_at(int run, int t) const { return plan->edge_at(run, t); }
+  std::int32_t golden_at(int run, int t) const { return plan->golden_at(run, t); }
+  const PlannedFault& fault_at(int run, int f) const {
+    return plan->faults[static_cast<std::size_t>(run) *
+                            static_cast<std::size_t>(plan->num_faults) +
+                        static_cast<std::size_t>(f)];
+  }
+};
+
+/// Plan access that derives each batch on demand: run k's walk and fault
+/// schedule come from Rng(seed, k), so a view holds at most `lanes` runs —
+/// O(lanes) memory however large the campaign — and any worker can plan any
+/// batch without coordination.
+class StreamingPlanView {
+ public:
+  StreamingPlanView(const std::vector<std::vector<std::int32_t>>& edges_from,
+                    const std::vector<CfgEdge>& cfg, int reset_state, std::size_t num_sites,
+                    const CampaignConfig& config)
+      : edges_from_(&edges_from),
+        cfg_(&cfg),
+        reset_state_(reset_state),
+        num_sites_(num_sites),
+        config_(&config),
+        pool_(num_sites) {
+    std::iota(pool_.begin(), pool_.end(), 0);
+    const auto lanes = static_cast<std::size_t>(config.lanes);
+    edges_.reserve(lanes * static_cast<std::size_t>(config.cycles));
+    golden_.reserve(lanes * static_cast<std::size_t>(config.cycles + 1));
+    faults_.reserve(lanes * static_cast<std::size_t>(config.num_faults));
+  }
+
+  void prepare_batch(int base_run, int batch_runs) {
+    base_run_ = base_run;
+    edges_.clear();
+    golden_.clear();
+    faults_.clear();
+    for (int lane = 0; lane < batch_runs; ++lane) {
+      Rng rng(config_->seed, static_cast<std::uint64_t>(base_run + lane));
+      plan_one_run(*edges_from_, *cfg_, reset_state_, num_sites_, *config_, rng, pool_, &undo_,
+                   edges_, golden_, faults_);
+      undo_pool_swaps(pool_, undo_);
+    }
+  }
+
+  std::int32_t edge_at(int run, int t) const {
+    return edges_[static_cast<std::size_t>(run - base_run_) *
+                      static_cast<std::size_t>(config_->cycles) +
+                  static_cast<std::size_t>(t)];
+  }
+  std::int32_t golden_at(int run, int t) const {
+    return golden_[static_cast<std::size_t>(run - base_run_) *
+                       static_cast<std::size_t>(config_->cycles + 1) +
+                   static_cast<std::size_t>(t)];
+  }
+  const PlannedFault& fault_at(int run, int f) const {
+    return faults_[static_cast<std::size_t>(run - base_run_) *
+                       static_cast<std::size_t>(config_->num_faults) +
+                   static_cast<std::size_t>(f)];
+  }
+
+ private:
+  const std::vector<std::vector<std::int32_t>>* edges_from_;
+  const std::vector<CfgEdge>* cfg_;
+  int reset_state_;
+  std::size_t num_sites_;
+  const CampaignConfig* config_;
+  int base_run_ = 0;
+  std::vector<std::int32_t> pool_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> undo_;
+  std::vector<std::int32_t> edges_;
+  std::vector<std::int32_t> golden_;
+  std::vector<PlannedFault> faults_;
+};
 
 /// Everything the per-batch executor needs, resolved once per campaign:
 /// symbol codes / raw input bits per CFG edge, packed as integers.
@@ -164,13 +293,15 @@ StimulusTable build_stimulus(const Fsm& fsm, const CompiledFsm& variant,
 }
 
 /// Executes batches [batch_begin, batch_end) on a private Simulator and
-/// accumulates outcome counts. Outcomes are per-lane and the counts are
-/// plain integer sums, so sharding batches across threads cannot change the
-/// aggregate result.
+/// accumulates outcome counts. `plan` provides (and, for the streaming
+/// view, derives) each batch's runs. Outcomes are per-lane and the counts
+/// are plain integer sums, so sharding batches across threads cannot change
+/// the aggregate result.
+template <typename PlanView>
 void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
-                     const std::vector<FaultSite>& sites, const CampaignPlan& plan,
-                     const CampaignConfig& config, const StimulusTable& stim, int batch_begin,
-                     int batch_end, CampaignResult& out) {
+                     const std::vector<FaultSite>& sites, const CampaignConfig& config,
+                     const StimulusTable& stim, PlanView& plan, int batch_begin, int batch_end,
+                     CampaignResult& out) {
   Simulator sim(*variant.module);
 
   // Pre-resolve every name the cycle loop would otherwise look up.
@@ -198,9 +329,10 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
   const int lanes = config.lanes;
   for (int batch = batch_begin; batch < batch_end; ++batch) {
     const int base_run = batch * lanes;
-    const int batch_runs = std::min(lanes, plan.runs - base_run);
+    const int batch_runs = std::min(lanes, config.runs - base_run);
     const std::uint64_t batch_mask =
         batch_runs >= 64 ? kAllLanes : (1ULL << batch_runs) - 1;
+    plan.prepare_batch(base_run, batch_runs);
 
     sim.reset();
     std::uint64_t done = 0;      // lane terminated (detected)
@@ -217,7 +349,7 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
     std::uint64_t deviated = 0;  // reached a valid state != golden
     std::uint64_t invalid = 0;   // reached a non-codeword
     std::uint64_t not_lag = 0;   // deviation beyond a missed transition
-    for (int t = 0; t < plan.cycles && done != batch_mask; ++t) {
+    for (int t = 0; t < config.cycles && done != batch_mask; ++t) {
       // Drive per-lane stimulus for this cycle.
       std::fill(in_words.begin(), in_words.end(), 0);
       for (int lane = 0; lane < batch_runs; ++lane) {
@@ -236,10 +368,8 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
       }
       // Inject this cycle's faults, lane by lane.
       for (int lane = 0; lane < batch_runs; ++lane) {
-        const std::size_t f0 = static_cast<std::size_t>(base_run + lane) *
-                               static_cast<std::size_t>(plan.num_faults);
-        for (int f = 0; f < plan.num_faults; ++f) {
-          const PlannedFault& p = plan.faults[f0 + static_cast<std::size_t>(f)];
+        for (int f = 0; f < config.num_faults; ++f) {
+          const PlannedFault& p = plan.fault_at(base_run + lane, f);
           if (p.cycle == t) {
             sim.inject_net(site_net[static_cast<std::size_t>(p.site)], config.kind,
                            1ULL << lane);
@@ -309,6 +439,48 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
   }
 }
 
+/// Shards [0, num_batches) across `workers` threads, giving each worker its
+/// own plan view from `make_view`, and merges the partial counts.
+template <typename ViewFactory>
+void execute_all(const Fsm& fsm, const CompiledFsm& variant,
+                 const std::vector<FaultSite>& sites, const CampaignConfig& config,
+                 const StimulusTable& stim, int num_batches, int workers,
+                 ViewFactory make_view, CampaignResult& result) {
+  if (workers <= 1) {
+    auto view = make_view();
+    execute_batches(fsm, variant, sites, config, stim, view, 0, num_batches, result);
+    return;
+  }
+  std::vector<CampaignResult> partial(static_cast<std::size_t>(workers));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    const int begin = static_cast<int>(static_cast<std::int64_t>(num_batches) * w / workers);
+    const int end = static_cast<int>(static_cast<std::int64_t>(num_batches) * (w + 1) / workers);
+    pool.emplace_back([&, w, begin, end] {
+      try {
+        auto view = make_view();
+        execute_batches(fsm, variant, sites, config, stim, view, begin, end,
+                        partial[static_cast<std::size_t>(w)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const CampaignResult& p : partial) {
+    result.masked += p.masked;
+    result.detected += p.detected;
+    result.hijacked += p.hijacked;
+    result.lagged += p.lagged;
+    result.silent_invalid += p.silent_invalid;
+  }
+}
+
 }  // namespace
 
 std::int64_t planned_bytes(const CampaignConfig& config) {
@@ -327,17 +499,20 @@ CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
   check(variant.module != nullptr, "run_campaign: variant has no module");
   require(config.lanes >= 1 && config.lanes <= kNumLanes,
           "run_campaign: lanes must be in [1, 64]");
-  if (config.max_plan_bytes > 0) {
+  const bool materializes = config.planner != CampaignPlanner::kStreaming;
+  if (materializes && config.max_plan_bytes > 0) {
     const std::int64_t plan_bytes = planned_bytes(config);
     require(plan_bytes <= config.max_plan_bytes,
             format("run_campaign: campaign plan needs ~%lld bytes, above the "
-                   "max_plan_bytes cap of %lld; shrink runs/cycles or raise the cap",
+                   "max_plan_bytes cap of %lld; use the streaming planner or "
+                   "shrink runs/cycles or raise the cap",
                    static_cast<long long>(plan_bytes),
                    static_cast<long long>(config.max_plan_bytes)));
     static std::atomic<bool> warned{false};
     if (plan_bytes > config.max_plan_bytes / 2 && !warned.exchange(true)) {
       log_warn(format("run_campaign: campaign plan materializes ~%lld bytes up front "
-                      "(cap %lld); plans are ~8 bytes per run-cycle plus 8 per fault",
+                      "(cap %lld); plans are ~8 bytes per run-cycle plus 8 per fault "
+                      "— the streaming planner needs O(lanes) instead",
                       static_cast<long long>(plan_bytes),
                       static_cast<long long>(config.max_plan_bytes)));
     }
@@ -348,43 +523,28 @@ CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
   require(!sites.empty(), "run_campaign: no fault sites for the requested target class");
 
   const std::vector<CfgEdge> cfg = fsm.cfg_edges();
-  const CampaignPlan plan = plan_campaign(fsm, cfg, sites.size(), config);
   const StimulusTable stim = build_stimulus(fsm, variant, cfg);
 
   CampaignResult result;
   result.runs = config.runs;
-  const int num_batches = (config.runs + config.lanes - 1) / config.lanes;
+  // 64-bit ceil-divide: runs close to INT_MAX must not overflow the
+  // rounding term (the streaming planner accepts sizes the plan cap used
+  // to reject long before this line).
+  const int num_batches = static_cast<int>(
+      (static_cast<std::int64_t>(config.runs) + config.lanes - 1) / config.lanes);
   const int workers = std::max(1, std::min(config.threads, num_batches));
-  if (workers <= 1) {
-    execute_batches(fsm, variant, sites, plan, config, stim, 0, num_batches, result);
-    return result;
-  }
-  std::vector<CampaignResult> partial(static_cast<std::size_t>(workers));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    const int begin = static_cast<int>(static_cast<std::int64_t>(num_batches) * w / workers);
-    const int end = static_cast<int>(static_cast<std::int64_t>(num_batches) * (w + 1) / workers);
-    pool.emplace_back([&, w, begin, end] {
-      try {
-        execute_batches(fsm, variant, sites, plan, config, stim, begin, end,
-                        partial[static_cast<std::size_t>(w)]);
-      } catch (...) {
-        errors[static_cast<std::size_t>(w)] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& th : pool) th.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
-  for (const CampaignResult& p : partial) {
-    result.masked += p.masked;
-    result.detected += p.detected;
-    result.hijacked += p.hijacked;
-    result.lagged += p.lagged;
-    result.silent_invalid += p.silent_invalid;
+  if (materializes) {
+    const CampaignPlan plan = plan_campaign_materialized(fsm, cfg, sites.size(), config);
+    execute_all(fsm, variant, sites, config, stim, num_batches, workers,
+                [&plan] { return MaterializedPlanView{&plan}; }, result);
+  } else {
+    const std::vector<std::vector<std::int32_t>> edges_from = index_edges_from(fsm, cfg);
+    execute_all(fsm, variant, sites, config, stim, num_batches, workers,
+                [&] {
+                  return StreamingPlanView(edges_from, cfg, fsm.reset_state, sites.size(),
+                                           config);
+                },
+                result);
   }
   return result;
 }

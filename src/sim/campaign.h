@@ -13,13 +13,17 @@
 //   silent_invalid  — register holds a non-codeword, never detected
 //                     (impossible for SCFI, common for unprotected FSMs)
 //
-// Execution is two-phase. Planning draws every walk and fault schedule from
-// a single sequential RNG in run order, so the plan depends only on the
-// seed. Execution packs `lanes` runs into the bit-parallel simulator (one
-// lane per run) and, with `threads` > 1, shards whole batches across worker
-// threads. Because the plan is fixed before execution and per-run outcomes
-// are independent, the aggregate CampaignResult is bit-identical for every
-// combination of `lanes` and `threads`.
+// Execution is two-phase, with the planning side selectable. The default
+// streaming planner derives every run's walk and fault schedule from a
+// jump-ahead RNG stream keyed by hash(seed, run_index): workers plan their
+// own batches on the fly with O(lanes) memory, so arbitrary-size campaigns
+// run under a constant footprint and the plan for run k never depends on
+// runs 0..k-1. Execution packs `lanes` runs into the bit-parallel simulator
+// (one lane per run) and, with `threads` > 1, shards whole batches across
+// worker threads. Because each run's plan is a pure function of
+// (seed, run_index) and per-run outcomes are independent, the aggregate
+// CampaignResult is bit-identical for every combination of `lanes` and
+// `threads`.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,25 @@
 
 namespace scfi::sim {
 
+/// How run plans (walks + fault schedules) are produced. The seed→plan
+/// mapping differs between the streaming and sequential families, so
+/// switching planners re-rolls every run even at the same seed.
+enum class CampaignPlanner {
+  /// Default: each run's plan is drawn from Rng(seed, run_index) inside the
+  /// executing worker, one batch at a time — O(lanes) planning memory,
+  /// unbounded campaign sizes, max_plan_bytes not applicable.
+  kStreaming,
+  /// The streaming plan, materialized up front run 0..runs-1 and executed
+  /// through the shared batch executor. Bit-identical to kStreaming by
+  /// construction — kept as the differential-test oracle for the on-the-fly
+  /// path. Subject to max_plan_bytes.
+  kStreamingMaterialized,
+  /// Legacy planner: one sequential RNG draws all runs in order up front.
+  /// Deprecated — retained for one release as a differential oracle against
+  /// pinned pre-streaming expectations. Subject to max_plan_bytes.
+  kSequential,
+};
+
 /// Campaign parameters. Raw-input (unencoded) variants support at most 64
 /// control bits; symbol-encoded variants are unrestricted.
 struct CampaignConfig {
@@ -39,20 +62,23 @@ struct CampaignConfig {
   FaultTarget target = FaultTarget::kAny;
   FaultKind kind = FaultKind::kTransientFlip;
   std::uint64_t seed = 1;
+  CampaignPlanner planner = CampaignPlanner::kStreaming;
   int lanes = kNumLanes;  ///< runs per simulator batch (1..64); 1 = scalar
   int threads = 1;        ///< worker threads sharding batches (<=1 = inline)
-  /// Hard cap on the materialized plan (walks, golden sequences, fault
-  /// schedules — see planned_bytes()). Planning is up-front, so a >10^7-run
-  /// campaign would otherwise allocate gigabytes before the first simulated
-  /// cycle; exceeding the cap throws ScfiError instead (a one-time warning
-  /// is logged above half the cap). 0 disables the check. Streaming
-  /// per-batch planning for such campaigns is tracked in ROADMAP.md.
+  /// Hard cap on a *materialized* plan (walks, golden sequences, fault
+  /// schedules — see planned_bytes()). The materializing planners allocate
+  /// the whole plan before the first simulated cycle, so a >10^7-run
+  /// campaign would otherwise claim gigabytes; exceeding the cap throws
+  /// ScfiError instead (a one-time warning is logged above half the cap).
+  /// 0 disables the check. kStreaming plans per batch and ignores the cap.
   std::int64_t max_plan_bytes = 1LL << 31;  ///< 2 GiB
 };
 
-/// Estimated bytes plan_campaign() materializes for `config`: ~8 bytes per
-/// run-cycle (a 4-byte walk edge plus a 4-byte golden state entry) plus
-/// 8 bytes per scheduled fault.
+/// Estimated bytes a materializing planner (kStreamingMaterialized or
+/// kSequential) allocates for `config`: ~8 bytes per run-cycle (a 4-byte
+/// walk edge plus a 4-byte golden state entry) plus 8 bytes per scheduled
+/// fault. The streaming planner's footprint is O(lanes x cycles) per worker
+/// instead.
 std::int64_t planned_bytes(const CampaignConfig& config);
 
 struct CampaignResult {

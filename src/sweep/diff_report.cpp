@@ -1,0 +1,92 @@
+#include "sweep/diff_report.h"
+
+#include <sstream>
+
+#include "base/strutil.h"
+
+namespace scfi::sweep {
+namespace {
+
+DiffEntry compare_synfi(const SweepResult& base, const SweepResult& cand,
+                        const DiffThresholds& thresholds) {
+  DiffEntry entry;
+  entry.key = base.key();
+  entry.type = JobType::kSynfi;
+  entry.d_exploitable = cand.report.exploitable - base.report.exploitable;
+  entry.d_detected = cand.report.detected - base.report.detected;
+  entry.d_masked = cand.report.masked - base.report.masked;
+  entry.regression = entry.d_exploitable > thresholds.max_exploitable_increase;
+  entry.note = format("exploitable %lld -> %lld (%+lld), detected %+lld, masked %+lld",
+                      static_cast<long long>(base.report.exploitable),
+                      static_cast<long long>(cand.report.exploitable),
+                      static_cast<long long>(entry.d_exploitable),
+                      static_cast<long long>(entry.d_detected),
+                      static_cast<long long>(entry.d_masked));
+  return entry;
+}
+
+DiffEntry compare_campaign(const SweepResult& base, const SweepResult& cand,
+                           const DiffThresholds& thresholds) {
+  DiffEntry entry;
+  entry.key = base.key();
+  entry.type = JobType::kCampaign;
+  entry.d_hijacked = cand.campaign.hijacked - base.campaign.hijacked;
+  entry.d_hijack_rate = cand.campaign.hijack_rate() - base.campaign.hijack_rate();
+  entry.d_detection_rate = cand.campaign.detection_rate() - base.campaign.detection_rate();
+  entry.regression = entry.d_hijack_rate > thresholds.max_hijack_rate_increase ||
+                     -entry.d_detection_rate > thresholds.max_detection_rate_drop;
+  entry.note =
+      format("hijack %.4f%% -> %.4f%% (%+lld run(s)), detection %.2f%% -> %.2f%%",
+             100.0 * base.campaign.hijack_rate(), 100.0 * cand.campaign.hijack_rate(),
+             static_cast<long long>(entry.d_hijacked), 100.0 * base.campaign.detection_rate(),
+             100.0 * cand.campaign.detection_rate());
+  return entry;
+}
+
+}  // namespace
+
+DiffReport diff_report(const ResultStore& baseline, const ResultStore& candidate,
+                       const DiffThresholds& thresholds) {
+  // The key-level walk is ResultStore::diff's job (one definition of
+  // "changed"); this layer only scores the changed pairs against the
+  // thresholds. diff() returns each list key-sorted.
+  const ResultStore::Diff diff = ResultStore::diff(baseline, candidate);
+  DiffReport report;
+  report.removed = diff.only_left;
+  report.added = diff.only_right;
+  report.changed.reserve(diff.changed.size());
+  for (const std::string& key : diff.changed) {
+    const SweepResult& base = *baseline.find(key);
+    const SweepResult& cand = *candidate.find(key);
+    report.changed.push_back(base.job.type == JobType::kCampaign
+                                 ? compare_campaign(base, cand, thresholds)
+                                 : compare_synfi(base, cand, thresholds));
+  }
+  for (const DiffEntry& entry : report.changed) report.regressions += entry.regression;
+  report.removed_gates = thresholds.fail_on_removed;
+  if (report.removed_gates) {
+    report.regressions += static_cast<int>(report.removed.size());
+  }
+  report.gate_failed = report.regressions > 0;
+  return report;
+}
+
+std::string DiffReport::render() const {
+  std::ostringstream out;
+  for (const DiffEntry& entry : changed) {
+    out << (entry.regression ? "REGRESSION " : "drift      ") << entry.key << ": " << entry.note
+        << "\n";
+  }
+  for (const std::string& key : removed) {
+    out << (removed_gates ? "REGRESSION " : "removed    ") << key << " (missing from candidate)\n";
+  }
+  for (const std::string& key : added) out << "added      " << key << "\n";
+  if (changed.empty() && removed.empty() && added.empty()) {
+    out << "sweep-diff: stores are identical (timing ignored)\n";
+  }
+  out << format("sweep-diff: %zu changed, %zu added, %zu removed, %d regression(s)\n",
+                changed.size(), added.size(), removed.size(), regressions);
+  return out.str();
+}
+
+}  // namespace scfi::sweep

@@ -1,0 +1,70 @@
+// Regression reporting over two sweep result stores (the CI gate behind
+// `scfi_cli sweep-diff`).
+//
+// ResultStore::diff answers *which* keys changed; DiffReport answers *how
+// much* and *does it gate*: per-key metric deltas (SYNFI exploitable /
+// detected counts, campaign hijack / detection rates) are compared against
+// configurable thresholds, and any delta beyond its threshold marks the
+// entry — and the report — as a regression. Improvements and sub-threshold
+// drift are reported but never gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/result_store.h"
+
+namespace scfi::sweep {
+
+/// Gate thresholds. The defaults gate on ANY security-relevant worsening:
+/// a single new exploitable injection, any hijack-rate increase, any
+/// detection-rate drop.
+struct DiffThresholds {
+  /// SYNFI jobs: allowed growth of the exploitable-injection count.
+  std::int64_t max_exploitable_increase = 0;
+  /// Campaign jobs: allowed absolute hijack-rate increase (fraction of
+  /// runs, e.g. 0.005 = half a percentage point).
+  double max_hijack_rate_increase = 0.0;
+  /// Campaign jobs: allowed absolute detection-rate drop (fraction of
+  /// effective faults).
+  double max_detection_rate_drop = 0.0;
+  /// Treat keys present in the baseline but missing from the candidate as
+  /// regressions (coverage loss). New keys never gate.
+  bool fail_on_removed = false;
+};
+
+/// One changed key with its metric movement.
+struct DiffEntry {
+  std::string key;
+  JobType type = JobType::kSynfi;
+  // SYNFI deltas (candidate - baseline).
+  std::int64_t d_exploitable = 0;
+  std::int64_t d_detected = 0;
+  std::int64_t d_masked = 0;
+  // Campaign deltas (candidate - baseline).
+  std::int64_t d_hijacked = 0;
+  double d_hijack_rate = 0.0;
+  double d_detection_rate = 0.0;
+  bool regression = false;  ///< some delta exceeded its threshold
+  std::string note;         ///< human-readable delta summary
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> changed;      ///< keys in both stores, payload moved
+  std::vector<std::string> added;      ///< keys only in the candidate
+  std::vector<std::string> removed;    ///< keys only in the baseline
+  bool removed_gates = false;          ///< fail_on_removed was set: removals regress
+  int regressions = 0;                 ///< gating entries (incl. removals when enabled)
+  bool gate_failed = false;
+
+  /// Multi-line human report: one line per changed key with its deltas,
+  /// the added/removed key lists, and the verdict line CI scripts match on.
+  std::string render() const;
+};
+
+/// Compares `candidate` against `baseline` under `thresholds`.
+DiffReport diff_report(const ResultStore& baseline, const ResultStore& candidate,
+                       const DiffThresholds& thresholds = {});
+
+}  // namespace scfi::sweep

@@ -1,6 +1,7 @@
 #include "sweep/result_store.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -38,6 +39,39 @@ synfi::Backend backend_of(const std::string& name) {
   if (name == "sat") return synfi::Backend::kSat;
   if (name == "sim") return synfi::Backend::kExhaustiveSim;
   throw ScfiError("sweep: unknown backend '" + name + "' (expected sim or sat)");
+}
+
+const char* fault_target_name(sim::FaultTarget target) {
+  switch (target) {
+    case sim::FaultTarget::kControlInputs: return "inputs";
+    case sim::FaultTarget::kStateRegister: return "state";
+    case sim::FaultTarget::kLogic: return "logic";
+    default: return "any";
+  }
+}
+
+sim::FaultTarget fault_target_of(const std::string& name) {
+  if (name == "inputs") return sim::FaultTarget::kControlInputs;
+  if (name == "state") return sim::FaultTarget::kStateRegister;
+  if (name == "logic") return sim::FaultTarget::kLogic;
+  if (name == "any") return sim::FaultTarget::kAny;
+  throw ScfiError("sweep: unknown fault target '" + name +
+                  "' (expected any, inputs, state, or logic)");
+}
+
+const char* job_type_name(JobType type) {
+  return type == JobType::kCampaign ? "campaign" : "synfi";
+}
+
+JobType job_type_of(const std::string& name) {
+  if (name == "synfi") return JobType::kSynfi;
+  if (name == "campaign") return JobType::kCampaign;
+  throw ScfiError("sweep: unknown job type '" + name + "' (expected synfi or campaign)");
+}
+
+bool reports_equal(const SweepResult& a, const SweepResult& b) {
+  if (a.job.type != b.job.type) return false;
+  return a.job.type == JobType::kCampaign ? a.campaign == b.campaign : a.report == b.report;
 }
 
 namespace {
@@ -87,6 +121,34 @@ class LineParser {
     return value;
   }
 
+  /// Exact 64-bit parse for fields (the campaign seed) where the double
+  /// round-trip of parse_number() would be lossy above 2^53 and silently
+  /// change the recomputed job key. Rejects negatives and out-of-range
+  /// values instead of letting strtoull wrap or saturate them into a
+  /// different (and silently resumable) key.
+  std::uint64_t parse_uint() {
+    skip_ws();
+    require(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "result store: malformed integer in JSONL line");
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(begin, &end, 10);
+    require(end != begin && errno != ERANGE,
+            "result store: malformed integer in JSONL line");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  /// parse_uint bounded to int, for count fields the store writes as
+  /// non-negative integers — a double-typed parse cast to int would be UB
+  /// (and garbage keys) on corrupted out-of-range lines.
+  int parse_int_count() {
+    const std::uint64_t value = parse_uint();
+    require(value <= 0x7fffffffULL, "result store: count out of range in JSONL line");
+    return static_cast<int>(value);
+  }
+
   bool parse_bool() {
     skip_ws();
     if (text_.compare(pos_, 4, "true") == 0) {
@@ -128,6 +190,12 @@ class LineParser {
 }  // namespace
 
 std::string SweepJob::key() const {
+  if (type == JobType::kCampaign) {
+    return module + "|" + variant + "|n" + std::to_string(protection_level) + "|mc|" +
+           fault_kind_name(campaign.kind) + "|t=" + fault_target_name(campaign.target) +
+           "|runs=" + std::to_string(campaign.runs) + "|c=" + std::to_string(campaign.cycles) +
+           "|f=" + std::to_string(campaign.num_faults) + "|s=" + std::to_string(campaign.seed);
+  }
   std::string key = module + "|" + variant + "|n" + std::to_string(protection_level) + "|r=" +
                     synfi.wire_prefix + "|" + backend_name(synfi.backend) + "|" +
                     fault_kind_name(synfi.kind);
@@ -138,30 +206,46 @@ std::string SweepJob::key() const {
 
 std::string ResultStore::to_line(const SweepResult& result) {
   const SweepJob& job = result.job;
-  const synfi::SynfiReport& r = result.report;
   std::ostringstream out;
   out << "{\"schema\":" << kSchemaVersion;
+  out << ",\"type\":\"" << job_type_name(job.type) << "\"";
   out << ",\"key\":\"" << backends::json_escape(result.key()) << "\"";
   out << ",\"module\":\"" << backends::json_escape(job.module) << "\"";
   out << ",\"variant\":\"" << backends::json_escape(job.variant) << "\"";
   out << ",\"level\":" << job.protection_level;
-  out << ",\"region\":\"" << backends::json_escape(job.synfi.wire_prefix) << "\"";
-  out << ",\"include_inputs\":" << (job.synfi.include_inputs ? "true" : "false");
-  out << ",\"backend\":\"" << backend_name(job.synfi.backend) << "\"";
-  out << ",\"kind\":\"" << fault_kind_name(job.synfi.kind) << "\"";
-  out << ",\"free_symbol\":" << (job.synfi.free_symbol ? "true" : "false");
-  out << ",\"sites\":" << r.sites;
-  out << ",\"injections\":" << r.injections;
-  out << ",\"exploitable\":" << r.exploitable;
-  out << ",\"detected\":" << r.detected;
-  out << ",\"masked\":" << r.masked;
-  out << ",\"stalls\":" << r.stalls;
-  out << ",\"exploitable_sites\":[";
-  for (std::size_t i = 0; i < r.exploitable_sites.size(); ++i) {
-    if (i > 0) out << ",";
-    out << "\"" << backends::json_escape(r.exploitable_sites[i]) << "\"";
+  if (job.type == JobType::kCampaign) {
+    const sim::CampaignResult& c = result.campaign;
+    out << ",\"kind\":\"" << fault_kind_name(job.campaign.kind) << "\"";
+    out << ",\"target\":\"" << fault_target_name(job.campaign.target) << "\"";
+    out << ",\"runs\":" << job.campaign.runs;
+    out << ",\"cycles\":" << job.campaign.cycles;
+    out << ",\"faults\":" << job.campaign.num_faults;
+    out << ",\"seed\":" << job.campaign.seed;
+    out << ",\"masked\":" << c.masked;
+    out << ",\"detected\":" << c.detected;
+    out << ",\"hijacked\":" << c.hijacked;
+    out << ",\"lagged\":" << c.lagged;
+    out << ",\"silent_invalid\":" << c.silent_invalid;
+  } else {
+    const synfi::SynfiReport& r = result.report;
+    out << ",\"region\":\"" << backends::json_escape(job.synfi.wire_prefix) << "\"";
+    out << ",\"include_inputs\":" << (job.synfi.include_inputs ? "true" : "false");
+    out << ",\"backend\":\"" << backend_name(job.synfi.backend) << "\"";
+    out << ",\"kind\":\"" << fault_kind_name(job.synfi.kind) << "\"";
+    out << ",\"free_symbol\":" << (job.synfi.free_symbol ? "true" : "false");
+    out << ",\"sites\":" << r.sites;
+    out << ",\"injections\":" << r.injections;
+    out << ",\"exploitable\":" << r.exploitable;
+    out << ",\"detected\":" << r.detected;
+    out << ",\"masked\":" << r.masked;
+    out << ",\"stalls\":" << r.stalls;
+    out << ",\"exploitable_sites\":[";
+    for (std::size_t i = 0; i < r.exploitable_sites.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << backends::json_escape(r.exploitable_sites[i]) << "\"";
+    }
+    out << "]";
   }
-  out << "]";
   char seconds[32];
   std::snprintf(seconds, sizeof(seconds), "%.6f", result.seconds);
   out << ",\"seconds\":" << seconds << "}";
@@ -169,20 +253,30 @@ std::string ResultStore::to_line(const SweepResult& result) {
 }
 
 SweepResult ResultStore::parse_line(const std::string& line) {
+  // Fields are collected first and committed at the end: the `kind`,
+  // `detected`, and `masked` names are shared between the two job types, so
+  // they can only be routed once the (possibly later) `type` field is known.
+  // v1 lines have no `type` field and migrate as SYNFI records.
+  int schema = -1;
+  std::string type_str = "synfi";
+  std::string kind_str;
+  bool saw_kind = false;
+  std::int64_t detected = 0;
+  std::int64_t masked = 0;
   SweepResult result;
   LineParser parser(line);
-  bool saw_schema = false;
   parser.expect('{');
   if (!parser.consume('}')) {
     do {
       const std::string field = parser.parse_string();
       parser.expect(':');
       if (field == "schema") {
-        const int schema = static_cast<int>(parser.parse_number());
-        require(schema == kSchemaVersion,
-                "result store: schema version " + std::to_string(schema) + " (expected " +
+        schema = static_cast<int>(parser.parse_number());
+        require(schema == 1 || schema == kSchemaVersion,
+                "result store: schema version " + std::to_string(schema) + " (expected 1 or " +
                     std::to_string(kSchemaVersion) + ")");
-        saw_schema = true;
+      } else if (field == "type") {
+        type_str = parser.parse_string();
       } else if (field == "key") {
         parser.parse_string();  // derived; recomputed from the job fields
       } else if (field == "module") {
@@ -198,9 +292,26 @@ SweepResult ResultStore::parse_line(const std::string& line) {
       } else if (field == "backend") {
         result.job.synfi.backend = backend_of(parser.parse_string());
       } else if (field == "kind") {
-        result.job.synfi.kind = fault_kind_of(parser.parse_string());
+        kind_str = parser.parse_string();
+        saw_kind = true;
+      } else if (field == "target") {
+        result.job.campaign.target = fault_target_of(parser.parse_string());
       } else if (field == "free_symbol") {
         result.job.synfi.free_symbol = parser.parse_bool();
+      } else if (field == "runs") {
+        result.job.campaign.runs = parser.parse_int_count();
+      } else if (field == "cycles") {
+        result.job.campaign.cycles = parser.parse_int_count();
+      } else if (field == "faults") {
+        result.job.campaign.num_faults = parser.parse_int_count();
+      } else if (field == "seed") {
+        result.job.campaign.seed = parser.parse_uint();
+      } else if (field == "hijacked") {
+        result.campaign.hijacked = parser.parse_int_count();
+      } else if (field == "lagged") {
+        result.campaign.lagged = parser.parse_int_count();
+      } else if (field == "silent_invalid") {
+        result.campaign.silent_invalid = parser.parse_int_count();
       } else if (field == "sites") {
         result.report.sites = static_cast<std::int64_t>(parser.parse_number());
       } else if (field == "injections") {
@@ -208,9 +319,9 @@ SweepResult ResultStore::parse_line(const std::string& line) {
       } else if (field == "exploitable") {
         result.report.exploitable = static_cast<std::int64_t>(parser.parse_number());
       } else if (field == "detected") {
-        result.report.detected = static_cast<std::int64_t>(parser.parse_number());
+        detected = static_cast<std::int64_t>(parser.parse_number());
       } else if (field == "masked") {
-        result.report.masked = static_cast<std::int64_t>(parser.parse_number());
+        masked = static_cast<std::int64_t>(parser.parse_number());
       } else if (field == "stalls") {
         result.report.stalls = static_cast<std::int64_t>(parser.parse_number());
       } else if (field == "exploitable_sites") {
@@ -231,8 +342,24 @@ SweepResult ResultStore::parse_line(const std::string& line) {
     } while (parser.consume(','));
     parser.expect('}');
   }
-  require(saw_schema, "result store: JSONL line missing schema field");
+  require(schema > 0, "result store: JSONL line missing schema field");
   require(!result.job.module.empty(), "result store: JSONL line missing module field");
+  result.job.type = job_type_of(type_str);
+  require(schema == kSchemaVersion || result.job.type == JobType::kSynfi,
+          "result store: schema 1 lines cannot carry campaign records");
+  if (result.job.type == JobType::kCampaign) {
+    if (saw_kind) result.job.campaign.kind = fault_kind_of(kind_str);
+    require(detected >= 0 && detected <= 0x7fffffffLL && masked >= 0 &&
+                masked <= 0x7fffffffLL,
+            "result store: count out of range in JSONL line");
+    result.campaign.runs = result.job.campaign.runs;
+    result.campaign.detected = static_cast<int>(detected);
+    result.campaign.masked = static_cast<int>(masked);
+  } else {
+    if (saw_kind) result.job.synfi.kind = fault_kind_of(kind_str);
+    result.report.detected = detected;
+    result.report.masked = masked;
+  }
   return result;
 }
 
@@ -287,7 +414,7 @@ ResultStore::Diff ResultStore::diff(const ResultStore& left, const ResultStore& 
     const SweepResult* r = right.find(l.key());
     if (r == nullptr) {
       diff.only_left.push_back(l.key());
-    } else if (!(l.report == r->report)) {
+    } else if (!reports_equal(l, *r)) {
       diff.changed.push_back(l.key());
     }
   }

@@ -1,59 +1,86 @@
-// Persistent store for SYNFI sweep results: one JSON object per line
-// (JSONL), append-only and schema-versioned, so successive sweeps over the
-// module zoo can be resumed, merged, and compared without a database.
+// Persistent store for sweep results — SYNFI pre-silicon analyses (§6.4)
+// and Monte-Carlo fault campaigns (§6.3) side by side: one JSON object per
+// line (JSONL), append-only and schema-versioned, so successive sweeps over
+// the module zoo can be resumed, merged, and compared without a database.
 //
 // See src/sweep/README.md for the line schema. The store is keyed by the
-// job identity (module | variant | level | region | backend | fault kind,
-// plus the include_inputs/free_symbol flags); re-appending a key makes the
-// latest record win, which is what lets `--resume` replay an interrupted
-// sweep on top of a partially written file.
+// job identity (for SYNFI jobs: module | variant | level | region | backend
+// | fault kind plus the include_inputs/free_symbol flags; for campaign
+// jobs: module | variant | level | mc | kind | target | the campaign
+// shape); re-appending a key makes the latest record win, which is what
+// lets `--resume` replay an interrupted sweep on top of a partially written
+// file.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "sim/campaign.h"
 #include "synfi/synfi.h"
 
 namespace scfi::sweep {
 
-/// Fault-kind / backend name mappings shared by the store, the
-/// orchestrator, and the CLI (one place to extend). The *_of parsers throw
-/// ScfiError on unknown names.
+/// Fault-kind / backend / job-type / fault-target name mappings shared by
+/// the store, the orchestrator, and the CLI (one place to extend). The *_of
+/// parsers throw ScfiError on unknown names.
 const char* fault_kind_name(sim::FaultKind kind);
 sim::FaultKind fault_kind_of(const std::string& name);
 const char* backend_name(synfi::Backend backend);
 synfi::Backend backend_of(const std::string& name);
+const char* fault_target_name(sim::FaultTarget target);
+sim::FaultTarget fault_target_of(const std::string& name);
 
-/// One sweep job: which variant to build and which SYNFI query to run on
-/// it. `synfi.lanes`/`synfi.threads` are execution knobs owned by the
-/// orchestrator; everything else is job identity.
+/// What a sweep job runs on its compiled variant.
+enum class JobType {
+  kSynfi,     ///< §6.4 pre-silicon SYNFI analysis
+  kCampaign,  ///< §6.3 Monte-Carlo fault campaign
+};
+const char* job_type_name(JobType type);
+JobType job_type_of(const std::string& name);
+
+/// One sweep job: which variant to build and which query to run on it.
+/// `synfi.lanes`/`synfi.threads` (and, for campaign jobs,
+/// `campaign.lanes`/`campaign.threads`/`campaign.planner`) are execution
+/// knobs owned by the orchestrator; everything else is job identity.
 struct SweepJob {
+  JobType type = JobType::kSynfi;
   std::string module;            ///< OT zoo module name
-  /// Only "scfi" is analyzable today: unprotected variants have raw
-  /// (unencoded) control bits and redundancy variants hold N register
-  /// copies the one-cycle SYNFI stimulus does not drive.
+  /// For SYNFI jobs only "scfi" is analyzable: unprotected variants have
+  /// raw (unencoded) control bits and redundancy variants hold N register
+  /// copies the one-cycle SYNFI stimulus does not drive. Campaign jobs run
+  /// on any of "scfi", "unprotected", or "redundancy".
   std::string variant = "scfi";
   int protection_level = 2;
-  synfi::SynfiConfig synfi;
+  synfi::SynfiConfig synfi;       ///< kSynfi jobs
+  sim::CampaignConfig campaign;   ///< kCampaign jobs
 
-  /// Canonical identity string, e.g. "pwrmgr_fsm|scfi|n2|r=mds_|sim|flip".
+  /// Canonical identity string, e.g. "pwrmgr_fsm|scfi|n2|r=mds_|sim|flip"
+  /// or "pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=1".
   std::string key() const;
 };
 
-/// A completed job: the job identity, its report, and the wall-clock cost.
+/// A completed job: the job identity, its report (one of the two payloads,
+/// selected by `job.type`), and the wall-clock cost.
 struct SweepResult {
   SweepJob job;
-  synfi::SynfiReport report;
+  synfi::SynfiReport report;      ///< kSynfi payload
+  sim::CampaignResult campaign;   ///< kCampaign payload
   double seconds = 0.0;
 
   std::string key() const { return job.key(); }
 };
 
+/// Payload (verdict) comparison — the report of the job's type; timing
+/// never counts.
+bool reports_equal(const SweepResult& a, const SweepResult& b);
+
 class ResultStore {
  public:
-  /// Bumped whenever the line schema changes; load() rejects other versions.
-  static constexpr int kSchemaVersion = 1;
+  /// Bumped whenever the line schema changes. load()/parse_line() migrate
+  /// v1 lines (SYNFI-only, no `type` field) to v2 records on the fly and
+  /// reject anything else; to_line() always writes the current version.
+  static constexpr int kSchemaVersion = 2;
 
   ResultStore() = default;
 

@@ -4,24 +4,35 @@
 #include <chrono>
 #include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "base/error.h"
 #include "ot/zoo.h"
 #include "rtlil/design.h"
+#include "sim/campaign.h"
 
 namespace scfi::sweep {
 namespace {
 
-ot::Variant variant_of(const std::string& name) {
-  if (name == "scfi") return ot::Variant::kScfi;
+ot::Variant variant_of(const SweepJob& job) {
+  if (job.variant == "scfi") return ot::Variant::kScfi;
+  if (job.type == JobType::kCampaign) {
+    // The campaign engine drives all three compiled forms; only SYNFI is
+    // restricted to symbol-encoded variants.
+    if (job.variant == "unprotected") return ot::Variant::kUnprotected;
+    if (job.variant == "redundancy") return ot::Variant::kRedundancy;
+    throw ScfiError("sweep: unknown campaign variant '" + job.variant +
+                    "' (expected scfi, unprotected, or redundancy)");
+  }
   // kUnprotected compiles to raw control bits, which the symbol-level SYNFI
   // property cannot analyze, and kRedundancy holds N state-register copies
   // of which the one-cycle SYNFI stimulus only drives the primary — its
   // mismatch alert would fire on the stale copies and the report would be
   // meaningless. Reject both up front instead of deep inside a worker.
-  throw ScfiError("sweep: unknown or unanalyzable variant '" + name + "' (expected scfi)");
+  throw ScfiError("sweep: unknown or unanalyzable variant '" + job.variant +
+                  "' (expected scfi)");
 }
 
 /// Jobs that share a compiled variant, served by one Analyzer.
@@ -48,7 +59,7 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
   // Validate and filter up front so a bad job aborts before any work runs.
   std::vector<SweepJob> pending;
   for (const SweepJob& job : jobs) {
-    variant_of(job.variant);
+    variant_of(job);
     if (resume && store.contains(job.key())) {
       ++stats.skipped;
       continue;
@@ -96,18 +107,30 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
         const VariantGroup& group = groups[g];
         const ot::OtEntry entry = ot::ot_entry(group.module);
         rtlil::Design design;
-        const fsm::CompiledFsm compiled =
-            ot::build_ot_variant(entry, design, variant_of(group.variant),
-                                 group.protection_level, group.module + "_sweep");
-        synfi::Analyzer analyzer(entry.fsm, compiled);
+        const fsm::CompiledFsm compiled = ot::build_ot_variant(
+            entry, design, variant_of(pending[group.job_indices.front()]),
+            group.protection_level, group.module + "_sweep");
+        // The Analyzer is SYNFI-only (it rejects raw/redundant variants);
+        // build it lazily so campaign-only groups never pay for — or trip
+        // over — it.
+        std::unique_ptr<synfi::Analyzer> analyzer;
         for (const std::size_t j : group.job_indices) {
           SweepResult result;
           result.job = pending[j];
-          synfi::SynfiConfig config = result.job.synfi;
-          config.lanes = config_.lanes;
-          config.threads = inner;
           const auto t0 = std::chrono::steady_clock::now();
-          result.report = analyzer.run(config);
+          if (result.job.type == JobType::kCampaign) {
+            sim::CampaignConfig config = result.job.campaign;
+            config.planner = sim::CampaignPlanner::kStreaming;
+            config.lanes = config_.lanes;
+            config.threads = inner;
+            result.campaign = sim::run_campaign(entry.fsm, compiled, config);
+          } else {
+            if (!analyzer) analyzer = std::make_unique<synfi::Analyzer>(entry.fsm, compiled);
+            synfi::SynfiConfig config = result.job.synfi;
+            config.lanes = config_.lanes;
+            config.threads = inner;
+            result.report = analyzer->run(config);
+          }
           result.seconds =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
           const std::lock_guard<std::mutex> lock(emit_mutex);
@@ -154,6 +177,32 @@ std::vector<SweepJob> expand_jobs(const std::string& module_globs,
         job.variant = variant;
         job.protection_level = level;
         job.synfi = config;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+std::vector<SweepJob> expand_campaign_jobs(const std::string& module_globs,
+                                           const std::vector<int>& levels,
+                                           const std::vector<sim::CampaignConfig>& configs,
+                                           const std::string& variant) {
+  const std::vector<ot::OtEntry> entries = ot::ot_entries(module_globs);
+  require(!entries.empty(), "sweep: no zoo module matches '" + module_globs + "'");
+  require(!levels.empty(), "sweep: at least one protection level required");
+  require(!configs.empty(), "sweep: at least one campaign config required");
+  std::vector<SweepJob> jobs;
+  jobs.reserve(entries.size() * levels.size() * configs.size());
+  for (const ot::OtEntry& entry : entries) {
+    for (const int level : levels) {
+      for (const sim::CampaignConfig& config : configs) {
+        SweepJob job;
+        job.type = JobType::kCampaign;
+        job.module = entry.name;
+        job.variant = variant;
+        job.protection_level = level;
+        job.campaign = config;
         jobs.push_back(std::move(job));
       }
     }

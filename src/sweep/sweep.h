@@ -1,19 +1,24 @@
-// Multi-module SYNFI sweep orchestration (the paper's §6.4 evaluation run
-// as one fleet experiment over the OpenTitan zoo).
+// Multi-module sweep orchestration: the paper's §6.4 SYNFI evaluation and
+// §6.3 Monte-Carlo fault campaigns as ONE fleet experiment over the
+// OpenTitan zoo.
 //
-// A sweep is a set of SweepJobs — module x protection config x fault model.
-// The orchestrator groups jobs by compiled variant so that ONE
-// synfi::Analyzer serves every region/fault-kind query of that variant
-// (amortizing the simulator/CNF build), shards the groups across an outer
-// worker pool, and splits a shared thread budget between the outer pool and
-// the per-job `SynfiConfig.threads` inner parallelism. Completed jobs are
-// streamed into a ResultStore (and, when requested, appended to a JSONL
-// file as they finish), so an interrupted sweep can be resumed by skipping
-// the keys already present.
+// A sweep is a set of SweepJobs — module x protection config x query, where
+// a query is either a SYNFI analysis or a Monte-Carlo campaign (tagged by
+// `SweepJob.type`). The orchestrator groups jobs by compiled variant so
+// that the variant is built once per group (and ONE synfi::Analyzer serves
+// every SYNFI query of that variant, amortizing the simulator/CNF build),
+// shards the groups across an outer worker pool, and splits a shared thread
+// budget between the outer pool and the per-job inner parallelism (SYNFI
+// `threads` / campaign `threads`). Completed jobs are streamed into a
+// ResultStore (and, when requested, appended to a JSONL file as they
+// finish), so an interrupted sweep can be resumed by skipping the keys
+// already present.
 //
-// Because every synfi report is lanes/threads-invariant and jobs are
-// independent, the per-key results are bit-identical for every jobs/threads
-// combination — only the completion (file) order varies.
+// Because every synfi report is lanes/threads-invariant, every campaign
+// runs on the streaming jump-ahead planner (per-run RNG streams — also
+// lanes/threads-invariant), and jobs are independent, the per-key results
+// are bit-identical for every jobs/threads combination — only the
+// completion (file) order varies.
 #pragma once
 
 #include <string>
@@ -30,7 +35,9 @@ struct SweepConfig {
   /// its SYNFI queries with max(1, threads / <outer workers>) inner
   /// threads; >= 1.
   int threads = 1;
-  /// Injection jobs per simulator pass for exhaustive-backend queries.
+  /// Simulator lanes per pass: (site, edge) injection jobs for
+  /// exhaustive-backend SYNFI queries, campaign runs per batch for
+  /// campaign jobs.
   int lanes = sim::kNumLanes;
 };
 
@@ -56,12 +63,22 @@ class SweepOrchestrator {
   SweepConfig config_;
 };
 
-/// Expands a module-glob x levels x configs matrix into the flat job list
-/// `SweepOrchestrator::run` consumes (modules in Table 1 order; one job per
-/// combination). Throws when the glob matches nothing.
+/// Expands a module-glob x levels x configs matrix into the flat SYNFI job
+/// list `SweepOrchestrator::run` consumes (modules in Table 1 order; one
+/// job per combination). Throws when the glob matches nothing.
 std::vector<SweepJob> expand_jobs(const std::string& module_globs,
                                   const std::vector<int>& levels,
                                   const std::vector<synfi::SynfiConfig>& configs,
                                   const std::string& variant = "scfi");
+
+/// Campaign analog of expand_jobs: module-glob x levels x campaign configs,
+/// tagged JobType::kCampaign. Campaign jobs accept the "unprotected" and
+/// "redundancy" variants too (the campaign engine drives all three compiled
+/// forms). The configs' lanes/threads/planner knobs are overwritten by the
+/// orchestrator at execution time and do not enter the job identity.
+std::vector<SweepJob> expand_campaign_jobs(const std::string& module_globs,
+                                           const std::vector<int>& levels,
+                                           const std::vector<sim::CampaignConfig>& configs,
+                                           const std::string& variant = "scfi");
 
 }  // namespace scfi::sweep

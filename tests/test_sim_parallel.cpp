@@ -150,27 +150,97 @@ TEST(SimParallel, CampaignInvariantUnderLanesAndThreads) {
   core::ScfiConfig sc;
   sc.protection_level = 3;
   const fsm::CompiledFsm hardened = core::scfi_harden(f, d, sc);
-  for (const fsm::CompiledFsm* variant : {&plain, &hardened}) {
-    for (const FaultKind kind : {FaultKind::kTransientFlip, FaultKind::kStuckAt1}) {
-      CampaignConfig base;
-      base.runs = 200;
-      base.cycles = 12;
-      base.num_faults = 2;
-      base.kind = kind;
-      base.seed = 99;
-      base.lanes = 1;
-      const CampaignResult scalar = run_campaign(f, *variant, base);
-      for (const int lanes : {7, 64}) {
-        CampaignConfig cfg = base;
-        cfg.lanes = lanes;
-        EXPECT_EQ(run_campaign(f, *variant, cfg), scalar) << "lanes=" << lanes;
+  for (const CampaignPlanner planner :
+       {CampaignPlanner::kStreaming, CampaignPlanner::kSequential}) {
+    for (const fsm::CompiledFsm* variant : {&plain, &hardened}) {
+      for (const FaultKind kind : {FaultKind::kTransientFlip, FaultKind::kStuckAt1}) {
+        CampaignConfig base;
+        base.runs = 200;
+        base.cycles = 12;
+        base.num_faults = 2;
+        base.kind = kind;
+        base.seed = 99;
+        base.planner = planner;
+        base.lanes = 1;
+        const CampaignResult scalar = run_campaign(f, *variant, base);
+        for (const int lanes : {7, 64}) {
+          CampaignConfig cfg = base;
+          cfg.lanes = lanes;
+          EXPECT_EQ(run_campaign(f, *variant, cfg), scalar) << "lanes=" << lanes;
+        }
+        CampaignConfig threaded = base;
+        threaded.lanes = 64;
+        threaded.threads = 4;
+        EXPECT_EQ(run_campaign(f, *variant, threaded), scalar) << "threads=4";
       }
-      CampaignConfig threaded = base;
-      threaded.lanes = 64;
-      threaded.threads = 4;
-      EXPECT_EQ(run_campaign(f, *variant, threaded), scalar) << "threads=4";
     }
   }
+}
+
+TEST(SimParallel, StreamingMatchesMaterializedOracle) {
+  // The on-the-fly streaming planner must be bit-identical to the same plan
+  // materialized up front and fed through the shared batch executor — the
+  // differential oracle for the O(lanes)-memory path — for every lanes /
+  // threads packing.
+  const fsm::Fsm f = test::synfi_fsm();
+  rtlil::Design d;
+  const fsm::CompiledFsm plain = fsm::compile_unprotected(f, d);
+  core::ScfiConfig sc;
+  sc.protection_level = 2;
+  const fsm::CompiledFsm hardened = core::scfi_harden(f, d, sc);
+  for (const fsm::CompiledFsm* variant : {&plain, &hardened}) {
+    CampaignConfig base;
+    base.runs = 500;
+    base.cycles = 10;
+    base.num_faults = 3;
+    base.seed = 2024;
+    base.planner = CampaignPlanner::kStreamingMaterialized;
+    const CampaignResult oracle = run_campaign(f, *variant, base);
+    struct LanesThreads {
+      int lanes;
+      int threads;
+    };
+    for (const LanesThreads lt : {LanesThreads{1, 1}, {7, 1}, {64, 1}, {64, 4}, {13, 3}}) {
+      CampaignConfig cfg = base;
+      cfg.planner = CampaignPlanner::kStreaming;
+      cfg.lanes = lt.lanes;
+      cfg.threads = lt.threads;
+      EXPECT_EQ(run_campaign(f, *variant, cfg), oracle)
+          << "lanes=" << lt.lanes << " threads=" << lt.threads;
+    }
+  }
+}
+
+TEST(SimParallel, StreamingAndSequentialPlannersAgreeStatistically) {
+  // The seed->plan mapping differs between the planner families, so the
+  // counts cannot match bit for bit — but both sample the same walk/fault
+  // distribution, so on a moderately sized campaign the outcome classes
+  // must agree within sampling noise (differential check that the streaming
+  // rewrite did not bias the sampler).
+  const fsm::Fsm f = test::synfi_fsm();
+  rtlil::Design d;
+  core::ScfiConfig sc;
+  sc.protection_level = 2;
+  const fsm::CompiledFsm hardened = core::scfi_harden(f, d, sc);
+  CampaignConfig cfg;
+  cfg.runs = 4000;
+  cfg.cycles = 10;
+  cfg.num_faults = 2;
+  cfg.seed = 31337;
+  cfg.planner = CampaignPlanner::kStreaming;
+  const CampaignResult streaming = run_campaign(f, hardened, cfg);
+  cfg.planner = CampaignPlanner::kSequential;
+  const CampaignResult sequential = run_campaign(f, hardened, cfg);
+  EXPECT_EQ(streaming.runs, sequential.runs);
+  // ~4-sigma band for a binomial count around p~0.5 at n=4000 is ~130;
+  // 300 keeps the test stable across seed re-rolls while still catching a
+  // class-level sampler bias.
+  const int tolerance = 300;
+  EXPECT_NEAR(streaming.masked, sequential.masked, tolerance);
+  EXPECT_NEAR(streaming.detected, sequential.detected, tolerance);
+  EXPECT_NEAR(streaming.hijacked, sequential.hijacked, tolerance);
+  EXPECT_NEAR(streaming.lagged, sequential.lagged, tolerance);
+  EXPECT_NEAR(streaming.silent_invalid, sequential.silent_invalid, tolerance);
 }
 
 TEST(SimParallel, CampaignSeedIsDeterministic) {
@@ -217,7 +287,7 @@ TEST(SimParallel, DistinctFaultSitesWhenPopulationSuffices) {
   EXPECT_GT(r.effective(), 0);
 }
 
-TEST(SimParallel, PlanBytesCapFailsLoudlyBeforePlanning) {
+TEST(SimParallel, PlanBytesCapAppliesToMaterializingPlannersOnly) {
   const fsm::Fsm f = test::paper_fsm();
   rtlil::Design d;
   const fsm::CompiledFsm plain = fsm::compile_unprotected(f, d);
@@ -230,19 +300,61 @@ TEST(SimParallel, PlanBytesCapFailsLoudlyBeforePlanning) {
   EXPECT_EQ(planned_bytes(cfg), 100 * (8 * 4 + (8 + 1) * 4) + 100 * 2 * 8);
 
   // A 10^8-run campaign would materialize ~8 GB of plan; the default cap
-  // rejects it up front (ScfiError, not OOM). The estimate itself must not
-  // overflow.
+  // rejects the materializing planners up front (ScfiError, not OOM). The
+  // estimate itself must not overflow.
   CampaignConfig huge = cfg;
   huge.runs = 100'000'000;
   EXPECT_GT(planned_bytes(huge), huge.max_plan_bytes);
+  huge.planner = CampaignPlanner::kSequential;
+  EXPECT_THROW(run_campaign(f, plain, huge), ScfiError);
+  huge.planner = CampaignPlanner::kStreamingMaterialized;
   EXPECT_THROW(run_campaign(f, plain, huge), ScfiError);
 
-  // A tight explicit cap rejects even a small campaign; cap 0 disables.
-  CampaignConfig capped = cfg;
-  capped.max_plan_bytes = 16;
-  EXPECT_THROW(run_campaign(f, plain, capped), ScfiError);
-  capped.max_plan_bytes = 0;
-  EXPECT_EQ(run_campaign(f, plain, capped), run_campaign(f, plain, cfg));
+  // A tight explicit cap rejects even a small campaign when materializing;
+  // cap 0 disables the check.
+  for (const CampaignPlanner planner :
+       {CampaignPlanner::kSequential, CampaignPlanner::kStreamingMaterialized}) {
+    CampaignConfig capped = cfg;
+    capped.planner = planner;
+    capped.max_plan_bytes = 16;
+    EXPECT_THROW(run_campaign(f, plain, capped), ScfiError);
+    capped.max_plan_bytes = 0;
+    CampaignConfig uncapped = cfg;
+    uncapped.planner = planner;
+    EXPECT_EQ(run_campaign(f, plain, capped), run_campaign(f, plain, uncapped));
+  }
+}
+
+TEST(SimParallel, OverCapCampaignRunsWithStreamingPlanner) {
+  // A campaign whose materialized plan would blow a (here deliberately
+  // tiny) max_plan_bytes cap runs to completion with the streaming planner
+  // — the cap only guards up-front materialization — and stays bit-identical
+  // across lane/thread packings while accounting every run.
+  const fsm::Fsm f = test::paper_fsm();
+  rtlil::Design d;
+  const fsm::CompiledFsm plain = fsm::compile_unprotected(f, d);
+
+  CampaignConfig cfg;
+  cfg.runs = 300'000;
+  cfg.cycles = 3;
+  cfg.num_faults = 1;
+  cfg.seed = 11;
+  cfg.max_plan_bytes = 1 << 16;  // 64 KiB: far below the ~10 MB plan
+  ASSERT_GT(planned_bytes(cfg), cfg.max_plan_bytes);
+
+  CampaignConfig materialized = cfg;
+  materialized.planner = CampaignPlanner::kStreamingMaterialized;
+  EXPECT_THROW(run_campaign(f, plain, materialized), ScfiError);
+
+  cfg.planner = CampaignPlanner::kStreaming;
+  const CampaignResult r = run_campaign(f, plain, cfg);
+  EXPECT_EQ(r.runs, cfg.runs);
+  EXPECT_EQ(r.masked + r.detected + r.hijacked + r.lagged + r.silent_invalid, cfg.runs);
+
+  CampaignConfig threaded = cfg;
+  threaded.lanes = 7;
+  threaded.threads = 4;
+  EXPECT_EQ(run_campaign(f, plain, threaded), r);
 }
 
 }  // namespace

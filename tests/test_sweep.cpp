@@ -1,8 +1,10 @@
 // The sweep subsystem contract: the JSONL result-store schema is pinned by
-// a golden line (schema v1 — bump ResultStore::kSchemaVersion when it has
-// to change), load/save/merge/diff round-trip, and SweepOrchestrator
-// results are bit-identical to sequential per-module synfi::analyze() for
-// every jobs/threads combination, with --resume skipping stored jobs.
+// golden lines (schema v2 — bump ResultStore::kSchemaVersion when it has
+// to change; v1 lines migrate on load), load/save/merge/diff round-trip,
+// SweepOrchestrator results — SYNFI and Monte-Carlo campaign jobs alike —
+// are bit-identical to direct per-module analyze()/run_campaign() for
+// every jobs/threads combination with --resume skipping stored jobs, and
+// diff_report gates on the configured thresholds.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -14,6 +16,8 @@
 #include "base/strutil.h"
 #include "ot/zoo.h"
 #include "rtlil/design.h"
+#include "sim/campaign.h"
+#include "sweep/diff_report.h"
 #include "sweep/sweep.h"
 #include "synfi/synfi.h"
 
@@ -43,6 +47,16 @@ SweepResult golden_result() {
 }
 
 constexpr const char* kGoldenLine =
+    "{\"schema\":2,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
+    "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
+    "\"seconds\":0.125000}";
+
+/// The same record as a schema-v1 line (pre-campaign: no `type` field);
+/// load() must keep accepting these and migrate them to SYNFI records.
+constexpr const char* kGoldenLineV1 =
     "{\"schema\":1,\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
     "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,\"region\":\"mds_\","
     "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
@@ -50,12 +64,92 @@ constexpr const char* kGoldenLine =
     "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
     "\"seconds\":0.125000}";
 
+/// A campaign record with every field populated, pinning the v2 campaign
+/// line byte for byte.
+SweepResult golden_campaign_result() {
+  SweepResult result;
+  result.job.type = JobType::kCampaign;
+  result.job.module = "pwrmgr_fsm";
+  result.job.variant = "scfi";
+  result.job.protection_level = 2;
+  result.job.campaign.runs = 2000;
+  result.job.campaign.cycles = 12;
+  result.job.campaign.num_faults = 1;
+  result.job.campaign.seed = 7;
+  result.campaign.runs = 2000;
+  result.campaign.masked = 1500;
+  result.campaign.detected = 480;
+  result.campaign.hijacked = 3;
+  result.campaign.lagged = 12;
+  result.campaign.silent_invalid = 5;
+  result.seconds = 0.25;
+  return result;
+}
+
+constexpr const char* kGoldenCampaignLine =
+    "{\"schema\":2,\"type\":\"campaign\","
+    "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"seconds\":0.250000}";
+
 std::string temp_path(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
 TEST(ResultStore, GoldenLinePinsSchema) {
   EXPECT_EQ(ResultStore::to_line(golden_result()), kGoldenLine);
+  EXPECT_EQ(ResultStore::to_line(golden_campaign_result()), kGoldenCampaignLine);
+}
+
+TEST(ResultStore, CampaignSeedRoundTripsExactly) {
+  // Seeds above 2^53 must survive the JSONL round trip bit-exactly — a
+  // double-typed parse would silently round the seed and change the
+  // recomputed key, breaking --resume and the diff gate.
+  SweepResult result = golden_campaign_result();
+  result.job.campaign.seed = 9007199254740993ULL;  // 2^53 + 1
+  const SweepResult parsed = ResultStore::parse_line(ResultStore::to_line(result));
+  EXPECT_EQ(parsed.job.campaign.seed, result.job.campaign.seed);
+  EXPECT_EQ(parsed.key(), result.key());
+  // Negative or out-of-range seeds are malformed lines, not values to wrap
+  // or saturate into a different (silently resumable) key.
+  const std::string prefix = "{\"schema\":2,\"type\":\"campaign\",\"module\":\"m\",\"seed\":";
+  EXPECT_THROW(ResultStore::parse_line(prefix + "-1}"), ScfiError);
+  EXPECT_THROW(ResultStore::parse_line(prefix + "18446744073709551616}"), ScfiError);
+  // Count fields are int-bounded: an out-of-range or negative count is a
+  // malformed line, not a value to wrap through a double->int cast.
+  const std::string count_prefix = "{\"schema\":2,\"type\":\"campaign\",\"module\":\"m\",\"runs\":";
+  EXPECT_THROW(ResultStore::parse_line(count_prefix + "9999999999}"), ScfiError);
+  EXPECT_THROW(ResultStore::parse_line(count_prefix + "-5}"), ScfiError);
+}
+
+TEST(ResultStore, CampaignLineRoundTrip) {
+  const SweepResult parsed = ResultStore::parse_line(kGoldenCampaignLine);
+  const SweepResult expected = golden_campaign_result();
+  EXPECT_EQ(parsed.key(), expected.key());
+  EXPECT_TRUE(parsed.job.type == JobType::kCampaign);
+  EXPECT_EQ(parsed.job.campaign.runs, expected.job.campaign.runs);
+  EXPECT_EQ(parsed.job.campaign.cycles, expected.job.campaign.cycles);
+  EXPECT_EQ(parsed.job.campaign.num_faults, expected.job.campaign.num_faults);
+  EXPECT_EQ(parsed.job.campaign.seed, expected.job.campaign.seed);
+  EXPECT_TRUE(parsed.campaign == expected.campaign);
+  EXPECT_TRUE(reports_equal(parsed, expected));
+  EXPECT_EQ(ResultStore::to_line(parsed), kGoldenCampaignLine);
+}
+
+TEST(ResultStore, SchemaV1LinesMigrateToSynfiRecords) {
+  const SweepResult migrated = ResultStore::parse_line(kGoldenLineV1);
+  const SweepResult expected = golden_result();
+  EXPECT_TRUE(migrated.job.type == JobType::kSynfi);
+  EXPECT_EQ(migrated.key(), expected.key());
+  EXPECT_TRUE(migrated.report == expected.report);
+  // Re-serializing a migrated record writes the current schema version.
+  EXPECT_EQ(ResultStore::to_line(migrated), kGoldenLine);
+  // A v1 line cannot smuggle in a campaign record (the type postdates v1).
+  EXPECT_THROW(
+      ResultStore::parse_line("{\"schema\":1,\"type\":\"campaign\",\"module\":\"m\"}"),
+      ScfiError);
 }
 
 TEST(ResultStore, ParseRoundTrip) {
@@ -152,6 +246,120 @@ TEST(ResultStore, MergeAndDiff) {
   EXPECT_TRUE(ResultStore::diff(merged, merged).empty());
 }
 
+TEST(ResultStore, CampaignDiffIgnoresTiming) {
+  SweepResult base = golden_campaign_result();
+  ResultStore left;
+  left.add(base);
+
+  // Timing-only movement is not a change.
+  SweepResult same = base;
+  same.seconds = 42.0;
+  ResultStore right_same;
+  right_same.add(same);
+  EXPECT_TRUE(ResultStore::diff(left, right_same).empty());
+
+  // A verdict movement is.
+  SweepResult moved = base;
+  moved.campaign.hijacked += 1;
+  moved.campaign.masked -= 1;
+  ResultStore right_moved;
+  right_moved.add(moved);
+  const ResultStore::Diff diff = ResultStore::diff(left, right_moved);
+  EXPECT_EQ(diff.changed, std::vector<std::string>{base.key()});
+}
+
+TEST(DiffReport, GatesOnConfiguredThresholds) {
+  const SweepResult synfi_base = golden_result();
+  const SweepResult campaign_base = golden_campaign_result();
+  ResultStore baseline;
+  baseline.add(synfi_base);
+  baseline.add(campaign_base);
+
+  // One new exploitable injection + a hijack-rate bump.
+  SweepResult synfi_cand = synfi_base;
+  synfi_cand.report.exploitable += 1;
+  SweepResult campaign_cand = campaign_base;
+  campaign_cand.campaign.hijacked += 7;  // +7/2000 = +0.35pp hijack rate
+  campaign_cand.campaign.masked -= 7;
+  ResultStore candidate;
+  candidate.add(synfi_cand);
+  candidate.add(campaign_cand);
+
+  // Default thresholds: any worsening gates.
+  const DiffReport strict = diff_report(baseline, candidate);
+  ASSERT_EQ(strict.changed.size(), 2u);
+  EXPECT_EQ(strict.regressions, 2);
+  EXPECT_TRUE(strict.gate_failed);
+  EXPECT_NE(strict.render().find("REGRESSION"), std::string::npos);
+
+  // Loose thresholds: the same drift is reported but does not gate.
+  DiffThresholds loose;
+  loose.max_exploitable_increase = 1;
+  loose.max_hijack_rate_increase = 0.004;  // 0.4pp
+  // The extra hijacks also grow the effective-fault denominator, dropping
+  // the detection rate by ~1.3pp; allow that too.
+  loose.max_detection_rate_drop = 0.02;
+  const DiffReport lenient = diff_report(baseline, candidate, loose);
+  EXPECT_EQ(lenient.changed.size(), 2u);
+  EXPECT_EQ(lenient.regressions, 0);
+  EXPECT_FALSE(lenient.gate_failed);
+
+  // A detection-rate drop gates independently of the hijack rate.
+  SweepResult det_drop = campaign_base;
+  det_drop.campaign.detected -= 80;
+  det_drop.campaign.masked += 80;
+  ResultStore det_candidate;
+  det_candidate.add(synfi_base);
+  det_candidate.add(det_drop);
+  const DiffReport det_report = diff_report(baseline, det_candidate);
+  EXPECT_EQ(det_report.regressions, 1);
+
+  // Improvements never gate.
+  SweepResult better = synfi_base;
+  better.report.exploitable -= 1;
+  better.report.detected += 1;
+  ResultStore improved;
+  improved.add(better);
+  improved.add(campaign_base);
+  const DiffReport improvement = diff_report(baseline, improved);
+  EXPECT_EQ(improvement.changed.size(), 1u);
+  EXPECT_FALSE(improvement.gate_failed);
+
+  // Removed keys gate only when asked; added keys never do.
+  ResultStore subset;
+  subset.add(campaign_base);
+  EXPECT_FALSE(diff_report(baseline, subset).gate_failed);
+  DiffThresholds coverage;
+  coverage.fail_on_removed = true;
+  const DiffReport removed = diff_report(baseline, subset, coverage);
+  EXPECT_TRUE(removed.gate_failed);
+  EXPECT_EQ(removed.removed, std::vector<std::string>{synfi_base.key()});
+  // A gating removal must surface on the REGRESSION lines CI greps for,
+  // not only in the exit code.
+  EXPECT_NE(removed.render().find("REGRESSION"), std::string::npos);
+  EXPECT_EQ(diff_report(baseline, subset).render().find("REGRESSION"), std::string::npos);
+  EXPECT_FALSE(diff_report(subset, baseline, coverage).gate_failed);  // additions OK
+}
+
+TEST(SweepJobs, ExpandCampaignMatrix) {
+  sim::CampaignConfig flip;
+  flip.runs = 500;
+  flip.cycles = 10;
+  sim::CampaignConfig stuck = flip;
+  stuck.kind = sim::FaultKind::kStuckAt1;
+  const std::vector<SweepJob> jobs =
+      expand_campaign_jobs("pwrmgr_fsm,i2c*", {2, 3}, {flip, stuck});
+  ASSERT_EQ(jobs.size(), 8u);  // 2 modules x 2 levels x 2 configs
+  EXPECT_EQ(jobs[0].key(), "i2c_fsm|scfi|n2|mc|flip|t=any|runs=500|c=10|f=1|s=1");
+  EXPECT_EQ(jobs[7].key(), "pwrmgr_fsm|scfi|n3|mc|stuck1|t=any|runs=500|c=10|f=1|s=1");
+  for (const SweepJob& job : jobs) EXPECT_TRUE(job.type == JobType::kCampaign);
+  const std::vector<SweepJob> raw =
+      expand_campaign_jobs("pwrmgr_fsm", {2}, {flip}, "unprotected");
+  EXPECT_EQ(raw[0].key(), "pwrmgr_fsm|unprotected|n2|mc|flip|t=any|runs=500|c=10|f=1|s=1");
+  EXPECT_THROW(expand_campaign_jobs("no_such_module*", {2}, {flip}), ScfiError);
+  EXPECT_THROW(expand_campaign_jobs("pwrmgr_fsm", {2}, {}), ScfiError);
+}
+
 TEST(SweepJobs, ExpandMatrixAndGlobs) {
   synfi::SynfiConfig mds;
   synfi::SynfiConfig whole;
@@ -209,6 +417,86 @@ TEST(SweepOrchestrator, MatchesSequentialAnalyzeForAllJobsThreads) {
   }
 }
 
+TEST(SweepOrchestrator, MixedSynfiAndCampaignMatrix) {
+  // SYNFI and Monte-Carlo campaign jobs share one fleet run; per-key
+  // results must be bit-identical to direct analyze()/run_campaign() calls
+  // for every jobs/threads combination, including campaign jobs on the
+  // unprotected variant (which SYNFI cannot analyze).
+  synfi::SynfiConfig flip;
+  sim::CampaignConfig camp;
+  camp.runs = 400;
+  camp.cycles = 8;
+  camp.num_faults = 1;
+  camp.seed = 5;
+  std::vector<SweepJob> jobs = expand_jobs("pwrmgr_fsm", {2}, {flip});
+  const std::vector<SweepJob> campaign_jobs =
+      expand_campaign_jobs("pwrmgr_fsm,adc_ctrl_fsm", {2}, {camp});
+  jobs.insert(jobs.end(), campaign_jobs.begin(), campaign_jobs.end());
+  const std::vector<SweepJob> raw_jobs =
+      expand_campaign_jobs("pwrmgr_fsm", {2}, {camp}, "unprotected");
+  jobs.insert(jobs.end(), raw_jobs.begin(), raw_jobs.end());
+  ASSERT_EQ(jobs.size(), 4u);
+
+  // Direct reference, one fresh variant per job. Campaign jobs run the
+  // streaming planner at the orchestrator's lane count; threads never
+  // change results.
+  ResultStore reference;
+  for (const SweepJob& job : jobs) {
+    const ot::OtEntry entry = ot::ot_entry(job.module);
+    rtlil::Design d;
+    const ot::Variant variant =
+        job.variant == "unprotected" ? ot::Variant::kUnprotected : ot::Variant::kScfi;
+    const fsm::CompiledFsm c =
+        ot::build_ot_variant(entry, d, variant, job.protection_level, job.module + "_ref");
+    SweepResult result;
+    result.job = job;
+    if (job.type == JobType::kCampaign) {
+      sim::CampaignConfig config = job.campaign;
+      config.planner = sim::CampaignPlanner::kStreaming;
+      config.lanes = sim::kNumLanes;
+      result.campaign = sim::run_campaign(entry.fsm, c, config);
+    } else {
+      result.report = synfi::analyze(entry.fsm, c, job.synfi);
+    }
+    reference.add(result);
+  }
+
+  struct JobsThreads {
+    int jobs;
+    int threads;
+  };
+  for (const JobsThreads jt : {JobsThreads{1, 1}, {2, 2}, {3, 8}}) {
+    SweepConfig config;
+    config.jobs = jt.jobs;
+    config.threads = jt.threads;
+    ResultStore store;
+    SweepOrchestrator orchestrator(config);
+    const SweepStats stats = orchestrator.run(jobs, store);
+    EXPECT_EQ(stats.executed, 4);
+    ASSERT_EQ(store.size(), 4u);
+    for (const SweepJob& job : jobs) {
+      const SweepResult* got = store.find(job.key());
+      ASSERT_NE(got, nullptr) << job.key();
+      EXPECT_TRUE(reports_equal(*got, *reference.find(job.key())))
+          << job.key() << " jobs=" << jt.jobs << " threads=" << jt.threads;
+    }
+  }
+
+  // The mixed store round-trips through JSONL and resumes with every job
+  // type skipped.
+  const std::string path = temp_path("sweep_mixed.jsonl");
+  std::remove(path.c_str());
+  ResultStore store;
+  SweepOrchestrator orchestrator{SweepConfig{}};
+  const SweepStats first = orchestrator.run(jobs, store, path, /*resume=*/false);
+  EXPECT_EQ(first.executed, 4);
+  ResultStore resumed = ResultStore::load(path);
+  EXPECT_EQ(resumed.size(), 4u);
+  const SweepStats second = orchestrator.run(jobs, resumed, path, /*resume=*/true);
+  EXPECT_EQ(second.executed, 0);
+  EXPECT_EQ(second.skipped, 4);
+}
+
 TEST(SweepOrchestrator, ResumeSkipsStoredJobs) {
   const std::string path = temp_path("sweep_resume.jsonl");
   std::remove(path.c_str());
@@ -262,6 +550,13 @@ TEST(SweepOrchestrator, RejectsBadJobsAndConfig) {
   SweepJob missing;
   missing.module = "no_such_module";
   EXPECT_THROW(orchestrator.run({missing}, store), ScfiError);
+  // Campaign jobs accept all three compiled forms but still reject unknown
+  // variant names up front.
+  SweepJob campaign;
+  campaign.type = JobType::kCampaign;
+  campaign.module = "pwrmgr_fsm";
+  campaign.variant = "no_such_variant";
+  EXPECT_THROW(orchestrator.run({campaign}, store), ScfiError);
   EXPECT_EQ(store.size(), 0u);
 }
 
