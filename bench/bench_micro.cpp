@@ -128,10 +128,9 @@ BENCHMARK(BM_Campaign)->Arg(1)->Arg(64);
 
 void BM_CampaignPlanner(benchmark::State& state) {
   // Planner comparison at 64 lanes: Arg 0 = streaming (per-batch jump-ahead
-  // RNG), 1 = the same plan materialized up front, 2 = the legacy
-  // sequential planner. Streaming trades a per-batch planning pass for the
-  // up-front allocation; the throughput delta is the price of O(lanes)
-  // memory.
+  // RNG), 1 = the same plan materialized up front. Streaming trades a
+  // per-batch planning pass for the up-front allocation; the throughput
+  // delta is the price of O(lanes) memory.
   scfi::rtlil::Design d;
   const scfi::fsm::Fsm f = bench_fsm();
   scfi::core::ScfiConfig sc;
@@ -148,7 +147,7 @@ void BM_CampaignPlanner(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * config.runs);
 }
-BENCHMARK(BM_CampaignPlanner)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_CampaignPlanner)->Arg(0)->Arg(1);
 
 void BM_CampaignUnprotected(benchmark::State& state) {
   scfi::rtlil::Design d;

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point: tier-1 verify (configure, build, ctest)
 # plus a smoke run of the micro-benchmarks, the SYNFI engines, the sweep
-# fleet (SYNFI + Monte-Carlo campaign jobs), and a sweep-diff regression
-# gate against the committed baseline store. Mirrors the verify command in
-# ROADMAP.md; run from the repository root.
+# fleet (SYNFI + Monte-Carlo campaign jobs, over the zoo and the committed
+# KISS2 corpus), and Wilson-bounded sweep-diff regression gates against the
+# committed baseline stores. Mirrors the verify command in ROADMAP.md; run
+# from the repository root.
 #
 # CI_SANITIZE=1 additionally builds an ASan+UBSan tree (build-asan/) and
 # runs the fast ctest subset under it.
@@ -24,7 +25,7 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch'
+    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval'
 fi
 
 # Benchmark smoke test: make sure the perf harness still runs end to end.
@@ -65,7 +66,19 @@ grep -q 'executed 0 job(s), skipped 8' <<<"$RESUME_LOG" \
   || { echo "sweep smoke: --resume re-executed jobs"; exit 1; }
 
 # Regression gate: diff the fresh sweep against the committed baseline.
-# Exits non-zero when a verdict regresses (new exploitable injection,
-# hijack-rate increase, detection-rate drop, or a key that vanished);
-# sub-threshold metric drift is printed but does not gate.
+# Exits non-zero when a verdict regresses (new exploitable injection, a
+# campaign rate whose Wilson interval separates from the baseline's, or a
+# key that vanished); sub-threshold metric drift is printed but does not
+# gate.
 build/scfi_cli sweep-diff bench/baselines/sweep_smoke.jsonl "$SWEEP_OUT" --fail-on-removed
+
+# KISS2-corpus sweep smoke: the same fleet run drawing modules from the
+# committed bench/corpus/ directory instead of the zoo (SYNFI + campaign
+# jobs per .kiss2 file), gated against its own committed baseline. A
+# self-diff must also be clean (exit 0).
+CORPUS_OUT="$(dirname "$SWEEP_OUT")/corpus_smoke.jsonl"
+build/scfi_cli sweep --corpus bench/corpus --levels 2 --kinds flip \
+  --campaign-runs 2000 --campaign-cycles 12 --jobs 2 --threads 2 --out "$CORPUS_OUT"
+[[ "$(wc -l < "$CORPUS_OUT")" -eq 6 ]] || { echo "corpus smoke: expected 6 JSONL records"; exit 1; }
+build/scfi_cli sweep-diff "$CORPUS_OUT" "$CORPUS_OUT"
+build/scfi_cli sweep-diff bench/baselines/corpus_smoke.jsonl "$CORPUS_OUT" --fail-on-removed

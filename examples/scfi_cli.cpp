@@ -7,8 +7,9 @@
 //   scfi_cli synfi   <file.kiss2> [-n LEVEL] [--backend sim|sat] [--lanes K]
 //                    [--threads K] [--no-incremental]
 //   scfi_cli attack  <file.kiss2> [-n LEVEL] [--faults K] [--lanes K] [--threads K]
-//   scfi_cli sweep   [--modules GLOBS] [--levels 2,3] [--regions mds_,all]
-//                    [--kinds flip,stuck0,stuck1] [--backend sim|sat]
+//   scfi_cli sweep   [--corpus DIR] [--modules GLOBS] [--levels 2,3]
+//                    [--regions mds_,all] [--kinds flip,stuck0,stuck1]
+//                    [--backend sim|sat]
 //                    [--campaign-runs N] [--campaign-cycles N]
 //                    [--campaign-faults N] [--campaign-seed N]
 //                    [--campaign-variants scfi,unprotected,redundancy]
@@ -17,21 +18,27 @@
 //   scfi_cli sweep-diff <baseline.jsonl> <candidate.jsonl>
 //                    [--max-exploitable-increase N]
 //                    [--max-hijack-rate-increase F] [--max-detection-rate-drop F]
-//                    [--fail-on-removed]
+//                    [--wilson-z Z] [--wilson-min-trials N] [--fail-on-removed]
 //   scfi_cli dot     <file.kiss2>
 // Without a file argument a built-in demo FSM is used. `sweep` runs the
-// SYNFI job matrix over every OpenTitan-zoo module matching the globs —
-// plus, with --campaign-runs > 0, a Monte-Carlo campaign job per module x
-// level x kind x campaign-variant — and streams JSONL results into --out;
-// --resume skips jobs already present there. `sweep-diff` compares two
-// stores and exits non-zero when a metric regresses beyond its threshold
-// (rates are fractions: 0.005 = half a percentage point).
+// SYNFI job matrix over every module matching the globs — drawn from the
+// OpenTitan zoo, or, with --corpus DIR, from the .kiss2 files discovered
+// recursively under DIR (files that fail to parse are reported per module
+// and skipped, not fatal) — plus, with --campaign-runs > 0, a Monte-Carlo
+// campaign job per module x level x kind x campaign-variant — and streams
+// JSONL results into --out; --resume skips jobs already present there.
+// `sweep-diff` compares two stores and exits non-zero when a metric
+// regresses beyond its threshold (rates are fractions: 0.005 = half a
+// percentage point); campaign rates gate on Wilson-interval separation at
+// --wilson-z (default 1.96, 0 = absolute deltas only), falling back to
+// absolute deltas below --wilson-min-trials trials.
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +55,7 @@
 #include "rtlil/design.h"
 #include "sim/campaign.h"
 #include "sweep/diff_report.h"
+#include "sweep/module_source.h"
 #include "sweep/sweep.h"
 #include "synfi/synfi.h"
 
@@ -82,7 +90,8 @@ int usage() {
                "  harden:  -o out.v --json out.json\n"
                "  synfi:   --backend sim|sat --lanes K --threads K --no-incremental\n"
                "  attack:  --faults K --lanes K --threads K\n"
-               "  sweep:   --modules GLOBS --levels 2,3 --regions mds_,all\n"
+               "  sweep:   --corpus DIR (sweep .kiss2 files instead of the zoo)\n"
+               "           --modules GLOBS --levels 2,3 --regions mds_,all\n"
                "           --kinds flip,stuck0,stuck1 --backend sim|sat\n"
                "           --campaign-runs N --campaign-cycles N --campaign-faults N\n"
                "           --campaign-seed N --campaign-variants scfi,unprotected\n"
@@ -90,7 +99,8 @@ int usage() {
                "           --out results.jsonl --resume --jobs K --threads K --lanes K\n"
                "  sweep-diff: <baseline.jsonl> <candidate.jsonl>\n"
                "           --max-exploitable-increase N --max-hijack-rate-increase F\n"
-               "           --max-detection-rate-drop F --fail-on-removed\n");
+               "           --max-detection-rate-drop F --wilson-z Z\n"
+               "           --wilson-min-trials N --fail-on-removed\n");
   return 2;
 }
 
@@ -121,6 +131,15 @@ double parse_fraction(const std::string& flag, const char* text) {
   return value;
 }
 
+double parse_zscore(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  scfi::require(end != text && *end == '\0' && value >= 0.0 && value <= 100.0,
+                "scfi_cli: " + flag + " must be a z-score in [0, 100], got '" +
+                    std::string(text) + "'");
+  return value;
+}
+
 std::vector<int> parse_levels(const std::string& text) {
   std::vector<int> levels;
   for (const std::string& field : scfi::split(text, ",")) {
@@ -143,6 +162,7 @@ int main(int argc, char** argv) {
   std::string kinds = "flip";
   std::string backend_name = "sim";
   std::string sweep_out;
+  std::string corpus_dir;
   std::string campaign_variants = "scfi";
   std::string campaign_target = "any";
   bool resume = false;
@@ -194,6 +214,8 @@ int main(int argc, char** argv) {
         kinds = argv[++i];
       } else if (arg == "--out" && has_value) {
         sweep_out = argv[++i];
+      } else if (arg == "--corpus" && has_value) {
+        corpus_dir = argv[++i];
       } else if (arg == "--resume") {
         resume = true;
       } else if (arg == "--campaign-runs" && has_value) {
@@ -222,6 +244,10 @@ int main(int argc, char** argv) {
       } else if (arg == "--max-detection-rate-drop" && has_value) {
         thresholds.max_detection_rate_drop =
             parse_fraction("--max-detection-rate-drop", argv[++i]);
+      } else if (arg == "--wilson-z" && has_value) {
+        thresholds.wilson_z = parse_zscore("--wilson-z", argv[++i]);
+      } else if (arg == "--wilson-min-trials" && has_value) {
+        thresholds.wilson_min_trials = parse_count("--wilson-min-trials", argv[++i]);
       } else if (arg == "--fail-on-removed") {
         thresholds.fail_on_removed = true;
       } else if (!arg.empty() && arg[0] != '-') {
@@ -254,7 +280,24 @@ int main(int argc, char** argv) {
       // reject the single-FSM flags instead of silently ignoring them.
       scfi::require(!level_set, "scfi_cli: sweep takes --levels 2,3 (not -n)");
       scfi::require(file.empty(),
-                    "scfi_cli: sweep runs over zoo modules (--modules), not a kiss2 file");
+                    "scfi_cli: sweep runs over zoo/corpus modules (--modules/--corpus), "
+                    "not a kiss2 file");
+      // Module population: the built-in zoo, or a .kiss2 corpus directory.
+      // Corpus files that fail to parse are loud per-module error records,
+      // not sweep aborts.
+      std::unique_ptr<scfi::sweep::ModuleSource> source;
+      if (corpus_dir.empty()) {
+        source = std::make_unique<scfi::sweep::ZooSource>();
+      } else {
+        auto corpus = std::make_unique<scfi::sweep::Kiss2CorpusSource>(corpus_dir);
+        for (const scfi::sweep::CorpusError& error : corpus->errors()) {
+          std::fprintf(stderr, "corpus error: %s: %s\n", error.path.c_str(),
+                       error.message.c_str());
+        }
+        std::printf("corpus %s: %zu module(s), %zu parse error(s)\n",
+                    corpus->label().c_str(), corpus->size(), corpus->errors().size());
+        source = std::move(corpus);
+      }
       // Job matrix: modules x levels x (regions x kinds), all on one backend.
       std::vector<scfi::synfi::SynfiConfig> configs;
       for (const std::string& region : scfi::split(regions, ",")) {
@@ -268,7 +311,7 @@ int main(int argc, char** argv) {
         }
       }
       std::vector<scfi::sweep::SweepJob> sweep_jobs =
-          scfi::sweep::expand_jobs(modules, parse_levels(levels), configs);
+          scfi::sweep::expand_jobs(*source, modules, parse_levels(levels), configs);
       if (campaign_runs > 0) {
         // Monte-Carlo campaign jobs ride along: one per module x level x
         // kind x campaign-variant, executed on the streaming planner.
@@ -285,7 +328,7 @@ int main(int argc, char** argv) {
         }
         for (const std::string& variant : scfi::split(campaign_variants, ",")) {
           const std::vector<scfi::sweep::SweepJob> campaign_jobs =
-              scfi::sweep::expand_campaign_jobs(modules, parse_levels(levels),
+              scfi::sweep::expand_campaign_jobs(*source, modules, parse_levels(levels),
                                                 campaign_configs, variant);
           sweep_jobs.insert(sweep_jobs.end(), campaign_jobs.begin(), campaign_jobs.end());
         }
@@ -305,7 +348,7 @@ int main(int argc, char** argv) {
                   resume ? " resume" : "", out_note.c_str());
       scfi::sweep::SweepOrchestrator orchestrator(sweep_config);
       const scfi::sweep::SweepStats stats =
-          orchestrator.run(sweep_jobs, store, sweep_out, resume);
+          orchestrator.run(sweep_jobs, store, sweep_out, resume, source.get());
       for (const scfi::sweep::SweepResult& r : store.results()) {
         if (r.job.type == scfi::sweep::JobType::kCampaign) {
           std::printf("  %-48s hijack=%.4f%% detection=%.2f%% effective=%d/%d [%.3fs]\n",

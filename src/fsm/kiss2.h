@@ -8,9 +8,13 @@
 
 namespace scfi::fsm {
 
-/// Parses KISS2 text. Supported directives: .i .o .s .p .r .e; transitions
-/// are `<input-pattern> <from> <to> <output-pattern>`. Input names are
-/// generated as x0..x{n-1}, outputs as y0..y{m-1}.
+/// Parses KISS2 text. Supported directives: .i .o .s .p .r and .e/.end
+/// (which terminates parsing — trailing text is ignored); transitions are
+/// `<input-pattern> <from> <to> <output-pattern>`. Input names are
+/// generated as x0..x{n-1}, outputs as y0..y{m-1}. CRLF input is accepted.
+/// Every malformed input — bad/overflowing `.i`/`.o` counts, contradictory
+/// redeclarations, width mismatches, an unused `.r` state — raises
+/// ScfiError naming the offending line (never a bare std:: exception).
 Fsm parse_kiss2(const std::string& text, const std::string& name = "kiss2");
 
 /// Serializes an FSM to KISS2 text.

@@ -67,7 +67,8 @@ fsm::CompiledFsm build_ot_variant(const OtEntry& entry, rtlil::Design& design, V
       break;
     }
   }
-  entry.datapath(*compiled.module);
+  // Corpus-sourced entries (bare KISS2 machines) carry no datapath builder.
+  if (entry.datapath) entry.datapath(*compiled.module);
   rtlil::validate_module(*compiled.module);
   return compiled;
 }

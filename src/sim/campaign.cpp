@@ -65,14 +65,14 @@ std::vector<std::vector<std::int32_t>> index_edges_from(const Fsm& fsm,
 /// Draws one run — `cycles` walk edges, `cycles`+1 golden states, and
 /// `num_faults` scheduled faults — from `rng`, appending to the out vectors.
 /// `pool` must be a permutation of [0, num_sites); distinct fault sites come
-/// from a partial Fisher-Yates over it. When `undo` is non-null the swaps
-/// are recorded so the caller can restore the pool afterwards (streaming
-/// planning needs every run to start from the identical permutation; the
-/// sequential planner deliberately lets the pool drift across runs).
+/// from a partial Fisher-Yates over it. The swaps are recorded in `undo` so
+/// the caller can restore the pool afterwards: every run must start from the
+/// identical permutation for the plan to be a pure function of
+/// (seed, run_index).
 void plan_one_run(const std::vector<std::vector<std::int32_t>>& edges_from,
                   const std::vector<CfgEdge>& cfg, int reset_state, std::size_t num_sites,
                   const CampaignConfig& config, Rng& rng, std::vector<std::int32_t>& pool,
-                  std::vector<std::pair<std::int32_t, std::int32_t>>* undo,
+                  std::vector<std::pair<std::int32_t, std::int32_t>>& undo,
                   std::vector<std::int32_t>& edges_out, std::vector<std::int32_t>& golden_out,
                   std::vector<PlannedFault>& faults_out) {
   int g = reset_state;
@@ -93,9 +93,7 @@ void plan_one_run(const std::vector<std::vector<std::int32_t>>& edges_from,
       const std::int64_t j =
           f + static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n - f)));
       std::swap(pool[static_cast<std::size_t>(f)], pool[static_cast<std::size_t>(j)]);
-      if (undo != nullptr) {
-        undo->emplace_back(static_cast<std::int32_t>(f), static_cast<std::int32_t>(j));
-      }
+      undo.emplace_back(static_cast<std::int32_t>(f), static_cast<std::int32_t>(j));
       site = pool[static_cast<std::size_t>(f)];
     } else {
       site = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
@@ -155,26 +153,15 @@ CampaignPlan plan_campaign_materialized(const Fsm& fsm, const std::vector<CfgEdg
   std::vector<std::int32_t> pool(num_sites);
   std::iota(pool.begin(), pool.end(), 0);
 
-  if (config.planner == CampaignPlanner::kSequential) {
-    // Legacy: one sequential RNG draws the runs in order; the site pool
-    // stays a (drifting) permutation across runs, which keeps every draw
-    // uniform without re-initializing per run.
-    Rng rng(config.seed);
-    for (int run = 0; run < config.runs; ++run) {
-      plan_one_run(edges_from, cfg, fsm.reset_state, num_sites, config, rng, pool,
-                   /*undo=*/nullptr, plan.edges, plan.golden, plan.faults);
-    }
-  } else {
-    // The streaming plan, materialized: run k is drawn from its own
-    // jump-ahead stream against the pristine pool permutation, exactly as
-    // the on-the-fly planner does inside the workers.
-    std::vector<std::pair<std::int32_t, std::int32_t>> undo;
-    for (int run = 0; run < config.runs; ++run) {
-      Rng rng(config.seed, static_cast<std::uint64_t>(run));
-      plan_one_run(edges_from, cfg, fsm.reset_state, num_sites, config, rng, pool, &undo,
-                   plan.edges, plan.golden, plan.faults);
-      undo_pool_swaps(pool, undo);
-    }
+  // The streaming plan, materialized: run k is drawn from its own
+  // jump-ahead stream against the pristine pool permutation, exactly as
+  // the on-the-fly planner does inside the workers.
+  std::vector<std::pair<std::int32_t, std::int32_t>> undo;
+  for (int run = 0; run < config.runs; ++run) {
+    Rng rng(config.seed, static_cast<std::uint64_t>(run));
+    plan_one_run(edges_from, cfg, fsm.reset_state, num_sites, config, rng, pool, undo,
+                 plan.edges, plan.golden, plan.faults);
+    undo_pool_swaps(pool, undo);
   }
   return plan;
 }
@@ -222,7 +209,7 @@ class StreamingPlanView {
     faults_.clear();
     for (int lane = 0; lane < batch_runs; ++lane) {
       Rng rng(config_->seed, static_cast<std::uint64_t>(base_run + lane));
-      plan_one_run(*edges_from_, *cfg_, reset_state_, num_sites_, *config_, rng, pool_, &undo_,
+      plan_one_run(*edges_from_, *cfg_, reset_state_, num_sites_, *config_, rng, pool_, undo_,
                    edges_, golden_, faults_);
       undo_pool_swaps(pool_, undo_);
     }

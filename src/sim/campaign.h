@@ -34,9 +34,11 @@
 
 namespace scfi::sim {
 
-/// How run plans (walks + fault schedules) are produced. The seed→plan
-/// mapping differs between the streaming and sequential families, so
-/// switching planners re-rolls every run even at the same seed.
+/// How run plans (walks + fault schedules) are produced. Both planners draw
+/// run k's plan from the jump-ahead stream Rng(seed, k); they differ only in
+/// when the plan exists in memory. (The legacy kSequential one-RNG planner —
+/// a differential oracle against pre-streaming expectations — served its one
+/// release and was removed; its seed→plan mapping differed from this family.)
 enum class CampaignPlanner {
   /// Default: each run's plan is drawn from Rng(seed, run_index) inside the
   /// executing worker, one batch at a time — O(lanes) planning memory,
@@ -47,10 +49,6 @@ enum class CampaignPlanner {
   /// construction — kept as the differential-test oracle for the on-the-fly
   /// path. Subject to max_plan_bytes.
   kStreamingMaterialized,
-  /// Legacy planner: one sequential RNG draws all runs in order up front.
-  /// Deprecated — retained for one release as a differential oracle against
-  /// pinned pre-streaming expectations. Subject to max_plan_bytes.
-  kSequential,
 };
 
 /// Campaign parameters. Raw-input (unencoded) variants support at most 64
@@ -74,8 +72,8 @@ struct CampaignConfig {
   std::int64_t max_plan_bytes = 1LL << 31;  ///< 2 GiB
 };
 
-/// Estimated bytes a materializing planner (kStreamingMaterialized or
-/// kSequential) allocates for `config`: ~8 bytes per run-cycle (a 4-byte
+/// Estimated bytes the materializing planner (kStreamingMaterialized)
+/// allocates for `config`: ~8 bytes per run-cycle (a 4-byte
 /// walk edge plus a 4-byte golden state entry) plus 8 bytes per scheduled
 /// fault. The streaming planner's footprint is O(lanes x cycles) per worker
 /// instead.

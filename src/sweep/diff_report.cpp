@@ -1,10 +1,29 @@
 #include "sweep/diff_report.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "base/error.h"
 #include "base/strutil.h"
 
 namespace scfi::sweep {
+
+WilsonInterval wilson_interval(std::int64_t successes, std::int64_t trials, double z) {
+  require(trials >= 0 && successes >= 0 && successes <= trials,
+          "wilson_interval: successes must be in [0, trials]");
+  require(z >= 0.0, "wilson_interval: z must be non-negative");
+  if (trials == 0) return WilsonInterval{0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return WilsonInterval{std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
 namespace {
 
 DiffEntry compare_synfi(const SweepResult& base, const SweepResult& cand,
@@ -33,13 +52,49 @@ DiffEntry compare_campaign(const SweepResult& base, const SweepResult& cand,
   entry.d_hijacked = cand.campaign.hijacked - base.campaign.hijacked;
   entry.d_hijack_rate = cand.campaign.hijack_rate() - base.campaign.hijack_rate();
   entry.d_detection_rate = cand.campaign.detection_rate() - base.campaign.detection_rate();
-  entry.regression = entry.d_hijack_rate > thresholds.max_hijack_rate_increase ||
-                     -entry.d_detection_rate > thresholds.max_detection_rate_drop;
-  entry.note =
-      format("hijack %.4f%% -> %.4f%% (%+lld run(s)), detection %.2f%% -> %.2f%%",
-             100.0 * base.campaign.hijack_rate(), 100.0 * cand.campaign.hijack_rate(),
-             static_cast<long long>(entry.d_hijacked), 100.0 * base.campaign.detection_rate(),
-             100.0 * cand.campaign.detection_rate());
+
+  const sim::CampaignResult& b = base.campaign;
+  const sim::CampaignResult& c = cand.campaign;
+  entry.base_hijack = wilson_interval(b.hijacked, b.runs, thresholds.wilson_z);
+  entry.cand_hijack = wilson_interval(c.hijacked, c.runs, thresholds.wilson_z);
+  entry.base_detection = wilson_interval(b.detected, b.effective(), thresholds.wilson_z);
+  entry.cand_detection = wilson_interval(c.detected, c.effective(), thresholds.wilson_z);
+
+  // A rate regresses when the candidate interval clears the baseline
+  // interval by more than the absolute allowance — sampling noise inside
+  // the bands never gates. Low-trial keys (either side) fall back to the
+  // raw absolute deltas: their intervals are too wide to say anything.
+  const auto wilson_usable = [&](std::int64_t base_trials, std::int64_t cand_trials) {
+    return thresholds.wilson_z > 0.0 && base_trials >= thresholds.wilson_min_trials &&
+           cand_trials >= thresholds.wilson_min_trials;
+  };
+  bool hijack_regressed = false;
+  entry.hijack_wilson = wilson_usable(b.runs, c.runs);
+  if (entry.hijack_wilson) {
+    hijack_regressed =
+        entry.cand_hijack.lower - entry.base_hijack.upper > thresholds.max_hijack_rate_increase;
+  } else {
+    hijack_regressed = entry.d_hijack_rate > thresholds.max_hijack_rate_increase;
+  }
+  bool detection_regressed = false;
+  entry.detection_wilson = wilson_usable(b.effective(), c.effective());
+  if (entry.detection_wilson) {
+    detection_regressed = entry.base_detection.lower - entry.cand_detection.upper >
+                          thresholds.max_detection_rate_drop;
+  } else {
+    detection_regressed = -entry.d_detection_rate > thresholds.max_detection_rate_drop;
+  }
+  entry.regression = hijack_regressed || detection_regressed;
+  entry.note = format(
+      "hijack %.4f%% [%.4f, %.4f] -> %.4f%% [%.4f, %.4f] (%+lld run(s))%s, "
+      "detection %.2f%% [%.2f, %.2f] -> %.2f%% [%.2f, %.2f]%s",
+      100.0 * b.hijack_rate(), 100.0 * entry.base_hijack.lower, 100.0 * entry.base_hijack.upper,
+      100.0 * c.hijack_rate(), 100.0 * entry.cand_hijack.lower, 100.0 * entry.cand_hijack.upper,
+      static_cast<long long>(entry.d_hijacked), entry.hijack_wilson ? "" : " (absolute gate)",
+      100.0 * b.detection_rate(), 100.0 * entry.base_detection.lower,
+      100.0 * entry.base_detection.upper, 100.0 * c.detection_rate(),
+      100.0 * entry.cand_detection.lower, 100.0 * entry.cand_detection.upper,
+      entry.detection_wilson ? "" : " (absolute gate)");
   return entry;
 }
 

@@ -7,6 +7,15 @@
 // configurable thresholds, and any delta beyond its threshold marks the
 // entry — and the report — as a regression. Improvements and sub-threshold
 // drift are reported but never gate.
+//
+// Campaign rates are estimates of a binomial parameter, so by default they
+// gate *statistically*: each side's rate gets a Wilson-score confidence
+// interval and a regression requires the candidate interval to clear the
+// baseline interval (separation beyond the absolute allowance) — Monte-Carlo
+// sampling noise inside the bands never fails CI. Keys with too few trials
+// for the intervals to mean anything fall back to the plain absolute-delta
+// thresholds (and zero-trial keys have the vacuous [0, 1] interval and a
+// zero absolute delta, so they can never gate).
 #pragma once
 
 #include <cstdint>
@@ -17,22 +26,42 @@
 
 namespace scfi::sweep {
 
-/// Gate thresholds. The defaults gate on ANY security-relevant worsening:
-/// a single new exploitable injection, any hijack-rate increase, any
-/// detection-rate drop.
+/// Gate thresholds. The defaults gate on ANY security-relevant worsening
+/// beyond sampling noise: a single new exploitable injection (exact counts,
+/// no noise), or a campaign rate whose 95% Wilson interval separates from
+/// the baseline's.
 struct DiffThresholds {
   /// SYNFI jobs: allowed growth of the exploitable-injection count.
   std::int64_t max_exploitable_increase = 0;
   /// Campaign jobs: allowed absolute hijack-rate increase (fraction of
-  /// runs, e.g. 0.005 = half a percentage point).
+  /// runs, e.g. 0.005 = half a percentage point). Under Wilson gating this
+  /// is the allowed *interval separation*, not the allowed point delta.
   double max_hijack_rate_increase = 0.0;
   /// Campaign jobs: allowed absolute detection-rate drop (fraction of
-  /// effective faults).
+  /// effective faults). Same interval-separation role under Wilson gating.
   double max_detection_rate_drop = 0.0;
   /// Treat keys present in the baseline but missing from the candidate as
   /// regressions (coverage loss). New keys never gate.
   bool fail_on_removed = false;
+  /// z-score of the Wilson confidence band on campaign rates (1.96 ~ 95%).
+  /// 0 disables interval gating entirely — every campaign key gates on the
+  /// raw absolute deltas, the pre-Wilson behavior.
+  double wilson_z = 1.96;
+  /// Keys whose trial count (runs for the hijack rate, effective faults for
+  /// the detection rate) is below this on either side gate on the absolute
+  /// thresholds instead — with a handful of trials the interval spans most
+  /// of [0, 1] and would wave every regression through.
+  std::int64_t wilson_min_trials = 30;
 };
+
+/// Two-sided Wilson score interval for `successes` in `trials` Bernoulli
+/// trials at z-score `z`. Zero trials yield the vacuous [0, 1]: no
+/// information, overlaps everything, never gates.
+struct WilsonInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+WilsonInterval wilson_interval(std::int64_t successes, std::int64_t trials, double z);
 
 /// One changed key with its metric movement.
 struct DiffEntry {
@@ -46,6 +75,14 @@ struct DiffEntry {
   std::int64_t d_hijacked = 0;
   double d_hijack_rate = 0.0;
   double d_detection_rate = 0.0;
+  /// Wilson intervals both sides (campaign entries; vacuous for SYNFI).
+  WilsonInterval base_hijack, cand_hijack;
+  WilsonInterval base_detection, cand_detection;
+  /// Which logic decided each rate: interval separation (true) or the
+  /// absolute-delta fallback (false). The two rates can differ — e.g.
+  /// plenty of runs but too few effective faults for the detection rate.
+  bool hijack_wilson = false;
+  bool detection_wilson = false;
   bool regression = false;  ///< some delta exceeded its threshold
   std::string note;         ///< human-readable delta summary
 };

@@ -1,0 +1,96 @@
+#include "sweep/module_source.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/log.h"
+#include "base/strutil.h"
+#include "fsm/kiss2.h"
+
+namespace scfi::sweep {
+namespace {
+
+bool matches_any(const std::string& name, const std::vector<std::string>& patterns) {
+  for (const std::string& pattern : patterns) {
+    if (glob_match(name, pattern)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ot::OtEntry> ZooSource::modules(const std::string& globs) const {
+  return ot::ot_entries(globs);
+}
+
+ot::OtEntry ZooSource::module(const std::string& name) const { return ot::ot_entry(name); }
+
+Kiss2CorpusSource::Kiss2CorpusSource(const std::string& dir, const std::string& label) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root = fs::path(dir).lexically_normal();
+  require(fs::is_directory(root, ec),
+          "corpus: " + dir + " is not a directory of .kiss2 files");
+  if (label.empty()) {
+    // A trailing slash ("bench/corpus/", what shell completion produces)
+    // leaves filename() empty; the base name is then one level up.
+    fs::path base = root.filename();
+    if (base.empty()) base = root.parent_path().filename();
+    label_ = base.generic_string();
+  } else {
+    label_ = label;
+  }
+  require(!label_.empty() && label_ != "." && label_ != "..",
+          "corpus: cannot derive a label from '" + dir + "'; pass one explicitly");
+
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(root, fs::directory_options::skip_permission_denied)) {
+    if (!entry.is_regular_file(ec) || entry.path().extension() != ".kiss2") continue;
+    const std::string name = entry.path()
+                                 .lexically_relative(root)
+                                 .replace_extension()
+                                 .generic_string();
+    std::ifstream in(entry.path());
+    if (!in) {
+      errors_.push_back(CorpusError{name, entry.path().generic_string(), "cannot open file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      ot::OtEntry parsed;
+      parsed.name = name;
+      parsed.fsm = fsm::parse_kiss2(buffer.str(), name);
+      entries_.push_back(std::move(parsed));  // no datapath: a bare FSM module
+    } catch (const ScfiError& e) {
+      // Loud per-module error record; the rest of the corpus still sweeps.
+      errors_.push_back(CorpusError{name, entry.path().generic_string(), e.what()});
+      log_warn("corpus: skipping " + entry.path().generic_string() + ": " + e.what());
+    }
+  }
+  const auto by_name = [](const ot::OtEntry& a, const ot::OtEntry& b) { return a.name < b.name; };
+  std::sort(entries_.begin(), entries_.end(), by_name);
+  std::sort(errors_.begin(), errors_.end(),
+            [](const CorpusError& a, const CorpusError& b) { return a.module < b.module; });
+}
+
+std::vector<ot::OtEntry> Kiss2CorpusSource::modules(const std::string& globs) const {
+  const std::vector<std::string> patterns = split(globs, ",");
+  std::vector<ot::OtEntry> matched;
+  for (const ot::OtEntry& entry : entries_) {
+    if (matches_any(entry.name, patterns)) matched.push_back(entry);
+  }
+  return matched;
+}
+
+ot::OtEntry Kiss2CorpusSource::module(const std::string& name) const {
+  for (const ot::OtEntry& entry : entries_) {
+    if (entry.name == name) return entry;
+  }
+  throw ScfiError("corpus " + label_ + ": unknown module " + name);
+}
+
+}  // namespace scfi::sweep

@@ -190,14 +190,17 @@ class LineParser {
 }  // namespace
 
 std::string SweepJob::key() const {
+  // Zoo keys (empty source) are byte-identical to the schema-v2 era so old
+  // stores keep resuming and diffing against new runs.
+  const std::string qualified = source.empty() ? module : source + "::" + module;
   if (type == JobType::kCampaign) {
-    return module + "|" + variant + "|n" + std::to_string(protection_level) + "|mc|" +
+    return qualified + "|" + variant + "|n" + std::to_string(protection_level) + "|mc|" +
            fault_kind_name(campaign.kind) + "|t=" + fault_target_name(campaign.target) +
            "|runs=" + std::to_string(campaign.runs) + "|c=" + std::to_string(campaign.cycles) +
            "|f=" + std::to_string(campaign.num_faults) + "|s=" + std::to_string(campaign.seed);
   }
-  std::string key = module + "|" + variant + "|n" + std::to_string(protection_level) + "|r=" +
-                    synfi.wire_prefix + "|" + backend_name(synfi.backend) + "|" +
+  std::string key = qualified + "|" + variant + "|n" + std::to_string(protection_level) +
+                    "|r=" + synfi.wire_prefix + "|" + backend_name(synfi.backend) + "|" +
                     fault_kind_name(synfi.kind);
   if (synfi.include_inputs) key += "|inputs";
   if (synfi.free_symbol) key += "|free";
@@ -210,6 +213,7 @@ std::string ResultStore::to_line(const SweepResult& result) {
   out << "{\"schema\":" << kSchemaVersion;
   out << ",\"type\":\"" << job_type_name(job.type) << "\"";
   out << ",\"key\":\"" << backends::json_escape(result.key()) << "\"";
+  out << ",\"source\":\"" << backends::json_escape(job.source) << "\"";
   out << ",\"module\":\"" << backends::json_escape(job.module) << "\"";
   out << ",\"variant\":\"" << backends::json_escape(job.variant) << "\"";
   out << ",\"level\":" << job.protection_level;
@@ -256,11 +260,13 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   // Fields are collected first and committed at the end: the `kind`,
   // `detected`, and `masked` names are shared between the two job types, so
   // they can only be routed once the (possibly later) `type` field is known.
-  // v1 lines have no `type` field and migrate as SYNFI records.
+  // v1 lines have no `type` field and migrate as SYNFI records; v2 lines
+  // have no `source` field and migrate as zoo records.
   int schema = -1;
   std::string type_str = "synfi";
   std::string kind_str;
   bool saw_kind = false;
+  bool saw_source = false;
   std::int64_t detected = 0;
   std::int64_t masked = 0;
   SweepResult result;
@@ -272,13 +278,16 @@ SweepResult ResultStore::parse_line(const std::string& line) {
       parser.expect(':');
       if (field == "schema") {
         schema = static_cast<int>(parser.parse_number());
-        require(schema == 1 || schema == kSchemaVersion,
-                "result store: schema version " + std::to_string(schema) + " (expected 1 or " +
-                    std::to_string(kSchemaVersion) + ")");
+        require(schema >= 1 && schema <= kSchemaVersion,
+                "result store: schema version " + std::to_string(schema) +
+                    " (expected 1.." + std::to_string(kSchemaVersion) + ")");
       } else if (field == "type") {
         type_str = parser.parse_string();
       } else if (field == "key") {
         parser.parse_string();  // derived; recomputed from the job fields
+      } else if (field == "source") {
+        result.job.source = parser.parse_string();
+        saw_source = true;
       } else if (field == "module") {
         result.job.module = parser.parse_string();
       } else if (field == "variant") {
@@ -345,8 +354,11 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   require(schema > 0, "result store: JSONL line missing schema field");
   require(!result.job.module.empty(), "result store: JSONL line missing module field");
   result.job.type = job_type_of(type_str);
-  require(schema == kSchemaVersion || result.job.type == JobType::kSynfi,
+  require(schema >= 2 || result.job.type == JobType::kSynfi,
           "result store: schema 1 lines cannot carry campaign records");
+  require(schema >= 3 || !saw_source,
+          "result store: schema " + std::to_string(schema) +
+              " lines cannot carry a source field (corpus sources are v3)");
   if (result.job.type == JobType::kCampaign) {
     if (saw_kind) result.job.campaign.kind = fault_kind_of(kind_str);
     require(detected >= 0 && detected <= 0x7fffffffLL && masked >= 0 &&

@@ -7,9 +7,10 @@
 // job identity (for SYNFI jobs: module | variant | level | region | backend
 // | fault kind plus the include_inputs/free_symbol flags; for campaign
 // jobs: module | variant | level | mc | kind | target | the campaign
-// shape); re-appending a key makes the latest record win, which is what
-// lets `--resume` replay an interrupted sweep on top of a partially written
-// file.
+// shape — either prefixed by the module-source label when the module came
+// from a KISS2 corpus rather than the built-in zoo); re-appending a key
+// makes the latest record win, which is what lets `--resume` replay an
+// interrupted sweep on top of a partially written file.
 #pragma once
 
 #include <map>
@@ -45,7 +46,12 @@ JobType job_type_of(const std::string& name);
 /// knobs owned by the orchestrator; everything else is job identity.
 struct SweepJob {
   JobType type = JobType::kSynfi;
-  std::string module;            ///< OT zoo module name
+  /// Module-source identity: "" for the built-in OT zoo (keys unchanged
+  /// from the schema-v2 era), otherwise the corpus label (e.g. "corpus" for
+  /// a `--corpus bench/corpus` sweep). Part of the job identity so zoo and
+  /// corpus results coexist — and resume independently — in one store.
+  std::string source;
+  std::string module;            ///< module name within the source
   /// For SYNFI jobs only "scfi" is analyzable: unprotected variants have
   /// raw (unencoded) control bits and redundancy variants hold N register
   /// copies the one-cycle SYNFI stimulus does not drive. Campaign jobs run
@@ -56,7 +62,9 @@ struct SweepJob {
   sim::CampaignConfig campaign;   ///< kCampaign jobs
 
   /// Canonical identity string, e.g. "pwrmgr_fsm|scfi|n2|r=mds_|sim|flip"
-  /// or "pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=1".
+  /// or "pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=1"; corpus
+  /// jobs prefix the module with the source label, e.g.
+  /// "corpus::lion|scfi|n2|r=mds_|sim|flip".
   std::string key() const;
 };
 
@@ -78,9 +86,10 @@ bool reports_equal(const SweepResult& a, const SweepResult& b);
 class ResultStore {
  public:
   /// Bumped whenever the line schema changes. load()/parse_line() migrate
-  /// v1 lines (SYNFI-only, no `type` field) to v2 records on the fly and
-  /// reject anything else; to_line() always writes the current version.
-  static constexpr int kSchemaVersion = 2;
+  /// v1 lines (SYNFI-only, no `type` field) and v2 lines (zoo-only, no
+  /// `source` field) to v3 records on the fly and reject anything else;
+  /// to_line() always writes the current version.
+  static constexpr int kSchemaVersion = 3;
 
   ResultStore() = default;
 

@@ -37,11 +37,24 @@ ot::Variant variant_of(const SweepJob& job) {
 
 /// Jobs that share a compiled variant, served by one Analyzer.
 struct VariantGroup {
+  std::string source;
   std::string module;
   std::string variant;
   int protection_level = 2;
   std::vector<std::size_t> job_indices;  ///< into the filtered job list
 };
+
+/// Maps a job's source label to the ModuleSource serving it: "" is always
+/// the built-in zoo; anything else must match the caller-provided source.
+const ModuleSource& source_of(const SweepJob& job, const ModuleSource* provided) {
+  static const ZooSource zoo;
+  if (job.source.empty()) return zoo;
+  require(provided != nullptr && provided->label() == job.source,
+          "sweep: job source '" + job.source +
+              "' has no matching module source (pass the corpus the jobs "
+              "were expanded from)");
+  return *provided;
+}
 
 }  // namespace
 
@@ -53,13 +66,15 @@ SweepOrchestrator::SweepOrchestrator(const SweepConfig& config) : config_(config
 }
 
 SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore& store,
-                                  const std::string& out_path, bool resume) {
+                                  const std::string& out_path, bool resume,
+                                  const ModuleSource* source) {
   SweepStats stats;
 
   // Validate and filter up front so a bad job aborts before any work runs.
   std::vector<SweepJob> pending;
   for (const SweepJob& job : jobs) {
     variant_of(job);
+    source_of(job, source);
     if (resume && store.contains(job.key())) {
       ++stats.skipped;
       continue;
@@ -74,12 +89,13 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
   std::map<std::string, std::size_t> group_index;
   for (std::size_t j = 0; j < pending.size(); ++j) {
     const SweepJob& job = pending[j];
-    const std::string key =
-        job.module + "|" + job.variant + "|n" + std::to_string(job.protection_level);
+    const std::string key = job.source + "|" + job.module + "|" + job.variant + "|n" +
+                            std::to_string(job.protection_level);
     const auto it = group_index.find(key);
     if (it == group_index.end()) {
       group_index.emplace(key, groups.size());
-      groups.push_back(VariantGroup{job.module, job.variant, job.protection_level, {j}});
+      groups.push_back(
+          VariantGroup{job.source, job.module, job.variant, job.protection_level, {j}});
     } else {
       groups[it->second].job_indices.push_back(j);
     }
@@ -105,7 +121,8 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
         const std::size_t g = next_group.fetch_add(1);
         if (g >= groups.size()) return;
         const VariantGroup& group = groups[g];
-        const ot::OtEntry entry = ot::ot_entry(group.module);
+        const ot::OtEntry entry =
+            source_of(pending[group.job_indices.front()], source).module(group.module);
         rtlil::Design design;
         const fsm::CompiledFsm compiled = ot::build_ot_variant(
             entry, design, variant_of(pending[group.job_indices.front()]),
@@ -159,12 +176,26 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
   return stats;
 }
 
-std::vector<SweepJob> expand_jobs(const std::string& module_globs,
+namespace {
+
+/// Matched entries of `source`, or a loud error naming the source when the
+/// globs select nothing (a typo must not silently sweep zero modules).
+std::vector<ot::OtEntry> matched_entries(const ModuleSource& source,
+                                         const std::string& module_globs) {
+  std::vector<ot::OtEntry> entries = source.modules(module_globs);
+  const std::string where =
+      source.label().empty() ? "zoo" : "corpus '" + source.label() + "'";
+  require(!entries.empty(), "sweep: no " + where + " module matches '" + module_globs + "'");
+  return entries;
+}
+
+}  // namespace
+
+std::vector<SweepJob> expand_jobs(const ModuleSource& source, const std::string& module_globs,
                                   const std::vector<int>& levels,
                                   const std::vector<synfi::SynfiConfig>& configs,
                                   const std::string& variant) {
-  const std::vector<ot::OtEntry> entries = ot::ot_entries(module_globs);
-  require(!entries.empty(), "sweep: no zoo module matches '" + module_globs + "'");
+  const std::vector<ot::OtEntry> entries = matched_entries(source, module_globs);
   require(!levels.empty(), "sweep: at least one protection level required");
   require(!configs.empty(), "sweep: at least one synfi config required");
   std::vector<SweepJob> jobs;
@@ -173,6 +204,7 @@ std::vector<SweepJob> expand_jobs(const std::string& module_globs,
     for (const int level : levels) {
       for (const synfi::SynfiConfig& config : configs) {
         SweepJob job;
+        job.source = source.label();
         job.module = entry.name;
         job.variant = variant;
         job.protection_level = level;
@@ -184,12 +216,19 @@ std::vector<SweepJob> expand_jobs(const std::string& module_globs,
   return jobs;
 }
 
-std::vector<SweepJob> expand_campaign_jobs(const std::string& module_globs,
+std::vector<SweepJob> expand_jobs(const std::string& module_globs,
+                                  const std::vector<int>& levels,
+                                  const std::vector<synfi::SynfiConfig>& configs,
+                                  const std::string& variant) {
+  return expand_jobs(ZooSource{}, module_globs, levels, configs, variant);
+}
+
+std::vector<SweepJob> expand_campaign_jobs(const ModuleSource& source,
+                                           const std::string& module_globs,
                                            const std::vector<int>& levels,
                                            const std::vector<sim::CampaignConfig>& configs,
                                            const std::string& variant) {
-  const std::vector<ot::OtEntry> entries = ot::ot_entries(module_globs);
-  require(!entries.empty(), "sweep: no zoo module matches '" + module_globs + "'");
+  const std::vector<ot::OtEntry> entries = matched_entries(source, module_globs);
   require(!levels.empty(), "sweep: at least one protection level required");
   require(!configs.empty(), "sweep: at least one campaign config required");
   std::vector<SweepJob> jobs;
@@ -199,6 +238,7 @@ std::vector<SweepJob> expand_campaign_jobs(const std::string& module_globs,
       for (const sim::CampaignConfig& config : configs) {
         SweepJob job;
         job.type = JobType::kCampaign;
+        job.source = source.label();
         job.module = entry.name;
         job.variant = variant;
         job.protection_level = level;
@@ -208,6 +248,13 @@ std::vector<SweepJob> expand_campaign_jobs(const std::string& module_globs,
     }
   }
   return jobs;
+}
+
+std::vector<SweepJob> expand_campaign_jobs(const std::string& module_globs,
+                                           const std::vector<int>& levels,
+                                           const std::vector<sim::CampaignConfig>& configs,
+                                           const std::string& variant) {
+  return expand_campaign_jobs(ZooSource{}, module_globs, levels, configs, variant);
 }
 
 }  // namespace scfi::sweep

@@ -1,6 +1,6 @@
 // Multi-module sweep orchestration: the paper's §6.4 SYNFI evaluation and
 // §6.3 Monte-Carlo fault campaigns as ONE fleet experiment over the
-// OpenTitan zoo.
+// OpenTitan zoo and/or a KISS2 benchmark corpus (see module_source.h).
 //
 // A sweep is a set of SweepJobs — module x protection config x query, where
 // a query is either a SYNFI analysis or a Monte-Carlo campaign (tagged by
@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sweep/module_source.h"
 #include "sweep/result_store.h"
 
 namespace scfi::sweep {
@@ -54,18 +55,29 @@ class SweepOrchestrator {
   /// `out_path` is non-empty — appending it to that JSONL file as it
   /// finishes. With `resume`, jobs whose key is already in `store` are
   /// skipped (load the store from `out_path` first to resume a previous
-  /// invocation). Throws on unknown modules/variants; the first worker
-  /// error aborts the sweep after in-flight jobs complete.
+  /// invocation). Jobs with an empty `source` resolve against the built-in
+  /// zoo; jobs whose `source` matches `source->label()` resolve against
+  /// `source` (so zoo and corpus jobs can share one fleet run); any other
+  /// source label throws. Throws on unknown modules/variants; the first
+  /// worker error aborts the sweep after in-flight jobs complete.
   SweepStats run(const std::vector<SweepJob>& jobs, ResultStore& store,
-                 const std::string& out_path = "", bool resume = false);
+                 const std::string& out_path = "", bool resume = false,
+                 const ModuleSource* source = nullptr);
 
  private:
   SweepConfig config_;
 };
 
 /// Expands a module-glob x levels x configs matrix into the flat SYNFI job
-/// list `SweepOrchestrator::run` consumes (modules in Table 1 order; one
-/// job per combination). Throws when the glob matches nothing.
+/// list `SweepOrchestrator::run` consumes (modules in the source's
+/// canonical order; one job per combination, carrying the source's label).
+/// Throws when the glob matches nothing in `source`.
+std::vector<SweepJob> expand_jobs(const ModuleSource& source, const std::string& module_globs,
+                                  const std::vector<int>& levels,
+                                  const std::vector<synfi::SynfiConfig>& configs,
+                                  const std::string& variant = "scfi");
+
+/// Zoo convenience overload (modules in Table 1 order).
 std::vector<SweepJob> expand_jobs(const std::string& module_globs,
                                   const std::vector<int>& levels,
                                   const std::vector<synfi::SynfiConfig>& configs,
@@ -76,6 +88,13 @@ std::vector<SweepJob> expand_jobs(const std::string& module_globs,
 /// "redundancy" variants too (the campaign engine drives all three compiled
 /// forms). The configs' lanes/threads/planner knobs are overwritten by the
 /// orchestrator at execution time and do not enter the job identity.
+std::vector<SweepJob> expand_campaign_jobs(const ModuleSource& source,
+                                           const std::string& module_globs,
+                                           const std::vector<int>& levels,
+                                           const std::vector<sim::CampaignConfig>& configs,
+                                           const std::string& variant = "scfi");
+
+/// Zoo convenience overload (modules in Table 1 order).
 std::vector<SweepJob> expand_campaign_jobs(const std::string& module_globs,
                                            const std::vector<int>& levels,
                                            const std::vector<sim::CampaignConfig>& configs,

@@ -148,6 +148,76 @@ TEST(Kiss2, RejectsMalformed) {
   EXPECT_THROW(parse_kiss2("10 st0 st1 1\n"), ScfiError);              // no .i/.o
 }
 
+TEST(Kiss2, EndDirectiveStopsParsing) {
+  // Trailing junk after .e (common in concatenated benchmark dumps) must
+  // not be parsed as transitions — including well-formed ones that would
+  // silently grow the machine.
+  const std::string text =
+      ".i 1\n.o 1\n.r A\n0 A A 0\n1 A B 1\n- B A 0\n.e\n"
+      "this is not kiss2 at all\n"
+      "1 B C 1\n";
+  const Fsm f = parse_kiss2(text);
+  EXPECT_EQ(f.num_states(), 2);
+  EXPECT_EQ(f.transitions.size(), 3u);
+  // .end is the long-form synonym.
+  const Fsm g = parse_kiss2(".i 1\n.o 1\n0 A A 0\n1 A B 1\n- B A 0\n.end\ngarbage\n");
+  EXPECT_EQ(g.transitions.size(), 3u);
+  // Everything after .e ignored also means a file that redeclares .i there
+  // parses cleanly.
+  EXPECT_EQ(parse_kiss2(".i 1\n.o 1\n0 A A 0\n1 A B 1\n- B A 0\n.e\n.i 7\n").num_inputs(), 1);
+}
+
+TEST(Kiss2, ParsesCrlfInput) {
+  const std::string text =
+      ".i 2\r\n.o 1\r\n.s 2\r\n.p 3\r\n.r st0\r\n"
+      "10 st0 st1 1\r\n01 st1 st0 0\r\n11 st1 st1 1\r\n.e\r\n";
+  const Fsm f = parse_kiss2(text);
+  EXPECT_EQ(f.num_inputs(), 2);
+  EXPECT_EQ(f.num_states(), 2);
+  EXPECT_EQ(f.states[0], "st0");  // no trailing '\r' baked into names
+}
+
+TEST(Kiss2, MalformedCountsRaiseScfiError) {
+  // std::stoi used to escape as std::invalid_argument/std::out_of_range;
+  // every malformed count must surface as ScfiError naming the line.
+  const char* bad_counts[] = {
+      ".i abc\n.o 1\n1 A B 1\n.e\n",          // non-numeric
+      ".i 99999999999999999999\n.o 1\n",      // overflow
+      ".i -2\n.o 1\n",                        // negative
+      ".i 2x\n.o 1\n",                        // trailing junk (stoi took 2)
+      ".i\n.o 1\n",                           // missing operand
+  };
+  for (const char* text : bad_counts) {
+    try {
+      parse_kiss2(text);
+      FAIL() << "expected ScfiError for: " << text;
+    } catch (const ScfiError& e) {
+      EXPECT_NE(std::string(e.what()).find("kiss2"), std::string::npos) << text;
+    } catch (const std::exception& e) {
+      FAIL() << "non-ScfiError escaped (" << e.what() << ") for: " << text;
+    }
+  }
+}
+
+TEST(Kiss2, RejectsRedeclarations) {
+  // Contradictory .i/.o redeclarations are rejected outright; an exact
+  // duplicate before any transition is tolerated (seen in the wild).
+  EXPECT_THROW(parse_kiss2(".i 2\n.i 3\n.o 1\n10 A B 1\n.e\n"), ScfiError);
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n.o 2\n10 A B 1\n.e\n"), ScfiError);
+  EXPECT_EQ(parse_kiss2(".i 2\n.i 2\n.o 1\n10 A B 1\n01 B A 0\n.e\n").num_inputs(), 2);
+  // Any redeclaration after transitions have started is rejected — the
+  // widths are already baked into the generated port names.
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n10 A B 1\n.i 2\n01 B A 0\n.e\n"), ScfiError);
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n10 A B 1\n.o 3\n01 B A 0\n.e\n"), ScfiError);
+}
+
+TEST(Kiss2, MissingResetStateRejected) {
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.r nowhere\n0 A A 0\n1 A A 1\n.e\n"), ScfiError);
+  // Without .r the first-seen state is the reset state.
+  const Fsm f = parse_kiss2(".i 1\n.o 1\n0 B B 0\n1 B A 1\n- A B 0\n.e\n");
+  EXPECT_EQ(f.states[static_cast<std::size_t>(f.reset_state)], "B");
+}
+
 TEST(Dot, ContainsStatesAndEdges) {
   const std::string dot = to_dot(test::paper_fsm());
   EXPECT_NE(dot.find("digraph"), std::string::npos);

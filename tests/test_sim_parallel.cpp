@@ -151,7 +151,7 @@ TEST(SimParallel, CampaignInvariantUnderLanesAndThreads) {
   sc.protection_level = 3;
   const fsm::CompiledFsm hardened = core::scfi_harden(f, d, sc);
   for (const CampaignPlanner planner :
-       {CampaignPlanner::kStreaming, CampaignPlanner::kSequential}) {
+       {CampaignPlanner::kStreaming, CampaignPlanner::kStreamingMaterialized}) {
     for (const fsm::CompiledFsm* variant : {&plain, &hardened}) {
       for (const FaultKind kind : {FaultKind::kTransientFlip, FaultKind::kStuckAt1}) {
         CampaignConfig base;
@@ -211,38 +211,6 @@ TEST(SimParallel, StreamingMatchesMaterializedOracle) {
   }
 }
 
-TEST(SimParallel, StreamingAndSequentialPlannersAgreeStatistically) {
-  // The seed->plan mapping differs between the planner families, so the
-  // counts cannot match bit for bit — but both sample the same walk/fault
-  // distribution, so on a moderately sized campaign the outcome classes
-  // must agree within sampling noise (differential check that the streaming
-  // rewrite did not bias the sampler).
-  const fsm::Fsm f = test::synfi_fsm();
-  rtlil::Design d;
-  core::ScfiConfig sc;
-  sc.protection_level = 2;
-  const fsm::CompiledFsm hardened = core::scfi_harden(f, d, sc);
-  CampaignConfig cfg;
-  cfg.runs = 4000;
-  cfg.cycles = 10;
-  cfg.num_faults = 2;
-  cfg.seed = 31337;
-  cfg.planner = CampaignPlanner::kStreaming;
-  const CampaignResult streaming = run_campaign(f, hardened, cfg);
-  cfg.planner = CampaignPlanner::kSequential;
-  const CampaignResult sequential = run_campaign(f, hardened, cfg);
-  EXPECT_EQ(streaming.runs, sequential.runs);
-  // ~4-sigma band for a binomial count around p~0.5 at n=4000 is ~130;
-  // 300 keeps the test stable across seed re-rolls while still catching a
-  // class-level sampler bias.
-  const int tolerance = 300;
-  EXPECT_NEAR(streaming.masked, sequential.masked, tolerance);
-  EXPECT_NEAR(streaming.detected, sequential.detected, tolerance);
-  EXPECT_NEAR(streaming.hijacked, sequential.hijacked, tolerance);
-  EXPECT_NEAR(streaming.lagged, sequential.lagged, tolerance);
-  EXPECT_NEAR(streaming.silent_invalid, sequential.silent_invalid, tolerance);
-}
-
 TEST(SimParallel, CampaignSeedIsDeterministic) {
   const fsm::Fsm f = test::paper_fsm();
   rtlil::Design d;
@@ -300,29 +268,24 @@ TEST(SimParallel, PlanBytesCapAppliesToMaterializingPlannersOnly) {
   EXPECT_EQ(planned_bytes(cfg), 100 * (8 * 4 + (8 + 1) * 4) + 100 * 2 * 8);
 
   // A 10^8-run campaign would materialize ~8 GB of plan; the default cap
-  // rejects the materializing planners up front (ScfiError, not OOM). The
+  // rejects the materializing planner up front (ScfiError, not OOM). The
   // estimate itself must not overflow.
   CampaignConfig huge = cfg;
   huge.runs = 100'000'000;
   EXPECT_GT(planned_bytes(huge), huge.max_plan_bytes);
-  huge.planner = CampaignPlanner::kSequential;
-  EXPECT_THROW(run_campaign(f, plain, huge), ScfiError);
   huge.planner = CampaignPlanner::kStreamingMaterialized;
   EXPECT_THROW(run_campaign(f, plain, huge), ScfiError);
 
   // A tight explicit cap rejects even a small campaign when materializing;
   // cap 0 disables the check.
-  for (const CampaignPlanner planner :
-       {CampaignPlanner::kSequential, CampaignPlanner::kStreamingMaterialized}) {
-    CampaignConfig capped = cfg;
-    capped.planner = planner;
-    capped.max_plan_bytes = 16;
-    EXPECT_THROW(run_campaign(f, plain, capped), ScfiError);
-    capped.max_plan_bytes = 0;
-    CampaignConfig uncapped = cfg;
-    uncapped.planner = planner;
-    EXPECT_EQ(run_campaign(f, plain, capped), run_campaign(f, plain, uncapped));
-  }
+  CampaignConfig capped = cfg;
+  capped.planner = CampaignPlanner::kStreamingMaterialized;
+  capped.max_plan_bytes = 16;
+  EXPECT_THROW(run_campaign(f, plain, capped), ScfiError);
+  capped.max_plan_bytes = 0;
+  CampaignConfig uncapped = cfg;
+  uncapped.planner = CampaignPlanner::kStreamingMaterialized;
+  EXPECT_EQ(run_campaign(f, plain, capped), run_campaign(f, plain, uncapped));
 }
 
 TEST(SimParallel, OverCapCampaignRunsWithStreamingPlanner) {

@@ -1,23 +1,28 @@
 // The sweep subsystem contract: the JSONL result-store schema is pinned by
-// golden lines (schema v2 — bump ResultStore::kSchemaVersion when it has
-// to change; v1 lines migrate on load), load/save/merge/diff round-trip,
-// SweepOrchestrator results — SYNFI and Monte-Carlo campaign jobs alike —
-// are bit-identical to direct per-module analyze()/run_campaign() for
-// every jobs/threads combination with --resume skipping stored jobs, and
-// diff_report gates on the configured thresholds.
+// golden lines (schema v3 — bump ResultStore::kSchemaVersion when it has
+// to change; v1 and v2 lines migrate on load), load/save/merge/diff
+// round-trip, SweepOrchestrator results — SYNFI and Monte-Carlo campaign
+// jobs alike, from the zoo or a KISS2 corpus — are bit-identical to direct
+// per-module analyze()/run_campaign() for every jobs/threads combination
+// with --resume skipping stored jobs, and diff_report gates on the
+// configured thresholds (Wilson-interval separation for campaign rates,
+// absolute deltas as the low-trial fallback).
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "base/error.h"
 #include "base/strutil.h"
+#include "kiss2_corpus.h"
 #include "ot/zoo.h"
 #include "rtlil/design.h"
 #include "sim/campaign.h"
 #include "sweep/diff_report.h"
+#include "sweep/module_source.h"
 #include "sweep/sweep.h"
 #include "synfi/synfi.h"
 
@@ -47,8 +52,9 @@ SweepResult golden_result() {
 }
 
 constexpr const char* kGoldenLine =
-    "{\"schema\":2,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
-    "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,\"region\":\"mds_\","
+    "{\"schema\":3,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"region\":\"mds_\","
     "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
     "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
     "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
@@ -63,6 +69,25 @@ constexpr const char* kGoldenLineV1 =
     "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
     "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
     "\"seconds\":0.125000}";
+
+/// The same record as a schema-v2 line (pre-corpus: no `source` field);
+/// load() must keep accepting these and migrate them to zoo records.
+constexpr const char* kGoldenLineV2 =
+    "{\"schema\":2,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
+    "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
+    "\"seconds\":0.125000}";
+
+/// A schema-v2 campaign line: the `type` routing must survive the v3 bump.
+constexpr const char* kGoldenCampaignLineV2 =
+    "{\"schema\":2,\"type\":\"campaign\","
+    "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"seconds\":0.250000}";
 
 /// A campaign record with every field populated, pinning the v2 campaign
 /// line byte for byte.
@@ -87,9 +112,28 @@ SweepResult golden_campaign_result() {
 }
 
 constexpr const char* kGoldenCampaignLine =
-    "{\"schema\":2,\"type\":\"campaign\","
+    "{\"schema\":3,\"type\":\"campaign\","
     "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
-    "\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,\"kind\":\"flip\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,"
+    "\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"seconds\":0.250000}";
+
+/// A corpus-sourced campaign record: the source label prefixes the key and
+/// is carried in the v3 `source` field.
+SweepResult golden_corpus_result() {
+  SweepResult result = golden_campaign_result();
+  result.job.source = "corpus";
+  result.job.module = "mcnc/lion";
+  return result;
+}
+
+constexpr const char* kGoldenCorpusLine =
+    "{\"schema\":3,\"type\":\"campaign\","
+    "\"key\":\"corpus::mcnc/lion|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"source\":\"corpus\",\"module\":\"mcnc/lion\",\"variant\":\"scfi\",\"level\":2,"
+    "\"kind\":\"flip\","
     "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
     "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
     "\"seconds\":0.250000}";
@@ -101,6 +145,46 @@ std::string temp_path(const std::string& name) {
 TEST(ResultStore, GoldenLinePinsSchema) {
   EXPECT_EQ(ResultStore::to_line(golden_result()), kGoldenLine);
   EXPECT_EQ(ResultStore::to_line(golden_campaign_result()), kGoldenCampaignLine);
+  EXPECT_EQ(ResultStore::to_line(golden_corpus_result()), kGoldenCorpusLine);
+}
+
+TEST(ResultStore, CorpusLineRoundTripAndKeyPrefix) {
+  const SweepResult expected = golden_corpus_result();
+  EXPECT_EQ(expected.key(), "corpus::mcnc/lion|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7");
+  const SweepResult parsed = ResultStore::parse_line(kGoldenCorpusLine);
+  EXPECT_EQ(parsed.job.source, "corpus");
+  EXPECT_EQ(parsed.job.module, "mcnc/lion");
+  EXPECT_EQ(parsed.key(), expected.key());
+  EXPECT_TRUE(reports_equal(parsed, expected));
+  EXPECT_EQ(ResultStore::to_line(parsed), kGoldenCorpusLine);
+  // The same module name from a different source is a different key: zoo
+  // and corpus results never collide in one store.
+  SweepResult zoo = expected;
+  zoo.job.source = "";
+  EXPECT_NE(zoo.key(), expected.key());
+}
+
+TEST(ResultStore, SchemaV2LinesMigrateToZooRecords) {
+  const SweepResult migrated = ResultStore::parse_line(kGoldenLineV2);
+  const SweepResult expected = golden_result();
+  EXPECT_EQ(migrated.job.source, "");
+  EXPECT_EQ(migrated.key(), expected.key());
+  EXPECT_TRUE(migrated.report == expected.report);
+  // Re-serializing a migrated record writes the current schema version.
+  EXPECT_EQ(ResultStore::to_line(migrated), kGoldenLine);
+  // Campaign routing survives the migration too.
+  const SweepResult campaign = ResultStore::parse_line(kGoldenCampaignLineV2);
+  EXPECT_TRUE(campaign.job.type == JobType::kCampaign);
+  EXPECT_EQ(campaign.key(), golden_campaign_result().key());
+  EXPECT_EQ(ResultStore::to_line(campaign), kGoldenCampaignLine);
+  // A v2 (or v1) line cannot smuggle in a source field (corpora are v3).
+  EXPECT_THROW(
+      ResultStore::parse_line("{\"schema\":2,\"type\":\"synfi\",\"module\":\"m\","
+                              "\"source\":\"corpus\"}"),
+      ScfiError);
+  EXPECT_THROW(
+      ResultStore::parse_line("{\"schema\":1,\"module\":\"m\",\"source\":\"corpus\"}"),
+      ScfiError);
 }
 
 TEST(ResultStore, CampaignSeedRoundTripsExactly) {
@@ -275,39 +359,42 @@ TEST(DiffReport, GatesOnConfiguredThresholds) {
   baseline.add(synfi_base);
   baseline.add(campaign_base);
 
-  // One new exploitable injection + a hijack-rate bump.
+  // One new exploitable injection + a hijack-rate jump far outside the
+  // baseline's Wilson interval (3/2000 [0.05%, 0.44%] -> 103/2000, whose
+  // lower bound 4.26% clears it).
   SweepResult synfi_cand = synfi_base;
   synfi_cand.report.exploitable += 1;
   SweepResult campaign_cand = campaign_base;
-  campaign_cand.campaign.hijacked += 7;  // +7/2000 = +0.35pp hijack rate
-  campaign_cand.campaign.masked -= 7;
+  campaign_cand.campaign.hijacked += 100;
+  campaign_cand.campaign.masked -= 100;
   ResultStore candidate;
   candidate.add(synfi_cand);
   candidate.add(campaign_cand);
 
-  // Default thresholds: any worsening gates.
+  // Default thresholds: any worsening beyond sampling noise gates.
   const DiffReport strict = diff_report(baseline, candidate);
   ASSERT_EQ(strict.changed.size(), 2u);
   EXPECT_EQ(strict.regressions, 2);
   EXPECT_TRUE(strict.gate_failed);
   EXPECT_NE(strict.render().find("REGRESSION"), std::string::npos);
 
-  // Loose thresholds: the same drift is reported but does not gate.
+  // Loose thresholds: the same movement is reported but does not gate (the
+  // allowances are on the interval separation: hijack ~3.8pp, detection
+  // ~10.9pp here).
   DiffThresholds loose;
   loose.max_exploitable_increase = 1;
-  loose.max_hijack_rate_increase = 0.004;  // 0.4pp
-  // The extra hijacks also grow the effective-fault denominator, dropping
-  // the detection rate by ~1.3pp; allow that too.
-  loose.max_detection_rate_drop = 0.02;
+  loose.max_hijack_rate_increase = 0.05;
+  loose.max_detection_rate_drop = 0.12;
   const DiffReport lenient = diff_report(baseline, candidate, loose);
   EXPECT_EQ(lenient.changed.size(), 2u);
   EXPECT_EQ(lenient.regressions, 0);
   EXPECT_FALSE(lenient.gate_failed);
 
-  // A detection-rate drop gates independently of the hijack rate.
+  // A detection-rate drop gates independently of the hijack rate
+  // (480/500 [93.9%, 97.4%] -> 400/500 [76.3%, 83.3%]: disjoint).
   SweepResult det_drop = campaign_base;
   det_drop.campaign.detected -= 80;
-  det_drop.campaign.masked += 80;
+  det_drop.campaign.lagged += 80;
   ResultStore det_candidate;
   det_candidate.add(synfi_base);
   det_candidate.add(det_drop);
@@ -341,6 +428,132 @@ TEST(DiffReport, GatesOnConfiguredThresholds) {
   EXPECT_FALSE(diff_report(subset, baseline, coverage).gate_failed);  // additions OK
 }
 
+TEST(WilsonInterval, ClosedFormValuesPinned) {
+  // Zero trials: vacuous interval — no information, can never gate.
+  const WilsonInterval none = wilson_interval(0, 0, 1.96);
+  EXPECT_DOUBLE_EQ(none.lower, 0.0);
+  EXPECT_DOUBLE_EQ(none.upper, 1.0);
+  // Known closed-form values (z = 1.96).
+  const WilsonInterval zero = wilson_interval(0, 100, 1.96);
+  EXPECT_NEAR(zero.lower, 0.0, 1e-9);
+  EXPECT_NEAR(zero.upper, 0.036994807, 1e-8);
+  const WilsonInterval one_in_ten = wilson_interval(1, 10, 1.96);
+  EXPECT_NEAR(one_in_ten.lower, 0.017875750, 1e-8);
+  EXPECT_NEAR(one_in_ten.upper, 0.404156385, 1e-8);
+  const WilsonInterval half = wilson_interval(50, 100, 1.96);
+  EXPECT_NEAR(half.lower, 0.403829829, 1e-8);
+  EXPECT_NEAR(half.upper, 0.596170171, 1e-8);
+  // The interval is symmetric under success/failure exchange.
+  EXPECT_NEAR(half.lower + half.upper, 1.0, 1e-12);
+  const WilsonInterval rare = wilson_interval(5, 2000, 1.96);
+  EXPECT_NEAR(rare.lower, 0.001068293, 1e-8);
+  EXPECT_NEAR(rare.upper, 0.005839239, 1e-8);
+  // z = 0 collapses to the point estimate; bounds stay clamped to [0, 1].
+  const WilsonInterval point = wilson_interval(5, 2000, 0.0);
+  EXPECT_NEAR(point.lower, 0.0025, 1e-12);
+  EXPECT_NEAR(point.upper, 0.0025, 1e-12);
+  EXPECT_THROW(wilson_interval(5, 2, 1.96), ScfiError);   // successes > trials
+  EXPECT_THROW(wilson_interval(-1, 2, 1.96), ScfiError);  // negative count
+}
+
+TEST(DiffReport, WilsonGatingAbsorbsSamplingNoise) {
+  // 3/2000 -> 12/2000 hijacks: a 4x point-estimate jump, but the intervals
+  // [0.05%, 0.44%] and [0.34%, 1.05%] overlap — Monte-Carlo noise, not a
+  // provable regression. The absolute gate (wilson_z = 0) fails it, the
+  // default Wilson gate does not.
+  const SweepResult base = golden_campaign_result();  // hijacked = 3, runs = 2000
+  SweepResult cand = base;
+  cand.campaign.hijacked += 9;
+  cand.campaign.masked -= 9;
+  ResultStore left, right;
+  left.add(base);
+  right.add(cand);
+
+  const DiffReport wilson = diff_report(left, right);
+  ASSERT_EQ(wilson.changed.size(), 1u);
+  EXPECT_TRUE(wilson.changed[0].hijack_wilson);
+  EXPECT_TRUE(wilson.changed[0].detection_wilson);
+  EXPECT_FALSE(wilson.changed[0].regression);
+  EXPECT_FALSE(wilson.gate_failed);
+  EXPECT_NEAR(wilson.changed[0].base_hijack.upper, 0.004401112, 1e-8);
+  EXPECT_NEAR(wilson.changed[0].cand_hijack.lower, 0.003435560, 1e-8);
+
+  DiffThresholds absolute;
+  absolute.wilson_z = 0.0;
+  const DiffReport raw = diff_report(left, right, absolute);
+  ASSERT_EQ(raw.changed.size(), 1u);
+  EXPECT_FALSE(raw.changed[0].hijack_wilson);
+  EXPECT_FALSE(raw.changed[0].detection_wilson);
+  EXPECT_TRUE(raw.changed[0].regression);
+  EXPECT_TRUE(raw.gate_failed);
+  EXPECT_NE(raw.changed[0].note.find("absolute gate"), std::string::npos);
+}
+
+TEST(DiffReport, RatesGateIndependentlyWhenTrialCountsDiverge) {
+  // 2000 runs but only ~10 effective faults: the hijack rate has enough
+  // trials for Wilson, the detection rate does not — it falls back to the
+  // absolute threshold independently, and a 1-count detection drop gates
+  // even while the hijack movement is absorbed as noise.
+  SweepResult base = golden_campaign_result();
+  base.campaign.masked = 1990;
+  base.campaign.detected = 6;
+  base.campaign.hijacked = 2;
+  base.campaign.lagged = 1;
+  base.campaign.silent_invalid = 1;  // effective = 10
+  SweepResult cand = base;
+  cand.campaign.detected = 5;
+  cand.campaign.lagged = 2;  // detection 6/10 -> 5/10
+  cand.campaign.hijacked = 3;
+  cand.campaign.masked = 1989;  // hijack 2/2000 -> 3/2000: inside the band
+  ResultStore left, right;
+  left.add(base);
+  right.add(cand);
+  const DiffReport report = diff_report(left, right);
+  ASSERT_EQ(report.changed.size(), 1u);
+  EXPECT_TRUE(report.changed[0].hijack_wilson);
+  EXPECT_FALSE(report.changed[0].detection_wilson);
+  EXPECT_TRUE(report.changed[0].regression);
+  EXPECT_NE(report.changed[0].note.find("absolute gate"), std::string::npos);
+}
+
+TEST(DiffReport, LowTrialKeysFallBackToAbsoluteThresholds) {
+  // 20 runs is below wilson_min_trials: the interval would span most of
+  // [0, 1] and wave any regression through, so the absolute thresholds
+  // (default: any increase) decide instead.
+  SweepResult base = golden_campaign_result();
+  base.job.campaign.runs = 20;
+  base.campaign.runs = 20;
+  base.campaign.masked = 20;
+  base.campaign.detected = 0;
+  base.campaign.hijacked = 0;
+  base.campaign.lagged = 0;
+  base.campaign.silent_invalid = 0;
+  SweepResult cand = base;
+  cand.campaign.hijacked = 3;
+  cand.campaign.masked = 17;
+  ResultStore left, right;
+  left.add(base);
+  right.add(cand);
+  const DiffReport report = diff_report(left, right);
+  ASSERT_EQ(report.changed.size(), 1u);
+  EXPECT_FALSE(report.changed[0].hijack_wilson);
+  EXPECT_TRUE(report.changed[0].regression);
+
+  // Raising the trial floor above both sides of a large-sample pair forces
+  // the same fallback there too.
+  DiffThresholds high_floor;
+  high_floor.wilson_min_trials = 1'000'000;
+  const SweepResult big_base = golden_campaign_result();
+  SweepResult big_cand = big_base;
+  big_cand.campaign.hijacked += 1;
+  big_cand.campaign.masked -= 1;
+  ResultStore bl, br;
+  bl.add(big_base);
+  br.add(big_cand);
+  EXPECT_FALSE(diff_report(bl, br).gate_failed);  // Wilson: noise
+  EXPECT_TRUE(diff_report(bl, br, high_floor).gate_failed);  // absolute: any increase
+}
+
 TEST(SweepJobs, ExpandCampaignMatrix) {
   sim::CampaignConfig flip;
   flip.runs = 500;
@@ -371,6 +584,154 @@ TEST(SweepJobs, ExpandMatrixAndGlobs) {
   EXPECT_EQ(jobs[7].key(), "pwrmgr_fsm|scfi|n3|r=|sim|flip");
   EXPECT_THROW(expand_jobs("no_such_module*", {2}, {mds}), ScfiError);
   EXPECT_THROW(expand_jobs("pwrmgr_fsm", {}, {mds}), ScfiError);
+}
+
+/// Writes a throwaway corpus tree: two parse-clean machines (one nested, to
+/// exercise recursive discovery), one malformed file, and one non-.kiss2
+/// file that must be ignored.
+std::string write_test_corpus(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(root);
+  fs::create_directories(root / "sub");
+  const auto write = [](const fs::path& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  };
+  write(root / "lion.kiss2", std::string(test::kLion));
+  write(root / "sub" / "train.kiss2", std::string(test::kTrain4));
+  write(root / "bad.kiss2", ".i 2\n.o 1\nnot a transition\n.e\n");
+  write(root / "notes.txt", "not a kiss2 file\n");
+  return root.generic_string();
+}
+
+TEST(ModuleSource, CorpusDiscoveryGlobsAndErrors) {
+  const std::string dir = write_test_corpus("corpus_discovery");
+  const Kiss2CorpusSource corpus(dir);
+  EXPECT_EQ(corpus.label(), "corpus_discovery");
+  ASSERT_EQ(corpus.size(), 2u);
+  // Parse failures are loud per-module records, not aborts.
+  ASSERT_EQ(corpus.errors().size(), 1u);
+  EXPECT_EQ(corpus.errors()[0].module, "bad");
+  EXPECT_NE(corpus.errors()[0].message.find("kiss2"), std::string::npos);
+
+  // Name-sorted discovery; nested files keep their relative path as name.
+  const std::vector<ot::OtEntry> all = corpus.modules("*");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "lion");
+  EXPECT_EQ(all[1].name, "sub/train");
+  EXPECT_FALSE(all[0].datapath);  // bare FSM: no datapath builder
+
+  EXPECT_EQ(corpus.modules("sub/*").size(), 1u);
+  EXPECT_EQ(corpus.modules("lion,sub/train").size(), 2u);
+  EXPECT_EQ(corpus.modules("no_such*").size(), 0u);
+  EXPECT_EQ(corpus.module("lion").fsm.num_states(), 4);
+  EXPECT_THROW(corpus.module("bad"), ScfiError);
+  EXPECT_THROW(Kiss2CorpusSource("/no/such/dir"), ScfiError);
+
+  // An explicit label overrides the directory-derived one, and a trailing
+  // slash (shell tab-completion) still derives the base name.
+  EXPECT_EQ(Kiss2CorpusSource(dir, "mcnc").label(), "mcnc");
+  EXPECT_EQ(Kiss2CorpusSource(dir + "/").label(), "corpus_discovery");
+}
+
+TEST(SweepJobs, ExpandFromCorpusCarriesSourceLabel) {
+  const std::string dir = write_test_corpus("corpus_expand");
+  const Kiss2CorpusSource corpus(dir, "mcnc");
+  synfi::SynfiConfig flip;
+  const std::vector<SweepJob> jobs = expand_jobs(corpus, "*", {2}, {flip});
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].key(), "mcnc::lion|scfi|n2|r=mds_|sim|flip");
+  EXPECT_EQ(jobs[1].key(), "mcnc::sub/train|scfi|n2|r=mds_|sim|flip");
+  EXPECT_THROW(expand_jobs(corpus, "no_such*", {2}, {flip}), ScfiError);
+
+  sim::CampaignConfig camp;
+  camp.runs = 100;
+  const std::vector<SweepJob> campaign_jobs =
+      expand_campaign_jobs(corpus, "lion", {2}, {camp}, "unprotected");
+  ASSERT_EQ(campaign_jobs.size(), 1u);
+  EXPECT_EQ(campaign_jobs[0].key(),
+            "mcnc::lion|unprotected|n2|mc|flip|t=any|runs=100|c=24|f=1|s=1");
+}
+
+TEST(SweepOrchestrator, CorpusJobsMatchDirectRuns) {
+  // A mixed corpus + zoo matrix in ONE fleet run: per-key results must be
+  // bit-identical to direct per-module analyze()/run_campaign() for every
+  // jobs/threads combination, and the store must resume cleanly.
+  const std::string dir = write_test_corpus("corpus_orchestrate");
+  const Kiss2CorpusSource corpus(dir);
+  synfi::SynfiConfig flip;
+  sim::CampaignConfig camp;
+  camp.runs = 300;
+  camp.cycles = 8;
+  camp.seed = 9;
+  std::vector<SweepJob> jobs = expand_jobs(corpus, "*", {2}, {flip});
+  const std::vector<SweepJob> corpus_camp = expand_campaign_jobs(corpus, "lion", {2}, {camp});
+  jobs.insert(jobs.end(), corpus_camp.begin(), corpus_camp.end());
+  const std::vector<SweepJob> zoo_jobs = expand_jobs("pwrmgr_fsm", {2}, {flip});
+  jobs.insert(jobs.end(), zoo_jobs.begin(), zoo_jobs.end());
+  ASSERT_EQ(jobs.size(), 4u);
+
+  ResultStore reference;
+  for (const SweepJob& job : jobs) {
+    const ot::OtEntry entry =
+        job.source.empty() ? ot::ot_entry(job.module) : corpus.module(job.module);
+    rtlil::Design d;
+    const fsm::CompiledFsm c = ot::build_ot_variant(entry, d, ot::Variant::kScfi,
+                                                    job.protection_level, job.module + "_ref");
+    SweepResult result;
+    result.job = job;
+    if (job.type == JobType::kCampaign) {
+      sim::CampaignConfig config = job.campaign;
+      config.lanes = sim::kNumLanes;
+      result.campaign = sim::run_campaign(entry.fsm, c, config);
+    } else {
+      result.report = synfi::analyze(entry.fsm, c, job.synfi);
+    }
+    reference.add(result);
+  }
+
+  struct JobsThreads {
+    int jobs;
+    int threads;
+  };
+  for (const JobsThreads jt : {JobsThreads{1, 1}, {2, 2}, {3, 8}}) {
+    SweepConfig config;
+    config.jobs = jt.jobs;
+    config.threads = jt.threads;
+    ResultStore store;
+    SweepOrchestrator orchestrator(config);
+    const SweepStats stats = orchestrator.run(jobs, store, "", false, &corpus);
+    EXPECT_EQ(stats.executed, 4);
+    ASSERT_EQ(store.size(), 4u);
+    for (const SweepJob& job : jobs) {
+      const SweepResult* got = store.find(job.key());
+      ASSERT_NE(got, nullptr) << job.key();
+      EXPECT_TRUE(reports_equal(*got, *reference.find(job.key())))
+          << job.key() << " jobs=" << jt.jobs << " threads=" << jt.threads;
+    }
+  }
+
+  // The mixed store round-trips through JSONL (v3 lines) and resumes with
+  // every job skipped.
+  const std::string path = temp_path("sweep_corpus.jsonl");
+  std::remove(path.c_str());
+  ResultStore store;
+  SweepOrchestrator orchestrator{SweepConfig{}};
+  EXPECT_EQ(orchestrator.run(jobs, store, path, false, &corpus).executed, 4);
+  ResultStore resumed = ResultStore::load(path);
+  EXPECT_EQ(resumed.size(), 4u);
+  const SweepStats second = orchestrator.run(jobs, resumed, path, true, &corpus);
+  EXPECT_EQ(second.executed, 0);
+  EXPECT_EQ(second.skipped, 4);
+
+  // Corpus jobs without their source are rejected up front, whatever the
+  // provided source's label is.
+  ResultStore empty;
+  EXPECT_THROW(orchestrator.run(jobs, empty), ScfiError);
+  const Kiss2CorpusSource other(dir, "other_label");
+  EXPECT_THROW(orchestrator.run(jobs, empty, "", false, &other), ScfiError);
+  EXPECT_EQ(empty.size(), 0u);
 }
 
 TEST(SweepOrchestrator, MatchesSequentialAnalyzeForAllJobsThreads) {
