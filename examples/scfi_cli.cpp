@@ -19,6 +19,7 @@
 //                    [--max-exploitable-increase N]
 //                    [--max-hijack-rate-increase F] [--max-detection-rate-drop F]
 //                    [--wilson-z Z] [--wilson-min-trials N] [--fail-on-removed]
+//   scfi_cli store-compact <store.jsonl>
 //   scfi_cli dot     <file.kiss2>
 // Without a file argument a built-in demo FSM is used. `sweep` runs the
 // SYNFI job matrix over every module matching the globs — drawn from the
@@ -85,7 +86,8 @@ scfi::fsm::Fsm load_fsm(const std::string& path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: scfi_cli <harden|area|synfi|attack|sweep|sweep-diff|dot> [file.kiss2]\n"
+               "usage: scfi_cli <harden|area|synfi|attack|sweep|sweep-diff|store-compact|dot>"
+               " [file.kiss2]\n"
                "  harden/area/synfi/attack: -n LEVEL  protection level (default 2)\n"
                "  harden:  -o out.v --json out.json\n"
                "  synfi:   --backend sim|sat --lanes K --threads K --no-incremental\n"
@@ -100,7 +102,9 @@ int usage() {
                "  sweep-diff: <baseline.jsonl> <candidate.jsonl>\n"
                "           --max-exploitable-increase N --max-hijack-rate-increase F\n"
                "           --max-detection-rate-drop F --wilson-z Z\n"
-               "           --wilson-min-trials N --fail-on-removed\n");
+               "           --wilson-min-trials N --fail-on-removed\n"
+               "  store-compact: <store.jsonl>  rewrite latest-wins compact "
+               "(salvages a torn tail)\n");
   return 2;
 }
 
@@ -258,6 +262,29 @@ int main(int argc, char** argv) {
     }
     const std::string file = positional.empty() ? "" : positional.front();
 
+    if (command == "store-compact") {
+      scfi::require(positional.size() == 1,
+                    "scfi_cli: store-compact takes exactly one JSONL store path");
+      const std::string& path = positional[0];
+      // Raw line count before the rewrite, so the report shows how much the
+      // append-heavy history (re-appended keys, torn tail) collapsed.
+      std::size_t raw_lines = 0;
+      {
+        std::ifstream in(path);
+        scfi::require(in.good(), "scfi_cli: cannot read " + path);
+        std::string line;
+        while (std::getline(in, line)) {
+          if (!scfi::trim(line).empty()) ++raw_lines;
+        }
+      }
+      scfi::sweep::ResultStore store =
+          scfi::sweep::ResultStore::load(path, /*recover_torn_tail=*/true);
+      store.save(path);
+      std::printf("store-compact: %zu line(s) -> %zu record(s) in %s\n", raw_lines,
+                  store.size(), path.c_str());
+      return 0;
+    }
+
     if (command == "sweep-diff") {
       scfi::require(positional.size() == 2,
                     "scfi_cli: sweep-diff takes exactly two JSONL store paths");
@@ -337,7 +364,17 @@ int main(int argc, char** argv) {
       scfi::require(!resume || !sweep_out.empty(),
                     "scfi_cli: --resume needs --out (the JSONL store to resume from)");
       scfi::sweep::ResultStore store;
-      if (resume) store = scfi::sweep::ResultStore::load(sweep_out);
+      // Resume tolerates the torn final line a killed run can leave (the
+      // salvage is loudly warned and the torn job simply re-executes);
+      // sweep-diff keeps loading strictly — a gate must not guess. The
+      // salvaged store is rewritten before any new append: a torn tail has
+      // no trailing newline, so appending straight onto it would glue the
+      // next record into the garbage. The rewrite also compacts the
+      // append history to latest-wins.
+      if (resume) {
+        store = scfi::sweep::ResultStore::load(sweep_out, /*recover_torn_tail=*/true);
+        store.save(sweep_out);
+      }
       scfi::sweep::SweepConfig sweep_config;
       sweep_config.jobs = jobs;
       sweep_config.threads = threads;

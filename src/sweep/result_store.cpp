@@ -1,15 +1,21 @@
 #include "sweep/result_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "backends/json.h"
 #include "base/error.h"
+#include "base/log.h"
 #include "base/strutil.h"
 
 namespace scfi::sweep {
@@ -375,7 +381,7 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   return result;
 }
 
-ResultStore ResultStore::load(const std::string& path) {
+ResultStore ResultStore::load(const std::string& path, bool recover_torn_tail) {
   ResultStore store;
   // A missing store is a fresh start; an existing-but-unreadable one must
   // NOT silently resume as empty (every completed job would re-execute).
@@ -383,16 +389,30 @@ ResultStore ResultStore::load(const std::string& path) {
   if (!std::filesystem::exists(path, ec)) return store;
   std::ifstream in(path);
   require(in.good(), "result store: cannot read " + path);
+  // Lines are collected before parsing so the final line is known up front:
+  // recovery may salvage ONLY a torn last line (the one shape a crash
+  // mid-append can leave); a malformed line anywhere earlier is corruption
+  // no crash explains and still aborts the load.
+  std::vector<std::pair<std::size_t, std::string>> lines;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const std::string trimmed = trim(line);
+    std::string trimmed = trim(line);
     if (trimmed.empty()) continue;
+    lines.emplace_back(line_no, std::move(trimmed));
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
     try {
-      store.add(parse_line(trimmed));
+      store.add(parse_line(lines[i].second));
     } catch (const ScfiError& e) {
-      throw ScfiError(path + ":" + std::to_string(line_no) + ": " + e.what());
+      if (recover_torn_tail && i + 1 == lines.size()) {
+        log_warn("result store: dropping torn final line at " + path + ":" +
+                 std::to_string(lines[i].first) + " (" + e.what() +
+                 "); the interrupted job will re-execute on resume");
+        break;
+      }
+      throw ScfiError(path + ":" + std::to_string(lines[i].first) + ": " + e.what());
     }
   }
   return store;
@@ -439,18 +459,70 @@ ResultStore::Diff ResultStore::diff(const ResultStore& left, const ResultStore& 
   return diff;
 }
 
+namespace {
+
+/// fsync of an already-written file by path; throws on failure (a store the
+/// caller believes durable must actually be on disk).
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  require(fd >= 0, "result store: cannot reopen " + path + " for fsync");
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  require(ok, "result store: fsync of " + path + " failed");
+}
+
+/// Best-effort fsync of `path`'s parent directory, making the rename that
+/// just landed there durable. Some filesystems reject directory fsync;
+/// that only weakens durability, never correctness, so failures are quiet.
+void fsync_parent_dir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 void ResultStore::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  require(out.good(), "result store: cannot write " + path);
-  for (const SweepResult& result : results_) out << to_line(result) << "\n";
-  require(out.good(), "result store: write to " + path + " failed");
+  // Write-to-temp + fsync + atomic rename: the old in-place truncate lost
+  // every record if the process died between the truncate and the final
+  // flush. After the rename the directory entry is synced too, so the swap
+  // itself survives a power cut.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    require(out.good(), "result store: cannot write " + tmp);
+    for (const SweepResult& result : results_) out << to_line(result) << "\n";
+    out.flush();
+    require(out.good(), "result store: write to " + tmp + " failed");
+  }
+  fsync_file(tmp);
+  require(std::rename(tmp.c_str(), path.c_str()) == 0,
+          "result store: cannot rename " + tmp + " over " + path);
+  fsync_parent_dir(path);
 }
 
 void ResultStore::append_line(const std::string& path, const SweepResult& result) {
-  std::ofstream out(path, std::ios::app);
-  require(out.good(), "result store: cannot append to " + path);
-  out << to_line(result) << "\n" << std::flush;
-  require(out.good(), "result store: append to " + path + " failed");
+  const std::string line = to_line(result) + "\n";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  require(fd >= 0, "result store: cannot append to " + path);
+  // One full O_APPEND write so concurrent workers' records never
+  // interleave, then fsync so a reported-durable record survives a crash.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw ScfiError("result store: append to " + path + " failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  require(synced, "result store: fsync of " + path + " failed");
 }
 
 }  // namespace scfi::sweep

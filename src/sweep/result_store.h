@@ -94,8 +94,14 @@ class ResultStore {
   ResultStore() = default;
 
   /// Parses an existing JSONL store. A missing file yields an empty store;
-  /// a malformed line or schema mismatch throws ScfiError.
-  static ResultStore load(const std::string& path);
+  /// a malformed line or schema mismatch throws ScfiError. With
+  /// `recover_torn_tail`, a malformed FINAL line — the one shape a crash or
+  /// SIGKILL between append_line's write and its fsync can leave behind —
+  /// is dropped with a loud warning instead of aborting the load, so
+  /// `--resume` can replay on top of a torn store (the dropped job simply
+  /// re-executes). Corruption anywhere but the last line still throws:
+  /// only a torn tail is explainable by a crash.
+  static ResultStore load(const std::string& path, bool recover_torn_tail = false);
 
   /// Adds a result; an existing record with the same key is replaced
   /// in place (latest wins).
@@ -119,7 +125,11 @@ class ResultStore {
   };
   static Diff diff(const ResultStore& left, const ResultStore& right);
 
-  /// Rewrites the whole store (one line per record, key order = insertion).
+  /// Rewrites the whole store (one line per record, key order = insertion)
+  /// crash-safely: the lines go to a sibling temp file which is fsynced and
+  /// atomically renamed over `path`, so a crash at any point leaves either
+  /// the complete old store or the complete new one — never a torn mix.
+  /// Also the latest-wins compactor behind `scfi_cli store-compact`.
   void save(const std::string& path) const;
 
   /// Serializes one record as a single JSONL line (no trailing newline).
@@ -127,7 +137,11 @@ class ResultStore {
   /// Inverse of to_line; throws ScfiError on malformed input or wrong
   /// schema version.
   static SweepResult parse_line(const std::string& line);
-  /// Appends one record to a JSONL file (creating it if needed) and flushes.
+  /// Appends one record to a JSONL file (creating it if needed) as one
+  /// O_APPEND write followed by fsync: records from concurrent workers
+  /// never interleave, and once the call returns the record survives a
+  /// crash or power cut. A kill inside the call can at worst leave one
+  /// torn final line, which load()'s recovery mode salvages.
   static void append_line(const std::string& path, const SweepResult& result);
 
  private:

@@ -299,6 +299,92 @@ TEST(ResultStore, SaveLoadAppendDedupe) {
   EXPECT_EQ(ResultStore::load(temp_path("does_not_exist.jsonl")).size(), 0u);
 }
 
+TEST(ResultStore, TornTailRecoveryIsOptInAndLastLineOnly) {
+  // A SIGKILL between append_line's write and its fsync leaves a torn final
+  // line — exactly what truncating a complete store mid-record simulates.
+  const std::string path = temp_path("store_torn_tail.jsonl");
+  std::remove(path.c_str());
+  const SweepResult a = golden_result();
+  SweepResult b = golden_result();
+  b.job.module = "aes_control";
+  ResultStore::append_line(path, a);
+  ResultStore::append_line(path, b);
+  {
+    const std::string full = ResultStore::to_line(b);
+    std::ofstream out(path, std::ios::trunc);
+    out << ResultStore::to_line(a) << "\n" << full.substr(0, full.size() / 2);
+  }
+
+  // Strict load (the default, and what sweep-diff uses) still throws with
+  // path:line context; recovery salvages every complete record.
+  EXPECT_THROW(ResultStore::load(path), ScfiError);
+  try {
+    ResultStore::load(path);
+    FAIL() << "strict load accepted a torn line";
+  } catch (const ScfiError& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":2"), std::string::npos);
+  }
+  const ResultStore recovered = ResultStore::load(path, /*recover_torn_tail=*/true);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_TRUE(recovered.contains(a.key()));
+
+  // Corruption anywhere BEFORE the last line is not a torn tail — no crash
+  // produces it — so even recovery mode refuses the file.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema\":3,\"type\":\"synfi\",\"module\":\"m\"" << "\n"
+        << ResultStore::to_line(a) << "\n";
+  }
+  EXPECT_THROW(ResultStore::load(path, /*recover_torn_tail=*/true), ScfiError);
+
+  // A store that is ONLY a torn line recovers to empty rather than failing.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema\":3,\"ty";
+  }
+  EXPECT_EQ(ResultStore::load(path, /*recover_torn_tail=*/true).size(), 0u);
+}
+
+TEST(ResultStore, SaveIsAtomicAndCompactsLatestWins) {
+  // An append-heavy store (key re-appended, torn tail) compacts through
+  // recovery-load + save to one line per key, and save never leaves its
+  // temp file behind.
+  const std::string path = temp_path("store_compact.jsonl");
+  std::remove(path.c_str());
+  SweepResult a = golden_result();
+  ResultStore::append_line(path, a);
+  a.report.exploitable = 9;
+  ResultStore::append_line(path, a);
+  SweepResult b = golden_result();
+  b.job.module = "aes_control";
+  ResultStore::append_line(path, b);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"schema\":3,\"torn";
+  }
+
+  ResultStore store = ResultStore::load(path, /*recover_torn_tail=*/true);
+  ASSERT_EQ(store.size(), 2u);
+  store.save(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  std::ifstream in(path);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2u);
+  const ResultStore reloaded = ResultStore::load(path);  // strict: no torn tail left
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded.find(a.key())->report.exploitable, 9);
+  EXPECT_TRUE(reloaded.contains(b.key()));
+
+  // Saving over a live store replaces it atomically — the target keeps its
+  // old contents if the temp write fails (unwritable directory).
+  ResultStore fresh;
+  fresh.add(b);
+  EXPECT_THROW(fresh.save("/no/such/dir/store.jsonl"), ScfiError);
+}
+
 TEST(ResultStore, MergeAndDiff) {
   SweepResult a = golden_result();
   SweepResult b = golden_result();
