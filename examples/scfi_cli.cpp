@@ -15,6 +15,7 @@
 //                    [--campaign-variants scfi,unprotected,redundancy]
 //                    [--campaign-target any|inputs|state|logic]
 //                    [--out results.jsonl] [--resume] [--jobs K] [--threads K]
+//                    [--retries N] [--job-timeout SECONDS] [--fail-fast]
 //   scfi_cli sweep-diff <baseline.jsonl> <candidate.jsonl>
 //                    [--max-exploitable-increase N]
 //                    [--max-hijack-rate-increase F] [--max-detection-rate-drop F]
@@ -27,7 +28,11 @@
 // recursively under DIR (files that fail to parse are reported per module
 // and skipped, not fatal) — plus, with --campaign-runs > 0, a Monte-Carlo
 // campaign job per module x level x kind x campaign-variant — and streams
-// JSONL results into --out; --resume skips jobs already present there.
+// JSONL results into --out; --resume skips jobs already ok there (failed
+// and timed-out keys re-execute). A job that throws is retried --retries
+// times with backoff, then recorded as a schema-v4 failure record (the
+// sweep exits 1 but the other jobs complete); --job-timeout bounds each
+// job's wall clock; --fail-fast aborts the fleet on the first error.
 // `sweep-diff` compares two stores and exits non-zero when a metric
 // regresses beyond its threshold (rates are fractions: 0.005 = half a
 // percentage point); campaign rates gate on Wilson-interval separation at
@@ -99,6 +104,7 @@ int usage() {
                "           --campaign-seed N --campaign-variants scfi,unprotected\n"
                "           --campaign-target any|inputs|state|logic\n"
                "           --out results.jsonl --resume --jobs K --threads K --lanes K\n"
+               "           --retries N --job-timeout SECONDS --fail-fast\n"
                "  sweep-diff: <baseline.jsonl> <candidate.jsonl>\n"
                "           --max-exploitable-increase N --max-hijack-rate-increase F\n"
                "           --max-detection-rate-drop F --wilson-z Z\n"
@@ -144,6 +150,15 @@ double parse_zscore(const std::string& flag, const char* text) {
   return value;
 }
 
+double parse_seconds(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  scfi::require(end != text && *end == '\0' && value >= 0.0,
+                "scfi_cli: " + flag + " must be a non-negative number of seconds, got '" +
+                    std::string(text) + "'");
+  return value;
+}
+
 std::vector<int> parse_levels(const std::string& text) {
   std::vector<int> levels;
   for (const std::string& field : scfi::split(text, ",")) {
@@ -181,6 +196,9 @@ int main(int argc, char** argv) {
   int campaign_cycles = 24;
   int campaign_faults = 1;
   long long campaign_seed = 1;
+  int retries = 2;
+  double job_timeout = 0.0;
+  bool fail_fast = false;
   scfi::sweep::DiffThresholds thresholds;
 
   try {
@@ -222,6 +240,14 @@ int main(int argc, char** argv) {
         corpus_dir = argv[++i];
       } else if (arg == "--resume") {
         resume = true;
+      } else if (arg == "--retries" && has_value) {
+        const long long value = parse_count("--retries", argv[++i]);
+        scfi::require(value <= INT_MAX, "scfi_cli: --retries too large");
+        retries = static_cast<int>(value);
+      } else if (arg == "--job-timeout" && has_value) {
+        job_timeout = parse_seconds("--job-timeout", argv[++i]);
+      } else if (arg == "--fail-fast") {
+        fail_fast = true;
       } else if (arg == "--campaign-runs" && has_value) {
         // 0 is the documented off state (SYNFI-only sweep), so scripts can
         // pass it explicitly.
@@ -379,6 +405,9 @@ int main(int argc, char** argv) {
       sweep_config.jobs = jobs;
       sweep_config.threads = threads;
       sweep_config.lanes = lanes;
+      sweep_config.retries = retries;
+      sweep_config.job_timeout = job_timeout;
+      sweep_config.fail_fast = fail_fast;
       const std::string out_note = sweep_out.empty() ? "" : " out=" + sweep_out;
       std::printf("sweep config: %zu job(s), jobs=%d threads=%d lanes=%d backend=%s%s%s\n",
                   sweep_jobs.size(), jobs, threads, lanes, backend_name.c_str(),
@@ -387,7 +416,10 @@ int main(int argc, char** argv) {
       const scfi::sweep::SweepStats stats =
           orchestrator.run(sweep_jobs, store, sweep_out, resume, source.get());
       for (const scfi::sweep::SweepResult& r : store.results()) {
-        if (r.job.type == scfi::sweep::JobType::kCampaign) {
+        if (r.status == scfi::sweep::JobStatus::kFailed) {
+          std::printf("  %-48s FAILED after %d attempt(s): %s [%.3fs]\n", r.key().c_str(),
+                      r.attempts, r.error.c_str(), r.seconds);
+        } else if (r.job.type == scfi::sweep::JobType::kCampaign) {
           std::printf("  %-48s hijack=%.4f%% detection=%.2f%% effective=%d/%d [%.3fs]\n",
                       r.key().c_str(), 100.0 * r.campaign.hijack_rate(),
                       100.0 * r.campaign.detection_rate(), r.campaign.effective(),
@@ -399,8 +431,11 @@ int main(int argc, char** argv) {
                       r.seconds);
         }
       }
-      std::printf("sweep: executed %d job(s), skipped %d\n", stats.executed, stats.skipped);
-      return 0;
+      std::printf("sweep: executed %d job(s), skipped %d, failed %d, retried %d\n",
+                  stats.executed, stats.skipped, stats.failed, stats.retried);
+      // Failure records do not abort the fleet, but they must not look like
+      // a clean sweep to scripts either.
+      return stats.failed > 0 ? 1 : 0;
     }
 
     const scfi::fsm::Fsm fsm = load_fsm(file);

@@ -1,0 +1,33 @@
+#include "base/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scfi {
+
+void CancelToken::set_deadline_after(double seconds) {
+  require(seconds >= 0.0, "cancel token: deadline must be non-negative");
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  has_deadline_ = true;
+}
+
+bool CancelToken::stop_requested() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void CancelToken::check(const char* where) const {
+  if (stop_requested()) {
+    throw CancelledError(std::string(where) + ": cancelled (stop requested or deadline exceeded)");
+  }
+}
+
+double BackoffPolicy::delay_ms(int failures) const {
+  if (failures < 1 || initial_ms <= 0.0) return 0.0;
+  const double factor = std::pow(std::max(1.0, multiplier), failures - 1);
+  return std::min(std::max(0.0, max_ms), initial_ms * factor);
+}
+
+}  // namespace scfi

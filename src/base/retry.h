@@ -1,0 +1,67 @@
+// Cooperative cancellation and retry-backoff primitives for long-running
+// engines (the sweep fleet's per-job deadlines and attempt budgets).
+//
+// A CancelToken is armed by the owner — an explicit cancel() and/or a
+// wall-clock deadline — and polled by worker inner loops at batch
+// granularity via stop_requested()/check(): workers stop at the next batch
+// boundary instead of being killed, so partial work is never torn and
+// caches stay consistent. A fired token surfaces as CancelledError, which
+// callers can distinguish from ordinary (retryable) failures.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "base/error.h"
+
+namespace scfi {
+
+/// A cancellation request (explicit or deadline) reached a cooperative
+/// check point. Derived from ScfiError so generic handlers still treat it
+/// as recoverable, while retry loops can catch it specifically — a fired
+/// deadline must not be retried into.
+class CancelledError : public ScfiError {
+ public:
+  explicit CancelledError(const std::string& what) : ScfiError(what) {}
+};
+
+/// Shared stop signal: set once (explicitly or by an armed deadline
+/// passing), observed by every loop polling it. The token itself is
+/// passive — nothing is interrupted until a worker polls.
+class CancelToken {
+ public:
+  /// Requests cancellation explicitly.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline `seconds` from now; stop_requested()
+  /// reports true once it passes. Re-arming replaces the old deadline.
+  void set_deadline_after(double seconds);
+
+  /// True once cancel() was called or an armed deadline has passed.
+  bool stop_requested() const;
+
+  /// Throws CancelledError when stop_requested(); `where` names the
+  /// interrupted engine in the message.
+  void check(const char* where) const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Exponential backoff schedule between retry attempts. delay_ms(1) is the
+/// sleep before the first re-attempt; each further attempt multiplies the
+/// delay, capped at max_ms. Tests zero initial_ms to retry instantly.
+struct BackoffPolicy {
+  double initial_ms = 10.0;
+  double multiplier = 2.0;
+  double max_ms = 1000.0;
+
+  /// Delay before re-attempt number `failures` (>= 1 = after the first
+  /// failed try). Never negative.
+  double delay_ms(int failures) const;
+};
+
+}  // namespace scfi

@@ -10,6 +10,7 @@
 
 #include "base/error.h"
 #include "base/log.h"
+#include "base/retry.h"
 #include "base/rng.h"
 #include "base/strutil.h"
 
@@ -315,6 +316,9 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
 
   const int lanes = config.lanes;
   for (int batch = batch_begin; batch < batch_end; ++batch) {
+    // Cooperative cancellation at batch granularity: a fired token (sweep
+    // job deadline) stops the worker here, with no half-simulated batch.
+    if (config.cancel != nullptr) config.cancel->check("run_campaign");
     const int base_run = batch * lanes;
     const int batch_runs = std::min(lanes, config.runs - base_run);
     const std::uint64_t batch_mask =

@@ -32,6 +32,10 @@
 #include "sim/fault.h"
 #include "sim/netlist_sim.h"
 
+namespace scfi {
+class CancelToken;
+}
+
 namespace scfi::sim {
 
 /// How run plans (walks + fault schedules) are produced. Both planners draw
@@ -70,6 +74,12 @@ struct CampaignConfig {
   /// ScfiError instead (a one-time warning is logged above half the cap).
   /// 0 disables the check. kStreaming plans per batch and ignores the cap.
   std::int64_t max_plan_bytes = 1LL << 31;  ///< 2 GiB
+  /// Optional cooperative stop signal, polled once per executed batch:
+  /// when it fires, workers throw CancelledError at the next batch
+  /// boundary instead of being killed mid-simulation. Execution knob like
+  /// lanes/threads — never part of a job identity — and must outlive the
+  /// run_campaign call. nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Estimated bytes the materializing planner (kStreamingMaterialized)

@@ -26,6 +26,24 @@ WilsonInterval wilson_interval(std::int64_t successes, std::int64_t trials, doub
 
 namespace {
 
+/// A changed pair where at least one side is a failure record. Both-failed
+/// never reaches here (reports_equal treats two failures as equal), so this
+/// is always an ok<->failed transition: a job that used to pass and now
+/// fails is a regression regardless of thresholds; a recovery never gates.
+DiffEntry compare_status(const SweepResult& base, const SweepResult& cand) {
+  DiffEntry entry;
+  entry.key = base.key();
+  entry.type = base.job.type;
+  if (cand.status == JobStatus::kFailed) {
+    entry.regression = true;
+    entry.note = "ok -> FAILED (" + cand.error + ")";
+  } else {
+    entry.regression = false;
+    entry.note = "FAILED -> ok (recovered; was: " + base.error + ")";
+  }
+  return entry;
+}
+
 DiffEntry compare_synfi(const SweepResult& base, const SweepResult& cand,
                         const DiffThresholds& thresholds) {
   DiffEntry entry;
@@ -113,9 +131,13 @@ DiffReport diff_report(const ResultStore& baseline, const ResultStore& candidate
   for (const std::string& key : diff.changed) {
     const SweepResult& base = *baseline.find(key);
     const SweepResult& cand = *candidate.find(key);
-    report.changed.push_back(base.job.type == JobType::kCampaign
-                                 ? compare_campaign(base, cand, thresholds)
-                                 : compare_synfi(base, cand, thresholds));
+    if (base.status != cand.status) {
+      report.changed.push_back(compare_status(base, cand));
+    } else {
+      report.changed.push_back(base.job.type == JobType::kCampaign
+                                   ? compare_campaign(base, cand, thresholds)
+                                   : compare_synfi(base, cand, thresholds));
+    }
   }
   for (const DiffEntry& entry : report.changed) report.regressions += entry.regression;
   report.removed_gates = thresholds.fail_on_removed;

@@ -75,8 +75,22 @@ JobType job_type_of(const std::string& name) {
   throw ScfiError("sweep: unknown job type '" + name + "' (expected synfi or campaign)");
 }
 
+const char* job_status_name(JobStatus status) {
+  return status == JobStatus::kFailed ? "failed" : "ok";
+}
+
+JobStatus job_status_of(const std::string& name) {
+  if (name == "ok") return JobStatus::kOk;
+  if (name == "failed") return JobStatus::kFailed;
+  throw ScfiError("sweep: unknown job status '" + name + "' (expected ok or failed)");
+}
+
 bool reports_equal(const SweepResult& a, const SweepResult& b) {
   if (a.job.type != b.job.type) return false;
+  if (a.status != b.status) return false;
+  // Two failures compare equal regardless of error text or attempt count:
+  // those are diagnostics, like timing, not part of the verdict.
+  if (a.status == JobStatus::kFailed) return true;
   return a.job.type == JobType::kCampaign ? a.campaign == b.campaign : a.report == b.report;
 }
 
@@ -223,6 +237,10 @@ std::string ResultStore::to_line(const SweepResult& result) {
   out << ",\"module\":\"" << backends::json_escape(job.module) << "\"";
   out << ",\"variant\":\"" << backends::json_escape(job.variant) << "\"";
   out << ",\"level\":" << job.protection_level;
+  out << ",\"status\":\"" << job_status_name(result.status) << "\"";
+  const bool ok = result.status == JobStatus::kOk;
+  // Identity fields are written even for failed records (resume needs the
+  // key to round-trip); the payload counters exist only on ok records.
   if (job.type == JobType::kCampaign) {
     const sim::CampaignResult& c = result.campaign;
     out << ",\"kind\":\"" << fault_kind_name(job.campaign.kind) << "\"";
@@ -231,11 +249,13 @@ std::string ResultStore::to_line(const SweepResult& result) {
     out << ",\"cycles\":" << job.campaign.cycles;
     out << ",\"faults\":" << job.campaign.num_faults;
     out << ",\"seed\":" << job.campaign.seed;
-    out << ",\"masked\":" << c.masked;
-    out << ",\"detected\":" << c.detected;
-    out << ",\"hijacked\":" << c.hijacked;
-    out << ",\"lagged\":" << c.lagged;
-    out << ",\"silent_invalid\":" << c.silent_invalid;
+    if (ok) {
+      out << ",\"masked\":" << c.masked;
+      out << ",\"detected\":" << c.detected;
+      out << ",\"hijacked\":" << c.hijacked;
+      out << ",\"lagged\":" << c.lagged;
+      out << ",\"silent_invalid\":" << c.silent_invalid;
+    }
   } else {
     const synfi::SynfiReport& r = result.report;
     out << ",\"region\":\"" << backends::json_escape(job.synfi.wire_prefix) << "\"";
@@ -243,19 +263,23 @@ std::string ResultStore::to_line(const SweepResult& result) {
     out << ",\"backend\":\"" << backend_name(job.synfi.backend) << "\"";
     out << ",\"kind\":\"" << fault_kind_name(job.synfi.kind) << "\"";
     out << ",\"free_symbol\":" << (job.synfi.free_symbol ? "true" : "false");
-    out << ",\"sites\":" << r.sites;
-    out << ",\"injections\":" << r.injections;
-    out << ",\"exploitable\":" << r.exploitable;
-    out << ",\"detected\":" << r.detected;
-    out << ",\"masked\":" << r.masked;
-    out << ",\"stalls\":" << r.stalls;
-    out << ",\"exploitable_sites\":[";
-    for (std::size_t i = 0; i < r.exploitable_sites.size(); ++i) {
-      if (i > 0) out << ",";
-      out << "\"" << backends::json_escape(r.exploitable_sites[i]) << "\"";
+    if (ok) {
+      out << ",\"sites\":" << r.sites;
+      out << ",\"injections\":" << r.injections;
+      out << ",\"exploitable\":" << r.exploitable;
+      out << ",\"detected\":" << r.detected;
+      out << ",\"masked\":" << r.masked;
+      out << ",\"stalls\":" << r.stalls;
+      out << ",\"exploitable_sites\":[";
+      for (std::size_t i = 0; i < r.exploitable_sites.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\"" << backends::json_escape(r.exploitable_sites[i]) << "\"";
+      }
+      out << "]";
     }
-    out << "]";
   }
+  if (!ok) out << ",\"error\":\"" << backends::json_escape(result.error) << "\"";
+  out << ",\"attempts\":" << result.attempts;
   char seconds[32];
   std::snprintf(seconds, sizeof(seconds), "%.6f", result.seconds);
   out << ",\"seconds\":" << seconds << "}";
@@ -267,12 +291,16 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   // `detected`, and `masked` names are shared between the two job types, so
   // they can only be routed once the (possibly later) `type` field is known.
   // v1 lines have no `type` field and migrate as SYNFI records; v2 lines
-  // have no `source` field and migrate as zoo records.
+  // have no `source` field and migrate as zoo records; v3 lines have no
+  // `status`/`attempts` fields and migrate as ok single-attempt records.
   int schema = -1;
   std::string type_str = "synfi";
   std::string kind_str;
   bool saw_kind = false;
   bool saw_source = false;
+  bool saw_status = false;
+  bool saw_error = false;
+  bool saw_attempts = false;
   std::int64_t detected = 0;
   std::int64_t masked = 0;
   SweepResult result;
@@ -294,6 +322,15 @@ SweepResult ResultStore::parse_line(const std::string& line) {
       } else if (field == "source") {
         result.job.source = parser.parse_string();
         saw_source = true;
+      } else if (field == "status") {
+        result.status = job_status_of(parser.parse_string());
+        saw_status = true;
+      } else if (field == "error") {
+        result.error = parser.parse_string();
+        saw_error = true;
+      } else if (field == "attempts") {
+        result.attempts = parser.parse_int_count();
+        saw_attempts = true;
       } else if (field == "module") {
         result.job.module = parser.parse_string();
       } else if (field == "variant") {
@@ -365,6 +402,12 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   require(schema >= 3 || !saw_source,
           "result store: schema " + std::to_string(schema) +
               " lines cannot carry a source field (corpus sources are v3)");
+  require(schema >= 4 || !(saw_status || saw_error || saw_attempts),
+          "result store: schema " + std::to_string(schema) +
+              " lines cannot carry status/error/attempts fields (job status is v4)");
+  require(result.attempts >= 1, "result store: attempts must be >= 1");
+  require(result.status == JobStatus::kFailed || !saw_error,
+          "result store: ok records cannot carry an error field");
   if (result.job.type == JobType::kCampaign) {
     if (saw_kind) result.job.campaign.kind = fault_kind_of(kind_str);
     require(detected >= 0 && detected <= 0x7fffffffLL && masked >= 0 &&

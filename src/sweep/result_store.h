@@ -40,6 +40,16 @@ enum class JobType {
 const char* job_type_name(JobType type);
 JobType job_type_of(const std::string& name);
 
+/// Terminal outcome of a sweep job. A failed record keeps the full job
+/// identity (so resume knows the key) but carries an error message instead
+/// of a report payload.
+enum class JobStatus {
+  kOk,      ///< report payload is valid
+  kFailed,  ///< job threw / timed out; `error` says why
+};
+const char* job_status_name(JobStatus status);
+JobStatus job_status_of(const std::string& name);
+
 /// One sweep job: which variant to build and which query to run on it.
 /// `synfi.lanes`/`synfi.threads` (and, for campaign jobs,
 /// `campaign.lanes`/`campaign.threads`/`campaign.planner`) are execution
@@ -68,28 +78,35 @@ struct SweepJob {
   std::string key() const;
 };
 
-/// A completed job: the job identity, its report (one of the two payloads,
-/// selected by `job.type`), and the wall-clock cost.
+/// A finished job: the job identity, its terminal status, the report (one
+/// of the two payloads, selected by `job.type`, meaningful only when
+/// `status == kOk`), and the wall-clock cost. `attempts` counts executions
+/// including retries; `error` is set only on failed records.
 struct SweepResult {
   SweepJob job;
-  synfi::SynfiReport report;      ///< kSynfi payload
-  sim::CampaignResult campaign;   ///< kCampaign payload
+  JobStatus status = JobStatus::kOk;
+  synfi::SynfiReport report;      ///< kSynfi payload (status == kOk)
+  sim::CampaignResult campaign;   ///< kCampaign payload (status == kOk)
+  std::string error;              ///< why the job failed (status == kFailed)
+  int attempts = 1;               ///< executions spent, retries included
   double seconds = 0.0;
 
   std::string key() const { return job.key(); }
 };
 
-/// Payload (verdict) comparison — the report of the job's type; timing
-/// never counts.
+/// Verdict comparison: differing statuses never compare equal; two failed
+/// records always do (the error text and attempt count are diagnostics,
+/// like timing); two ok records compare the report of the job's type.
 bool reports_equal(const SweepResult& a, const SweepResult& b);
 
 class ResultStore {
  public:
   /// Bumped whenever the line schema changes. load()/parse_line() migrate
-  /// v1 lines (SYNFI-only, no `type` field) and v2 lines (zoo-only, no
-  /// `source` field) to v3 records on the fly and reject anything else;
-  /// to_line() always writes the current version.
-  static constexpr int kSchemaVersion = 3;
+  /// v1 lines (SYNFI-only, no `type` field), v2 lines (zoo-only, no
+  /// `source` field), and v3 lines (always-ok, no `status`/`attempts`
+  /// fields) to v4 records on the fly and reject anything else; to_line()
+  /// always writes the current version.
+  static constexpr int kSchemaVersion = 4;
 
   ResultStore() = default;
 

@@ -1,14 +1,17 @@
 #include "sweep/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "base/error.h"
+#include "base/strutil.h"
 #include "ot/zoo.h"
 #include "rtlil/design.h"
 #include "sim/campaign.h"
@@ -56,6 +59,18 @@ const ModuleSource& source_of(const SweepJob& job, const ModuleSource* provided)
   return *provided;
 }
 
+/// The active exception's message, callable only from a catch block (it
+/// rethrows to inspect the type).
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
 }  // namespace
 
 SweepOrchestrator::SweepOrchestrator(const SweepConfig& config) : config_(config) {
@@ -63,6 +78,8 @@ SweepOrchestrator::SweepOrchestrator(const SweepConfig& config) : config_(config
   require(config_.threads >= 1, "sweep: threads must be >= 1");
   require(config_.lanes >= 1 && config_.lanes <= sim::kNumLanes,
           "sweep: lanes must be in [1, 64]");
+  require(config_.retries >= 0, "sweep: retries must be >= 0");
+  require(config_.job_timeout >= 0.0, "sweep: job timeout must be >= 0");
 }
 
 SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore& store,
@@ -70,14 +87,20 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
                                   const ModuleSource* source) {
   SweepStats stats;
 
-  // Validate and filter up front so a bad job aborts before any work runs.
+  // Validate and filter up front so a malformed job matrix (a caller bug,
+  // unlike an execution failure) aborts before any work runs. The resume
+  // lease skips only keys whose stored record is ok: a failed or timed-out
+  // key re-executes, and the latest-wins append replaces its record.
   std::vector<SweepJob> pending;
   for (const SweepJob& job : jobs) {
     variant_of(job);
     source_of(job, source);
-    if (resume && store.contains(job.key())) {
-      ++stats.skipped;
-      continue;
+    if (resume) {
+      const SweepResult* prior = store.find(job.key());
+      if (prior != nullptr && prior->status == JobStatus::kOk) {
+        ++stats.skipped;
+        continue;
+      }
     }
     pending.push_back(job);
   }
@@ -109,56 +132,136 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
 
   std::mutex emit_mutex;
   std::atomic<std::size_t> next_group{0};
-  std::atomic<bool> failed{false};
+  std::atomic<bool> aborted{false};
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(outer));
+
+  // Streams one finished record — ok or failed — under the emit lock.
+  const auto emit = [&](SweepResult result) {
+    const std::lock_guard<std::mutex> lock(emit_mutex);
+    if (!out_path.empty()) ResultStore::append_line(out_path, result);
+    if (result.status == JobStatus::kOk) {
+      ++stats.executed;
+    } else {
+      ++stats.failed;
+    }
+    store.add(std::move(result));
+  };
+  const auto emit_failure = [&](const SweepJob& job, const std::string& error, int attempts,
+                                double seconds) {
+    SweepResult result;
+    result.job = job;
+    result.status = JobStatus::kFailed;
+    result.error = error;
+    result.attempts = attempts;
+    result.seconds = seconds;
+    emit(std::move(result));
+  };
 
   const auto worker = [&](int slot) {
     try {
       for (;;) {
-        // The first worker error stops every worker from claiming further
-        // groups; only the groups already in flight finish.
-        if (failed.load(std::memory_order_relaxed)) return;
+        // An escaped worker error (fail_fast, or store/append I/O trouble)
+        // stops every worker from claiming further groups; only the groups
+        // already in flight finish.
+        if (aborted.load(std::memory_order_relaxed)) return;
         const std::size_t g = next_group.fetch_add(1);
         if (g >= groups.size()) return;
         const VariantGroup& group = groups[g];
-        const ot::OtEntry entry =
-            source_of(pending[group.job_indices.front()], source).module(group.module);
+        // Building the variant is deterministic — an unknown corpus module
+        // or a compile failure would fail identically on every retry — so
+        // a build error fails every job of the group in one attempt.
+        // `design` must outlive `compiled` (the compiled FSM points into it).
         rtlil::Design design;
-        const fsm::CompiledFsm compiled = ot::build_ot_variant(
-            entry, design, variant_of(pending[group.job_indices.front()]),
-            group.protection_level, group.module + "_sweep");
+        std::optional<ot::OtEntry> entry;
+        std::optional<fsm::CompiledFsm> compiled;
+        try {
+          entry = source_of(pending[group.job_indices.front()], source).module(group.module);
+          compiled = ot::build_ot_variant(*entry, design,
+                                          variant_of(pending[group.job_indices.front()]),
+                                          group.protection_level, group.module + "_sweep");
+        } catch (...) {
+          if (config_.fail_fast) throw;
+          const std::string why = describe_current_exception();
+          for (const std::size_t j : group.job_indices) {
+            emit_failure(pending[j], "variant build failed: " + why, 1, 0.0);
+          }
+          continue;
+        }
         // The Analyzer is SYNFI-only (it rejects raw/redundant variants);
         // build it lazily so campaign-only groups never pay for — or trip
         // over — it.
         std::unique_ptr<synfi::Analyzer> analyzer;
         for (const std::size_t j : group.job_indices) {
-          SweepResult result;
-          result.job = pending[j];
-          const auto t0 = std::chrono::steady_clock::now();
-          if (result.job.type == JobType::kCampaign) {
-            sim::CampaignConfig config = result.job.campaign;
-            config.planner = sim::CampaignPlanner::kStreaming;
-            config.lanes = config_.lanes;
-            config.threads = inner;
-            result.campaign = sim::run_campaign(entry.fsm, compiled, config);
-          } else {
-            if (!analyzer) analyzer = std::make_unique<synfi::Analyzer>(entry.fsm, compiled);
-            synfi::SynfiConfig config = result.job.synfi;
-            config.lanes = config_.lanes;
-            config.threads = inner;
-            result.report = analyzer->run(config);
+          // One deadline spans every attempt of the job: retries must not
+          // extend a timeout budget.
+          CancelToken cancel;
+          const bool deadline = config_.job_timeout > 0.0;
+          if (deadline) cancel.set_deadline_after(config_.job_timeout);
+          const auto job_start = std::chrono::steady_clock::now();
+          const auto elapsed = [&] {
+            return std::chrono::duration<double>(std::chrono::steady_clock::now() - job_start)
+                .count();
+          };
+          for (int attempt = 1;; ++attempt) {
+            try {
+              SweepResult result;
+              result.job = pending[j];
+              if (result.job.type == JobType::kCampaign) {
+                sim::CampaignConfig config = result.job.campaign;
+                config.planner = sim::CampaignPlanner::kStreaming;
+                config.lanes = config_.lanes;
+                config.threads = inner;
+                if (deadline) config.cancel = &cancel;
+                result.campaign = sim::run_campaign(entry->fsm, *compiled, config);
+              } else {
+                if (!analyzer) {
+                  analyzer = std::make_unique<synfi::Analyzer>(entry->fsm, *compiled);
+                }
+                synfi::SynfiConfig config = result.job.synfi;
+                config.lanes = config_.lanes;
+                config.threads = inner;
+                if (deadline) config.cancel = &cancel;
+                result.report = analyzer->run(config);
+              }
+              result.attempts = attempt;
+              result.seconds = elapsed();
+              emit(std::move(result));
+              break;
+            } catch (const CancelledError&) {
+              // The deadline fired mid-attempt. Deterministically final:
+              // the budget spans attempts, so there is nothing to retry.
+              if (config_.fail_fast) throw;
+              emit_failure(pending[j],
+                           format("timed out after %.3fs (job timeout %.3fs)", elapsed(),
+                                  config_.job_timeout),
+                           attempt, elapsed());
+              break;
+            } catch (...) {
+              if (config_.fail_fast) throw;
+              const std::string why = describe_current_exception();
+              if (attempt > config_.retries || cancel.stop_requested()) {
+                emit_failure(pending[j], why, attempt, elapsed());
+                break;
+              }
+              {
+                const std::lock_guard<std::mutex> lock(emit_mutex);
+                ++stats.retried;
+              }
+              double delay_ms = config_.backoff.delay_ms(attempt);
+              if (deadline) {
+                const double remaining_ms = (config_.job_timeout - elapsed()) * 1000.0;
+                delay_ms = std::min(delay_ms, std::max(0.0, remaining_ms));
+              }
+              if (delay_ms > 0.0) {
+                std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+              }
+            }
           }
-          result.seconds =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-          const std::lock_guard<std::mutex> lock(emit_mutex);
-          if (!out_path.empty()) ResultStore::append_line(out_path, result);
-          store.add(std::move(result));
-          ++stats.executed;
         }
       }
     } catch (...) {
       errors[static_cast<std::size_t>(slot)] = std::current_exception();
-      failed.store(true, std::memory_order_relaxed);
+      aborted.store(true, std::memory_order_relaxed);
     }
   };
 
@@ -170,8 +273,24 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
     for (int w = 0; w < outer; ++w) pool.emplace_back(worker, w);
     for (std::thread& th : pool) th.join();
   }
+  // Escaped errors abort the sweep — all of them reported, not just the
+  // first worker's: under fail_fast several workers can trip concurrently,
+  // and swallowing the others hides real failures.
+  std::vector<std::exception_ptr> raised;
   for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e) raised.push_back(e);
+  }
+  if (raised.size() == 1) std::rethrow_exception(raised.front());
+  if (raised.size() > 1) {
+    std::string message = format("sweep: %zu worker(s) failed:", raised.size());
+    for (const std::exception_ptr& e : raised) {
+      try {
+        std::rethrow_exception(e);
+      } catch (...) {
+        message += "\n  " + describe_current_exception();
+      }
+    }
+    throw ScfiError(message);
   }
   return stats;
 }

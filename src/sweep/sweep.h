@@ -19,11 +19,21 @@
 // lanes/threads-invariant), and jobs are independent, the per-key results
 // are bit-identical for every jobs/threads combination — only the
 // completion (file) order varies.
+//
+// The fleet is failure-isolated: a job that throws mid-execution (or whose
+// variant fails to build) is retried up to `retries` times with exponential
+// backoff, then recorded as a schema-v4 failure record — it never takes
+// down the other jobs. A per-job wall-clock deadline (`job_timeout`) is
+// enforced cooperatively via a CancelToken polled inside the SYNFI and
+// campaign inner loops. `fail_fast` restores the old abort-the-fleet
+// behavior for CI. A resumed sweep re-executes failed/timed-out keys and
+// skips only the ones that completed ok.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "base/retry.h"
 #include "sweep/module_source.h"
 #include "sweep/result_store.h"
 
@@ -40,26 +50,48 @@ struct SweepConfig {
   /// exhaustive-backend SYNFI queries, campaign runs per batch for
   /// campaign jobs.
   int lanes = sim::kNumLanes;
+  /// Re-executions granted to a job that throws, beyond its first attempt
+  /// (so a job runs at most `retries + 1` times); >= 0. Variant-build
+  /// failures and timeouts are deterministic and are never retried.
+  int retries = 2;
+  /// Per-job wall-clock deadline in seconds, spanning all attempts of the
+  /// job; 0 = no deadline. Enforced cooperatively (checked per simulator
+  /// batch / SAT query), so a job overruns by at most one batch.
+  double job_timeout = 0.0;
+  /// Abort the whole sweep on the first job failure (the pre-v4 behavior,
+  /// kept for CI): the error propagates out of run() instead of becoming a
+  /// failure record, and no retries are attempted.
+  bool fail_fast = false;
+  /// Delay schedule between retry attempts of one job.
+  BackoffPolicy backoff;
 };
 
 struct SweepStats {
-  int executed = 0;  ///< jobs run in this invocation
-  int skipped = 0;   ///< jobs already present in the store (resume)
+  int executed = 0;  ///< jobs that completed ok in this invocation
+  int skipped = 0;   ///< jobs already ok in the store (resume)
+  int failed = 0;    ///< jobs recorded as failure records
+  int retried = 0;   ///< extra attempts spent across all jobs
 };
 
 class SweepOrchestrator {
  public:
   explicit SweepOrchestrator(const SweepConfig& config = {});
 
-  /// Runs `jobs`, streaming each completed result into `store` and — when
-  /// `out_path` is non-empty — appending it to that JSONL file as it
-  /// finishes. With `resume`, jobs whose key is already in `store` are
-  /// skipped (load the store from `out_path` first to resume a previous
-  /// invocation). Jobs with an empty `source` resolve against the built-in
-  /// zoo; jobs whose `source` matches `source->label()` resolve against
-  /// `source` (so zoo and corpus jobs can share one fleet run); any other
-  /// source label throws. Throws on unknown modules/variants; the first
-  /// worker error aborts the sweep after in-flight jobs complete.
+  /// Runs `jobs`, streaming each finished result — ok or failed — into
+  /// `store` and, when `out_path` is non-empty, appending it to that JSONL
+  /// file as it finishes. With `resume`, jobs whose key is already in
+  /// `store` with an ok record are skipped (load the store from `out_path`
+  /// first to resume a previous invocation); failed/timed-out keys
+  /// re-execute, and the latest-wins append acts as the retry lease.
+  /// Jobs with an empty `source` resolve against the built-in zoo; jobs
+  /// whose `source` matches `source->label()` resolve against `source` (so
+  /// zoo and corpus jobs can share one fleet run); any other source label
+  /// throws up front, as do unknown/unanalyzable variants (malformed job
+  /// matrices are caller bugs, not fleet failures). Execution errors —
+  /// unknown modules, variant-build failures, jobs that throw or exceed
+  /// `job_timeout` — become failure records unless `fail_fast` is set, in
+  /// which case run() throws: the first error when one worker failed, or
+  /// one ScfiError aggregating every worker's error when several did.
   SweepStats run(const std::vector<SweepJob>& jobs, ResultStore& store,
                  const std::string& out_path = "", bool resume = false,
                  const ModuleSource* source = nullptr);

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "base/error.h"
+#include "base/retry.h"
 #include "base/strutil.h"
 #include "sat/cnf.h"
 #include "sat/miter.h"
@@ -192,6 +193,9 @@ void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
   std::size_t cur_site = 0;  ///< shard-local site index of the next job
   std::size_t cur_edge = 0;
   for (std::size_t job0 = 0; job0 < num_jobs; job0 += lanes) {
+    // Cooperative cancellation at batch granularity: a fired token (sweep
+    // job deadline) stops the shard here, never mid-batch.
+    if (config.cancel != nullptr) config.cancel->check("synfi");
     const std::size_t batch_jobs = std::min(lanes, num_jobs - job0);
     const std::uint64_t batch_mask =
         batch_jobs >= 64 ? ~0ULL : (1ULL << batch_jobs) - 1;
@@ -379,6 +383,8 @@ void run_sat_queries(SatShard& shard, const std::vector<SigBit>& sites, const Ed
   for (std::size_t s = site_begin; s < site_end; ++s) {
     bool site_exploitable = false;
     for (std::size_t e = 0; e < edges.size(); ++e) {
+      // One check per SAT query — the batch analog for this back-end.
+      if (config.cancel != nullptr) config.cancel->check("synfi");
       ++out.injections;
       assumptions.clear();
       assumptions.push_back(shard.selectors[s - site_begin]);
@@ -413,6 +419,7 @@ void run_sat_rebuild_shard(const CompiledFsm& variant, const std::vector<SigBit>
   for (std::size_t s = site_begin; s < site_end; ++s) {
     bool site_exploitable = false;
     for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (config.cancel != nullptr) config.cancel->check("synfi");
       ++out.injections;
       sat::Solver solver;
       const MiterInterface iface = bind_interface(solver, wires);

@@ -34,6 +34,10 @@
 #include "fsm/compile.h"
 #include "sim/netlist_sim.h"
 
+namespace scfi {
+class CancelToken;
+}
+
 namespace scfi::synfi {
 
 enum class Backend { kExhaustiveSim, kSat };
@@ -60,6 +64,12 @@ struct SynfiConfig {
   /// SAT back-end: answer queries on one reusable selector-gated solver via
   /// assumptions (default) instead of rebuilding the miter per query.
   bool sat_incremental = true;
+  /// Optional cooperative stop signal, polled once per simulator batch /
+  /// SAT query: when it fires, workers throw CancelledError at the next
+  /// check point instead of being killed. Execution knob like
+  /// lanes/threads — never part of a job identity — and must outlive the
+  /// run() call. nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 struct SynfiReport {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/error.h"
+#include "base/retry.h"
 #include "base/rng.h"
 #include "base/strutil.h"
 
@@ -14,6 +15,47 @@ namespace {
 TEST(Error, CheckThrowsLogicBug) {
   EXPECT_NO_THROW(check(true, "fine"));
   EXPECT_THROW(check(false, "boom"), LogicBug);
+}
+
+TEST(CancelToken, ExplicitCancelAndDeadline) {
+  CancelToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_NO_THROW(token.check("engine"));
+  token.cancel();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_THROW(token.check("engine"), CancelledError);
+  // CancelledError is an ScfiError (generic handlers treat it as
+  // recoverable) but remains distinguishable for retry loops.
+  try {
+    token.check("engine");
+    FAIL() << "check passed a cancelled token";
+  } catch (const ScfiError& e) {
+    EXPECT_NE(std::string(e.what()).find("engine"), std::string::npos);
+  }
+
+  // An already-expired deadline fires without waiting; a far-future one
+  // does not fire.
+  CancelToken expired;
+  expired.set_deadline_after(0.0);
+  EXPECT_TRUE(expired.stop_requested());
+  CancelToken future;
+  future.set_deadline_after(3600.0);
+  EXPECT_FALSE(future.stop_requested());
+  EXPECT_THROW(future.set_deadline_after(-1.0), ScfiError);
+}
+
+TEST(BackoffPolicy, ExponentialScheduleIsCapped) {
+  const BackoffPolicy policy{10.0, 2.0, 1000.0};
+  EXPECT_DOUBLE_EQ(policy.delay_ms(0), 0.0);  // no failures yet: no delay
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(3), 40.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(8), 1000.0);   // capped at max_ms
+  EXPECT_DOUBLE_EQ(policy.delay_ms(60), 1000.0);  // no overflow at high counts
+  // Zero initial delay disables backoff entirely (the test configuration).
+  EXPECT_DOUBLE_EQ((BackoffPolicy{0.0, 2.0, 1000.0}.delay_ms(5)), 0.0);
+  // A sub-1 multiplier never grows the delay backwards.
+  EXPECT_DOUBLE_EQ((BackoffPolicy{10.0, 0.5, 1000.0}.delay_ms(3)), 10.0);
 }
 
 TEST(Error, RequireThrowsScfiError) {

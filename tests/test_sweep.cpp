@@ -1,18 +1,22 @@
 // The sweep subsystem contract: the JSONL result-store schema is pinned by
-// golden lines (schema v3 — bump ResultStore::kSchemaVersion when it has
-// to change; v1 and v2 lines migrate on load), load/save/merge/diff
+// golden lines (schema v4 — bump ResultStore::kSchemaVersion when it has
+// to change; v1..v3 lines migrate on load), load/save/merge/diff
 // round-trip, SweepOrchestrator results — SYNFI and Monte-Carlo campaign
 // jobs alike, from the zoo or a KISS2 corpus — are bit-identical to direct
 // per-module analyze()/run_campaign() for every jobs/threads combination
-// with --resume skipping stored jobs, and diff_report gates on the
-// configured thresholds (Wilson-interval separation for campaign rates,
-// absolute deltas as the low-trial fallback).
+// with --resume skipping stored ok jobs, failing jobs are isolated into
+// failure records (retried on an attempt budget, bounded by a cooperative
+// per-job deadline) instead of taking down the fleet, and diff_report
+// gates on the configured thresholds (Wilson-interval separation for
+// campaign rates, absolute deltas as the low-trial fallback; an ok ->
+// failed transition always gates).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/error.h"
@@ -52,6 +56,18 @@ SweepResult golden_result() {
 }
 
 constexpr const char* kGoldenLine =
+    "{\"schema\":4,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"ok\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
+    "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
+    "\"attempts\":1,\"seconds\":0.125000}";
+
+/// The same record as a schema-v3 line (pre-status: no `status`/`attempts`
+/// fields); load() must keep accepting these and migrate them to ok
+/// single-attempt records.
+constexpr const char* kGoldenLineV3 =
     "{\"schema\":3,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
     "\"region\":\"mds_\","
@@ -59,6 +75,32 @@ constexpr const char* kGoldenLine =
     "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
     "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
     "\"seconds\":0.125000}";
+
+/// A failed record: full job identity, no payload counters, the error and
+/// attempt count instead.
+SweepResult golden_failed_result() {
+  SweepResult result;
+  result.job.module = "pwrmgr_fsm";
+  result.job.variant = "scfi";
+  result.job.protection_level = 3;
+  result.job.synfi.wire_prefix = "mds_";
+  result.job.synfi.backend = synfi::Backend::kSat;
+  result.job.synfi.kind = sim::FaultKind::kStuckAt1;
+  result.job.synfi.free_symbol = true;
+  result.status = JobStatus::kFailed;
+  result.error = "synfi: no fault sites match prefix 'mds_'";
+  result.attempts = 3;
+  result.seconds = 0.125;
+  return result;
+}
+
+constexpr const char* kGoldenFailedLine =
+    "{\"schema\":4,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"failed\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"error\":\"synfi: no fault sites match prefix 'mds_'\","
+    "\"attempts\":3,\"seconds\":0.125000}";
 
 /// The same record as a schema-v1 line (pre-campaign: no `type` field);
 /// load() must keep accepting these and migrate them to SYNFI records.
@@ -112,6 +154,16 @@ SweepResult golden_campaign_result() {
 }
 
 constexpr const char* kGoldenCampaignLine =
+    "{\"schema\":4,\"type\":\"campaign\","
+    "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,"
+    "\"status\":\"ok\",\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"attempts\":1,\"seconds\":0.250000}";
+
+/// The same campaign record as a schema-v3 line.
+constexpr const char* kGoldenCampaignLineV3 =
     "{\"schema\":3,\"type\":\"campaign\","
     "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,"
@@ -130,6 +182,16 @@ SweepResult golden_corpus_result() {
 }
 
 constexpr const char* kGoldenCorpusLine =
+    "{\"schema\":4,\"type\":\"campaign\","
+    "\"key\":\"corpus::mcnc/lion|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"source\":\"corpus\",\"module\":\"mcnc/lion\",\"variant\":\"scfi\",\"level\":2,"
+    "\"status\":\"ok\",\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"attempts\":1,\"seconds\":0.250000}";
+
+/// The same corpus record as a schema-v3 line.
+constexpr const char* kGoldenCorpusLineV3 =
     "{\"schema\":3,\"type\":\"campaign\","
     "\"key\":\"corpus::mcnc/lion|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
     "\"source\":\"corpus\",\"module\":\"mcnc/lion\",\"variant\":\"scfi\",\"level\":2,"
@@ -146,6 +208,101 @@ TEST(ResultStore, GoldenLinePinsSchema) {
   EXPECT_EQ(ResultStore::to_line(golden_result()), kGoldenLine);
   EXPECT_EQ(ResultStore::to_line(golden_campaign_result()), kGoldenCampaignLine);
   EXPECT_EQ(ResultStore::to_line(golden_corpus_result()), kGoldenCorpusLine);
+  EXPECT_EQ(ResultStore::to_line(golden_failed_result()), kGoldenFailedLine);
+}
+
+TEST(ResultStore, SchemaV3LinesMigrateToOkRecords) {
+  // v3 predates job status: lines migrate as ok single-attempt records and
+  // re-serialize as the current version, byte for byte.
+  for (const auto& [v3, v4] : {std::pair{kGoldenLineV3, kGoldenLine},
+                               {kGoldenCampaignLineV3, kGoldenCampaignLine},
+                               {kGoldenCorpusLineV3, kGoldenCorpusLine}}) {
+    const SweepResult migrated = ResultStore::parse_line(v3);
+    EXPECT_TRUE(migrated.status == JobStatus::kOk);
+    EXPECT_EQ(migrated.attempts, 1);
+    EXPECT_EQ(migrated.error, "");
+    EXPECT_EQ(ResultStore::to_line(migrated), v4);
+  }
+  // Pre-v4 lines cannot smuggle in the status fields (job status is v4).
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":3,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"ok\"}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":3,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"attempts\":2}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":2,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"error\":\"boom\"}"),
+               ScfiError);
+  // Malformed v4 status values are rejected, as are zero attempt counts and
+  // ok records carrying an error message.
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":4,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"exploded\"}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":4,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"attempts\":0}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":4,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"ok\",\"error\":\"boom\"}"),
+               ScfiError);
+}
+
+TEST(ResultStore, FailedRecordRoundTripAndEquality) {
+  const SweepResult failed = golden_failed_result();
+  const SweepResult parsed = ResultStore::parse_line(kGoldenFailedLine);
+  EXPECT_TRUE(parsed.status == JobStatus::kFailed);
+  EXPECT_EQ(parsed.key(), failed.key());
+  EXPECT_EQ(parsed.error, failed.error);
+  EXPECT_EQ(parsed.attempts, 3);
+  EXPECT_EQ(ResultStore::to_line(parsed), kGoldenFailedLine);
+
+  // Status is part of the verdict: ok vs failed never compare equal, so an
+  // old failure record never satisfies a resume or a baseline...
+  const SweepResult ok = golden_result();
+  EXPECT_FALSE(reports_equal(ok, failed));
+  EXPECT_FALSE(reports_equal(failed, ok));
+  // ...while two failures compare equal whatever their diagnostics say
+  // (error text and attempt count are timing-like noise).
+  SweepResult other = failed;
+  other.error = "different message";
+  other.attempts = 1;
+  EXPECT_TRUE(reports_equal(failed, other));
+
+  // diff() surfaces the ok <-> failed flip as a changed key.
+  ResultStore left, right;
+  left.add(ok);
+  right.add(failed);
+  EXPECT_EQ(ResultStore::diff(left, right).changed, std::vector<std::string>{ok.key()});
+}
+
+TEST(DiffReport, StatusTransitionsGateAsymmetrically) {
+  const SweepResult ok = golden_result();
+  const SweepResult failed = golden_failed_result();
+  ResultStore was_ok, now_failed;
+  was_ok.add(ok);
+  now_failed.add(failed);
+
+  // ok -> failed is a regression no threshold can wave through, and the
+  // render names the error on the REGRESSION line CI greps for.
+  const DiffReport broke = diff_report(was_ok, now_failed);
+  ASSERT_EQ(broke.changed.size(), 1u);
+  EXPECT_TRUE(broke.changed[0].regression);
+  EXPECT_TRUE(broke.gate_failed);
+  EXPECT_NE(broke.render().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(broke.render().find(failed.error), std::string::npos);
+
+  // failed -> ok is a recovery: reported, never gated.
+  const DiffReport recovered = diff_report(now_failed, was_ok);
+  ASSERT_EQ(recovered.changed.size(), 1u);
+  EXPECT_FALSE(recovered.changed[0].regression);
+  EXPECT_FALSE(recovered.gate_failed);
+  EXPECT_NE(recovered.render().find("recovered"), std::string::npos);
+
+  // failed -> failed is not a change at all.
+  SweepResult still_failed = failed;
+  still_failed.error = "another message";
+  ResultStore later;
+  later.add(still_failed);
+  EXPECT_TRUE(diff_report(now_failed, later).changed.empty());
 }
 
 TEST(ResultStore, CorpusLineRoundTripAndKeyPrefix) {
@@ -983,7 +1140,11 @@ TEST(SweepOrchestrator, RejectsBadJobsAndConfig) {
   EXPECT_THROW(SweepOrchestrator(SweepConfig{0, 1, 64}), ScfiError);
   EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 0, 64}), ScfiError);
   EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, 65}), ScfiError);
+  EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, 64, -1}), ScfiError);      // retries
+  EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, 64, 0, -0.5}), ScfiError);  // timeout
 
+  // Malformed job matrices — unknown or unanalyzable variant names — are
+  // caller bugs and still abort up front, before any work runs.
   SweepOrchestrator orchestrator{SweepConfig{}};
   ResultStore store;
   SweepJob unknown;
@@ -994,9 +1155,6 @@ TEST(SweepOrchestrator, RejectsBadJobsAndConfig) {
   // drive; accepting them would produce meaningless reports.
   unknown.variant = "redundancy";
   EXPECT_THROW(orchestrator.run({unknown}, store), ScfiError);
-  SweepJob missing;
-  missing.module = "no_such_module";
-  EXPECT_THROW(orchestrator.run({missing}, store), ScfiError);
   // Campaign jobs accept all three compiled forms but still reject unknown
   // variant names up front.
   SweepJob campaign;
@@ -1005,6 +1163,151 @@ TEST(SweepOrchestrator, RejectsBadJobsAndConfig) {
   campaign.variant = "no_such_variant";
   EXPECT_THROW(orchestrator.run({campaign}, store), ScfiError);
   EXPECT_EQ(store.size(), 0u);
+
+  // An unknown MODULE, by contrast, is an execution failure: it is
+  // isolated into a failure record (fail_fast restores the old abort).
+  SweepJob missing;
+  missing.module = "no_such_module";
+  const SweepStats stats = orchestrator.run({missing}, store);
+  EXPECT_EQ(stats.failed, 1);
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.find(missing.key())->status == JobStatus::kFailed);
+  SweepConfig strict;
+  strict.fail_fast = true;
+  SweepOrchestrator fail_fast{strict};
+  ResultStore empty;
+  EXPECT_THROW(fail_fast.run({missing}, empty), ScfiError);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(SweepOrchestrator, IsolatesFailingJobsAndResumesOnlyThose) {
+  // The acceptance scenario: a corpus sweep with one job on a module whose
+  // .kiss2 failed to parse (group-build failure: "bad" is not among the
+  // corpus entries) and one job that throws mid-execution (a SYNFI region
+  // prefix matching no fault site), next to two healthy jobs. The fleet
+  // must complete, record failure entries for exactly the two bad keys,
+  // and a --resume must re-execute only them — for every jobs/threads
+  // combination.
+  const std::string dir = write_test_corpus("corpus_isolate");
+  const Kiss2CorpusSource corpus(dir);
+  synfi::SynfiConfig flip;
+  std::vector<SweepJob> jobs = expand_jobs(corpus, "*", {2}, {flip});
+  ASSERT_EQ(jobs.size(), 2u);  // lion, sub/train
+  SweepJob unparseable = jobs[0];
+  unparseable.module = "bad";
+  jobs.push_back(unparseable);
+  SweepJob throws_midway = jobs[0];
+  throws_midway.synfi.wire_prefix = "no_such_region_";
+  jobs.push_back(throws_midway);
+
+  const std::vector<std::string> bad_keys = {unparseable.key(), throws_midway.key()};
+  const std::vector<std::string> good_keys = {jobs[0].key(), jobs[1].key()};
+
+  struct JobsThreads {
+    int jobs;
+    int threads;
+  };
+  for (const JobsThreads jt : {JobsThreads{1, 1}, {2, 2}, {3, 8}}) {
+    SweepConfig config;
+    config.jobs = jt.jobs;
+    config.threads = jt.threads;
+    config.retries = 1;
+    config.backoff.initial_ms = 0.0;  // retry instantly in tests
+    ResultStore store;
+    SweepOrchestrator orchestrator(config);
+    const std::string path =
+        temp_path("sweep_isolate_" + std::to_string(jt.jobs) + ".jsonl");
+    std::remove(path.c_str());
+    const SweepStats stats = orchestrator.run(jobs, store, path, false, &corpus);
+    EXPECT_EQ(stats.executed, 2) << "jobs=" << jt.jobs;
+    EXPECT_EQ(stats.failed, 2) << "jobs=" << jt.jobs;
+    // The build failure is deterministic and not retried; the mid-execution
+    // throw burns the full attempt budget.
+    EXPECT_EQ(stats.retried, config.retries) << "jobs=" << jt.jobs;
+    ASSERT_EQ(store.size(), 4u);
+    for (const std::string& key : good_keys) {
+      ASSERT_NE(store.find(key), nullptr) << key;
+      EXPECT_TRUE(store.find(key)->status == JobStatus::kOk) << key;
+    }
+    const SweepResult* build_failure = store.find(unparseable.key());
+    ASSERT_NE(build_failure, nullptr);
+    EXPECT_TRUE(build_failure->status == JobStatus::kFailed);
+    EXPECT_EQ(build_failure->attempts, 1);
+    EXPECT_NE(build_failure->error.find("variant build failed"), std::string::npos);
+    const SweepResult* exec_failure = store.find(throws_midway.key());
+    ASSERT_NE(exec_failure, nullptr);
+    EXPECT_TRUE(exec_failure->status == JobStatus::kFailed);
+    EXPECT_EQ(exec_failure->attempts, config.retries + 1);
+    EXPECT_NE(exec_failure->error.find("no fault sites"), std::string::npos);
+
+    // The failure records stream into the JSONL file like any other and
+    // survive the round trip.
+    ResultStore reloaded = ResultStore::load(path);
+    ASSERT_EQ(reloaded.size(), 4u);
+    EXPECT_TRUE(reloaded.find(unparseable.key())->status == JobStatus::kFailed);
+
+    // Resume skips the ok keys and re-executes exactly the failed ones
+    // (which fail again here — the lease just grants them a fresh run).
+    const SweepStats second = orchestrator.run(jobs, reloaded, path, true, &corpus);
+    EXPECT_EQ(second.skipped, 2);
+    EXPECT_EQ(second.executed, 0);
+    EXPECT_EQ(second.failed, 2);
+  }
+}
+
+TEST(SweepOrchestrator, RetryBudgetIsSpentAndRecorded) {
+  // A deterministic mid-execution failure burns first + `retries` attempts,
+  // and the failure record reports the full count.
+  SweepJob job = expand_jobs("pwrmgr_fsm", {2}, {synfi::SynfiConfig{}})[0];
+  job.synfi.wire_prefix = "no_such_region_";
+  for (const int retries : {0, 3}) {
+    SweepConfig config;
+    config.retries = retries;
+    config.backoff.initial_ms = 0.0;
+    ResultStore store;
+    const SweepStats stats = SweepOrchestrator(config).run({job}, store);
+    EXPECT_EQ(stats.failed, 1);
+    EXPECT_EQ(stats.retried, retries);
+    ASSERT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.find(job.key())->attempts, retries + 1);
+  }
+}
+
+TEST(SweepOrchestrator, JobTimeoutRecordsFailureAndResumeRecovers) {
+  // An already-expired deadline cancels the job at its first cooperative
+  // check point — deterministically, whatever the machine speed — and the
+  // timeout is terminal: no retry can extend the budget.
+  const std::vector<SweepJob> jobs =
+      expand_jobs("pwrmgr_fsm", {2}, {synfi::SynfiConfig{}});
+  const std::string path = temp_path("sweep_timeout.jsonl");
+  std::remove(path.c_str());
+  SweepConfig config;
+  config.job_timeout = 1e-9;
+  ResultStore store;
+  const SweepStats stats = SweepOrchestrator(config).run(jobs, store, path);
+  EXPECT_EQ(stats.executed, 0);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.retried, 0);
+  ASSERT_EQ(store.size(), 1u);
+  const SweepResult* timed_out = store.find(jobs[0].key());
+  ASSERT_NE(timed_out, nullptr);
+  EXPECT_TRUE(timed_out->status == JobStatus::kFailed);
+  EXPECT_NE(timed_out->error.find("timed out"), std::string::npos);
+
+  // Campaign jobs poll the same token per executed batch.
+  const std::vector<SweepJob> campaign_jobs =
+      expand_campaign_jobs("pwrmgr_fsm", {2}, {sim::CampaignConfig{}});
+  ResultStore campaign_store;
+  EXPECT_EQ(SweepOrchestrator(config).run(campaign_jobs, campaign_store).failed, 1);
+
+  // A resume without the deadline re-executes the timed-out key and its
+  // latest-wins record flips to ok — the retry-lease path end to end.
+  ResultStore resumed = ResultStore::load(path);
+  const SweepStats second = SweepOrchestrator(SweepConfig{}).run(jobs, resumed, path, true);
+  EXPECT_EQ(second.executed, 1);
+  EXPECT_EQ(second.skipped, 0);
+  EXPECT_EQ(second.failed, 0);
+  EXPECT_TRUE(ResultStore::load(path).find(jobs[0].key())->status == JobStatus::kOk);
 }
 
 TEST(GlobMatch, Basics) {
