@@ -25,7 +25,7 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval'
+    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval|CancelToken|BackoffPolicy'
 fi
 
 # Benchmark smoke test: make sure the perf harness still runs end to end.
@@ -82,3 +82,30 @@ build/scfi_cli sweep --corpus bench/corpus --levels 2 --kinds flip \
 [[ "$(wc -l < "$CORPUS_OUT")" -eq 6 ]] || { echo "corpus smoke: expected 6 JSONL records"; exit 1; }
 build/scfi_cli sweep-diff "$CORPUS_OUT" "$CORPUS_OUT"
 build/scfi_cli sweep-diff bench/baselines/corpus_smoke.jsonl "$CORPUS_OUT" --fail-on-removed
+
+# Crash-injection smoke: SIGKILL an identical sweep mid-run, tear the JSONL
+# tail (simulating a write cut off mid-record), and assert that --resume
+# salvages the store and reconstructs it bit-identical to the uninterrupted
+# run (modulo per-job timing). The campaign runs are sized up so the kill
+# lands mid-fleet on most machines; if the sweep wins the race the torn
+# tail alone still exercises recovery.
+CRASH_FULL="$(dirname "$SWEEP_OUT")/crash_full.jsonl"
+CRASH_KILL="$(dirname "$SWEEP_OUT")/crash_kill.jsonl"
+CRASH_ARGS=(sweep --corpus bench/corpus --levels 2 --kinds flip
+  --campaign-runs 200000 --campaign-cycles 12 --jobs 1 --threads 1)
+build/scfi_cli "${CRASH_ARGS[@]}" --out "$CRASH_FULL" > /dev/null
+build/scfi_cli "${CRASH_ARGS[@]}" --out "$CRASH_KILL" > /dev/null 2>&1 &
+CRASH_PID=$!
+for _ in $(seq 1 200); do [[ -s "$CRASH_KILL" ]] && break; sleep 0.05; done
+kill -9 "$CRASH_PID" 2> /dev/null || true
+wait "$CRASH_PID" 2> /dev/null || true
+[[ -s "$CRASH_KILL" ]] || { echo "crash smoke: no records survived SIGKILL"; exit 1; }
+truncate -s -7 "$CRASH_KILL"
+CRASH_RESUME_LOG="$(build/scfi_cli "${CRASH_ARGS[@]}" --out "$CRASH_KILL" --resume 2>&1)"
+grep -q 'dropping torn final line' <<<"$CRASH_RESUME_LOG" \
+  || { echo "crash smoke: torn tail was not salvaged on --resume"; exit 1; }
+build/scfi_cli sweep-diff "$CRASH_FULL" "$CRASH_KILL" --fail-on-removed
+diff <(sed 's/"seconds":[0-9.eE+-]*//' "$CRASH_FULL" | LC_ALL=C sort) \
+     <(sed 's/"seconds":[0-9.eE+-]*//' "$CRASH_KILL" | LC_ALL=C sort) \
+  || { echo "crash smoke: resumed store differs from uninterrupted run"; exit 1; }
+build/scfi_cli store-compact "$CRASH_KILL"
