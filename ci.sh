@@ -2,9 +2,11 @@
 # Continuous-integration entry point: tier-1 verify (configure, build, ctest)
 # plus a smoke run of the micro-benchmarks, the SYNFI engines, the sweep
 # fleet (SYNFI + Monte-Carlo campaign jobs, over the zoo and the committed
-# KISS2 corpus), and Wilson-bounded sweep-diff regression gates against the
-# committed baseline stores. Mirrors the verify command in ROADMAP.md; run
-# from the repository root.
+# KISS2 corpus), Wilson-bounded sweep-diff regression gates against the
+# committed baseline stores, and crash smokes for both the JSONL store
+# (SIGKILL + torn tail + --resume) and the multi-process fleet supervisor
+# (SIGKILL a worker mid-sweep; poison-job quarantine). Mirrors the verify
+# command in ROADMAP.md; run from the repository root.
 #
 # CI_SANITIZE=1 additionally builds an ASan+UBSan tree (build-asan/) and
 # runs the fast ctest subset under it.
@@ -25,7 +27,7 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval|CancelToken|BackoffPolicy'
+    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval|CancelToken|BackoffPolicy|LeaseLedger|FleetSupervisor'
 fi
 
 # Benchmark smoke test: make sure the perf harness still runs end to end.
@@ -109,3 +111,48 @@ diff <(sed 's/"seconds":[0-9.eE+-]*//' "$CRASH_FULL" | LC_ALL=C sort) \
      <(sed 's/"seconds":[0-9.eE+-]*//' "$CRASH_KILL" | LC_ALL=C sort) \
   || { echo "crash smoke: resumed store differs from uninterrupted run"; exit 1; }
 build/scfi_cli store-compact "$CRASH_KILL"
+
+# Fleet smoke: the same corpus matrix through the supervised multi-process
+# fleet (--fleet 2), with one worker SIGKILLed mid-sweep. The supervisor
+# must reap the dead worker, release its lease, respawn the slot, and still
+# finish cleanly with a store bit-identical to the single-process run
+# (modulo timing/attempts/worker tags — all diagnostics, stripped below).
+# Workers are forked children of the supervisor (fork, no exec), so they
+# share its process name and pgrep -P is how we pick a victim; if the kill
+# races a fast sweep and misses, the run still gates on bit-identity.
+FLEET_OUT="$(dirname "$SWEEP_OUT")/fleet_smoke.jsonl"
+FLEET_LOG="$(dirname "$SWEEP_OUT")/fleet_smoke.log"
+build/scfi_cli "${CRASH_ARGS[@]}" --fleet 2 --out "$FLEET_OUT" > "$FLEET_LOG" 2>&1 &
+FLEET_PID=$!
+WORKER_PID=""
+for _ in $(seq 1 200); do
+  WORKER_PID="$(pgrep -P "$FLEET_PID" | head -n1 || true)"
+  [[ -n "$WORKER_PID" ]] && break
+  sleep 0.05
+done
+[[ -n "$WORKER_PID" ]] || { cat "$FLEET_LOG"; echo "fleet smoke: no worker child appeared"; exit 1; }
+kill -9 "$WORKER_PID" 2> /dev/null || true
+wait "$FLEET_PID" || { cat "$FLEET_LOG"; echo "fleet smoke: supervisor exited non-zero"; exit 1; }
+tail -1 "$FLEET_LOG"
+NORMALIZE='s/"(seconds|attempts)":[0-9.eE+-]+,?//g; s/"worker":"[^"]*",?//g; s/,\}/}/g'
+diff <(sed -E "$NORMALIZE" "$CRASH_FULL" | LC_ALL=C sort) \
+     <(sed -E "$NORMALIZE" "$FLEET_OUT" | LC_ALL=C sort) \
+  || { echo "fleet smoke: fleet store differs from single-process run"; exit 1; }
+
+# Poison-job quarantine smoke: SCFI_FLEET_POISON makes the worker that
+# claims the named key SIGKILL itself, so the job crashes its worker on
+# every attempt. After --max-crashes (default 2) crashes the supervisor
+# must quarantine the key as a failed record with error "crashed", finish
+# every other job, and exit non-zero for the failed key.
+POISON_OUT="$(dirname "$SWEEP_OUT")/poison_smoke.jsonl"
+POISON_KEY="$(grep -o '"key":"[^"]*"' "$CRASH_FULL" | head -n1 | cut -d'"' -f4)"
+if SCFI_FLEET_POISON="$POISON_KEY" build/scfi_cli "${CRASH_ARGS[@]}" --fleet 2 \
+    --out "$POISON_OUT" > "$FLEET_LOG" 2>&1; then
+  cat "$FLEET_LOG"; echo "poison smoke: fleet exited zero with a quarantined job"; exit 1
+fi
+tail -1 "$FLEET_LOG"
+grep -q 'failed 1 (quarantined 1)' "$FLEET_LOG" \
+  || { cat "$FLEET_LOG"; echo "poison smoke: expected exactly one quarantined job"; exit 1; }
+POISON_REC="$(grep -F "\"key\":\"$POISON_KEY\"" "$POISON_OUT")"
+[[ "$POISON_REC" == *'"status":"failed"'* && "$POISON_REC" == *'"error":"crashed"'* ]] \
+  || { echo "poison smoke: poisoned job was not quarantined as crashed"; exit 1; }

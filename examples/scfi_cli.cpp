@@ -16,6 +16,9 @@
 //                    [--campaign-target any|inputs|state|logic]
 //                    [--out results.jsonl] [--resume] [--jobs K] [--threads K]
 //                    [--retries N] [--job-timeout SECONDS] [--fail-fast]
+//                    [--fleet N] [--max-crashes N] [--lease SECONDS]
+//                    [--heartbeat-timeout SECONDS] [--drain-grace SECONDS]
+//                    [--wedge SECONDS]
 //   scfi_cli sweep-diff <baseline.jsonl> <candidate.jsonl>
 //                    [--max-exploitable-increase N]
 //                    [--max-hijack-rate-increase F] [--max-detection-rate-drop F]
@@ -30,9 +33,17 @@
 // campaign job per module x level x kind x campaign-variant — and streams
 // JSONL results into --out; --resume skips jobs already ok there (failed
 // and timed-out keys re-execute). A job that throws is retried --retries
-// times with backoff, then recorded as a schema-v4 failure record (the
+// times with backoff, then recorded as a schema-v5 failure record (the
 // sweep exits 1 but the other jobs complete); --job-timeout bounds each
 // job's wall clock; --fail-fast aborts the fleet on the first error.
+// --fleet N forks N supervised worker subprocesses that shard the matrix
+// through lease records in the shared --out store (see
+// src/sweep/README.md): a worker that crashes or stops heartbeating is
+// reaped and respawned, its job returns to the pool, and a job that kills
+// its worker --max-crashes times is quarantined as a failed record with
+// error "crashed". SIGTERM/SIGINT drains the fleet gracefully: workers
+// finish their in-flight job within --drain-grace seconds, the store is
+// merged and compacted, and the exit code reports unfinished work.
 // `sweep-diff` compares two stores and exits non-zero when a metric
 // regresses beyond its threshold (rates are fractions: 0.005 = half a
 // percentage point); campaign rates gate on Wilson-interval separation at
@@ -62,6 +73,7 @@
 #include "sim/campaign.h"
 #include "sweep/diff_report.h"
 #include "sweep/module_source.h"
+#include "sweep/supervisor.h"
 #include "sweep/sweep.h"
 #include "synfi/synfi.h"
 
@@ -105,6 +117,9 @@ int usage() {
                "           --campaign-target any|inputs|state|logic\n"
                "           --out results.jsonl --resume --jobs K --threads K --lanes K\n"
                "           --retries N --job-timeout SECONDS --fail-fast\n"
+               "           --fleet N (supervised worker subprocesses; needs --out)\n"
+               "           --max-crashes N --lease SECONDS --heartbeat-timeout SECONDS\n"
+               "           --drain-grace SECONDS --wedge SECONDS\n"
                "  sweep-diff: <baseline.jsonl> <candidate.jsonl>\n"
                "           --max-exploitable-increase N --max-hijack-rate-increase F\n"
                "           --max-detection-rate-drop F --wilson-z Z\n"
@@ -199,6 +214,12 @@ int main(int argc, char** argv) {
   int retries = 2;
   double job_timeout = 0.0;
   bool fail_fast = false;
+  int fleet = 0;
+  int max_crashes = 2;
+  double lease_seconds = 120.0;
+  double heartbeat_timeout = 10.0;
+  double drain_grace = 30.0;
+  double wedge_seconds = 0.0;
   scfi::sweep::DiffThresholds thresholds;
 
   try {
@@ -248,6 +269,18 @@ int main(int argc, char** argv) {
         job_timeout = parse_seconds("--job-timeout", argv[++i]);
       } else if (arg == "--fail-fast") {
         fail_fast = true;
+      } else if (arg == "--fleet" && has_value) {
+        fleet = parse_positive("--fleet", argv[++i]);
+      } else if (arg == "--max-crashes" && has_value) {
+        max_crashes = parse_positive("--max-crashes", argv[++i]);
+      } else if (arg == "--lease" && has_value) {
+        lease_seconds = parse_seconds("--lease", argv[++i]);
+      } else if (arg == "--heartbeat-timeout" && has_value) {
+        heartbeat_timeout = parse_seconds("--heartbeat-timeout", argv[++i]);
+      } else if (arg == "--drain-grace" && has_value) {
+        drain_grace = parse_seconds("--drain-grace", argv[++i]);
+      } else if (arg == "--wedge" && has_value) {
+        wedge_seconds = parse_seconds("--wedge", argv[++i]);
       } else if (arg == "--campaign-runs" && has_value) {
         // 0 is the documented off state (SYNFI-only sweep), so scripts can
         // pass it explicitly.
@@ -292,22 +325,13 @@ int main(int argc, char** argv) {
       scfi::require(positional.size() == 1,
                     "scfi_cli: store-compact takes exactly one JSONL store path");
       const std::string& path = positional[0];
-      // Raw line count before the rewrite, so the report shows how much the
-      // append-heavy history (re-appended keys, torn tail) collapsed.
-      std::size_t raw_lines = 0;
-      {
-        std::ifstream in(path);
-        scfi::require(in.good(), "scfi_cli: cannot read " + path);
-        std::string line;
-        while (std::getline(in, line)) {
-          if (!scfi::trim(line).empty()) ++raw_lines;
-        }
-      }
-      scfi::sweep::ResultStore store =
-          scfi::sweep::ResultStore::load(path, /*recover_torn_tail=*/true);
-      store.save(path);
-      std::printf("store-compact: %zu line(s) -> %zu record(s) in %s\n", raw_lines,
-                  store.size(), path.c_str());
+      // compact_file fails loudly (path + reason) on a missing or empty
+      // store: compacting nothing means the caller pointed at the wrong
+      // file, and a silent success would hide that.
+      const scfi::sweep::ResultStore::CompactStats stats =
+          scfi::sweep::ResultStore::compact_file(path);
+      std::printf("store-compact: %zu line(s) -> %zu record(s) in %s\n", stats.lines,
+                  stats.records, path.c_str());
       return 0;
     }
 
@@ -389,6 +413,69 @@ int main(int argc, char** argv) {
 
       scfi::require(!resume || !sweep_out.empty(),
                     "scfi_cli: --resume needs --out (the JSONL store to resume from)");
+
+      const auto print_record = [](const scfi::sweep::SweepResult& r) {
+        if (r.status == scfi::sweep::JobStatus::kFailed) {
+          std::printf("  %-48s FAILED after %d attempt(s): %s [%.3fs]\n", r.key().c_str(),
+                      r.attempts, r.error.c_str(), r.seconds);
+        } else if (r.job.type == scfi::sweep::JobType::kCampaign) {
+          std::printf("  %-48s hijack=%.4f%% detection=%.2f%% effective=%d/%d [%.3fs]\n",
+                      r.key().c_str(), 100.0 * r.campaign.hijack_rate(),
+                      100.0 * r.campaign.detection_rate(), r.campaign.effective(),
+                      r.campaign.runs, r.seconds);
+        } else {
+          std::printf("  %-48s injections=%6lld exploitable=%4lld (%.2f%%) [%.3fs]\n",
+                      r.key().c_str(), static_cast<long long>(r.report.injections),
+                      static_cast<long long>(r.report.exploitable), r.report.exploitable_pct(),
+                      r.seconds);
+        }
+      };
+
+      if (fleet > 0) {
+        // Fleet mode: the supervisor forks workers that coordinate through
+        // the shared store file, so --out is the medium, not an option, and
+        // --fail-fast makes no sense (process isolation IS the failure
+        // policy).
+        scfi::require(!sweep_out.empty(),
+                      "scfi_cli: --fleet needs --out (the shared JSONL store the "
+                      "workers coordinate through)");
+        scfi::require(!fail_fast,
+                      "scfi_cli: --fail-fast is a single-process mode (the fleet "
+                      "isolates failures per worker instead)");
+        scfi::sweep::FleetConfig fleet_config;
+        fleet_config.workers = fleet;
+        fleet_config.max_crashes = max_crashes;
+        fleet_config.lease_seconds = lease_seconds;
+        fleet_config.heartbeat_timeout = heartbeat_timeout;
+        fleet_config.drain_grace = drain_grace;
+        fleet_config.wedge_seconds = wedge_seconds;
+        fleet_config.job.jobs = 1;
+        fleet_config.job.threads = threads;  // inner threads PER WORKER
+        fleet_config.job.lanes = lanes;
+        fleet_config.job.retries = retries;
+        fleet_config.job.job_timeout = job_timeout;
+        if (const char* poison = std::getenv("SCFI_FLEET_POISON")) {
+          fleet_config.poison_key = poison;  // test hook: crash the claimer
+        }
+        std::printf(
+            "sweep config: %zu job(s), fleet=%d threads=%d lanes=%d backend=%s%s out=%s\n",
+            sweep_jobs.size(), fleet, threads, lanes, backend_name.c_str(),
+            resume ? " resume" : "", sweep_out.c_str());
+        scfi::sweep::FleetSupervisor supervisor(fleet_config);
+        const scfi::sweep::FleetStats stats =
+            supervisor.run(sweep_jobs, sweep_out, resume, source.get());
+        // The supervisor's final merge left a compacted finals-only store.
+        const scfi::sweep::ResultStore merged = scfi::sweep::ResultStore::load(sweep_out);
+        for (const scfi::sweep::SweepResult& r : merged.results()) print_record(r);
+        std::printf(
+            "sweep fleet: executed %d job(s), skipped %d, failed %d (quarantined %d), "
+            "unfinished %d, crashes %d, respawns %d%s\n",
+            stats.executed, stats.skipped, stats.failed, stats.quarantined,
+            stats.unfinished, stats.crashes, stats.respawns,
+            stats.drained ? ", drained" : "");
+        return (stats.failed > 0 || stats.unfinished > 0) ? 1 : 0;
+      }
+
       scfi::sweep::ResultStore store;
       // Resume tolerates the torn final line a killed run can leave (the
       // salvage is loudly warned and the torn job simply re-executes);
@@ -415,22 +502,7 @@ int main(int argc, char** argv) {
       scfi::sweep::SweepOrchestrator orchestrator(sweep_config);
       const scfi::sweep::SweepStats stats =
           orchestrator.run(sweep_jobs, store, sweep_out, resume, source.get());
-      for (const scfi::sweep::SweepResult& r : store.results()) {
-        if (r.status == scfi::sweep::JobStatus::kFailed) {
-          std::printf("  %-48s FAILED after %d attempt(s): %s [%.3fs]\n", r.key().c_str(),
-                      r.attempts, r.error.c_str(), r.seconds);
-        } else if (r.job.type == scfi::sweep::JobType::kCampaign) {
-          std::printf("  %-48s hijack=%.4f%% detection=%.2f%% effective=%d/%d [%.3fs]\n",
-                      r.key().c_str(), 100.0 * r.campaign.hijack_rate(),
-                      100.0 * r.campaign.detection_rate(), r.campaign.effective(),
-                      r.campaign.runs, r.seconds);
-        } else {
-          std::printf("  %-48s injections=%6lld exploitable=%4lld (%.2f%%) [%.3fs]\n",
-                      r.key().c_str(), static_cast<long long>(r.report.injections),
-                      static_cast<long long>(r.report.exploitable), r.report.exploitable_pct(),
-                      r.seconds);
-        }
-      }
+      for (const scfi::sweep::SweepResult& r : store.results()) print_record(r);
       std::printf("sweep: executed %d job(s), skipped %d, failed %d, retried %d\n",
                   stats.executed, stats.skipped, stats.failed, stats.retried);
       // Failure records do not abort the fleet, but they must not look like

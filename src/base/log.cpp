@@ -1,21 +1,42 @@
 #include "base/log.h"
 
 #include <cstdio>
+#include <ctime>
 
 namespace scfi {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+std::string g_worker;
 
 void emit(LogLevel level, const char* tag, const std::string& msg) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[scfi %s] %s\n", tag, msg.c_str());
+  // Wall-clock UTC stamp (millisecond resolution): fleet workers on one
+  // machine share the system clock, so interleaved lines sort causally.
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                tm.tm_sec, ts.tv_nsec / 1000000);
+  // One fprintf per line so concurrent workers' lines do not interleave
+  // mid-record on a line-buffered stderr.
+  if (g_worker.empty()) {
+    std::fprintf(stderr, "[%s scfi %s] %s\n", stamp, tag, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s scfi %s %s] %s\n", stamp, tag, g_worker.c_str(), msg.c_str());
+  }
 }
 
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
+
+void set_log_worker(const std::string& tag) { g_worker = tag; }
+const std::string& log_worker() { return g_worker; }
 
 void log_debug(const std::string& msg) { emit(LogLevel::kDebug, "debug", msg); }
 void log_info(const std::string& msg) { emit(LogLevel::kInfo, "info", msg); }

@@ -1,5 +1,8 @@
 // Minimal leveled logger. Passes report through this so that examples and
-// benches can silence or surface pass diagnostics uniformly.
+// benches can silence or surface pass diagnostics uniformly. Every line is
+// prefixed with a wall-clock UTC timestamp and, when set, a worker-id tag,
+// so the interleaved stderr of a multi-process sweep fleet stays
+// attributable post-mortem.
 #pragma once
 
 #include <string>
@@ -11,6 +14,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kQuiet = 4 }
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Tags every subsequent log line from this process with a worker id
+/// (fleet workers set this right after fork, e.g. "w2.1" = slot 2,
+/// generation 1). Empty clears the tag. Set before spawning threads — the
+/// tag is process-wide state, not synchronized.
+void set_log_worker(const std::string& tag);
+const std::string& log_worker();
 
 void log_debug(const std::string& msg);
 void log_info(const std::string& msg);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/rng.h"
+
 namespace scfi {
 
 void CancelToken::set_deadline_after(double seconds) {
@@ -15,6 +17,7 @@ void CancelToken::set_deadline_after(double seconds) {
 
 bool CancelToken::stop_requested() const {
   if (cancelled_.load(std::memory_order_relaxed)) return true;
+  if (parent_ != nullptr && parent_->stop_requested()) return true;
   return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
 }
 
@@ -28,6 +31,14 @@ double BackoffPolicy::delay_ms(int failures) const {
   if (failures < 1 || initial_ms <= 0.0) return 0.0;
   const double factor = std::pow(std::max(1.0, multiplier), failures - 1);
   return std::min(std::max(0.0, max_ms), initial_ms * factor);
+}
+
+double BackoffPolicy::jittered_delay_ms(int failures, Rng& rng) const {
+  const double cap = delay_ms(failures);
+  if (cap <= 0.0) return 0.0;
+  // Full jitter (not cap/2 + jitter): the strongest de-correlation for a
+  // given mean, and the schedule's exponential cap still bounds the tail.
+  return rng.uniform() * cap;
 }
 
 }  // namespace scfi

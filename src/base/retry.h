@@ -17,6 +17,8 @@
 
 namespace scfi {
 
+class Rng;
+
 /// A cancellation request (explicit or deadline) reached a cooperative
 /// check point. Derived from ScfiError so generic handlers still treat it
 /// as recoverable, while retry loops can catch it specifically — a fired
@@ -45,10 +47,18 @@ class CancelToken {
   /// interrupted engine in the message.
   void check(const char* where) const;
 
+  /// Chains this token to a parent: stop_requested() also reports true once
+  /// the parent fires. The sweep fleet arms one drain token per worker and
+  /// chains every per-job deadline token to it, so an external stop (SIGTERM
+  /// drain) cancels the in-flight job without disturbing its own deadline.
+  /// The parent must outlive this token; nullptr unchains.
+  void chain_to(const CancelToken* parent) { parent_ = parent; }
+
  private:
   std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
 };
 
 /// Exponential backoff schedule between retry attempts. delay_ms(1) is the
@@ -62,6 +72,13 @@ struct BackoffPolicy {
   /// Delay before re-attempt number `failures` (>= 1 = after the first
   /// failed try). Never negative.
   double delay_ms(int failures) const;
+
+  /// Full-jitter variant: uniform in [0, delay_ms(failures)), so N workers
+  /// respawning after a correlated failure (a crashed fleet peer, a shared
+  /// resource hiccup) spread out instead of retrying in lockstep.
+  /// Deterministic under the injected Rng — tests (and reproducible fleet
+  /// runs) seed it explicitly.
+  double jittered_delay_ms(int failures, Rng& rng) const;
 };
 
 }  // namespace scfi

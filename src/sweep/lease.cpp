@@ -1,0 +1,122 @@
+#include "sweep/lease.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "base/error.h"
+#include "base/log.h"
+#include "base/strutil.h"
+
+namespace scfi::sweep {
+
+double lease_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SweepResult make_lease(const SweepJob& job, const std::string& worker, double deadline) {
+  SweepResult lease;
+  lease.job = job;
+  lease.status = JobStatus::kLeased;
+  lease.worker = worker;
+  lease.deadline = deadline;
+  return lease;
+}
+
+LeaseLedger::LeaseLedger(std::string path, std::uint64_t baseline_offset)
+    : path_(std::move(path)), offset_(baseline_offset) {}
+
+void LeaseLedger::fold(SweepResult record) {
+  const std::string key = record.key();
+  if (record.status == JobStatus::kLeased) {
+    leases_.insert_or_assign(key, std::move(record));
+    return;
+  }
+  // Finals are sticky for the run (a completed job never un-completes;
+  // results are deterministic, so the latest final is as good as the
+  // first), but latest-wins among themselves so a re-executed steal's
+  // record simply replaces its twin.
+  if (finals_.find(key) == finals_.end()) final_order_.push_back(key);
+  finals_.insert_or_assign(key, std::move(record));
+}
+
+void LeaseLedger::poll() {
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  require(fd >= 0, "lease ledger: cannot open " + path_);
+  require(::lseek(fd, static_cast<off_t>(offset_), SEEK_SET) >= 0,
+          "lease ledger: cannot seek in " + path_);
+  char buffer[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw ScfiError("lease ledger: read of " + path_ + " failed");
+    }
+    if (n == 0) break;
+    offset_ += static_cast<std::uint64_t>(n);
+    carry_.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t newline = carry_.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = trim(carry_.substr(start, newline - start));
+    start = newline + 1;
+    if (line.empty()) continue;
+    try {
+      fold(ResultStore::parse_line(line));
+    } catch (const ScfiError& first) {
+      // A SIGKILL between a worker's write() and its completion can leave
+      // torn bytes that the NEXT append glues a full record onto. The full
+      // record is intact at the line's last '{"schema":'; anything that
+      // does not salvage that way is corruption no crash explains.
+      const std::size_t last = line.rfind("{\"schema\":");
+      if (last == std::string::npos || last == 0) {
+        throw ScfiError("lease ledger: " + path_ + ": " + first.what());
+      }
+      log_warn("lease ledger: salvaged a record glued onto torn bytes in " + path_ +
+               " (" + std::string(first.what()) + ")");
+      fold(ResultStore::parse_line(line.substr(last)));
+    }
+  }
+  carry_.erase(0, start);
+}
+
+const SweepResult* LeaseLedger::latest_lease(const std::string& key) const {
+  const auto it = leases_.find(key);
+  return it != leases_.end() ? &it->second : nullptr;
+}
+
+const SweepResult* LeaseLedger::final_record(const std::string& key) const {
+  const auto it = finals_.find(key);
+  return it != finals_.end() ? &it->second : nullptr;
+}
+
+LeaseState LeaseLedger::state(const std::string& key, double now) const {
+  if (done(key)) return LeaseState::kDone;
+  const SweepResult* lease = latest_lease(key);
+  if (lease == nullptr) return LeaseState::kUnclaimed;
+  return lease->deadline > now ? LeaseState::kLeased : LeaseState::kExpired;
+}
+
+bool LeaseLedger::claimable(const std::string& key, double now) const {
+  const LeaseState s = state(key, now);
+  return s == LeaseState::kUnclaimed || s == LeaseState::kExpired;
+}
+
+std::vector<const SweepResult*> LeaseLedger::finals() const {
+  std::vector<const SweepResult*> out;
+  out.reserve(final_order_.size());
+  for (const std::string& key : final_order_) out.push_back(&finals_.at(key));
+  return out;
+}
+
+}  // namespace scfi::sweep

@@ -76,21 +76,28 @@ JobType job_type_of(const std::string& name) {
 }
 
 const char* job_status_name(JobStatus status) {
-  return status == JobStatus::kFailed ? "failed" : "ok";
+  switch (status) {
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kLeased: return "leased";
+    default: return "ok";
+  }
 }
 
 JobStatus job_status_of(const std::string& name) {
   if (name == "ok") return JobStatus::kOk;
   if (name == "failed") return JobStatus::kFailed;
-  throw ScfiError("sweep: unknown job status '" + name + "' (expected ok or failed)");
+  if (name == "leased") return JobStatus::kLeased;
+  throw ScfiError("sweep: unknown job status '" + name +
+                  "' (expected ok, failed, or leased)");
 }
 
 bool reports_equal(const SweepResult& a, const SweepResult& b) {
   if (a.job.type != b.job.type) return false;
   if (a.status != b.status) return false;
-  // Two failures compare equal regardless of error text or attempt count:
-  // those are diagnostics, like timing, not part of the verdict.
-  if (a.status == JobStatus::kFailed) return true;
+  // Two failures (or two leases) compare equal regardless of error text,
+  // attempt count, worker id, or deadline: those are diagnostics, like
+  // timing, not part of the verdict.
+  if (a.status != JobStatus::kOk) return true;
   return a.job.type == JobType::kCampaign ? a.campaign == b.campaign : a.report == b.report;
 }
 
@@ -238,9 +245,13 @@ std::string ResultStore::to_line(const SweepResult& result) {
   out << ",\"variant\":\"" << backends::json_escape(job.variant) << "\"";
   out << ",\"level\":" << job.protection_level;
   out << ",\"status\":\"" << job_status_name(result.status) << "\"";
+  if (!result.worker.empty()) {
+    out << ",\"worker\":\"" << backends::json_escape(result.worker) << "\"";
+  }
   const bool ok = result.status == JobStatus::kOk;
-  // Identity fields are written even for failed records (resume needs the
-  // key to round-trip); the payload counters exist only on ok records.
+  // Identity fields are written even for failed/leased records (resume and
+  // the lease protocol need the key to round-trip); the payload counters
+  // exist only on ok records.
   if (job.type == JobType::kCampaign) {
     const sim::CampaignResult& c = result.campaign;
     out << ",\"kind\":\"" << fault_kind_name(job.campaign.kind) << "\"";
@@ -278,7 +289,14 @@ std::string ResultStore::to_line(const SweepResult& result) {
       out << "]";
     }
   }
-  if (!ok) out << ",\"error\":\"" << backends::json_escape(result.error) << "\"";
+  if (result.status == JobStatus::kFailed) {
+    out << ",\"error\":\"" << backends::json_escape(result.error) << "\"";
+  }
+  if (result.status == JobStatus::kLeased) {
+    char deadline[32];
+    std::snprintf(deadline, sizeof(deadline), "%.6f", result.deadline);
+    out << ",\"deadline\":" << deadline;
+  }
   out << ",\"attempts\":" << result.attempts;
   char seconds[32];
   std::snprintf(seconds, sizeof(seconds), "%.6f", result.seconds);
@@ -292,7 +310,9 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   // they can only be routed once the (possibly later) `type` field is known.
   // v1 lines have no `type` field and migrate as SYNFI records; v2 lines
   // have no `source` field and migrate as zoo records; v3 lines have no
-  // `status`/`attempts` fields and migrate as ok single-attempt records.
+  // `status`/`attempts` fields and migrate as ok single-attempt records;
+  // v4 lines predate the fleet and carry no `worker`/`deadline` fields or
+  // `leased` status.
   int schema = -1;
   std::string type_str = "synfi";
   std::string kind_str;
@@ -301,6 +321,8 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   bool saw_status = false;
   bool saw_error = false;
   bool saw_attempts = false;
+  bool saw_worker = false;
+  bool saw_deadline = false;
   std::int64_t detected = 0;
   std::int64_t masked = 0;
   SweepResult result;
@@ -331,6 +353,12 @@ SweepResult ResultStore::parse_line(const std::string& line) {
       } else if (field == "attempts") {
         result.attempts = parser.parse_int_count();
         saw_attempts = true;
+      } else if (field == "worker") {
+        result.worker = parser.parse_string();
+        saw_worker = true;
+      } else if (field == "deadline") {
+        result.deadline = parser.parse_number();
+        saw_deadline = true;
       } else if (field == "module") {
         result.job.module = parser.parse_string();
       } else if (field == "variant") {
@@ -405,9 +433,18 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   require(schema >= 4 || !(saw_status || saw_error || saw_attempts),
           "result store: schema " + std::to_string(schema) +
               " lines cannot carry status/error/attempts fields (job status is v4)");
+  require(schema >= 5 ||
+              !(saw_worker || saw_deadline || result.status == JobStatus::kLeased),
+          "result store: schema " + std::to_string(schema) +
+              " lines cannot carry worker/deadline fields or a leased status "
+              "(fleet leases are v5)");
   require(result.attempts >= 1, "result store: attempts must be >= 1");
   require(result.status == JobStatus::kFailed || !saw_error,
-          "result store: ok records cannot carry an error field");
+          "result store: only failed records can carry an error field");
+  require(result.status == JobStatus::kLeased || !saw_deadline,
+          "result store: only leased records can carry a deadline field");
+  require(result.status != JobStatus::kLeased || saw_deadline,
+          "result store: leased records must carry a deadline field");
   if (result.job.type == JobType::kCampaign) {
     if (saw_kind) result.job.campaign.kind = fault_kind_of(kind_str);
     require(detected >= 0 && detected <= 0x7fffffffLL && masked >= 0 &&
@@ -566,6 +603,30 @@ void ResultStore::append_line(const std::string& path, const SweepResult& result
   const bool synced = ::fsync(fd) == 0;
   ::close(fd);
   require(synced, "result store: fsync of " + path + " failed");
+}
+
+ResultStore::CompactStats ResultStore::compact_file(const std::string& path) {
+  std::error_code ec;
+  require(std::filesystem::exists(path, ec),
+          "store-compact: " + path + ": no such store file");
+  CompactStats stats;
+  {
+    std::ifstream in(path);
+    require(in.good(), "store-compact: " + path + ": cannot read store");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!trim(line).empty()) ++stats.lines;
+    }
+  }
+  require(stats.lines > 0, "store-compact: " + path + ": store is empty");
+  const ResultStore store = load(path, /*recover_torn_tail=*/true);
+  // All-torn is indistinguishable from pointing at a non-store file; either
+  // way an atomic rewrite to zero records would destroy whatever was there.
+  require(store.size() > 0,
+          "store-compact: " + path + ": store holds no complete records");
+  store.save(path);
+  stats.records = store.size();
+  return stats;
 }
 
 }  // namespace scfi::sweep

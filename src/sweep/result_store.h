@@ -40,12 +40,16 @@ enum class JobType {
 const char* job_type_name(JobType type);
 JobType job_type_of(const std::string& name);
 
-/// Terminal outcome of a sweep job. A failed record keeps the full job
-/// identity (so resume knows the key) but carries an error message instead
-/// of a report payload.
+/// Outcome of a sweep job. A failed record keeps the full job identity (so
+/// resume knows the key) but carries an error message instead of a report
+/// payload. A leased record is NOT terminal: it is the fleet's job-claim
+/// protocol — a worker appends one to claim the key until `deadline`, and
+/// the latest-wins append order arbitrates races. Resume treats leased like
+/// failed (the job re-executes); only ok records are skipped.
 enum class JobStatus {
   kOk,      ///< report payload is valid
-  kFailed,  ///< job threw / timed out; `error` says why
+  kFailed,  ///< job threw / timed out / crashed its worker; `error` says why
+  kLeased,  ///< claimed by `worker` until `deadline` (fleet mode, schema v5)
 };
 const char* job_status_name(JobStatus status);
 JobStatus job_status_of(const std::string& name);
@@ -90,23 +94,33 @@ struct SweepResult {
   std::string error;              ///< why the job failed (status == kFailed)
   int attempts = 1;               ///< executions spent, retries included
   double seconds = 0.0;
+  /// Fleet worker id ("w<slot>.<generation>"): the holder on leased records,
+  /// the executor on fleet-written final records, "" outside fleet mode.
+  /// Pure diagnostics — never part of the verdict or the key.
+  std::string worker;
+  /// Lease expiry in fractional unix seconds (leased records only): past it
+  /// the claim is void and any worker may re-lease the key. 0 (or any past
+  /// instant) on an appended lease is an explicit release.
+  double deadline = 0.0;
 
   std::string key() const { return job.key(); }
 };
 
 /// Verdict comparison: differing statuses never compare equal; two failed
-/// records always do (the error text and attempt count are diagnostics,
-/// like timing); two ok records compare the report of the job's type.
+/// (or two leased) records always do (the error text, attempt count, worker
+/// id, and lease deadline are diagnostics, like timing); two ok records
+/// compare the report of the job's type.
 bool reports_equal(const SweepResult& a, const SweepResult& b);
 
 class ResultStore {
  public:
   /// Bumped whenever the line schema changes. load()/parse_line() migrate
   /// v1 lines (SYNFI-only, no `type` field), v2 lines (zoo-only, no
-  /// `source` field), and v3 lines (always-ok, no `status`/`attempts`
-  /// fields) to v4 records on the fly and reject anything else; to_line()
+  /// `source` field), v3 lines (always-ok, no `status`/`attempts` fields),
+  /// and v4 lines (pre-fleet, no `worker`/`deadline` fields or `leased`
+  /// status) to v5 records on the fly and reject anything else; to_line()
   /// always writes the current version.
-  static constexpr int kSchemaVersion = 4;
+  static constexpr int kSchemaVersion = 5;
 
   ResultStore() = default;
 
@@ -160,6 +174,18 @@ class ResultStore {
   /// crash or power cut. A kill inside the call can at worst leave one
   /// torn final line, which load()'s recovery mode salvages.
   static void append_line(const std::string& path, const SweepResult& result);
+
+  /// What `scfi_cli store-compact` reports after compact_file().
+  struct CompactStats {
+    std::size_t lines = 0;    ///< non-blank JSONL lines before the rewrite
+    std::size_t records = 0;  ///< latest-wins records after it
+  };
+  /// Rewrites the store at `path` latest-wins compact (salvaging a torn
+  /// tail) via the atomic save() path. A missing file, an empty file, or a
+  /// file whose every line is torn is an error — ScfiError naming the path
+  /// and the reason — not a silent no-op: compacting nothing means the
+  /// caller pointed at the wrong store.
+  static CompactStats compact_file(const std::string& path);
 
  private:
   std::vector<SweepResult> results_;

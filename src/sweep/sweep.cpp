@@ -73,6 +73,13 @@ std::string describe_current_exception() {
 
 }  // namespace
 
+void validate_jobs(const std::vector<SweepJob>& jobs, const ModuleSource* source) {
+  for (const SweepJob& job : jobs) {
+    variant_of(job);
+    source_of(job, source);
+  }
+}
+
 SweepOrchestrator::SweepOrchestrator(const SweepConfig& config) : config_(config) {
   require(config_.jobs >= 1, "sweep: jobs must be >= 1");
   require(config_.threads >= 1, "sweep: threads must be >= 1");
@@ -92,9 +99,8 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
   // lease skips only keys whose stored record is ok: a failed or timed-out
   // key re-executes, and the latest-wins append replaces its record.
   std::vector<SweepJob> pending;
+  validate_jobs(jobs, source);
   for (const SweepJob& job : jobs) {
-    variant_of(job);
-    source_of(job, source);
     if (resume) {
       const SweepResult* prior = store.find(job.key());
       if (prior != nullptr && prior->status == JobStatus::kOk) {
@@ -193,10 +199,13 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
         std::unique_ptr<synfi::Analyzer> analyzer;
         for (const std::size_t j : group.job_indices) {
           // One deadline spans every attempt of the job: retries must not
-          // extend a timeout budget.
+          // extend a timeout budget. The token also observes the external
+          // stop signal (fleet drain) when one is configured.
           CancelToken cancel;
+          cancel.chain_to(config_.cancel);
           const bool deadline = config_.job_timeout > 0.0;
           if (deadline) cancel.set_deadline_after(config_.job_timeout);
+          const bool cancellable = deadline || config_.cancel != nullptr;
           const auto job_start = std::chrono::steady_clock::now();
           const auto elapsed = [&] {
             return std::chrono::duration<double>(std::chrono::steady_clock::now() - job_start)
@@ -211,7 +220,7 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
                 config.planner = sim::CampaignPlanner::kStreaming;
                 config.lanes = config_.lanes;
                 config.threads = inner;
-                if (deadline) config.cancel = &cancel;
+                if (cancellable) config.cancel = &cancel;
                 result.campaign = sim::run_campaign(entry->fsm, *compiled, config);
               } else {
                 if (!analyzer) {
@@ -220,7 +229,7 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
                 synfi::SynfiConfig config = result.job.synfi;
                 config.lanes = config_.lanes;
                 config.threads = inner;
-                if (deadline) config.cancel = &cancel;
+                if (cancellable) config.cancel = &cancel;
                 result.report = analyzer->run(config);
               }
               result.attempts = attempt;
@@ -228,12 +237,17 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
               emit(std::move(result));
               break;
             } catch (const CancelledError&) {
-              // The deadline fired mid-attempt. Deterministically final:
-              // the budget spans attempts, so there is nothing to retry.
+              // The deadline — or the external stop — fired mid-attempt.
+              // Deterministically final: the budget spans attempts, so
+              // there is nothing to retry.
               if (config_.fail_fast) throw;
+              const bool external =
+                  config_.cancel != nullptr && config_.cancel->stop_requested();
               emit_failure(pending[j],
-                           format("timed out after %.3fs (job timeout %.3fs)", elapsed(),
-                                  config_.job_timeout),
+                           external
+                               ? format("cancelled after %.3fs (external stop)", elapsed())
+                               : format("timed out after %.3fs (job timeout %.3fs)",
+                                        elapsed(), config_.job_timeout),
                            attempt, elapsed());
               break;
             } catch (...) {

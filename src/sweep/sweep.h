@@ -64,6 +64,11 @@ struct SweepConfig {
   bool fail_fast = false;
   /// Delay schedule between retry attempts of one job.
   BackoffPolicy backoff;
+  /// Optional external stop signal: every per-job deadline token chains to
+  /// it, so firing it cancels the in-flight attempt at the next batch
+  /// boundary (recorded as a failure, never retried). The fleet's graceful
+  /// drain arms this with a grace deadline on SIGTERM. Must outlive run().
+  const CancelToken* cancel = nullptr;
 };
 
 struct SweepStats {
@@ -99,6 +104,12 @@ class SweepOrchestrator {
  private:
   SweepConfig config_;
 };
+
+/// The up-front malformed-matrix check run() performs — unknown or
+/// unanalyzable variants, unresolvable source labels — exposed so the fleet
+/// supervisor can reject a bad matrix in the parent process before forking
+/// any worker. Throws ScfiError on the first bad job.
+void validate_jobs(const std::vector<SweepJob>& jobs, const ModuleSource* source);
 
 /// Expands a module-glob x levels x configs matrix into the flat SYNFI job
 /// list `SweepOrchestrator::run` consumes (modules in the source's

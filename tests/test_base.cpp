@@ -58,6 +58,62 @@ TEST(BackoffPolicy, ExponentialScheduleIsCapped) {
   EXPECT_DOUBLE_EQ((BackoffPolicy{10.0, 0.5, 1000.0}.delay_ms(3)), 10.0);
 }
 
+TEST(CancelToken, ChainsToParentWithoutDisturbingOwnState) {
+  // A chained token observes the parent's stop (the fleet drain signal)
+  // alongside its own deadline/cancel, and unchaining restores isolation.
+  CancelToken parent;
+  CancelToken child;
+  child.chain_to(&parent);
+  EXPECT_FALSE(child.stop_requested());
+  parent.cancel();
+  EXPECT_TRUE(child.stop_requested());
+  EXPECT_THROW(child.check("engine"), CancelledError);
+  // The signal flows one way: a fired child never back-propagates.
+  CancelToken parent2;
+  CancelToken child2;
+  child2.chain_to(&parent2);
+  child2.cancel();
+  EXPECT_TRUE(child2.stop_requested());
+  EXPECT_FALSE(parent2.stop_requested());
+  child2.chain_to(nullptr);  // unchain: own state only
+  CancelToken child3;
+  child3.chain_to(&parent);  // parent already fired: observed immediately
+  EXPECT_TRUE(child3.stop_requested());
+  child3.chain_to(nullptr);
+  EXPECT_FALSE(child3.stop_requested());
+}
+
+TEST(BackoffPolicy, FullJitterIsBoundedSpreadAndDeterministic) {
+  const BackoffPolicy policy{10.0, 2.0, 1000.0};
+  Rng rng(7);
+  // Full jitter draws uniformly from [0, delay_ms(failures)): always within
+  // the undithered envelope, and actually spread (not a constant).
+  std::set<double> seen;
+  for (int i = 0; i < 64; ++i) {
+    const double jittered = policy.jittered_delay_ms(3, rng);
+    EXPECT_GE(jittered, 0.0);
+    EXPECT_LT(jittered, policy.delay_ms(3));
+    seen.insert(jittered);
+  }
+  EXPECT_GT(seen.size(), 32u);
+  // Deterministic under a seeded Rng: the same stream replays the same
+  // schedule (reproducible fleet runs), a different seed diverges.
+  Rng replay_a(42);
+  Rng replay_b(42);
+  Rng other(43);
+  bool diverged = false;
+  for (int failures = 1; failures <= 8; ++failures) {
+    const double a = policy.jittered_delay_ms(failures, replay_a);
+    EXPECT_DOUBLE_EQ(a, policy.jittered_delay_ms(failures, replay_b));
+    if (a != policy.jittered_delay_ms(failures, other)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+  // A zero-delay schedule (failures=0, or a zeroed policy) never jitters
+  // upward.
+  EXPECT_DOUBLE_EQ(policy.jittered_delay_ms(0, rng), 0.0);
+  EXPECT_DOUBLE_EQ((BackoffPolicy{0.0, 2.0, 1000.0}.jittered_delay_ms(5, rng)), 0.0);
+}
+
 TEST(Error, RequireThrowsScfiError) {
   EXPECT_NO_THROW(require(true, "fine"));
   EXPECT_THROW(require(false, "boom"), ScfiError);

@@ -1,6 +1,6 @@
 // The sweep subsystem contract: the JSONL result-store schema is pinned by
-// golden lines (schema v4 — bump ResultStore::kSchemaVersion when it has
-// to change; v1..v3 lines migrate on load), load/save/merge/diff
+// golden lines (schema v5 — bump ResultStore::kSchemaVersion when it has
+// to change; v1..v4 lines migrate on load), load/save/merge/diff
 // round-trip, SweepOrchestrator results — SYNFI and Monte-Carlo campaign
 // jobs alike, from the zoo or a KISS2 corpus — are bit-identical to direct
 // per-module analyze()/run_campaign() for every jobs/threads combination
@@ -12,6 +12,10 @@
 // failed transition always gates).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -56,7 +60,7 @@ SweepResult golden_result() {
 }
 
 constexpr const char* kGoldenLine =
-    "{\"schema\":4,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "{\"schema\":5,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
     "\"status\":\"ok\",\"region\":\"mds_\","
     "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
@@ -95,7 +99,7 @@ SweepResult golden_failed_result() {
 }
 
 constexpr const char* kGoldenFailedLine =
-    "{\"schema\":4,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "{\"schema\":5,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
     "\"status\":\"failed\",\"region\":\"mds_\","
     "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
@@ -154,7 +158,7 @@ SweepResult golden_campaign_result() {
 }
 
 constexpr const char* kGoldenCampaignLine =
-    "{\"schema\":4,\"type\":\"campaign\","
+    "{\"schema\":5,\"type\":\"campaign\","
     "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,"
     "\"status\":\"ok\",\"kind\":\"flip\","
@@ -182,7 +186,7 @@ SweepResult golden_corpus_result() {
 }
 
 constexpr const char* kGoldenCorpusLine =
-    "{\"schema\":4,\"type\":\"campaign\","
+    "{\"schema\":5,\"type\":\"campaign\","
     "\"key\":\"corpus::mcnc/lion|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
     "\"source\":\"corpus\",\"module\":\"mcnc/lion\",\"variant\":\"scfi\",\"level\":2,"
     "\"status\":\"ok\",\"kind\":\"flip\","
@@ -200,6 +204,56 @@ constexpr const char* kGoldenCorpusLineV3 =
     "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
     "\"seconds\":0.250000}";
 
+/// The ok and failed goldens as schema-v4 lines (pre-fleet: no
+/// `worker`/`deadline` fields, no `leased` status); load() must keep
+/// accepting these and migrate them to v5 unchanged.
+constexpr const char* kGoldenLineV4 =
+    "{\"schema\":4,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"ok\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"detected\":1200,\"masked\":73,"
+    "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
+    "\"attempts\":1,\"seconds\":0.125000}";
+
+constexpr const char* kGoldenFailedLineV4 =
+    "{\"schema\":4,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"failed\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"error\":\"synfi: no fault sites match prefix 'mds_'\","
+    "\"attempts\":3,\"seconds\":0.125000}";
+
+constexpr const char* kGoldenCampaignLineV4 =
+    "{\"schema\":4,\"type\":\"campaign\","
+    "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,"
+    "\"status\":\"ok\",\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"attempts\":1,\"seconds\":0.250000}";
+
+/// A fleet lease record (v5): status `leased` with the holder and its
+/// expiry; no payload counters.
+SweepResult golden_leased_result() {
+  SweepResult result;
+  result.job = golden_result().job;
+  result.status = JobStatus::kLeased;
+  result.worker = "w2.1";
+  result.deadline = 1754700000.5;
+  result.attempts = 1;
+  result.seconds = 0.0;
+  return result;
+}
+
+constexpr const char* kGoldenLeasedLine =
+    "{\"schema\":5,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"leased\",\"worker\":\"w2.1\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\",\"free_symbol\":true,"
+    "\"deadline\":1754700000.500000,"
+    "\"attempts\":1,\"seconds\":0.000000}";
+
 std::string temp_path(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
@@ -209,6 +263,58 @@ TEST(ResultStore, GoldenLinePinsSchema) {
   EXPECT_EQ(ResultStore::to_line(golden_campaign_result()), kGoldenCampaignLine);
   EXPECT_EQ(ResultStore::to_line(golden_corpus_result()), kGoldenCorpusLine);
   EXPECT_EQ(ResultStore::to_line(golden_failed_result()), kGoldenFailedLine);
+  EXPECT_EQ(ResultStore::to_line(golden_leased_result()), kGoldenLeasedLine);
+}
+
+TEST(ResultStore, SchemaV4LinesMigrateToV5Unchanged) {
+  // v4 predates the fleet: lines migrate with empty worker / zero deadline
+  // and re-serialize as v5, byte-identical but for the version number.
+  for (const auto& [v4, v5] : {std::pair{kGoldenLineV4, kGoldenLine},
+                               {kGoldenFailedLineV4, kGoldenFailedLine},
+                               {kGoldenCampaignLineV4, kGoldenCampaignLine}}) {
+    const SweepResult migrated = ResultStore::parse_line(v4);
+    EXPECT_EQ(migrated.worker, "");
+    EXPECT_EQ(migrated.deadline, 0.0);
+    EXPECT_EQ(ResultStore::to_line(migrated), v5);
+  }
+  // Pre-v5 lines cannot smuggle in the fleet fields (worker/deadline and
+  // the leased status are v5).
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":4,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"ok\",\"worker\":\"w0.0\"}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":4,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"leased\",\"deadline\":1.0}"),
+               ScfiError);
+}
+
+TEST(ResultStore, LeasedRecordRoundTripAndValidation) {
+  const SweepResult parsed = ResultStore::parse_line(kGoldenLeasedLine);
+  EXPECT_TRUE(parsed.status == JobStatus::kLeased);
+  EXPECT_EQ(parsed.worker, "w2.1");
+  EXPECT_DOUBLE_EQ(parsed.deadline, 1754700000.5);
+  EXPECT_EQ(ResultStore::to_line(parsed), kGoldenLeasedLine);
+
+  // Two leases compare equal (protocol traffic, not a verdict) but never
+  // equal an ok or failed record.
+  SweepResult other = golden_leased_result();
+  other.worker = "w0.7";
+  other.deadline = 1.0;
+  EXPECT_TRUE(reports_equal(parsed, other));
+  EXPECT_FALSE(reports_equal(parsed, golden_result()));
+  EXPECT_FALSE(reports_equal(parsed, golden_failed_result()));
+
+  // The deadline travels with leases only, and leases must carry one.
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":5,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"ok\",\"deadline\":1.0}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":5,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"leased\"}"),
+               ScfiError);
+  // Only failed records carry an error message.
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":5,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"leased\",\"deadline\":1.0,"
+                                       "\"error\":\"boom\"}"),
+               ScfiError);
 }
 
 TEST(ResultStore, SchemaV3LinesMigrateToOkRecords) {
@@ -540,6 +646,125 @@ TEST(ResultStore, SaveIsAtomicAndCompactsLatestWins) {
   ResultStore fresh;
   fresh.add(b);
   EXPECT_THROW(fresh.save("/no/such/dir/store.jsonl"), ScfiError);
+}
+
+TEST(ResultStore, CompactFileRewritesLatestWinsAndReportsStats) {
+  const std::string path = temp_path("compact_stats.jsonl");
+  std::filesystem::remove(path);
+  SweepResult a = golden_result();
+  ResultStore::append_line(path, a);
+  a.report.exploitable = 9;
+  ResultStore::append_line(path, a);
+  ResultStore::append_line(path, golden_campaign_result());
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"schema\":5,\"torn";  // crash-shaped torn tail: salvaged, not fatal
+  }
+
+  const ResultStore::CompactStats stats = ResultStore::compact_file(path);
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.records, 2u);
+  const ResultStore store = ResultStore::load(path);  // strict reload passes
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.find(a.key())->report.exploitable, 9);
+}
+
+TEST(ResultStore, CompactFileFailsLoudlyOnMissingOrEmptyStore) {
+  // A missing store is an error naming the path and the reason — not a
+  // silently created empty file.
+  const std::string missing = temp_path("compact_missing.jsonl");
+  std::filesystem::remove(missing);
+  try {
+    ResultStore::compact_file(missing);
+    FAIL() << "compact_file must throw on a missing store";
+  } catch (const ScfiError& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("no such store"), std::string::npos);
+  }
+  EXPECT_FALSE(std::filesystem::exists(missing));
+
+  // An empty (or blank-line-only) store is equally a caller mistake.
+  const std::string empty = temp_path("compact_empty.jsonl");
+  {
+    std::ofstream out(empty, std::ios::trunc);
+    out << "\n  \n";
+  }
+  try {
+    ResultStore::compact_file(empty);
+    FAIL() << "compact_file must throw on an empty store";
+  } catch (const ScfiError& e) {
+    EXPECT_NE(std::string(e.what()).find(empty), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos);
+  }
+
+  // A store whose only line is torn holds no complete records: also loud.
+  const std::string torn = temp_path("compact_torn_only.jsonl");
+  {
+    std::ofstream out(torn, std::ios::trunc);
+    out << "{\"schema\":5,\"torn";
+  }
+  EXPECT_THROW(ResultStore::compact_file(torn), ScfiError);
+}
+
+TEST(ResultStore, ConcurrentForkedAppendsNeverTearOrInterleave) {
+  // Two REAL processes hammering one store through the O_APPEND append
+  // path: every line must parse strictly (no torn or interleaved bytes),
+  // no append may be lost, and the shared key must resolve latest-wins to
+  // some process's final write — the exact guarantee the fleet's lease
+  // protocol is built on.
+  const std::string path = temp_path("forked_appends.jsonl");
+  std::filesystem::remove(path);
+  constexpr int kAppendsPerProcess = 200;
+
+  std::vector<pid_t> children;
+  for (int p = 1; p <= 2; ++p) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: interleave private-key and shared-key appends. exploitable
+      // encodes (process, sequence) so the parent can check freshness.
+      for (int i = 0; i < kAppendsPerProcess; ++i) {
+        SweepResult own = golden_result();
+        own.job.module = "proc" + std::to_string(p);
+        own.report.exploitable = 1000 * p + i;
+        SweepResult shared = golden_result();
+        shared.report.exploitable = 1000 * p + i;
+        ResultStore::append_line(path, own);
+        ResultStore::append_line(path, shared);
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  std::size_t lines = 0;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      EXPECT_FALSE(line.empty());
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 2u * 2u * kAppendsPerProcess);  // nothing lost, nothing glued
+
+  const ResultStore store = ResultStore::load(path);  // strict: all lines intact
+  ASSERT_EQ(store.size(), 3u);  // proc1 + proc2 + the shared key
+  SweepResult probe = golden_result();
+  probe.job.module = "proc1";
+  EXPECT_EQ(store.find(probe.key())->report.exploitable, 1000 + kAppendsPerProcess - 1);
+  probe.job.module = "proc2";
+  EXPECT_EQ(store.find(probe.key())->report.exploitable, 2000 + kAppendsPerProcess - 1);
+  // The shared key holds SOME process's final write: O_APPEND makes the
+  // race a total order whose winner is the last full record.
+  const std::int64_t last = store.find(golden_result().key())->report.exploitable;
+  EXPECT_TRUE(last == 1000 + kAppendsPerProcess - 1 || last == 2000 + kAppendsPerProcess - 1)
+      << "shared key resolved to a non-final write: " << last;
 }
 
 TEST(ResultStore, MergeAndDiff) {
