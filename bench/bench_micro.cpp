@@ -10,6 +10,7 @@
 #include "sat/cnf.h"
 #include "sim/campaign.h"
 #include "sim/netlist_sim.h"
+#include "synfi/synfi.h"
 #include "synth/lower.h"
 #include "synth/opt.h"
 
@@ -81,33 +82,63 @@ void BM_SimulatorStepGateLevel(benchmark::State& state) {
 BENCHMARK(BM_SimulatorStepGateLevel);
 
 void BM_SimulatorStepBatched(benchmark::State& state) {
-  // Same netlist as BM_SimulatorStep, but with 64 lanes carrying *distinct*
-  // stimulus, re-driven every cycle — the realistic batched workload
-  // including the per-lane drive overhead, counted as 64 sims per step.
+  // Same netlist as BM_SimulatorStep, but with 64 x `words` lanes carrying
+  // *distinct* stimulus, re-driven every cycle — the realistic batched
+  // workload, counted as one sim per lane per step. Arg = lane_words (the
+  // lane-block width, 1..8 -> 64..512 lanes). Stimulus is pre-packed into
+  // rotated per-word drive patterns so the measured loop pays the same
+  // word-granular drive cost the campaign/SYNFI executors pay, not a
+  // per-lane scatter.
   scfi::rtlil::Design d;
   const scfi::fsm::Fsm f = bench_fsm();
   scfi::core::ScfiConfig config;
   const scfi::fsm::CompiledFsm c = scfi::core::scfi_harden(f, d, config);
-  scfi::sim::Simulator s(*c.module);
+  const int words = static_cast<int>(state.range(0));
+  scfi::sim::Simulator s(*c.module, words);
   const scfi::sim::Simulator::WireHandle symbol_h = s.input_handle(c.symbol_input_wire);
   std::vector<std::uint64_t> codes;
   for (const auto& [sym, code] : c.symbol_codes) codes.push_back(code);
+  // packs[rot][bit * words + w]: 64-lane word driving symbol bit `bit` in
+  // lane-block word `w`, with lane L carrying codes[(rot + L) % codes].
+  const std::size_t width = static_cast<std::size_t>(symbol_h.width);
+  const std::size_t stride = width * static_cast<std::size_t>(words);
+  std::vector<std::vector<std::uint64_t>> packs(codes.size());
+  for (std::size_t rot = 0; rot < codes.size(); ++rot) {
+    packs[rot].assign(stride, 0);
+    for (int lane = 0; lane < s.num_lanes(); ++lane) {
+      const std::uint64_t code =
+          codes[(rot + static_cast<std::size_t>(lane)) % codes.size()];
+      for (std::size_t bit = 0; bit < width; ++bit) {
+        if ((code >> bit) & 1) {
+          packs[rot][bit * static_cast<std::size_t>(words) +
+                     static_cast<std::size_t>(lane >> 6)] |= 1ULL << (lane & 63);
+        }
+      }
+    }
+  }
   std::size_t rot = 0;
   for (auto _ : state) {
-    for (int lane = 0; lane < scfi::sim::kNumLanes; ++lane) {
-      s.set_input_lane(symbol_h, lane, codes[(rot + static_cast<std::size_t>(lane)) % codes.size()]);
+    const std::vector<std::uint64_t>& pack = packs[rot];
+    for (std::size_t bit = 0; bit < width; ++bit) {
+      for (int w = 0; w < words; ++w) {
+        s.set_input_word(symbol_h, static_cast<int>(bit),
+                         pack[bit * static_cast<std::size_t>(words) +
+                              static_cast<std::size_t>(w)],
+                         w);
+      }
     }
-    ++rot;
+    rot = (rot + 1) % packs.size();
     s.step();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          scfi::sim::kNumLanes);
+                          s.num_lanes());
 }
-BENCHMARK(BM_SimulatorStepBatched);
+BENCHMARK(BM_SimulatorStepBatched)->ArgName("words")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_Campaign(benchmark::State& state) {
   // Monte-Carlo campaign throughput (runs/s) on the SCFI-hardened
-  // controller; Arg = lanes per batch (1 = scalar path, 64 = bit-parallel).
+  // controller; Arg = lanes per batch (1 = scalar path, 64 = one-word
+  // bit-parallel, 256/512 = multi-word lane blocks).
   scfi::rtlil::Design d;
   const scfi::fsm::Fsm f = bench_fsm();
   scfi::core::ScfiConfig sc;
@@ -124,7 +155,7 @@ void BM_Campaign(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * config.runs);
 }
-BENCHMARK(BM_Campaign)->Arg(1)->Arg(64);
+BENCHMARK(BM_Campaign)->Arg(1)->Arg(64)->Arg(256)->Arg(512);
 
 void BM_CampaignPlanner(benchmark::State& state) {
   // Planner comparison at 64 lanes: Arg 0 = streaming (per-batch jump-ahead
@@ -165,6 +196,27 @@ void BM_CampaignUnprotected(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * config.runs);
 }
 BENCHMARK(BM_CampaignUnprotected)->Arg(1)->Arg(64);
+
+void BM_SynfiInjection(benchmark::State& state) {
+  // SYNFI exhaustive transient sweep (injections/s) over the i2c_fsm MDS
+  // region at each lane-block width; Arg = lanes per simulator pass
+  // (64 = one word, 512 = the full 8-word block).
+  const scfi::ot::OtEntry entry = scfi::ot::ot_entry("i2c_fsm");
+  scfi::rtlil::Design d;
+  const scfi::fsm::CompiledFsm c =
+      scfi::ot::build_ot_variant(entry, d, scfi::ot::Variant::kScfi, 2, "i2c_fsm_bm");
+  scfi::synfi::Analyzer analyzer(entry.fsm, c);
+  scfi::synfi::SynfiConfig config;
+  config.lanes = static_cast<int>(state.range(0));
+  std::int64_t injections = 0;
+  for (auto _ : state) {
+    const scfi::synfi::SynfiReport r = analyzer.run(config);
+    injections = r.injections;
+    benchmark::DoNotOptimize(injections);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * injections);
+}
+BENCHMARK(BM_SynfiInjection)->ArgName("lanes")->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_ScfiHardenPass(benchmark::State& state) {
   const scfi::fsm::Fsm f = bench_fsm();

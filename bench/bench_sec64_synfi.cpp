@@ -27,6 +27,7 @@
 #include "core/harden.h"
 #include "ot/zoo.h"
 #include "rtlil/design.h"
+#include "sim/netlist_sim.h"
 #include "synfi/synfi.h"
 #include "synth/lower.h"
 #include "synth/opt.h"
@@ -201,6 +202,16 @@ int main(int argc, char** argv) {
   scfi::synfi::SynfiReport threaded_report;
   const double sim_threaded =
       time_sweeps(ot_entry.fsm, ot_variant, sweep, sim_iters, &threaded_report);
+  // The full 8-word lane block: 512 injection jobs per simulator pass.
+  sweep.lanes = scfi::sim::kMaxLanes;
+  sweep.threads = 1;
+  scfi::synfi::SynfiReport wide_report;
+  const double sim_wide =
+      time_sweeps(ot_entry.fsm, ot_variant, sweep, sim_iters, &wide_report);
+  sweep.threads = hw_threads;
+  scfi::synfi::SynfiReport wide_threaded_report;
+  const double sim_wide_threaded =
+      time_sweeps(ot_entry.fsm, ot_variant, sweep, sim_iters, &wide_threaded_report);
 
   // SAT engine on the §6.4 module, where the per-query rebuild baseline is
   // still tractable.
@@ -240,9 +251,12 @@ int main(int argc, char** argv) {
 
   const bool engines_agree = scalar_report == batched_report &&
                              scalar_report == threaded_report &&
+                             scalar_report == wide_report &&
+                             scalar_report == wide_threaded_report &&
                              sat_rebuild_report == sat_incremental_report &&
                              reuse.reports_agree;
   const double batch_speedup = sim_scalar > 0 ? sim_batched / sim_scalar : 0.0;
+  const double wide_speedup = sim_batched > 0 ? sim_wide / sim_batched : 0.0;
   const double sat_speedup = sat_rebuild > 0 ? sat_incremental / sat_rebuild : 0.0;
 
   if (json) {
@@ -257,7 +271,10 @@ int main(int argc, char** argv) {
     std::printf("  \"exhaustive_scalar\": %.1f,\n", sim_scalar);
     std::printf("  \"exhaustive_batched64\": %.1f,\n", sim_batched);
     std::printf("  \"exhaustive_batched64_threads\": %.1f,\n", sim_threaded);
+    std::printf("  \"exhaustive_batched512\": %.1f,\n", sim_wide);
+    std::printf("  \"exhaustive_batched512_threads\": %.1f,\n", sim_wide_threaded);
     std::printf("  \"exhaustive_batch_speedup\": %.2f,\n", batch_speedup);
+    std::printf("  \"exhaustive_wide_batch_speedup\": %.2f,\n", wide_speedup);
     std::printf("  \"sat_module\": \"synfi14_n2\",\n");
     std::printf("  \"sat_queries_per_sweep\": %lld,\n",
                 static_cast<long long>(sat_rebuild_report.injections));
@@ -281,6 +298,10 @@ int main(int argc, char** argv) {
                 batch_speedup);
     std::printf("    batched + %2d threads            %12.0f inj/s\n", hw_threads,
                 sim_threaded);
+    std::printf("    wide    (lanes=512)             %12.0f inj/s  (%.1fx over lanes=64)\n",
+                sim_wide, wide_speedup);
+    std::printf("    wide    + %2d threads            %12.0f inj/s\n", hw_threads,
+                sim_wide_threaded);
     std::printf("  SAT, synfi14 MDS region (%lld queries/sweep):\n",
                 static_cast<long long>(sat_rebuild_report.injections));
     std::printf("    rebuild-per-query               %12.0f q/s\n", sat_rebuild);

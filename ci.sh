@@ -17,6 +17,15 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# Forced-portable lane blocks: SCFI_LANE_WORDS_CAP=1 clamps every *derived*
+# lane-block width (campaign/SYNFI executors) to the one-word 64-lane
+# layout, so the parallel-engine suites re-verify bit-identity with the
+# multi-word SIMD path switched off — the coverage a machine without wide
+# vectors would get. Explicitly-constructed wide Simulators are not
+# clamped, so the wide unit tests still run wide here.
+SCFI_LANE_WORDS_CAP=1 ctest --test-dir build --output-on-failure -j "$(nproc)" \
+  -R 'SimParallel|SynfiParallel|CorpusParallel|ZooParallel|Campaign|Sweep'
+
 # Optional sanitizer lane: a second compilation with AddressSanitizer +
 # UndefinedBehaviorSanitizer over the fast suites (base/store/planner/sweep
 # units, not the minutes-long corpus sweeps) so memory bugs in the hot
@@ -32,7 +41,8 @@ fi
 
 # Benchmark smoke test: make sure the perf harness still runs end to end.
 if [[ -x build/bench_micro ]]; then
-  build/bench_micro --benchmark_min_time=0.01 --benchmark_filter='BM_Simulator|BM_Campaign'
+  build/bench_micro --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_Simulator|BM_Campaign|BM_SynfiInjection'
 else
   echo "bench_micro not built (google-benchmark unavailable); skipping bench smoke"
 fi

@@ -109,6 +109,8 @@ int usage() {
                "  harden:  -o out.v --json out.json\n"
                "  synfi:   --backend sim|sat --lanes K --threads K --no-incremental\n"
                "  attack:  --faults K --lanes K --threads K\n"
+               "  (--lanes: simulator runs per pass, 1..512 = 64 x lane_words;\n"
+               "   widths past 64 use multi-word SIMD lane blocks)\n"
                "  sweep:   --corpus DIR (sweep .kiss2 files instead of the zoo)\n"
                "           --modules GLOBS --levels 2,3 --regions mds_,all\n"
                "           --kinds flip,stuck0,stuck1 --backend sim|sat\n"
@@ -237,7 +239,8 @@ int main(int argc, char** argv) {
         faults = parse_positive("--faults", argv[++i]);
       } else if (arg == "--lanes" && has_value) {
         lanes = parse_positive("--lanes", argv[++i]);
-        scfi::require(lanes <= scfi::sim::kNumLanes, "scfi_cli: --lanes must be in [1, 64]");
+        scfi::require(lanes <= scfi::sim::kMaxLanes,
+                      "scfi_cli: --lanes must be in [1, 512] (64 x lane_words)");
       } else if (arg == "--threads" && has_value) {
         threads = parse_positive("--threads", argv[++i]);
       } else if (arg == "--jobs" && has_value) {

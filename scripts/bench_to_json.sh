@@ -22,7 +22,7 @@ SCALE_BENCH="$BUILD_DIR/bench_campaign_scale"
 RAW="$(mktemp)"
 SCALE_RAW="$(mktemp)"
 trap 'rm -f "$RAW" "$SCALE_RAW"' EXIT
-"$BENCH" --benchmark_filter='BM_Simulator|BM_Campaign' \
+"$BENCH" --benchmark_filter='BM_Simulator|BM_Campaign|BM_SynfiInjection' \
          --benchmark_min_time=0.3 --benchmark_format=json > "$RAW"
 
 # Campaign-at-scale: streaming vs. materialized planner throughput and the
@@ -56,9 +56,27 @@ batched = out["results"].get("BM_Campaign/64")
 if scalar and batched:
     out["campaign_batch_speedup"] = round(batched / scalar, 2)
 scalar = out["results"].get("BM_SimulatorStep")
-batched = out["results"].get("BM_SimulatorStepBatched")
+batched = out["results"].get("BM_SimulatorStepBatched/words:1")
 if scalar and batched:
     out["step_lane_speedup"] = round(batched / scalar, 2)
+# Multi-word lane blocks: widest SoA block vs the one-word (historical
+# 64-lane) layout, on both the raw step loop and the SYNFI injection engine.
+narrow = out["results"].get("BM_SimulatorStepBatched/words:1")
+wide = out["results"].get("BM_SimulatorStepBatched/words:8")
+if narrow and wide:
+    out["lane_width_speedup"] = round(wide / narrow, 2)
+narrow = out["results"].get("BM_SynfiInjection/lanes:64")
+wide = out["results"].get("BM_SynfiInjection/lanes:512")
+if narrow and wide:
+    out["synfi_lane_width_speedup"] = round(wide / narrow, 2)
+# The throughput-optimal batch width for this module size (wider blocks
+# eventually trade L2 locality for fewer passes, so the peak is a data
+# point worth recording, not always the maximum width).
+synfi = {n: v for n, v in out["results"].items()
+         if n.startswith("BM_SynfiInjection/lanes:")}
+if synfi:
+    best = max(synfi, key=synfi.get)
+    out["synfi_best_lanes"] = int(best.rsplit(":", 1)[1])
 streaming = out["results"].get("BM_CampaignPlanner/0")
 materialized = out["results"].get("BM_CampaignPlanner/1")
 if streaming and materialized:

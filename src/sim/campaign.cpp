@@ -1,5 +1,6 @@
 #include "sim/campaign.h"
 
+#include <array>
 #include <atomic>
 #include <bit>
 #include <exception>
@@ -264,7 +265,11 @@ StimulusTable build_stimulus(const Fsm& fsm, const CompiledFsm& variant,
     for (const CfgEdge& e : cfg) table.edge_code.push_back(variant.symbol_codes.at(e.symbol));
   } else {
     require(fsm.num_inputs() <= 64,
-            "run_campaign: raw-input variants support at most 64 control bits");
+            format("run_campaign: raw-input (unencoded) variants pack each run's "
+                   "control bits into one 64-bit stimulus word, so at most 64 "
+                   "control bits are representable; this FSM has %d — use a "
+                   "symbol-encoded variant",
+                   fsm.num_inputs()));
     table.num_inputs = fsm.num_inputs();
     RawInputPlanner planner(fsm);
     table.edge_bits.reserve(cfg.size());
@@ -284,13 +289,16 @@ StimulusTable build_stimulus(const Fsm& fsm, const CompiledFsm& variant,
 /// accumulates outcome counts. `plan` provides (and, for the streaming
 /// view, derives) each batch's runs. Outcomes are per-lane and the counts
 /// are plain integer sums, so sharding batches across threads cannot change
-/// the aggregate result.
+/// the aggregate result. Lane sets are runtime-width word arrays (W =
+/// lane_words_for(config.lanes)) rather than full kMaxLaneWords LaneMask
+/// blocks, so the classic 64-lane configuration pays for exactly one word.
 template <typename PlanView>
 void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
                      const std::vector<FaultSite>& sites, const CampaignConfig& config,
                      const StimulusTable& stim, PlanView& plan, int batch_begin, int batch_end,
                      CampaignResult& out) {
-  Simulator sim(*variant.module);
+  const int W = lane_words_for(config.lanes);
+  Simulator sim(*variant.module, W);
 
   // Pre-resolve every name the cycle loop would otherwise look up.
   std::vector<std::int32_t> site_net;
@@ -307,12 +315,14 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
     for (const std::string& name : fsm.inputs) raw_h.push_back(sim.input_handle(name));
   }
   const int in_width = stim.encoded ? symbol_h.width : stim.num_inputs;
-  std::vector<std::uint64_t> in_words(static_cast<std::size_t>(in_width));
+  // Per-lane words, runtime width W: index [i * W + w].
+  std::vector<std::uint64_t> in_words(static_cast<std::size_t>(in_width * W));
   check(state_h.width <= 64, "run_campaign: state wire too wide");
   const int state_w = state_h.width;
   const std::size_t num_states = variant.state_codes.size();
-  std::vector<std::uint64_t> state_words(static_cast<std::size_t>(state_w));
-  std::vector<std::uint64_t> state_eq(num_states);
+  std::vector<std::uint64_t> state_words(static_cast<std::size_t>(state_w * W));
+  std::vector<std::uint64_t> state_eq(num_states * static_cast<std::size_t>(W));
+  using Lanes = std::array<std::uint64_t, kMaxLaneWords>;  // words [0, W) used
 
   const int lanes = config.lanes;
   for (int batch = batch_begin; batch < batch_end; ++batch) {
@@ -321,41 +331,60 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
     if (config.cancel != nullptr) config.cancel->check("run_campaign");
     const int base_run = batch * lanes;
     const int batch_runs = std::min(lanes, config.runs - base_run);
-    const std::uint64_t batch_mask =
-        batch_runs >= 64 ? kAllLanes : (1ULL << batch_runs) - 1;
+    const LaneMask batch_mask = LaneMask::first_n(batch_runs);
     plan.prepare_batch(base_run, batch_runs);
 
     sim.reset();
-    std::uint64_t done = 0;      // lane terminated (detected)
-    std::uint64_t detected = 0;  // subset of done
+    Lanes done{};      // lane terminated (detected)
+    Lanes detected{};  // subset of done
     // Folds the alert wire into detected/done for lanes still running.
     const auto absorb_alerts = [&] {
       if (!alert_h.valid()) return;
-      std::uint64_t alert = 0;
-      for (std::int32_t i = 0; i < alert_h.width; ++i) alert |= sim.lane_word(alert_h.base + i);
-      const std::uint64_t newly = alert & batch_mask & ~done;
-      detected |= newly;
-      done |= newly;
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t alert = 0;
+        for (std::int32_t i = 0; i < alert_h.width; ++i) {
+          alert |= sim.lane_word(alert_h.base + i, w);
+        }
+        const std::uint64_t newly =
+            alert & batch_mask.w[static_cast<std::size_t>(w)] & ~done[static_cast<std::size_t>(w)];
+        detected[static_cast<std::size_t>(w)] |= newly;
+        done[static_cast<std::size_t>(w)] |= newly;
+      }
     };
-    std::uint64_t deviated = 0;  // reached a valid state != golden
-    std::uint64_t invalid = 0;   // reached a non-codeword
-    std::uint64_t not_lag = 0;   // deviation beyond a missed transition
-    for (int t = 0; t < config.cycles && done != batch_mask; ++t) {
+    const auto all_done = [&] {
+      for (int w = 0; w < W; ++w) {
+        if (done[static_cast<std::size_t>(w)] != batch_mask.w[static_cast<std::size_t>(w)]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    Lanes deviated{};  // reached a valid state != golden
+    Lanes invalid{};   // reached a non-codeword
+    Lanes not_lag{};   // deviation beyond a missed transition
+    for (int t = 0; t < config.cycles && !all_done(); ++t) {
       // Drive per-lane stimulus for this cycle.
       std::fill(in_words.begin(), in_words.end(), 0);
       for (int lane = 0; lane < batch_runs; ++lane) {
+        const auto wj = static_cast<std::size_t>(lane >> 6);
+        const std::uint64_t bit = 1ULL << (lane & 63);
         const std::int32_t e = plan.edge_at(base_run + lane, t);
         const std::uint64_t bits =
             stim.encoded ? stim.edge_code[static_cast<std::size_t>(e)]
                          : stim.edge_bits[static_cast<std::size_t>(e)];
         for (int i = 0; i < in_width; ++i) {
-          in_words[static_cast<std::size_t>(i)] |= ((bits >> i) & 1) << lane;
+          if ((bits >> i) & 1) in_words[static_cast<std::size_t>(i * W) + wj] |= bit;
         }
       }
-      if (stim.encoded) {
-        for (int i = 0; i < in_width; ++i) sim.set_input_word(symbol_h, i, in_words[static_cast<std::size_t>(i)]);
-      } else {
-        for (int i = 0; i < in_width; ++i) sim.set_input_word(raw_h[static_cast<std::size_t>(i)], 0, in_words[static_cast<std::size_t>(i)]);
+      for (int i = 0; i < in_width; ++i) {
+        for (int w = 0; w < W; ++w) {
+          const std::uint64_t word = in_words[static_cast<std::size_t>(i * W + w)];
+          if (stim.encoded) {
+            sim.set_input_word(symbol_h, i, word, w);
+          } else {
+            sim.set_input_word(raw_h[static_cast<std::size_t>(i)], 0, word, w);
+          }
+        }
       }
       // Inject this cycle's faults, lane by lane.
       for (int lane = 0; lane < batch_runs; ++lane) {
@@ -363,7 +392,7 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
           const PlannedFault& p = plan.fault_at(base_run + lane, f);
           if (p.cycle == t) {
             sim.inject_net(site_net[static_cast<std::size_t>(p.site)], config.kind,
-                           1ULL << lane);
+                           LaneMask::lane(lane));
           }
         }
       }
@@ -373,60 +402,83 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
       // Word-parallel classification: compare the state register of all
       // lanes against every codeword at once instead of decoding per lane.
       for (int i = 0; i < state_w; ++i) {
-        state_words[static_cast<std::size_t>(i)] = sim.lane_word(state_h.base + i);
+        for (int w = 0; w < W; ++w) {
+          state_words[static_cast<std::size_t>(i * W + w)] = sim.lane_word(state_h.base + i, w);
+        }
       }
       // A code with bits beyond the register width can never match.
       const auto fits = [state_w](std::uint64_t code) {
         return state_w >= 64 || (code >> state_w) == 0;
       };
-      std::uint64_t live = batch_mask & ~done;
-      if (variant.has_error_state) {
-        std::uint64_t err = fits(variant.error_code) ? live : 0;
-        for (int i = 0; i < state_w && err != 0; ++i) {
-          const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
-          err &= ((variant.error_code >> i) & 1) ? w : ~w;
-        }
-        detected |= err;
-        done |= err;
-        live &= ~err;
+      Lanes live{};
+      for (int w = 0; w < W; ++w) {
+        live[static_cast<std::size_t>(w)] =
+            batch_mask.w[static_cast<std::size_t>(w)] & ~done[static_cast<std::size_t>(w)];
       }
-      std::uint64_t valid = 0;
+      if (variant.has_error_state) {
+        for (int w = 0; w < W; ++w) {
+          std::uint64_t err = fits(variant.error_code) ? live[static_cast<std::size_t>(w)] : 0;
+          for (int i = 0; i < state_w && err != 0; ++i) {
+            const std::uint64_t sw = state_words[static_cast<std::size_t>(i * W + w)];
+            err &= ((variant.error_code >> i) & 1) ? sw : ~sw;
+          }
+          detected[static_cast<std::size_t>(w)] |= err;
+          done[static_cast<std::size_t>(w)] |= err;
+          live[static_cast<std::size_t>(w)] &= ~err;
+        }
+      }
+      Lanes valid{};
       for (std::size_t s = 0; s < num_states; ++s) {
         const std::uint64_t code = variant.state_codes[s];
-        std::uint64_t eq = fits(code) ? live : 0;
-        for (int i = 0; i < state_w && eq != 0; ++i) {
-          const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
-          eq &= ((code >> i) & 1) ? w : ~w;
+        for (int w = 0; w < W; ++w) {
+          std::uint64_t eq = fits(code) ? live[static_cast<std::size_t>(w)] : 0;
+          for (int i = 0; i < state_w && eq != 0; ++i) {
+            const std::uint64_t sw = state_words[static_cast<std::size_t>(i * W + w)];
+            eq &= ((code >> i) & 1) ? sw : ~sw;
+          }
+          state_eq[s * static_cast<std::size_t>(W) + static_cast<std::size_t>(w)] = eq;
+          valid[static_cast<std::size_t>(w)] |= eq;
         }
-        state_eq[s] = eq;
-        valid |= eq;
       }
-      std::uint64_t match_expect = 0;
-      std::uint64_t match_prev = 0;
+      Lanes match_expect{};
+      Lanes match_prev{};
       for (int lane = 0; lane < batch_runs; ++lane) {
-        const std::uint64_t bit = 1ULL << lane;
-        if (!(live & bit)) continue;
-        match_expect |=
-            state_eq[static_cast<std::size_t>(plan.golden_at(base_run + lane, t + 1))] & bit;
-        match_prev |=
-            state_eq[static_cast<std::size_t>(plan.golden_at(base_run + lane, t))] & bit;
+        const auto wj = static_cast<std::size_t>(lane >> 6);
+        const std::uint64_t bit = 1ULL << (lane & 63);
+        if (!(live[wj] & bit)) continue;
+        match_expect[wj] |=
+            state_eq[static_cast<std::size_t>(plan.golden_at(base_run + lane, t + 1)) *
+                         static_cast<std::size_t>(W) +
+                     wj] &
+            bit;
+        match_prev[wj] |=
+            state_eq[static_cast<std::size_t>(plan.golden_at(base_run + lane, t)) *
+                         static_cast<std::size_t>(W) +
+                     wj] &
+            bit;
       }
-      invalid |= live & ~valid;
-      not_lag |= live & ~valid;
-      const std::uint64_t dev = live & valid & ~match_expect;
-      deviated |= dev;
-      not_lag |= dev & ~match_prev;
+      for (int w = 0; w < W; ++w) {
+        const auto j = static_cast<std::size_t>(w);
+        invalid[j] |= live[j] & ~valid[j];
+        not_lag[j] |= live[j] & ~valid[j];
+        const std::uint64_t dev = live[j] & valid[j] & ~match_expect[j];
+        deviated[j] |= dev;
+        not_lag[j] |= dev & ~match_prev[j];
+      }
     }
     // Final combinational alert check (covers a deviation on the last cycle).
     sim.eval();
     absorb_alerts();
-    out.detected += std::popcount(detected);
-    const std::uint64_t live = batch_mask & ~done;
-    out.silent_invalid += std::popcount(live & invalid);
-    const std::uint64_t dev = live & ~invalid & deviated;
-    out.hijacked += std::popcount(dev & not_lag);
-    out.lagged += std::popcount(dev & ~not_lag);
-    out.masked += std::popcount(live & ~invalid & ~deviated);
+    for (int w = 0; w < W; ++w) {
+      const auto j = static_cast<std::size_t>(w);
+      out.detected += std::popcount(detected[j]);
+      const std::uint64_t live = batch_mask.w[j] & ~done[j];
+      out.silent_invalid += std::popcount(live & invalid[j]);
+      const std::uint64_t dev = live & ~invalid[j] & deviated[j];
+      out.hijacked += std::popcount(dev & not_lag[j]);
+      out.lagged += std::popcount(dev & ~not_lag[j]);
+      out.masked += std::popcount(live & ~invalid[j] & ~deviated[j]);
+    }
   }
 }
 
@@ -486,10 +538,15 @@ std::int64_t planned_bytes(const CampaignConfig& config) {
 }
 
 CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
-                            const CampaignConfig& config) {
+                            const CampaignConfig& user_config) {
   check(variant.module != nullptr, "run_campaign: variant has no module");
-  require(config.lanes >= 1 && config.lanes <= kNumLanes,
-          "run_campaign: lanes must be in [1, 64]");
+  require(user_config.lanes >= 1 && user_config.lanes <= kMaxLanes,
+          format("run_campaign: lanes must be in [1, %d] (64 x lane_words)", kMaxLanes));
+  // SCFI_LANE_WORDS_CAP clamps the *derived* simulator width (the CI
+  // portable leg forces 1-word blocks this way). lanes is an execution
+  // knob, so shrinking it cannot change the aggregate result.
+  CampaignConfig config = user_config;
+  config.lanes = std::min(config.lanes, kWordLanes * lane_words_cap());
   const bool materializes = config.planner != CampaignPlanner::kStreaming;
   if (materializes && config.max_plan_bytes > 0) {
     const std::int64_t plan_bytes = planned_bytes(config);

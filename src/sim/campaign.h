@@ -19,7 +19,8 @@
 // own batches on the fly with O(lanes) memory, so arbitrary-size campaigns
 // run under a constant footprint and the plan for run k never depends on
 // runs 0..k-1. Execution packs `lanes` runs into the bit-parallel simulator
-// (one lane per run) and, with `threads` > 1, shards whole batches across
+// (one lane per run, up to 512 lanes via multi-word lane blocks) and, with
+// `threads` > 1, shards whole batches across
 // worker threads. Because each run's plan is a pure function of
 // (seed, run_index) and per-run outcomes are independent, the aggregate
 // CampaignResult is bit-identical for every combination of `lanes` and
@@ -65,7 +66,10 @@ struct CampaignConfig {
   FaultKind kind = FaultKind::kTransientFlip;
   std::uint64_t seed = 1;
   CampaignPlanner planner = CampaignPlanner::kStreaming;
-  int lanes = kNumLanes;  ///< runs per simulator batch (1..64); 1 = scalar
+  /// Runs per simulator batch (1..kMaxLanes = 64*lane_words); 1 = scalar.
+  /// Widths past 64 select a multi-word SoA lane block (lane_words in
+  /// {2, 4, 8}), subject to the SCFI_LANE_WORDS_CAP runtime clamp.
+  int lanes = kNumLanes;
   int threads = 1;        ///< worker threads sharding batches (<=1 = inline)
   /// Hard cap on a *materialized* plan (walks, golden sequences, fault
   /// schedules — see planned_bytes()). The materializing planners allocate

@@ -5,6 +5,10 @@
 //   FT2 — control signal inputs,
 //   FT3 — outputs of combinational logic in the module (incl. the hardened
 //         next-state function), plus non-state register bits.
+//
+// Sites are lane-agnostic: a FaultSite names a net, and the executors decide
+// per pass which of the simulator's 64 x lane_words lanes inject it (see
+// sim::LaneMask in netlist_sim.h).
 #pragma once
 
 #include <string>

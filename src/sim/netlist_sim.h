@@ -1,25 +1,41 @@
 // Cycle-accurate two-valued netlist simulator with fault injection,
-// bit-parallel over 64 independent lanes.
+// bit-parallel over 64 x `lane_words` independent lanes.
 //
 // The module (word-level, gate-level, or mixed) is flattened once into a
-// topologically-ordered list of bit operations. Every net stores a 64-bit
-// word whose bit k is the net's value in lane k, so one eval() advances 64
-// independent simulations at once (parallel-pattern simulation, the classic
-// fault-simulation speedup). Gate ops are full-word bitwise expressions.
+// topologically-ordered list of bit operations. Net storage is a
+// structure-of-arrays *lane block*: every net owns `lane_words` consecutive
+// 64-bit words (values_[net * W + w]), so word w, bit k is the net's value
+// in lane w*64 + k and one eval() advances up to 512 independent simulations
+// at once (parallel-pattern simulation, the classic fault-simulation
+// speedup). The per-word inner loop of every gate op is a tight stride-1
+// stream over the block, auto-vectorizable to AVX2/AVX-512; the eval core is
+// templated on the word count with the 1-word layout as the portable
+// fallback, and (on x86-64 GCC) compiled into per-ISA clones selected at
+// runtime — no intrinsics anywhere.
+//
+// Instead of a per-gate switch, eval() runs a *kind-segmented, levelized op
+// tape*: at compile time the flat ops are stably sorted by (topological
+// level, op kind), so evaluation is a sequence of branch-free tight loops —
+// one per contiguous same-kind segment — instead of a per-gate dispatch.
+// `eval_reference()` keeps the original-order switch-per-op tape as the
+// differential oracle for that reordering.
 //
 // Faults are per-net, per-lane masks applied at *read* time, so a stuck or
 // flipped net corrupts every consumer (combinational logic, flip-flop D pins,
 // and observers alike) — matching the transient/stuck-at fault model of the
 // paper (§2.1) — and different lanes can fault different sites and cycles in
-// the same pass.
+// the same pass. While no fault is armed, eval() skips the mask streams
+// entirely (the no-fault fast path; bit-identical by construction since the
+// masks are the identity).
 //
 // The string-based API drives and reads lane 0 and broadcasts writes to all
 // lanes, so single-lane callers see exactly the scalar semantics. Hot loops
 // should pre-resolve WireHandles (input_handle()/probe()) and net indices
-// once and then use the handle/lane entry points, which never touch
+// once and then use the handle/lane/word entry points, which never touch
 // std::string or hash maps.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -36,12 +52,110 @@ enum class FaultKind : std::uint8_t {
   kTransientFlip,  ///< cleared automatically at the end of the next step()
 };
 
-/// Number of independent simulation lanes per Simulator instance.
-inline constexpr int kNumLanes = 64;
+/// Lanes carried by one 64-bit word of a lane block.
+inline constexpr int kWordLanes = 64;
+/// Supported lane-block widths: lane_words in {1, 2, 4, 8}.
+inline constexpr int kMaxLaneWords = 8;
+/// Maximum lanes of the widest block (8 words x 64 lanes).
+inline constexpr int kMaxLanes = kMaxLaneWords * kWordLanes;
+/// Historical name for the lanes of a 1-word Simulator (the default width);
+/// kept because "64 runs per word" is still the packing granularity.
+inline constexpr int kNumLanes = kWordLanes;
 
-/// Bit k set = lane k is affected.
-using LaneMask = std::uint64_t;
-inline constexpr LaneMask kAllLanes = ~0ULL;
+/// A set of lanes across the widest supported block: word w, bit k = lane
+/// w*64 + k. Constructible from a plain 64-bit word (lanes 0..63) so legacy
+/// `1ULL << lane` call sites keep working; words beyond a Simulator's
+/// lane_words are ignored by it.
+struct LaneMask {
+  std::array<std::uint64_t, kMaxLaneWords> w{};
+
+  constexpr LaneMask() = default;
+  constexpr LaneMask(std::uint64_t word0) : w{word0} {}  // NOLINT: implicit
+
+  static constexpr LaneMask all() {
+    LaneMask m;
+    for (auto& word : m.w) word = ~0ULL;
+    return m;
+  }
+  static constexpr LaneMask lane(int lane) {
+    LaneMask m;
+    m.w[static_cast<std::size_t>(lane >> 6)] = 1ULL << (lane & 63);
+    return m;
+  }
+  /// Lanes [0, n).
+  static constexpr LaneMask first_n(int n) {
+    LaneMask m;
+    for (int j = 0; j * kWordLanes < n; ++j) {
+      const int in_word = n - j * kWordLanes;
+      m.w[static_cast<std::size_t>(j)] =
+          in_word >= kWordLanes ? ~0ULL : (1ULL << in_word) - 1;
+    }
+    return m;
+  }
+
+  constexpr bool test(int lane) const {
+    return (w[static_cast<std::size_t>(lane >> 6)] >> (lane & 63)) & 1;
+  }
+  constexpr bool any() const {
+    for (const auto word : w) {
+      if (word != 0) return true;
+    }
+    return false;
+  }
+  constexpr LaneMask& operator|=(const LaneMask& o) {
+    for (std::size_t j = 0; j < w.size(); ++j) w[j] |= o.w[j];
+    return *this;
+  }
+  constexpr LaneMask& operator&=(const LaneMask& o) {
+    for (std::size_t j = 0; j < w.size(); ++j) w[j] &= o.w[j];
+    return *this;
+  }
+  friend constexpr LaneMask operator|(LaneMask a, const LaneMask& b) { return a |= b; }
+  friend constexpr LaneMask operator&(LaneMask a, const LaneMask& b) { return a &= b; }
+  friend constexpr LaneMask operator~(LaneMask a) {
+    for (auto& word : a.w) word = ~word;
+    return a;
+  }
+  bool operator==(const LaneMask&) const = default;
+};
+
+inline constexpr LaneMask kAllLanes = LaneMask::all();
+
+/// Lane-block words needed to carry `lanes` lanes, rounded up to the next
+/// supported width ({1, 2, 4, 8}). `lanes` must be in [1, kMaxLanes].
+int lane_words_for(int lanes);
+
+/// Runtime clamp on *derived* lane widths (campaign/SYNFI/sweep executors):
+/// the SCFI_LANE_WORDS_CAP environment variable (1..8, read once) caps how
+/// many words those engines select from their `lanes` knob, so CI can force
+/// the portable 1-word path (`SCFI_LANE_WORDS_CAP=1`) without touching any
+/// configs. Explicit Simulator construction is never clamped. Returns
+/// kMaxLaneWords when the variable is unset or invalid.
+int lane_words_cap();
+
+namespace detail {
+
+/// One flattened bit operation of the compiled netlist.
+struct FlatOp {
+  enum class Kind : std::uint8_t {
+    kBuf, kNot, kAnd, kOr, kXor, kXnor, kMux, kAoi21, kOai21, kNand, kNor
+  };
+  Kind kind;
+  std::int32_t out;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;  ///< S for mux, C for AOI/OAI
+};
+
+/// A maximal run of same-kind ops in the levelized tape: eval() executes
+/// [begin, end) of the sorted tape in one branch-free loop.
+struct TapeSegment {
+  FlatOp::Kind kind;
+  std::uint32_t begin;
+  std::uint32_t end;
+};
+
+}  // namespace detail
 
 class Simulator {
  public:
@@ -52,9 +166,14 @@ class Simulator {
     bool valid() const { return base >= 0; }
   };
 
-  explicit Simulator(const rtlil::Module& module);
+  /// `lane_words` selects the lane-block width (64 x lane_words lanes);
+  /// must be one of {1, 2, 4, 8}. The default 1-word block reproduces the
+  /// historical 64-lane engine (and is the portable fallback layout).
+  explicit Simulator(const rtlil::Module& module, int lane_words = 1);
 
   const rtlil::Module& module() const { return *module_; }
+  int lane_words() const { return lane_words_; }
+  int num_lanes() const { return lane_words_ * kWordLanes; }
 
   /// Applies flip-flop reset values and zeroes all inputs (all lanes), then
   /// settles. Also clears every fault.
@@ -68,8 +187,14 @@ class Simulator {
   std::uint64_t get(const std::string& wire) const;
   bool get_bit(const rtlil::SigBit& bit) const;
 
-  /// Settles combinational logic for the current inputs/state (all lanes).
+  /// Settles combinational logic for the current inputs/state (all lanes)
+  /// by streaming through the kind-segmented levelized tape.
   void eval();
+
+  /// Settles via the original-order switch-per-op tape. Bit-identical to
+  /// eval() by construction; kept (and tested) as the differential oracle
+  /// for the levelized reordering and the no-fault fast path.
+  void eval_reference();
 
   /// One clock cycle: settle, latch every flip-flop, clear transients,
   /// settle again.
@@ -91,78 +216,100 @@ class Simulator {
 
   /// Drives every lane of an input wire with the same value.
   void set_input(WireHandle h, std::uint64_t value);
-  /// Drives one lane of an input wire, leaving the other lanes untouched.
+  /// Drives one lane (0..num_lanes()-1) of an input wire, leaving the other
+  /// lanes untouched.
   void set_input_lane(WireHandle h, int lane, std::uint64_t value);
-  /// Drives one bit of an input wire with an explicit 64-lane word.
-  void set_input_word(WireHandle h, int bit, std::uint64_t lanes);
+  /// Drives one bit of an input wire with an explicit 64-lane word for lane
+  /// block word `word` (lanes word*64 .. word*64+63).
+  void set_input_word(WireHandle h, int bit, std::uint64_t lanes, int word = 0);
   /// Overwrites the stored register value in every lane; does NOT settle.
   void set_register(WireHandle h, std::uint64_t value);
   /// Overwrites one bit of a stored register value with an explicit 64-lane
-  /// word (per-lane state stimulus); does NOT settle.
-  void set_register_word(WireHandle h, int bit, std::uint64_t lanes);
-  /// Fault-corrected wire value as one lane sees it.
+  /// word for lane block word `word` (per-lane state stimulus); does NOT
+  /// settle.
+  void set_register_word(WireHandle h, int bit, std::uint64_t lanes, int word = 0);
+  /// Fault-corrected wire value as one lane (0..num_lanes()-1) sees it.
   std::uint64_t get_lane(WireHandle h, int lane) const;
   std::uint64_t get(WireHandle h) const { return get_lane(h, 0); }
-  /// Fault-corrected 64-lane word of a single net.
-  std::uint64_t lane_word(std::int32_t net) const { return load(net); }
+  /// Fault-corrected 64-lane word `word` of a single net.
+  std::uint64_t lane_word(std::int32_t net, int word = 0) const {
+    return load(net, word);
+  }
 
   // --- fault injection ----------------------------------------------------
 
   /// Injects in every lane (scalar semantics).
   void inject(const rtlil::SigBit& bit, FaultKind kind) { inject(bit, kind, kAllLanes); }
   /// Injects in the given lanes only; other lanes keep their faults.
-  void inject(const rtlil::SigBit& bit, FaultKind kind, LaneMask lanes);
+  void inject(const rtlil::SigBit& bit, FaultKind kind, const LaneMask& lanes);
   /// Same, on a pre-resolved net index.
-  void inject_net(std::int32_t net, FaultKind kind, LaneMask lanes);
+  void inject_net(std::int32_t net, FaultKind kind, const LaneMask& lanes);
   void clear_fault(const rtlil::SigBit& bit);
   void clear_all_faults();
 
   /// Number of simulated nets (diagnostics).
-  int num_nets() const { return static_cast<int>(values_.size()); }
+  int num_nets() const { return num_nets_; }
+  /// Distinct nets queued for transient auto-clear (diagnostics: repeated
+  /// inject_net calls on one net within a cycle coalesce into one entry).
+  int pending_transient_nets() const {
+    return static_cast<int>(transient_nets_.size());
+  }
 
  private:
-  struct FlatOp {
-    enum class Kind : std::uint8_t {
-      kBuf, kNot, kAnd, kOr, kXor, kXnor, kMux, kAoi21, kOai21, kNand, kNor
-    };
-    Kind kind;
-    std::int32_t out;
-    std::int32_t a = 0;
-    std::int32_t b = 0;
-    std::int32_t c = 0;  ///< S for mux, C for AOI/OAI
-  };
+  std::int32_t net_of(const rtlil::SigBit& bit) const;
+  std::int32_t temp_net();
+
+  /// Fault-corrected 64-lane word `word`: lanes with a stuck fault have
+  /// mask_and_ = 0 (and mask_xor_ = the stuck value); lanes with a transient
+  /// flip have mask_xor_ = 1. Unfaulted lanes pass through.
+  std::uint64_t load(std::int32_t net, int word = 0) const {
+    const auto i = static_cast<std::size_t>(net) *
+                       static_cast<std::size_t>(lane_words_) +
+                   static_cast<std::size_t>(word);
+    return (values_[i] & mask_and_[i]) ^ mask_xor_[i];
+  }
+
+  void compile();
+  void compile_cell(const rtlil::Cell& cell);
+  void build_tape();
+  /// Emits a balanced gate tree over `terms`, writing the result to `out`.
+  void emit_tree(detail::FlatOp::Kind kind, std::vector<std::int32_t> terms,
+                 std::int32_t out);
+
   struct FlatFf {
     std::int32_t d;
     std::int32_t q;
     bool reset;
   };
 
-  std::int32_t net_of(const rtlil::SigBit& bit) const;
-  std::int32_t temp_net();
-
-  /// Fault-corrected 64-lane word: lanes with a stuck fault have
-  /// mask_and_ = 0 (and mask_xor_ = the stuck value); lanes with a transient
-  /// flip have mask_xor_ = 1. Unfaulted lanes pass through.
-  std::uint64_t load(std::int32_t net) const {
-    const auto n = static_cast<std::size_t>(net);
-    return (values_[n] & mask_and_[n]) ^ mask_xor_[n];
-  }
-
-  void compile();
-  void compile_cell(const rtlil::Cell& cell);
-  /// Emits a balanced gate tree over `terms`, writing the result to `out`.
-  void emit_tree(FlatOp::Kind kind, std::vector<std::int32_t> terms, std::int32_t out);
-
   const rtlil::Module* module_;
+  int lane_words_ = 1;
+  std::int32_t num_nets_ = 0;
   std::unordered_map<const rtlil::Wire*, std::int32_t> wire_base_;
+  // Structure-of-arrays lane blocks: index net * lane_words_ + word.
   std::vector<std::uint64_t> values_;
   std::vector<std::uint64_t> mask_and_;
   std::vector<std::uint64_t> mask_xor_;
-  std::vector<FlatOp> ops_;
+  std::vector<detail::FlatOp> ops_;         ///< compile order (oracle tape)
+  std::vector<detail::FlatOp> tape_;        ///< sorted by (level, kind)
+  std::vector<detail::TapeSegment> segments_;
   std::vector<FlatFf> ffs_;
-  std::vector<std::uint64_t> latch_buf_;  ///< scratch for step(), avoids reallocating
+  std::vector<std::uint64_t> latch_buf_;  ///< scratch for step(), ffs x words
+  /// True whenever any fault may be armed (conservative; reset by
+  /// clear_all_faults). While false, eval() skips the mask streams.
+  bool faults_active_ = false;
   /// Nets (and lanes) carrying a transient flip, for automatic clearing.
+  /// Coalesced per net: transient_slot_[net] indexes this vector (-1 =
+  /// absent) so repeated injections within one cycle merge their masks and
+  /// step()'s clear pass stays O(distinct nets).
   std::vector<std::pair<std::int32_t, LaneMask>> transient_nets_;
+  std::vector<std::int32_t> transient_slot_;
+  /// Every net whose mask block may have left identity since the last
+  /// clear_all_faults(), deduplicated via faulted_mark_, so the clear pass
+  /// restores O(distinct armed nets x lane_words) words instead of
+  /// re-filling the whole mask arrays (the executors clear once per batch).
+  std::vector<std::int32_t> faulted_nets_;
+  std::vector<char> faulted_mark_;
 };
 
 }  // namespace scfi::sim

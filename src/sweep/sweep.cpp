@@ -83,8 +83,9 @@ void validate_jobs(const std::vector<SweepJob>& jobs, const ModuleSource* source
 SweepOrchestrator::SweepOrchestrator(const SweepConfig& config) : config_(config) {
   require(config_.jobs >= 1, "sweep: jobs must be >= 1");
   require(config_.threads >= 1, "sweep: threads must be >= 1");
-  require(config_.lanes >= 1 && config_.lanes <= sim::kNumLanes,
-          "sweep: lanes must be in [1, 64]");
+  require(config_.lanes >= 1 && config_.lanes <= sim::kMaxLanes,
+          "sweep: lanes must be in [1, " + std::to_string(sim::kMaxLanes) +
+              "] (64 x lane_words)");
   require(config_.retries >= 0, "sweep: retries must be >= 0");
   require(config_.job_timeout >= 0.0, "sweep: job timeout must be >= 0");
 }

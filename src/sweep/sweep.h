@@ -48,7 +48,8 @@ struct SweepConfig {
   int threads = 1;
   /// Simulator lanes per pass: (site, edge) injection jobs for
   /// exhaustive-backend SYNFI queries, campaign runs per batch for
-  /// campaign jobs.
+  /// campaign jobs. 1..sim::kMaxLanes (64 x lane_words); widths past 64
+  /// use multi-word SoA lane blocks.
   int lanes = sim::kNumLanes;
   /// Re-executions granted to a job that throws, beyond its first attempt
   /// (so a job runs at most `retries + 1` times); >= 0. Variant-build

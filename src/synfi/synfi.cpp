@@ -1,6 +1,7 @@
 #include "synfi/synfi.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <exception>
 #include <map>
@@ -109,7 +110,8 @@ struct SimContext {
   sim::Simulator::WireHandle state_h;
   sim::Simulator::WireHandle alert_h;
 
-  explicit SimContext(const CompiledFsm& variant) : simulator(*variant.module) {
+  SimContext(const CompiledFsm& variant, int lane_words)
+      : simulator(*variant.module, lane_words) {
     symbol_h = simulator.input_handle(variant.symbol_input_wire);
     state_h = simulator.probe(variant.state_wire);
     if (!variant.alert_wire.empty()) alert_h = simulator.probe(variant.alert_wire);
@@ -118,11 +120,13 @@ struct SimContext {
 };
 
 /// Exhaustive-simulation back-end over sites [site_begin, site_end): packs
-/// up to `config.lanes` (site, edge) jobs into every eval/step pass. Lane k
-/// carries job k's state/symbol stimulus (per-lane register/input words)
-/// and a single-lane fault mask; outcomes are classified word-parallel.
-/// Lanes never interact, so the per-job outcome equals the scalar
-/// one-job-per-pass path bit for bit.
+/// up to `config.lanes` (site, edge) jobs into every eval/step pass —
+/// 64 x lane_words jobs when the context's simulator carries a multi-word
+/// lane block. Lane k carries job k's state/symbol stimulus (per-lane
+/// register/input words) and a single-lane fault mask; outcomes are
+/// classified word-parallel, W lane words at a time. Lanes never interact,
+/// so the per-job outcome equals the scalar one-job-per-pass path bit for
+/// bit.
 void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
                           const std::vector<SigBit>& sites, const EdgeTable& edges,
                           const SynfiConfig& config, std::size_t site_begin,
@@ -131,6 +135,8 @@ void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
   const sim::Simulator::WireHandle symbol_h = ctx.symbol_h;
   const sim::Simulator::WireHandle state_h = ctx.state_h;
   const sim::Simulator::WireHandle alert_h = ctx.alert_h;
+  const int W = simulator.lane_words();
+  const std::size_t total_lanes = static_cast<std::size_t>(W) * 64;
   const int state_w = state_h.width;
   const int symbol_w = symbol_h.width;
   const std::size_t num_states = variant.state_codes.size();
@@ -148,41 +154,49 @@ void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
   const std::size_t num_edges = edges.size();
   const std::size_t num_jobs = (site_end - site_begin) * num_edges;
   const auto lanes = static_cast<std::size_t>(config.lanes);
-  const auto alert_word = [&] {
-    std::uint64_t w = 0;
-    for (std::int32_t i = 0; i < alert_h.width; ++i) w |= simulator.lane_word(alert_h.base + i);
-    return w;
+  const auto alert_word = [&](int w) {
+    std::uint64_t word = 0;
+    for (std::int32_t i = 0; i < alert_h.width; ++i) {
+      word |= simulator.lane_word(alert_h.base + i, w);
+    }
+    return word;
   };
 
-  std::vector<std::uint64_t> state_words(static_cast<std::size_t>(state_w));
-  std::vector<std::uint64_t> state_eq(num_states);
+  // Runtime-width lane sets: words [0, W) of a kMaxLaneWords array, so the
+  // classic one-word configuration pays for exactly one word.
+  using LaneWords = std::array<std::uint64_t, sim::kMaxLaneWords>;
+  std::vector<std::uint64_t> state_words(static_cast<std::size_t>(state_w * W));
+  std::vector<std::uint64_t> state_eq(num_states * static_cast<std::size_t>(W));
   std::vector<char> site_hit(site_end - site_begin, 0);
 
   // Jobs stay in (site-major, edge-minor) order, so a batch starting at job
-  // j0 always drives lane k with edge (j0 + k) mod E: the 64-lane stimulus
-  // words and per-lane from/to state indices depend only on j0 mod E.
-  // Precompute them per alignment so the batch loop never repacks bits or
-  // divides.
+  // j0 always drives lane k with edge (j0 + k) mod E: the per-word stimulus
+  // and per-lane from/to state indices depend only on j0 mod E. Precompute
+  // them per alignment so the batch loop never repacks bits or divides.
   struct AlignedStimulus {
-    std::vector<std::uint64_t> in_words;             ///< symbol bit -> lane word
-    std::vector<std::uint64_t> st_words;             ///< state bit -> lane word
-    std::array<std::int32_t, 64> lane_from;          ///< state index per lane
-    std::array<std::int32_t, 64> lane_to;
+    std::vector<std::uint64_t> in_words;   ///< symbol bit x word -> lane word
+    std::vector<std::uint64_t> st_words;   ///< state bit x word -> lane word
+    std::vector<std::int32_t> lane_from;   ///< state index per lane
+    std::vector<std::int32_t> lane_to;
   };
   std::vector<AlignedStimulus> aligned(num_edges);
   for (std::size_t r = 0; r < num_edges; ++r) {
     AlignedStimulus& a = aligned[r];
-    a.in_words.assign(static_cast<std::size_t>(symbol_w), 0);
-    a.st_words.assign(static_cast<std::size_t>(state_w), 0);
+    a.in_words.assign(static_cast<std::size_t>(symbol_w * W), 0);
+    a.st_words.assign(static_cast<std::size_t>(state_w * W), 0);
+    a.lane_from.resize(total_lanes);
+    a.lane_to.resize(total_lanes);
     std::size_t e = r;
-    for (std::size_t lane = 0; lane < 64; ++lane) {
+    for (std::size_t lane = 0; lane < total_lanes; ++lane) {
+      const std::size_t wj = lane >> 6;
+      const std::uint64_t bit = 1ULL << (lane & 63);
       const std::uint64_t code = edges.code[e];
       const std::uint64_t from_code = edges.from_code[e];
       for (int i = 0; i < symbol_w; ++i) {
-        a.in_words[static_cast<std::size_t>(i)] |= ((code >> i) & 1) << lane;
+        if ((code >> i) & 1) a.in_words[static_cast<std::size_t>(i * W) + wj] |= bit;
       }
       for (int i = 0; i < state_w; ++i) {
-        a.st_words[static_cast<std::size_t>(i)] |= ((from_code >> i) & 1) << lane;
+        if ((from_code >> i) & 1) a.st_words[static_cast<std::size_t>(i * W) + wj] |= bit;
       }
       a.lane_from[lane] = edges.from[e];
       a.lane_to[lane] = edges.to[e];
@@ -197,21 +211,26 @@ void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
     // job deadline) stops the shard here, never mid-batch.
     if (config.cancel != nullptr) config.cancel->check("synfi");
     const std::size_t batch_jobs = std::min(lanes, num_jobs - job0);
-    const std::uint64_t batch_mask =
-        batch_jobs >= 64 ? ~0ULL : (1ULL << batch_jobs) - 1;
+    const sim::LaneMask batch_mask = sim::LaneMask::first_n(static_cast<int>(batch_jobs));
     const AlignedStimulus& a = aligned[cur_edge];
 
     simulator.clear_all_faults();
     for (int i = 0; i < symbol_w; ++i) {
-      simulator.set_input_word(symbol_h, i, a.in_words[static_cast<std::size_t>(i)]);
+      for (int w = 0; w < W; ++w) {
+        simulator.set_input_word(symbol_h, i, a.in_words[static_cast<std::size_t>(i * W + w)], w);
+      }
     }
     for (int i = 0; i < state_w; ++i) {
-      simulator.set_register_word(state_h, i, a.st_words[static_cast<std::size_t>(i)]);
+      for (int w = 0; w < W; ++w) {
+        simulator.set_register_word(state_h, i, a.st_words[static_cast<std::size_t>(i * W + w)],
+                                    w);
+      }
     }
     std::size_t s = cur_site;
     std::size_t e = cur_edge;
     for (std::size_t lane = 0; lane < batch_jobs; ++lane) {
-      simulator.inject_net(site_net[s], config.kind, 1ULL << lane);
+      simulator.inject_net(site_net[s], config.kind,
+                           sim::LaneMask::lane(static_cast<int>(lane)));
       if (++e == num_edges) {
         e = 0;
         ++s;
@@ -219,55 +238,81 @@ void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
     }
 
     simulator.eval();
-    const std::uint64_t alert_pre = alert_h.valid() ? alert_word() : 0;
+    LaneWords alert_pre{};
+    if (alert_h.valid()) {
+      for (int w = 0; w < W; ++w) alert_pre[static_cast<std::size_t>(w)] = alert_word(w);
+    }
     simulator.step();
-    const std::uint64_t alert_post = alert_h.valid() ? alert_word() : 0;
+    LaneWords alert_post{};
+    if (alert_h.valid()) {
+      for (int w = 0; w < W; ++w) alert_post[static_cast<std::size_t>(w)] = alert_word(w);
+    }
     for (int i = 0; i < state_w; ++i) {
-      state_words[static_cast<std::size_t>(i)] = simulator.lane_word(state_h.base + i);
+      for (int w = 0; w < W; ++w) {
+        state_words[static_cast<std::size_t>(i * W + w)] =
+            simulator.lane_word(state_h.base + i, w);
+      }
     }
 
     // Word-parallel classification: equality masks of the latched state
     // against every codeword at once instead of decoding lane by lane.
     for (std::size_t sc = 0; sc < num_states; ++sc) {
       const std::uint64_t code = variant.state_codes[sc];
-      std::uint64_t eq = fits(code) ? batch_mask : 0;
-      for (int i = 0; i < state_w && eq != 0; ++i) {
-        const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
-        eq &= ((code >> i) & 1) ? w : ~w;
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t eq = fits(code) ? batch_mask.w[static_cast<std::size_t>(w)] : 0;
+        for (int i = 0; i < state_w && eq != 0; ++i) {
+          const std::uint64_t sw = state_words[static_cast<std::size_t>(i * W + w)];
+          eq &= ((code >> i) & 1) ? sw : ~sw;
+        }
+        state_eq[sc * static_cast<std::size_t>(W) + static_cast<std::size_t>(w)] = eq;
       }
-      state_eq[sc] = eq;
     }
-    std::uint64_t err_eq = 0;
+    LaneWords err_eq{};
     if (variant.has_error_state) {
-      err_eq = fits(variant.error_code) ? batch_mask : 0;
-      for (int i = 0; i < state_w && err_eq != 0; ++i) {
-        const std::uint64_t w = state_words[static_cast<std::size_t>(i)];
-        err_eq &= ((variant.error_code >> i) & 1) ? w : ~w;
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t eq = fits(variant.error_code) ? batch_mask.w[static_cast<std::size_t>(w)] : 0;
+        for (int i = 0; i < state_w && eq != 0; ++i) {
+          const std::uint64_t sw = state_words[static_cast<std::size_t>(i * W + w)];
+          eq &= ((variant.error_code >> i) & 1) ? sw : ~sw;
+        }
+        err_eq[static_cast<std::size_t>(w)] = eq;
       }
     }
-    std::uint64_t match_expect = 0;
-    std::uint64_t match_from = 0;
+    LaneWords match_expect{};
+    LaneWords match_from{};
     for (std::size_t lane = 0; lane < batch_jobs; ++lane) {
-      const std::uint64_t bit = 1ULL << lane;
-      match_expect |= state_eq[static_cast<std::size_t>(a.lane_to[lane])] & bit;
-      match_from |= state_eq[static_cast<std::size_t>(a.lane_from[lane])] & bit;
+      const std::size_t wj = lane >> 6;
+      const std::uint64_t bit = 1ULL << (lane & 63);
+      match_expect[wj] |= state_eq[static_cast<std::size_t>(a.lane_to[lane]) *
+                                       static_cast<std::size_t>(W) +
+                                   wj] &
+                          bit;
+      match_from[wj] |= state_eq[static_cast<std::size_t>(a.lane_from[lane]) *
+                                     static_cast<std::size_t>(W) +
+                                 wj] &
+                        bit;
     }
-
-    const std::uint64_t masked = match_expect & ~alert_pre & batch_mask;
-    const std::uint64_t detected = (alert_pre | alert_post | err_eq) & ~masked & batch_mask;
-    // Everything else is an undetected deviation: a valid-but-wrong state
-    // (hijack/stall) or an undetected non-codeword (cannot happen for SCFI
-    // variants) — both count as exploitable, exactly like the scalar path.
-    const std::uint64_t expl = batch_mask & ~masked & ~detected;
 
     out.injections += static_cast<std::int64_t>(batch_jobs);
-    out.masked += std::popcount(masked);
-    out.detected += std::popcount(detected);
-    out.exploitable += std::popcount(expl);
-    out.stalls += std::popcount(expl & match_from);
-    for (std::uint64_t hits = expl; hits != 0; hits &= hits - 1) {
-      const auto lane = static_cast<std::size_t>(std::countr_zero(hits));
-      site_hit[cur_site + (cur_edge + lane) / num_edges] = 1;
+    for (int w = 0; w < W; ++w) {
+      const auto j = static_cast<std::size_t>(w);
+      const std::uint64_t mask = batch_mask.w[j];
+      const std::uint64_t masked = match_expect[j] & ~alert_pre[j] & mask;
+      const std::uint64_t detected =
+          (alert_pre[j] | alert_post[j] | err_eq[j]) & ~masked & mask;
+      // Everything else is an undetected deviation: a valid-but-wrong state
+      // (hijack/stall) or an undetected non-codeword (cannot happen for SCFI
+      // variants) — both count as exploitable, exactly like the scalar path.
+      const std::uint64_t expl = mask & ~masked & ~detected;
+
+      out.masked += std::popcount(masked);
+      out.detected += std::popcount(detected);
+      out.exploitable += std::popcount(expl);
+      out.stalls += std::popcount(expl & match_from[j]);
+      for (std::uint64_t hits = expl; hits != 0; hits &= hits - 1) {
+        const auto lane = (j << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+        site_hit[cur_site + (cur_edge + lane) / num_edges] = 1;
+      }
     }
     cur_site = s;
     cur_edge = e;
@@ -531,10 +576,15 @@ std::size_t Analyzer::cached_simulators() const {
 
 std::size_t Analyzer::cached_sat_shards() const { return impl_->sat_shards.size(); }
 
-SynfiReport Analyzer::run(const SynfiConfig& config) {
-  require(config.lanes >= 1 && config.lanes <= sim::kNumLanes,
-          "synfi: lanes must be in [1, 64]");
-  require(config.threads >= 1, "synfi: threads must be >= 1");
+SynfiReport Analyzer::run(const SynfiConfig& user_config) {
+  require(user_config.lanes >= 1 && user_config.lanes <= sim::kMaxLanes,
+          format("synfi: lanes must be in [1, %d] (64 x lane_words)", sim::kMaxLanes));
+  require(user_config.threads >= 1, "synfi: threads must be >= 1");
+  // SCFI_LANE_WORDS_CAP clamps the *derived* simulator width (CI portable
+  // leg); lanes is an execution knob, so the report is unchanged.
+  SynfiConfig config = user_config;
+  config.lanes = std::min(config.lanes, 64 * sim::lane_words_cap());
+  const int lane_words = sim::lane_words_for(config.lanes);
   const CompiledFsm& variant = *impl_->variant;
   const std::vector<SigBit>& sites =
       impl_->region(config.wire_prefix, config.include_inputs);
@@ -551,7 +601,11 @@ SynfiReport Analyzer::run(const SynfiConfig& config) {
   const auto run_shard = [&](int slot, std::size_t begin, std::size_t end, ShardReport& out) {
     if (config.backend == Backend::kExhaustiveSim) {
       auto& ctx = impl_->sim_pool[static_cast<std::size_t>(slot)];
-      if (ctx == nullptr) ctx = std::make_unique<SimContext>(variant);
+      // (Re)build when absent or compiled for a different lane-block width —
+      // a cached narrow simulator cannot carry a wider run's lanes.
+      if (ctx == nullptr || ctx->simulator.lane_words() != lane_words) {
+        ctx = std::make_unique<SimContext>(variant, lane_words);
+      }
       run_exhaustive_shard(*ctx, variant, sites, edges, config, begin, end, out);
     } else if (config.sat_incremental) {
       SatShard& shard = impl_->sat_shard(sites, config, begin, end);

@@ -7,7 +7,8 @@
 // back-ends are provided:
 //   * exhaustive simulation (complete here, because all valid stimuli of the
 //     one-cycle property are enumerated). (site, edge) injection jobs are
-//     packed `lanes` at a time into the 64-lane bit-parallel simulator —
+//     packed `lanes` at a time into the bit-parallel simulator (up to
+//     64 x lane_words = 512 lanes per pass via multi-word SoA lane blocks) —
 //     each lane carries its own state/symbol stimulus and a single-lane
 //     fault mask — and outcomes are classified word-parallel against the
 //     expected/error/valid codewords and the alert word.
@@ -56,7 +57,9 @@ struct SynfiConfig {
   /// meaningful with an empty or matching wire_prefix.
   bool include_inputs = false;
   /// Exhaustive back-end: (site, edge) injection jobs per simulator pass
-  /// (1..64). 1 reproduces the scalar one-job-per-pass path.
+  /// (1..sim::kMaxLanes = 64*lane_words). 1 reproduces the scalar
+  /// one-job-per-pass path; widths past 64 select a multi-word lane block,
+  /// subject to the SCFI_LANE_WORDS_CAP runtime clamp.
   int lanes = sim::kNumLanes;
   /// Worker threads sharding the site list (both back-ends); <= 1 = inline.
   /// The report is bit-identical for every lanes/threads combination.

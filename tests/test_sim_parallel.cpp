@@ -11,6 +11,7 @@
 #include "fsm/compile.h"
 #include "fsm/kiss2.h"
 #include "kiss2_corpus.h"
+#include "ot/zoo.h"
 #include "rtlil/design.h"
 #include "sim/campaign.h"
 #include "sim/fault.h"
@@ -143,6 +144,138 @@ TEST(SimParallel, StuckFaultsAreLaneLocal) {
   EXPECT_EQ(s.get_lane(yh, 3), 0u);
 }
 
+TEST(SimParallel, WideLaneFaultsAreLaneLocal) {
+  // StuckFaultsAreLaneLocal past word 0: lanes of different block words
+  // carry independent faults, and a transient in word 7 expires on step()
+  // without touching a stuck lane in word 1.
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m_wide");
+  rtlil::Wire* a = m->add_input("a", 1);
+  rtlil::Wire* y = m->add_output("y", 1);
+  m->drive(rtlil::SigSpec(y), m->make_buf(rtlil::SigSpec(a)));
+  Simulator s(*m, /*lane_words=*/8);
+  ASSERT_EQ(s.num_lanes(), kMaxLanes);
+  const Simulator::WireHandle ah = s.input_handle("a");
+  const Simulator::WireHandle yh = s.probe("y");
+  s.set_input(ah, 1);  // all 512 lanes high
+  s.inject(rtlil::SigBit(a, 0), FaultKind::kStuckAt0, LaneMask::lane(100));
+  s.eval();
+  EXPECT_EQ(s.get_lane(yh, 100), 0u);
+  EXPECT_EQ(s.get_lane(yh, 99), 1u);
+  EXPECT_EQ(s.get_lane(yh, 0), 1u);
+  EXPECT_EQ(s.get_lane(yh, 511), 1u);
+  s.inject(rtlil::SigBit(a, 0), FaultKind::kTransientFlip, LaneMask::lane(500));
+  s.eval();
+  EXPECT_EQ(s.get_lane(yh, 500), 0u);
+  s.step();
+  EXPECT_EQ(s.get_lane(yh, 500), 1u);
+  EXPECT_EQ(s.get_lane(yh, 100), 0u);
+}
+
+TEST(SimParallel, TransientInjectionsCoalescePerNet) {
+  // Repeated transient injections on one net within a cycle must merge into
+  // one pending entry (step()'s clear pass is O(distinct nets)), and the
+  // merged mask must clear both lanes on the next step.
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m_coalesce");
+  rtlil::Wire* a = m->add_input("a", 1);
+  rtlil::Wire* b = m->add_input("b", 1);
+  rtlil::Wire* y = m->add_output("y", 2);
+  m->drive(rtlil::SigSpec(rtlil::SigBit(y, 0)), m->make_buf(rtlil::SigSpec(a)));
+  m->drive(rtlil::SigSpec(rtlil::SigBit(y, 1)), m->make_buf(rtlil::SigSpec(b)));
+  Simulator s(*m, /*lane_words=*/2);
+  const Simulator::WireHandle yh = s.probe("y");
+  s.set_input(s.input_handle("a"), 1);
+  s.set_input(s.input_handle("b"), 1);
+  EXPECT_EQ(s.pending_transient_nets(), 0);
+  s.inject(rtlil::SigBit(a, 0), FaultKind::kTransientFlip, LaneMask::lane(3));
+  s.inject(rtlil::SigBit(a, 0), FaultKind::kTransientFlip, LaneMask::lane(70));
+  s.inject(rtlil::SigBit(a, 0), FaultKind::kTransientFlip, LaneMask::lane(3));
+  EXPECT_EQ(s.pending_transient_nets(), 1);  // coalesced, not 3 entries
+  s.inject(rtlil::SigBit(b, 0), FaultKind::kTransientFlip, LaneMask::lane(9));
+  EXPECT_EQ(s.pending_transient_nets(), 2);  // distinct net, new entry
+  s.eval();
+  EXPECT_EQ(s.get_lane(yh, 3), 0b10u);
+  EXPECT_EQ(s.get_lane(yh, 70), 0b10u);
+  EXPECT_EQ(s.get_lane(yh, 9), 0b01u);
+  EXPECT_EQ(s.get_lane(yh, 0), 0b11u);
+  s.step();
+  EXPECT_EQ(s.pending_transient_nets(), 0);
+  for (const int lane : {3, 70, 9, 0}) {
+    EXPECT_EQ(s.get_lane(yh, lane), 0b11u) << "lane " << lane;
+  }
+  // clear_all_faults must also reset the coalescing slots, so a fresh
+  // injection on the same net starts a fresh entry.
+  s.inject(rtlil::SigBit(a, 0), FaultKind::kTransientFlip, LaneMask::lane(1));
+  s.clear_all_faults();
+  EXPECT_EQ(s.pending_transient_nets(), 0);
+  s.inject(rtlil::SigBit(a, 0), FaultKind::kTransientFlip, LaneMask::lane(2));
+  EXPECT_EQ(s.pending_transient_nets(), 1);
+  s.step();
+  EXPECT_EQ(s.get_lane(yh, 2), 0b11u);
+}
+
+TEST(SimParallel, SegmentedEvalMatchesReferenceTapeOnZoo) {
+  // The kind-segmented levelized tape (eval) against the original-order
+  // switch-per-op tape (eval_reference): identical fault-corrected values
+  // on every net of every zoo module, at every lane-block width, with
+  // random per-lane stimulus and armed faults. This is the differential
+  // oracle for the (level, kind) stable-sort reordering and the no-fault
+  // fast path.
+  for (const ot::OtEntry& entry : ot::ot_zoo()) {
+    rtlil::Design d;
+    const fsm::CompiledFsm c =
+        ot::build_ot_variant(entry, d, ot::Variant::kScfi, 2, entry.name + "_segeval");
+    const std::vector<FaultSite> sites = enumerate_fault_sites(*c.module, c.state_wire);
+    ASSERT_FALSE(sites.empty());
+    std::vector<std::uint64_t> codes;
+    for (const auto& [symbol, code] : c.symbol_codes) codes.push_back(code);
+
+    for (const int lane_words : {1, 2, 4, 8}) {
+      Simulator sim(*c.module, lane_words);
+      const Simulator::WireHandle symbol_h = sim.input_handle(c.symbol_input_wire);
+      Rng rng(0x5E6 + static_cast<std::uint64_t>(lane_words));
+      // Random per-word symbol stimulus (valid codewords in lane 0 are not
+      // required: the oracle property holds for arbitrary bit soup).
+      for (int i = 0; i < symbol_h.width; ++i) {
+        for (int w = 0; w < lane_words; ++w) {
+          sim.set_input_word(symbol_h, i, rng.next(), w);
+        }
+      }
+
+      const auto snapshot = [&] {
+        std::vector<std::uint64_t> all;
+        all.reserve(static_cast<std::size_t>(sim.num_nets() * lane_words));
+        for (const rtlil::Wire* wire : c.module->wires()) {
+          const Simulator::WireHandle h = sim.probe(wire->name());
+          for (std::int32_t i = 0; i < h.width; ++i) {
+            for (int w = 0; w < lane_words; ++w) all.push_back(sim.lane_word(h.base + i, w));
+          }
+        }
+        return all;
+      };
+
+      // No-fault fast path vs reference.
+      sim.eval();
+      const std::vector<std::uint64_t> segmented = snapshot();
+      sim.eval_reference();
+      EXPECT_EQ(segmented, snapshot()) << entry.name << " W=" << lane_words << " no-fault";
+
+      // Armed faults (masked loads) vs reference.
+      for (int k = 0; k < 6; ++k) {
+        const FaultSite& site = sites[static_cast<std::size_t>(rng.below(sites.size()))];
+        sim.inject(site.bit, random_kind(rng),
+                   LaneMask::lane(static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(sim.num_lanes())))));
+      }
+      sim.eval();
+      const std::vector<std::uint64_t> faulty = snapshot();
+      sim.eval_reference();
+      EXPECT_EQ(faulty, snapshot()) << entry.name << " W=" << lane_words << " faulty";
+    }
+  }
+}
+
 TEST(SimParallel, CampaignInvariantUnderLanesAndThreads) {
   const fsm::Fsm f = test::synfi_fsm();
   rtlil::Design d;
@@ -163,15 +296,20 @@ TEST(SimParallel, CampaignInvariantUnderLanesAndThreads) {
         base.planner = planner;
         base.lanes = 1;
         const CampaignResult scalar = run_campaign(f, *variant, base);
-        for (const int lanes : {7, 64}) {
+        // All four lane-block widths (1/2/4/8 words -> 64/128/256/512
+        // lanes) plus ragged shapes, against the scalar reference.
+        for (const int lanes : {7, 64, 100, 128, 256, 512}) {
           CampaignConfig cfg = base;
           cfg.lanes = lanes;
           EXPECT_EQ(run_campaign(f, *variant, cfg), scalar) << "lanes=" << lanes;
         }
-        CampaignConfig threaded = base;
-        threaded.lanes = 64;
-        threaded.threads = 4;
-        EXPECT_EQ(run_campaign(f, *variant, threaded), scalar) << "threads=4";
+        for (const int lanes : {64, 512}) {
+          CampaignConfig threaded = base;
+          threaded.lanes = lanes;
+          threaded.threads = 4;
+          EXPECT_EQ(run_campaign(f, *variant, threaded), scalar)
+              << "lanes=" << lanes << " threads=4";
+        }
       }
     }
   }
@@ -200,7 +338,8 @@ TEST(SimParallel, StreamingMatchesMaterializedOracle) {
       int lanes;
       int threads;
     };
-    for (const LanesThreads lt : {LanesThreads{1, 1}, {7, 1}, {64, 1}, {64, 4}, {13, 3}}) {
+    for (const LanesThreads lt : {LanesThreads{1, 1}, {7, 1}, {64, 1}, {64, 4}, {13, 3},
+                                  {128, 1}, {256, 4}, {512, 1}, {512, 4}, {100, 3}}) {
       CampaignConfig cfg = base;
       cfg.planner = CampaignPlanner::kStreaming;
       cfg.lanes = lt.lanes;

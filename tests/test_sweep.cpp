@@ -1364,7 +1364,7 @@ TEST(SweepOrchestrator, ResumeSkipsStoredJobs) {
 TEST(SweepOrchestrator, RejectsBadJobsAndConfig) {
   EXPECT_THROW(SweepOrchestrator(SweepConfig{0, 1, 64}), ScfiError);
   EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 0, 64}), ScfiError);
-  EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, 65}), ScfiError);
+  EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, sim::kMaxLanes + 1}), ScfiError);
   EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, 64, -1}), ScfiError);      // retries
   EXPECT_THROW(SweepOrchestrator(SweepConfig{1, 1, 64, 0, -0.5}), ScfiError);  // timeout
 

@@ -30,10 +30,14 @@ struct LanesThreads {
 };
 
 // Scalar reference first; batched, threaded, and ragged (non-power-of-two)
-// shapes after it.
+// shapes after it, then every multi-word lane-block width (lane_words in
+// {2, 4, 8} -> 128/256/512 lanes) at 1 and 4 threads plus a ragged wide
+// shape, so the SoA block layout is pinned against the scalar path too.
 const std::vector<LanesThreads>& combos() {
   static const std::vector<LanesThreads> kCombos = {
-      {1, 1}, {64, 1}, {64, 4}, {7, 3}, {1, 4}, {33, 2},
+      {1, 1},   {64, 1},  {64, 4},  {7, 3},   {1, 4},   {33, 2},
+      {128, 1}, {128, 4}, {256, 1}, {256, 4}, {512, 1}, {512, 4},
+      {100, 3},
   };
   return kCombos;
 }
@@ -199,9 +203,10 @@ TEST(SynfiParallel, Sec64ExperimentPinnedAcrossEngines) {
     EXPECT_EQ(r.stalls, 7);
     EXPECT_EQ(r.masked + r.detected + r.exploitable, r.injections);
   }
-  // The MDS diffusion region itself stays fully protected.
+  // The MDS diffusion region itself stays fully protected — checked at the
+  // widest lane block so the 8-word path is pinned here too.
   SynfiConfig mds;
-  const SynfiReport r = analyze_with(f, c, mds, 64, 2);
+  const SynfiReport r = analyze_with(f, c, mds, sim::kMaxLanes, 2);
   EXPECT_EQ(r.injections, 1050);
   EXPECT_EQ(r.exploitable, 0);
 }
@@ -227,8 +232,12 @@ TEST(SynfiParallel, InvalidKnobsThrow) {
   SynfiConfig config;
   config.lanes = 0;
   EXPECT_THROW(analyze(f, c, config), ScfiError);
-  config.lanes = 65;
+  config.lanes = sim::kMaxLanes + 1;
   EXPECT_THROW(analyze(f, c, config), ScfiError);
+  // 65 used to be the first invalid width; multi-word lane blocks made it
+  // legal (rounded up to a 2-word block).
+  config.lanes = 65;
+  EXPECT_NO_THROW(analyze(f, c, config));
   config.lanes = 64;
   config.threads = 0;
   EXPECT_THROW(analyze(f, c, config), ScfiError);
