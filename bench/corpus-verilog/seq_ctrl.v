@@ -1,0 +1,35 @@
+// Hand-written controller netlist exercising front-door idioms the SCFI
+// writer never emits: non-ANSI ports, primitive gate instantiations,
+// attribute skipping, equality guards, and chained ternaries.
+//
+// Three-state sequencer: IDLE --start--> RUN --stop--> DRAIN --> IDLE.
+(* keep_hierarchy = "yes" *)
+module seq_ctrl (clk, rst_n, start, stop, busy, done);
+  input clk, rst_n;
+  input start, stop;
+  output busy, done;
+
+  reg [1:0] state;
+  wire [1:0] state_nxt;
+  wire idle, run, drain;
+  wire go, halt;
+
+  assign idle = state == 2'b00;
+  assign run = state == 2'b01;
+  assign drain = state == 2'b10;
+
+  /* primitive gates on the guard path */
+  and g_go (go, idle, start);
+  and g_halt (halt, run, stop);
+
+  assign state_nxt = go ? 2'b01 : halt ? 2'b10 : drain ? 2'b00 : state;
+
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n)
+      state <= 2'b00;
+    else
+      state <= state_nxt;
+
+  or g_busy (busy, run, drain);
+  buf g_done (done, drain);
+endmodule

@@ -1,0 +1,31 @@
+// Hand-written one-hot token ring exercising more non-writer idioms:
+// unconventional clock/reset port names (consumed by sensitivity-list
+// position, not by name), an escaped identifier, part-selects, a rotate
+// written as a concatenation, a reduction over a part-select, and two
+// registers latched by one always block.
+module token_ring (clk_i, reset_ni, en, tok, \par$ity );
+  input clk_i, reset_ni;
+  input en;
+  output [3:0] tok;
+  output \par$ity ;
+
+  reg [3:0] ring;
+  reg \par$ity ;
+  wire [3:0] nxt;
+
+  // Rotate left while enabled, else hold the token in place.
+  assign nxt = en ? {ring[2:0], ring[3]} : ring;
+
+  always @(posedge clk_i or negedge reset_ni)
+    begin
+      if (!reset_ni) begin
+        ring <= 4'h1;
+        \par$ity  <= 1'b0;
+      end else begin
+        ring <= nxt;
+        \par$ity  <= ^nxt[1:0];
+      end
+    end
+
+  assign tok = ring;
+endmodule

@@ -36,8 +36,17 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval|CancelToken|BackoffPolicy|LeaseLedger|FleetSupervisor'
+    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval|CancelToken|BackoffPolicy|LeaseLedger|FleetSupervisor|VerilogLexer|VerilogParse|FsmExtract'
 fi
+
+# Verilog write->read roundtrip gate: every zoo module (unprotected and SCFI-
+# hardened) is emitted by the writer, re-parsed by the frontend, and must
+# simulate bit-identically over pinned stimulus; the extraction suite then
+# proves each zoo FSM emitted through the writer is recovered
+# transition-equivalent (exhaustive product-state bisimulation). These run in
+# the tier-1 ctest above too — the named re-run keeps the lane loud and
+# self-documenting even if the tier-1 filter ever changes.
+ctest --test-dir build --output-on-failure -R 'VerilogRoundtrip|FsmExtract'
 
 # Benchmark smoke test: make sure the perf harness still runs end to end.
 if [[ -x build/bench_micro ]]; then
@@ -94,6 +103,47 @@ build/scfi_cli sweep --corpus bench/corpus --levels 2 --kinds flip \
 [[ "$(wc -l < "$CORPUS_OUT")" -eq 6 ]] || { echo "corpus smoke: expected 6 JSONL records"; exit 1; }
 build/scfi_cli sweep-diff "$CORPUS_OUT" "$CORPUS_OUT"
 build/scfi_cli sweep-diff bench/baselines/corpus_smoke.jsonl "$CORPUS_OUT" --fail-on-removed
+
+# Verilog-corpus sweep smoke: the front-door path end to end — parse every
+# committed bench/corpus-verilog/ netlist, extract its FSM(s), and sweep the
+# extracted machines (SYNFI + campaign jobs), gated against the committed
+# baseline. The corpus mixes writer-emitted zoo netlists with hand-written
+# ones (non-ANSI ports, primitives, escaped identifiers), so a frontend or
+# extraction regression surfaces here as a parse error or a key change.
+VCORPUS_OUT="$(dirname "$SWEEP_OUT")/corpus_verilog_smoke.jsonl"
+VCORPUS_LOG="$(build/scfi_cli sweep --corpus-verilog bench/corpus-verilog --levels 2 \
+  --kinds flip --campaign-runs 2000 --campaign-cycles 12 --jobs 2 --threads 2 \
+  --out "$VCORPUS_OUT" 2>&1)"
+tail -1 <<<"$VCORPUS_LOG"
+grep -q 'corpus corpus-verilog: 9 module(s), 0 parse error(s)' <<<"$VCORPUS_LOG" \
+  || { echo "corpus-verilog smoke: expected 9 clean modules"; exit 1; }
+[[ "$(wc -l < "$VCORPUS_OUT")" -eq 18 ]] \
+  || { echo "corpus-verilog smoke: expected 18 JSONL records"; exit 1; }
+build/scfi_cli sweep-diff "$VCORPUS_OUT" "$VCORPUS_OUT"
+build/scfi_cli sweep-diff bench/baselines/corpus_verilog_smoke.jsonl "$VCORPUS_OUT" \
+  --fail-on-removed
+
+# Malformed-input smoke: the frontend must reject broken netlists with a
+# clean ScfiError exit (status 1 and an "error:" diagnostic naming the
+# file) — never a crash, an abort, or a silent success.
+MALFORMED_DIR="$(dirname "$SWEEP_OUT")/malformed"
+mkdir -p "$MALFORMED_DIR"
+printf 'module trunc (input a, output y);\n  assign y = ~a;\n' \
+  > "$MALFORMED_DIR/truncated.v"
+printf 'module m (output y);\n  assign y = 1%sb0;\nendmodule\nendmodule\n' "'" \
+  > "$MALFORMED_DIR/unbalanced.v"
+printf 'module m (output y);\n  assign y = 2%sb11111111;\nendmodule\n' "'" \
+  > "$MALFORMED_DIR/bogus_width.v"
+for bad in truncated unbalanced bogus_width; do
+  set +e
+  BAD_LOG="$(build/scfi_cli import-verilog "$MALFORMED_DIR/$bad.v" 2>&1)"
+  BAD_STATUS=$?
+  set -e
+  [[ "$BAD_STATUS" -eq 1 ]] \
+    || { echo "malformed smoke: $bad.v exited $BAD_STATUS, want 1"; exit 1; }
+  grep -q "error: .*$bad\.v" <<<"$BAD_LOG" \
+    || { echo "malformed smoke: $bad.v diagnostic did not name the file: $BAD_LOG"; exit 1; }
+done
 
 # Crash-injection smoke: SIGKILL an identical sweep mid-run, tear the JSONL
 # tail (simulating a write cut off mid-record), and assert that --resume

@@ -25,11 +25,17 @@
 //                    [--wilson-z Z] [--wilson-min-trials N] [--fail-on-removed]
 //   scfi_cli store-compact <store.jsonl>
 //   scfi_cli dot     <file.kiss2>
-// Without a file argument a built-in demo FSM is used. `sweep` runs the
-// SYNFI job matrix over every module matching the globs — drawn from the
-// OpenTitan zoo, or, with --corpus DIR, from the .kiss2 files discovered
-// recursively under DIR (files that fail to parse are reported per module
-// and skipped, not fatal) — plus, with --campaign-runs > 0, a Monte-Carlo
+//   scfi_cli import-verilog <file.v> [--dot]
+// Without a file argument a built-in demo FSM is used. `import-verilog`
+// parses a structural Verilog netlist with the frontends reader, elaborates
+// every module, and reports ports plus every extracted FSM (state register,
+// encoding, states/transitions); --dot additionally dumps each machine as
+// Graphviz. `sweep` runs the SYNFI job matrix over every module matching
+// the globs — drawn from the OpenTitan zoo, or, with --corpus DIR, from the
+// .kiss2 files discovered recursively under DIR, or, with --corpus-verilog
+// DIR, from the FSMs extracted out of the .v netlists under DIR (files that
+// fail to parse/elaborate/extract are reported per module and skipped, not
+// fatal) — plus, with --campaign-runs > 0, a Monte-Carlo
 // campaign job per module x level x kind x campaign-variant — and streams
 // JSONL results into --out; --resume skips jobs already ok there (failed
 // and timed-out keys re-execute). A job that throws is retried --retries
@@ -65,7 +71,9 @@
 #include "backends/verilog.h"
 #include "base/strutil.h"
 #include "core/harden.h"
+#include "frontends/verilog_parse.h"
 #include "fsm/dot.h"
+#include "fsm/extract.h"
 #include "fsm/kiss2.h"
 #include "ot/zoo.h"
 #include "redundancy/redundancy.h"
@@ -103,15 +111,19 @@ scfi::fsm::Fsm load_fsm(const std::string& path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: scfi_cli <harden|area|synfi|attack|sweep|sweep-diff|store-compact|dot>"
-               " [file.kiss2]\n"
+               "usage: scfi_cli <harden|area|synfi|attack|sweep|sweep-diff|store-compact|dot"
+               "|import-verilog> [file.kiss2|file.v]\n"
                "  harden/area/synfi/attack: -n LEVEL  protection level (default 2)\n"
                "  harden:  -o out.v --json out.json\n"
                "  synfi:   --backend sim|sat --lanes K --threads K --no-incremental\n"
                "  attack:  --faults K --lanes K --threads K\n"
                "  (--lanes: simulator runs per pass, 1..512 = 64 x lane_words;\n"
                "   widths past 64 use multi-word SIMD lane blocks)\n"
+               "  import-verilog: <file.v>  parse + elaborate a structural Verilog\n"
+               "           netlist and report ports + extracted FSMs; --dot dumps\n"
+               "           each machine as Graphviz\n"
                "  sweep:   --corpus DIR (sweep .kiss2 files instead of the zoo)\n"
+               "           --corpus-verilog DIR (sweep FSMs extracted from .v netlists)\n"
                "           --modules GLOBS --levels 2,3 --regions mds_,all\n"
                "           --kinds flip,stuck0,stuck1 --backend sim|sat\n"
                "           --campaign-runs N --campaign-cycles N --campaign-faults N\n"
@@ -199,6 +211,8 @@ int main(int argc, char** argv) {
   std::string backend_name = "sim";
   std::string sweep_out;
   std::string corpus_dir;
+  std::string corpus_verilog_dir;
+  bool dot_dump = false;
   std::string campaign_variants = "scfi";
   std::string campaign_target = "any";
   bool resume = false;
@@ -262,6 +276,10 @@ int main(int argc, char** argv) {
         sweep_out = argv[++i];
       } else if (arg == "--corpus" && has_value) {
         corpus_dir = argv[++i];
+      } else if (arg == "--corpus-verilog" && has_value) {
+        corpus_verilog_dir = argv[++i];
+      } else if (arg == "--dot") {
+        dot_dump = true;
       } else if (arg == "--resume") {
         resume = true;
       } else if (arg == "--retries" && has_value) {
@@ -338,6 +356,43 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (command == "import-verilog") {
+      scfi::require(positional.size() == 1,
+                    "scfi_cli: import-verilog takes exactly one .v netlist path");
+      scfi::rtlil::Design design;
+      const std::vector<scfi::rtlil::Module*> modules =
+          scfi::frontends::read_verilog_file(positional[0], design);
+      for (const scfi::rtlil::Module* module : modules) {
+        std::printf("module %s\n", module->name().c_str());
+        for (const scfi::rtlil::Wire* w : module->wires()) {
+          if (!w->is_input() && !w->is_output()) continue;
+          std::printf("  %-6s %s", w->is_input() ? "input" : "output", w->name().c_str());
+          if (w->width() > 1) std::printf(" [%d:0]", w->width() - 1);
+          std::printf("\n");
+        }
+        const std::vector<scfi::fsm::ExtractedFsm> machines =
+            scfi::fsm::extract_fsms(*module);
+        if (machines.empty()) {
+          std::printf("  no FSM found\n");
+          continue;
+        }
+        for (const scfi::fsm::ExtractedFsm& machine : machines) {
+          std::printf("  fsm @ %s: %s-encoded, %d state(s), %d input(s), %d output(s), "
+                      "%zu transition(s)\n",
+                      machine.state_wire.c_str(), scfi::fsm::encoding_name(machine.encoding),
+                      machine.fsm.num_states(), machine.fsm.num_inputs(),
+                      machine.fsm.num_outputs(), machine.fsm.transitions.size());
+          for (std::size_t s = 0; s < machine.state_codes.size(); ++s) {
+            std::printf("    %s = code %llu%s\n", machine.fsm.states[s].c_str(),
+                        static_cast<unsigned long long>(machine.state_codes[s]),
+                        s == 0 ? " (reset)" : "");
+          }
+          if (dot_dump) std::fputs(scfi::fsm::to_dot(machine.fsm).c_str(), stdout);
+        }
+      }
+      return 0;
+    }
+
     if (command == "sweep-diff") {
       scfi::require(positional.size() == 2,
                     "scfi_cli: sweep-diff takes exactly two JSONL store paths");
@@ -362,21 +417,31 @@ int main(int argc, char** argv) {
       scfi::require(file.empty(),
                     "scfi_cli: sweep runs over zoo/corpus modules (--modules/--corpus), "
                     "not a kiss2 file");
-      // Module population: the built-in zoo, or a .kiss2 corpus directory.
-      // Corpus files that fail to parse are loud per-module error records,
+      // Module population: the built-in zoo, a .kiss2 corpus directory, or
+      // a directory of Verilog netlists (FSMs extracted on the fly). Corpus
+      // files that fail to parse/extract are loud per-module error records,
       // not sweep aborts.
-      std::unique_ptr<scfi::sweep::ModuleSource> source;
-      if (corpus_dir.empty()) {
-        source = std::make_unique<scfi::sweep::ZooSource>();
-      } else {
-        auto corpus = std::make_unique<scfi::sweep::Kiss2CorpusSource>(corpus_dir);
-        for (const scfi::sweep::CorpusError& error : corpus->errors()) {
+      scfi::require(corpus_dir.empty() || corpus_verilog_dir.empty(),
+                    "scfi_cli: --corpus and --corpus-verilog are mutually exclusive");
+      const auto report_corpus = [](const auto& corpus) {
+        for (const scfi::sweep::CorpusError& error : corpus.errors()) {
           std::fprintf(stderr, "corpus error: %s: %s\n", error.path.c_str(),
                        error.message.c_str());
         }
         std::printf("corpus %s: %zu module(s), %zu parse error(s)\n",
-                    corpus->label().c_str(), corpus->size(), corpus->errors().size());
+                    corpus.label().c_str(), corpus.size(), corpus.errors().size());
+      };
+      std::unique_ptr<scfi::sweep::ModuleSource> source;
+      if (!corpus_dir.empty()) {
+        auto corpus = std::make_unique<scfi::sweep::Kiss2CorpusSource>(corpus_dir);
+        report_corpus(*corpus);
         source = std::move(corpus);
+      } else if (!corpus_verilog_dir.empty()) {
+        auto corpus = std::make_unique<scfi::sweep::VerilogCorpusSource>(corpus_verilog_dir);
+        report_corpus(*corpus);
+        source = std::move(corpus);
+      } else {
+        source = std::make_unique<scfi::sweep::ZooSource>();
       }
       // Job matrix: modules x levels x (regions x kinds), all on one backend.
       std::vector<scfi::synfi::SynfiConfig> configs;

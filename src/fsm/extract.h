@@ -1,0 +1,72 @@
+// Automatic FSM discovery + recovery from an arbitrary netlist — the front
+// half of Yosys' fsm_detect/fsm_extract (§5.1 of the paper), generalized
+// from sim/extract.h which needs the state wire named up front.
+//
+// Detection is structural: a candidate state register is a wire whose bits
+// are all flip-flop outputs and whose next-state cone's flip-flop support is
+// exactly the wire itself (self-feeding and self-contained — datapath
+// pipeline registers fail the self-feeding test, registers fed by other
+// registers fail self-containment). Recovery is exhaustive simulation over
+// the cone-relevant input bits, BFS from the reset code, followed by
+// adjacent-implicant cube compaction; the encoding of the discovered codes
+// is classified as binary / one-hot / other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+#include "rtlil/module.h"
+
+namespace scfi::fsm {
+
+enum class StateEncoding : std::uint8_t {
+  kBinary,  ///< codes are exactly {0, ..., n-1}
+  kOneHot,  ///< every code has exactly one bit set
+  kOther,
+};
+
+const char* encoding_name(StateEncoding encoding);
+
+struct ExtractOptions {
+  int max_inputs = 14;   ///< exhaustive 2^n bound on cone-relevant inputs
+  int max_states = 256;  ///< reachable-state bound (runaway counters)
+  bool capture_outputs = true;
+};
+
+/// One recovered machine. `state_codes[i]` is the register code of
+/// `fsm.states[i]` (named "s<code>", reset state first).
+struct ExtractedFsm {
+  std::string state_wire;
+  StateEncoding encoding = StateEncoding::kOther;
+  std::vector<std::uint64_t> state_codes;
+  Fsm fsm;
+};
+
+/// Structural scan only (no simulation): names of candidate state-register
+/// wires, in module wire order. Empty when the module has no FSM.
+std::vector<std::string> find_state_registers(const rtlil::Module& module);
+
+/// Recovers every candidate state register as an Fsm (validated by
+/// Fsm::check). A module with no FSM yields an empty vector without error;
+/// a candidate exceeding the exhaustive bounds throws ScfiError.
+std::vector<ExtractedFsm> extract_fsms(const rtlil::Module& module,
+                                       const ExtractOptions& options = {});
+
+// --- shared with sim::extract_fsm ------------------------------------------
+
+/// One recovered (input-cube) -> (next state, outputs) row.
+struct ExtractCube {
+  std::string guard;
+  std::uint64_t next = 0;
+  std::string output;
+};
+
+/// Merges cubes that differ in exactly one determined position and agree on
+/// (next, output) until no merge applies — adjacent-implicant compaction
+/// (Quine-McCluskey restricted to exact unions). The resulting guards of one
+/// state partition the input space, so priority order never matters.
+void compact_cubes(std::vector<ExtractCube>& cubes);
+
+}  // namespace scfi::fsm

@@ -5,48 +5,16 @@
 #include <map>
 
 #include "base/error.h"
+#include "fsm/extract.h"
 #include "sim/netlist_sim.h"
 
 namespace scfi::sim {
 namespace {
 
-/// One recovered (state, input-cube) -> (next, outputs) row.
-struct Cube {
-  std::string guard;
-  std::uint64_t next = 0;
-  std::string output;
-};
-
-/// Merges cubes that differ in exactly one determined position and agree on
-/// (next, output) until no merge applies — the classic adjacent-implicant
-/// compaction step of Quine-McCluskey restricted to exact unions.
-void compact(std::vector<Cube>& cubes) {
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t i = 0; i < cubes.size() && !changed; ++i) {
-      for (std::size_t j = i + 1; j < cubes.size() && !changed; ++j) {
-        if (cubes[i].next != cubes[j].next || cubes[i].output != cubes[j].output) continue;
-        const std::string& a = cubes[i].guard;
-        const std::string& b = cubes[j].guard;
-        int diff = -1;
-        bool mergeable = true;
-        for (std::size_t k = 0; k < a.size(); ++k) {
-          if (a[k] == b[k]) continue;
-          if (a[k] == '-' || b[k] == '-' || diff >= 0) {
-            mergeable = false;
-            break;
-          }
-          diff = static_cast<int>(k);
-        }
-        if (!mergeable || diff < 0) continue;
-        cubes[i].guard[static_cast<std::size_t>(diff)] = '-';
-        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(j));
-        changed = true;
-      }
-    }
-  }
-}
+// Cube rows and adjacent-implicant compaction are shared with the
+// structural extractor in fsm/extract.h.
+using Cube = fsm::ExtractCube;
+using fsm::compact_cubes;
 
 }  // namespace
 
@@ -106,7 +74,7 @@ fsm::Fsm extract_fsm(const rtlil::Module& module, const ExtractOptions& options)
       }
       cubes.push_back(Cube{std::move(guard), next, std::move(out_pattern)});
     }
-    compact(cubes);
+    compact_cubes(cubes);
   }
 
   fsm::Fsm out;

@@ -8,7 +8,10 @@
 #include "base/error.h"
 #include "base/log.h"
 #include "base/strutil.h"
+#include "frontends/verilog_parse.h"
+#include "fsm/extract.h"
 #include "fsm/kiss2.h"
+#include "rtlil/design.h"
 
 namespace scfi::sweep {
 namespace {
@@ -18,6 +21,20 @@ bool matches_any(const std::string& name, const std::vector<std::string>& patter
     if (glob_match(name, pattern)) return true;
   }
   return false;
+}
+
+/// Corpus label: explicit, or the directory's base name. A trailing slash
+/// ("bench/corpus/", what shell completion produces) leaves filename()
+/// empty; the base name is then one level up.
+std::string derive_label(const std::filesystem::path& root, const std::string& dir,
+                         const std::string& label) {
+  if (!label.empty()) return label;
+  std::filesystem::path base = root.filename();
+  if (base.empty()) base = root.parent_path().filename();
+  const std::string derived = base.generic_string();
+  require(!derived.empty() && derived != "." && derived != "..",
+          "corpus: cannot derive a label from '" + dir + "'; pass one explicitly");
+  return derived;
 }
 
 }  // namespace
@@ -34,17 +51,7 @@ Kiss2CorpusSource::Kiss2CorpusSource(const std::string& dir, const std::string& 
   const fs::path root = fs::path(dir).lexically_normal();
   require(fs::is_directory(root, ec),
           "corpus: " + dir + " is not a directory of .kiss2 files");
-  if (label.empty()) {
-    // A trailing slash ("bench/corpus/", what shell completion produces)
-    // leaves filename() empty; the base name is then one level up.
-    fs::path base = root.filename();
-    if (base.empty()) base = root.parent_path().filename();
-    label_ = base.generic_string();
-  } else {
-    label_ = label;
-  }
-  require(!label_.empty() && label_ != "." && label_ != "..",
-          "corpus: cannot derive a label from '" + dir + "'; pass one explicitly");
+  label_ = derive_label(root, dir, label);
 
   for (const fs::directory_entry& entry :
        fs::recursive_directory_iterator(root, fs::directory_options::skip_permission_denied)) {
@@ -91,6 +98,83 @@ ot::OtEntry Kiss2CorpusSource::module(const std::string& name) const {
     if (entry.name == name) return entry;
   }
   throw ScfiError("corpus " + label_ + ": unknown module " + name);
+}
+
+VerilogCorpusSource::VerilogCorpusSource(const std::string& dir, const std::string& label) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root = fs::path(dir).lexically_normal();
+  require(fs::is_directory(root, ec),
+          "corpus-verilog: " + dir + " is not a directory of .v netlists");
+  label_ = derive_label(root, dir, label);
+
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(root, fs::directory_options::skip_permission_denied)) {
+    if (!entry.is_regular_file(ec) || entry.path().extension() != ".v") continue;
+    const std::string base = entry.path()
+                                 .lexically_relative(root)
+                                 .replace_extension()
+                                 .generic_string();
+    const std::string path = entry.path().generic_string();
+    rtlil::Design design;
+    std::vector<rtlil::Module*> modules;
+    try {
+      modules = frontends::read_verilog_file(path, design);
+    } catch (const ScfiError& e) {
+      // Loud per-file error record; the rest of the corpus still sweeps.
+      errors_.push_back(CorpusError{base, path, e.what()});
+      log_warn("corpus-verilog: skipping " + path + ": " + e.what());
+      continue;
+    }
+    for (const rtlil::Module* module : modules) {
+      const std::string module_name =
+          modules.size() == 1 ? base : base + "/" + module->name();
+      std::vector<fsm::ExtractedFsm> machines;
+      try {
+        machines = fsm::extract_fsms(*module);
+      } catch (const ScfiError& e) {
+        errors_.push_back(CorpusError{module_name, path, e.what()});
+        log_warn("corpus-verilog: skipping " + module_name + ": " + e.what());
+        continue;
+      }
+      if (machines.empty()) {
+        // A netlist without a state machine cannot feed the hardening
+        // sweep; record it loudly instead of silently shrinking the corpus.
+        errors_.push_back(CorpusError{module_name, path, "no FSM found in module " +
+                                                             module->name()});
+        log_warn("corpus-verilog: no FSM found in " + module_name);
+        continue;
+      }
+      for (fsm::ExtractedFsm& machine : machines) {
+        ot::OtEntry parsed;
+        parsed.name = machines.size() == 1 ? module_name
+                                           : module_name + "." + machine.state_wire;
+        parsed.fsm = std::move(machine.fsm);
+        parsed.fsm.name = parsed.name;
+        entries_.push_back(std::move(parsed));  // no datapath: a bare FSM module
+      }
+    }
+  }
+  const auto by_name = [](const ot::OtEntry& a, const ot::OtEntry& b) { return a.name < b.name; };
+  std::sort(entries_.begin(), entries_.end(), by_name);
+  std::sort(errors_.begin(), errors_.end(),
+            [](const CorpusError& a, const CorpusError& b) { return a.module < b.module; });
+}
+
+std::vector<ot::OtEntry> VerilogCorpusSource::modules(const std::string& globs) const {
+  const std::vector<std::string> patterns = split(globs, ",");
+  std::vector<ot::OtEntry> matched;
+  for (const ot::OtEntry& entry : entries_) {
+    if (matches_any(entry.name, patterns)) matched.push_back(entry);
+  }
+  return matched;
+}
+
+ot::OtEntry VerilogCorpusSource::module(const std::string& name) const {
+  for (const ot::OtEntry& entry : entries_) {
+    if (entry.name == name) return entry;
+  }
+  throw ScfiError("corpus-verilog " + label_ + ": unknown module " + name);
 }
 
 }  // namespace scfi::sweep

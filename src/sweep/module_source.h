@@ -46,7 +46,8 @@ class ZooSource final : public ModuleSource {
   ot::OtEntry module(const std::string& name) const override;
 };
 
-/// One .kiss2 file the corpus scan could not parse. Recorded (and logged)
+/// One corpus file the scan could not ingest (.kiss2 parse error, Verilog
+/// parse/elaboration error, FSM extraction failure). Recorded (and logged)
 /// loudly per module instead of aborting the whole sweep: one malformed
 /// benchmark must not take down a corpus-scale campaign.
 struct CorpusError {
@@ -78,6 +79,39 @@ class Kiss2CorpusSource final : public ModuleSource {
  private:
   std::string label_;
   std::vector<ot::OtEntry> entries_;  ///< parse-clean entries, name-sorted
+  std::vector<CorpusError> errors_;
+};
+
+/// A directory of structural Verilog netlists (`.v`), discovered recursively
+/// at construction. Every file goes through the frontends reader
+/// (parse + elaborate + validate) and each module's state machines are
+/// recovered by fsm::extract_fsms — the paper's real-RTL front door: the
+/// sweep hardens what was *extracted from a netlist*, not a hand-written
+/// FSM description.
+///
+/// Entry names are the file path relative to the corpus root minus the `.v`
+/// extension (like the KISS2 corpus); a file with several modules appends
+/// "/<module>", and a module with several state registers appends
+/// ".<state_wire>", so every extracted machine has a stable store key.
+/// Files that fail to parse/elaborate — and modules where no FSM can be
+/// extracted — become loud per-module CorpusErrors, and the sweep runs on.
+class VerilogCorpusSource final : public ModuleSource {
+ public:
+  /// Scans `dir` (throws ScfiError when it is not a directory). `label`
+  /// defaults to the directory's base name, e.g. "corpus-verilog" for
+  /// "bench/corpus-verilog/".
+  explicit VerilogCorpusSource(const std::string& dir, const std::string& label = "");
+
+  std::string label() const override { return label_; }
+  std::vector<ot::OtEntry> modules(const std::string& globs) const override;
+  ot::OtEntry module(const std::string& name) const override;
+
+  const std::vector<CorpusError>& errors() const { return errors_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::string label_;
+  std::vector<ot::OtEntry> entries_;  ///< extraction-clean entries, name-sorted
   std::vector<CorpusError> errors_;
 };
 
