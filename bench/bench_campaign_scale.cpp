@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
   scfi::sim::CampaignConfig config;
   config.runs = static_cast<int>(runs);
   config.cycles = cycles;
-  config.num_faults = faults;
+  config.fault.k = faults;
   config.seed = seed;
   config.lanes = lanes;
   config.threads = threads;

@@ -147,7 +147,7 @@ void BM_Campaign(benchmark::State& state) {
   scfi::sim::CampaignConfig config;
   config.runs = 1024;
   config.cycles = 16;
-  config.num_faults = 2;
+  config.fault.k = 2;
   config.seed = 12345;
   config.lanes = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -170,7 +170,7 @@ void BM_CampaignPlanner(benchmark::State& state) {
   scfi::sim::CampaignConfig config;
   config.runs = 4096;
   config.cycles = 16;
-  config.num_faults = 2;
+  config.fault.k = 2;
   config.seed = 12345;
   config.planner = static_cast<scfi::sim::CampaignPlanner>(state.range(0));
   for (auto _ : state) {
@@ -187,7 +187,7 @@ void BM_CampaignUnprotected(benchmark::State& state) {
   scfi::sim::CampaignConfig config;
   config.runs = 1024;
   config.cycles = 16;
-  config.num_faults = 2;
+  config.fault.k = 2;
   config.seed = 12345;
   config.lanes = static_cast<int>(state.range(0));
   for (auto _ : state) {

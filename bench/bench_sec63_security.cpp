@@ -79,8 +79,8 @@ int main() {
       scfi::sim::CampaignConfig config;
       config.runs = 600;
       config.cycles = 16;
-      config.num_faults = faults;
-      config.target = target;
+      config.fault.k = faults;
+      config.fault.target = target;
       config.seed = 1000 + static_cast<std::uint64_t>(faults);
       print_result("unprotected", target, faults, run_campaign(f, plain, config));
       print_result("redundancy", target, faults, run_campaign(f, redundant, config));

@@ -17,6 +17,7 @@
 //
 // Flags: --quick  (one timing iteration; CI smoke mode)
 //        --json   (machine-readable metrics only, for scripts/bench_to_json.sh)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -227,6 +228,27 @@ int main(int argc, char** argv) {
   const double sat_incremental =
       time_sweeps(f, c, sat_sweep, sat_iters, &sat_incremental_report);
 
+  // k-fault threat model on the same §6.4 module at k = 2: the exhaustive
+  // combination sweep vs the incremental SAT participation queries. The two
+  // back-ends count different units by design (combinations x edges vs
+  // per-site participation queries), so the cross-check is verdict
+  // agreement — exploitable or not, and the same exploitable site set.
+  scfi::synfi::SynfiConfig kfault_sweep;
+  kfault_sweep.faults_k = 2;
+  scfi::synfi::SynfiReport kfault_sim_report;
+  const double kfault_sim = time_sweeps(f, c, kfault_sweep, sat_iters, &kfault_sim_report);
+  kfault_sweep.backend = scfi::synfi::Backend::kSat;
+  scfi::synfi::SynfiReport kfault_sat_report;
+  const double kfault_sat = time_sweeps(f, c, kfault_sweep, sat_iters, &kfault_sat_report);
+  const auto sorted_sites = [](std::vector<std::string> sites) {
+    std::sort(sites.begin(), sites.end());
+    return sites;
+  };
+  const bool kfault_agree =
+      (kfault_sim_report.exploitable > 0) == (kfault_sat_report.exploitable > 0) &&
+      sorted_sites(kfault_sim_report.exploitable_sites) ==
+          sorted_sites(kfault_sat_report.exploitable_sites);
+
   // Analyzer reuse on the biggest zoo module: a many-region / fault-kind
   // sweep where the per-call simulator build dominates the small region
   // queries (the workload SweepOrchestrator runs per variant).
@@ -254,7 +276,7 @@ int main(int argc, char** argv) {
                              scalar_report == wide_report &&
                              scalar_report == wide_threaded_report &&
                              sat_rebuild_report == sat_incremental_report &&
-                             reuse.reports_agree;
+                             kfault_agree && reuse.reports_agree;
   const double batch_speedup = sim_scalar > 0 ? sim_batched / sim_scalar : 0.0;
   const double wide_speedup = sim_batched > 0 ? sim_wide / sim_batched : 0.0;
   const double sat_speedup = sat_rebuild > 0 ? sat_incremental / sat_rebuild : 0.0;
@@ -281,6 +303,12 @@ int main(int argc, char** argv) {
     std::printf("  \"sat_rebuild\": %.1f,\n", sat_rebuild);
     std::printf("  \"sat_incremental\": %.1f,\n", sat_incremental);
     std::printf("  \"sat_incremental_speedup\": %.2f,\n", sat_speedup);
+    std::printf("  \"kfault_module\": \"synfi14_n2\",\n");
+    std::printf("  \"kfault_k\": 2,\n");
+    std::printf("  \"kfault_combinations_per_sweep\": %lld,\n",
+                static_cast<long long>(kfault_sim_report.injections));
+    std::printf("  \"kfault_sim\": %.1f,\n", kfault_sim);
+    std::printf("  \"kfault_sat_incremental\": %.1f,\n", kfault_sat);
     std::printf("  \"analyzer_reuse_module\": \"otbn_controller_scfi_n2\",\n");
     std::printf("  \"analyzer_reuse_configs\": %zu,\n", reuse_configs.size());
     std::printf("  \"analyzer_reuse_injections\": %lld,\n",
@@ -307,6 +335,9 @@ int main(int argc, char** argv) {
     std::printf("    rebuild-per-query               %12.0f q/s\n", sat_rebuild);
     std::printf("    incremental (assumptions)       %12.0f q/s  (%.1fx)\n", sat_incremental,
                 sat_speedup);
+    std::printf("  k-fault (k=2), synfi14 MDS region:\n");
+    std::printf("    exhaustive combinations         %12.0f inj/s\n", kfault_sim);
+    std::printf("    SAT participation queries       %12.0f q/s\n", kfault_sat);
     std::printf("  Analyzer reuse, otbn_controller (%zu region/kind queries, %lld injections):\n",
                 reuse_configs.size(), static_cast<long long>(reuse.injections));
     std::printf("    fresh analyze() per query       %12.4f s/sweep\n", reuse.per_call_seconds);

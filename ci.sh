@@ -36,7 +36,7 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval|CancelToken|BackoffPolicy|LeaseLedger|FleetSupervisor|VerilogLexer|VerilogParse|FsmExtract'
+    -R 'Rng|Error|Strutil|SimParallel|ResultStore|DiffReport|SweepJobs|GlobMatch|Kiss2|ModuleSource|WilsonInterval|CancelToken|BackoffPolicy|LeaseLedger|FleetSupervisor|VerilogLexer|VerilogParse|FsmExtract|CardinalityCounter|KFaultCampaign|ResultStoreKFault|AutoLanes'
 fi
 
 # Verilog write->read roundtrip gate: every zoo module (unprotected and SCFI-
@@ -68,22 +68,24 @@ build/bench_sec64_synfi --quick
 build/bench_campaign_scale --quick
 
 # Sweep fleet smoke test: run a small module x kind matrix — SYNFI and
-# Monte-Carlo campaign jobs side by side — streaming into a JSONL store,
-# then re-run with --resume and assert that every job is skipped (nothing
-# re-executed). NOTE: grep reads from a herestring, not an `echo |` pipe —
-# under `set -o pipefail` grep -q exiting at the first match can SIGPIPE
-# the echo side on large logs and fail the whole script.
+# Monte-Carlo campaign jobs side by side, the campaigns split per target
+# class (any + state-register-only) so the schema-v6 threat-model fields
+# are exercised end to end — streaming into a JSONL store, then re-run with
+# --resume and assert that every job is skipped (nothing re-executed).
+# NOTE: grep reads from a herestring, not an `echo |` pipe — under
+# `set -o pipefail` grep -q exiting at the first match can SIGPIPE the
+# echo side on large logs and fail the whole script.
 SWEEP_OUT="$(mktemp -d)/sweep_smoke.jsonl"
 trap 'rm -rf "$(dirname "$SWEEP_OUT")"' EXIT
 build/scfi_cli sweep --modules 'pwrmgr_fsm,adc_ctrl_fsm' --levels 2 \
   --kinds flip,stuck1 --campaign-runs 2000 --campaign-cycles 12 \
-  --jobs 2 --threads 2 --out "$SWEEP_OUT"
-[[ "$(wc -l < "$SWEEP_OUT")" -eq 8 ]] || { echo "sweep smoke: expected 8 JSONL records"; exit 1; }
+  --campaign-target any,state --jobs 2 --threads 2 --out "$SWEEP_OUT"
+[[ "$(wc -l < "$SWEEP_OUT")" -eq 12 ]] || { echo "sweep smoke: expected 12 JSONL records"; exit 1; }
 RESUME_LOG="$(build/scfi_cli sweep --modules 'pwrmgr_fsm,adc_ctrl_fsm' --levels 2 \
   --kinds flip,stuck1 --campaign-runs 2000 --campaign-cycles 12 \
-  --jobs 2 --threads 2 --out "$SWEEP_OUT" --resume)"
+  --campaign-target any,state --jobs 2 --threads 2 --out "$SWEEP_OUT" --resume)"
 tail -1 <<<"$RESUME_LOG"
-grep -q 'executed 0 job(s), skipped 8' <<<"$RESUME_LOG" \
+grep -q 'executed 0 job(s), skipped 12' <<<"$RESUME_LOG" \
   || { echo "sweep smoke: --resume re-executed jobs"; exit 1; }
 
 # Regression gate: diff the fresh sweep against the committed baseline.
@@ -99,8 +101,9 @@ build/scfi_cli sweep-diff bench/baselines/sweep_smoke.jsonl "$SWEEP_OUT" --fail-
 # self-diff must also be clean (exit 0).
 CORPUS_OUT="$(dirname "$SWEEP_OUT")/corpus_smoke.jsonl"
 build/scfi_cli sweep --corpus bench/corpus --levels 2 --kinds flip \
-  --campaign-runs 2000 --campaign-cycles 12 --jobs 2 --threads 2 --out "$CORPUS_OUT"
-[[ "$(wc -l < "$CORPUS_OUT")" -eq 6 ]] || { echo "corpus smoke: expected 6 JSONL records"; exit 1; }
+  --campaign-runs 2000 --campaign-cycles 12 --campaign-target any,state \
+  --jobs 2 --threads 2 --out "$CORPUS_OUT"
+[[ "$(wc -l < "$CORPUS_OUT")" -eq 9 ]] || { echo "corpus smoke: expected 9 JSONL records"; exit 1; }
 build/scfi_cli sweep-diff "$CORPUS_OUT" "$CORPUS_OUT"
 build/scfi_cli sweep-diff bench/baselines/corpus_smoke.jsonl "$CORPUS_OUT" --fail-on-removed
 

@@ -35,7 +35,7 @@ int main() {
     scfi::sim::CampaignConfig config;
     config.runs = 500;
     config.cycles = 20;
-    config.num_faults = faults;
+    config.fault.k = faults;
     config.seed = 42 + static_cast<std::uint64_t>(faults);
     const struct {
       const char* name;

@@ -4,16 +4,18 @@
 // Usage:
 //   scfi_cli harden  <file.kiss2> [-n LEVEL] [-o out.v] [--json out.json]
 //   scfi_cli area    <file.kiss2> [-n LEVEL]
-//   scfi_cli synfi   <file.kiss2> [-n LEVEL] [--backend sim|sat] [--lanes K]
+//   scfi_cli synfi   <file.kiss2> [-n LEVEL] [--backend sim|sat] [--faults-k K]
+//                    [--target any|inputs|state|logic] [--lanes K]
 //                    [--threads K] [--no-incremental]
-//   scfi_cli attack  <file.kiss2> [-n LEVEL] [--faults K] [--lanes K] [--threads K]
+//   scfi_cli attack  <file.kiss2> [-n LEVEL] [--faults K] [--faults-k K]
+//                    [--target any|inputs|state|logic] [--lanes K] [--threads K]
 //   scfi_cli sweep   [--corpus DIR] [--modules GLOBS] [--levels 2,3]
 //                    [--regions mds_,all] [--kinds flip,stuck0,stuck1]
-//                    [--backend sim|sat]
+//                    [--backend sim|sat] [--faults-k K] [--target any,state,...]
 //                    [--campaign-runs N] [--campaign-cycles N]
 //                    [--campaign-faults N] [--campaign-seed N]
 //                    [--campaign-variants scfi,unprotected,redundancy]
-//                    [--campaign-target any|inputs|state|logic]
+//                    [--campaign-target any,inputs,state,logic]
 //                    [--out results.jsonl] [--resume] [--jobs K] [--threads K]
 //                    [--retries N] [--job-timeout SECONDS] [--fail-fast]
 //                    [--fleet N] [--max-crashes N] [--lease SECONDS]
@@ -23,7 +25,7 @@
 //                    [--max-exploitable-increase N]
 //                    [--max-hijack-rate-increase F] [--max-detection-rate-drop F]
 //                    [--wilson-z Z] [--wilson-min-trials N] [--fail-on-removed]
-//   scfi_cli store-compact <store.jsonl>
+//   scfi_cli store-compact <store.jsonl> [--migrate]
 //   scfi_cli dot     <file.kiss2>
 //   scfi_cli import-verilog <file.v> [--dot]
 // Without a file argument a built-in demo FSM is used. `import-verilog`
@@ -115,10 +117,13 @@ int usage() {
                "|import-verilog> [file.kiss2|file.v]\n"
                "  harden/area/synfi/attack: -n LEVEL  protection level (default 2)\n"
                "  harden:  -o out.v --json out.json\n"
-               "  synfi:   --backend sim|sat --lanes K --threads K --no-incremental\n"
-               "  attack:  --faults K --lanes K --threads K\n"
+               "  synfi:   --backend sim|sat --faults-k K --target any|inputs|state|logic\n"
+               "           --lanes K --threads K --no-incremental\n"
+               "  attack:  --faults K (alias --faults-k) --target any|inputs|state|logic\n"
+               "           --lanes K --threads K\n"
                "  (--lanes: simulator runs per pass, 1..512 = 64 x lane_words;\n"
-               "   widths past 64 use multi-word SIMD lane blocks)\n"
+               "   widths past 64 use multi-word SIMD lane blocks; default auto-\n"
+               "   selects per module size)\n"
                "  import-verilog: <file.v>  parse + elaborate a structural Verilog\n"
                "           netlist and report ports + extracted FSMs; --dot dumps\n"
                "           each machine as Graphviz\n"
@@ -126,9 +131,10 @@ int usage() {
                "           --corpus-verilog DIR (sweep FSMs extracted from .v netlists)\n"
                "           --modules GLOBS --levels 2,3 --regions mds_,all\n"
                "           --kinds flip,stuck0,stuck1 --backend sim|sat\n"
+               "           --faults-k K --target any,state,... (synfi target classes)\n"
                "           --campaign-runs N --campaign-cycles N --campaign-faults N\n"
                "           --campaign-seed N --campaign-variants scfi,unprotected\n"
-               "           --campaign-target any|inputs|state|logic\n"
+               "           --campaign-target any,inputs,state,logic\n"
                "           --out results.jsonl --resume --jobs K --threads K --lanes K\n"
                "           --retries N --job-timeout SECONDS --fail-fast\n"
                "           --fleet N (supervised worker subprocesses; needs --out)\n"
@@ -139,7 +145,9 @@ int usage() {
                "           --max-detection-rate-drop F --wilson-z Z\n"
                "           --wilson-min-trials N --fail-on-removed\n"
                "  store-compact: <store.jsonl>  rewrite latest-wins compact "
-               "(salvages a torn tail)\n");
+               "(salvages a torn tail);\n"
+               "           --migrate rewrites a mixed-schema store at the current "
+               "version\n");
   return 2;
 }
 
@@ -217,10 +225,15 @@ int main(int argc, char** argv) {
   std::string campaign_target = "any";
   bool resume = false;
   bool no_incremental = false;
+  bool migrate = false;
   bool level_set = false;
   int level = 2;
   int faults = 1;
-  int lanes = scfi::sim::kNumLanes;
+  int faults_k = 1;
+  std::string target = "any";
+  // 0 = auto: pick the lane count per module via synfi::auto_lanes. An
+  // explicit --lanes is never second-guessed.
+  int lanes = 0;
   int threads = 1;
   int jobs = 1;
   int campaign_runs = 0;
@@ -251,6 +264,15 @@ int main(int argc, char** argv) {
         json_out = argv[++i];
       } else if (arg == "--faults" && has_value) {
         faults = parse_positive("--faults", argv[++i]);
+      } else if (arg == "--faults-k" && has_value) {
+        faults_k = parse_positive("--faults-k", argv[++i]);
+      } else if (arg == "--target" && has_value) {
+        target = argv[++i];
+        for (const std::string& t : scfi::split(target, ",")) {
+          scfi::sweep::fault_target_of(t);  // validate now, use later
+        }
+      } else if (arg == "--migrate") {
+        migrate = true;
       } else if (arg == "--lanes" && has_value) {
         lanes = parse_positive("--lanes", argv[++i]);
         scfi::require(lanes <= scfi::sim::kMaxLanes,
@@ -318,7 +340,9 @@ int main(int argc, char** argv) {
         campaign_variants = argv[++i];
       } else if (arg == "--campaign-target" && has_value) {
         campaign_target = argv[++i];
-        scfi::sweep::fault_target_of(campaign_target);  // validate now, use later
+        for (const std::string& t : scfi::split(campaign_target, ",")) {
+          scfi::sweep::fault_target_of(t);  // validate now, use later
+        }
       } else if (arg == "--max-exploitable-increase" && has_value) {
         thresholds.max_exploitable_increase =
             parse_count("--max-exploitable-increase", argv[++i]);
@@ -350,7 +374,7 @@ int main(int argc, char** argv) {
       // store: compacting nothing means the caller pointed at the wrong
       // file, and a silent success would hide that.
       const scfi::sweep::ResultStore::CompactStats stats =
-          scfi::sweep::ResultStore::compact_file(path);
+          scfi::sweep::ResultStore::compact_file(path, migrate);
       std::printf("store-compact: %zu line(s) -> %zu record(s) in %s\n", stats.lines,
                   stats.records, path.c_str());
       return 0;
@@ -404,6 +428,10 @@ int main(int argc, char** argv) {
           scfi::sweep::ResultStore::load(positional[1]);
       scfi::require(candidate.size() > 0,
                     "scfi_cli: candidate store " + positional[1] + " is missing or empty");
+      // A store whose lines span schema versions would be half-migrated in
+      // memory; a regression gate must compare records as they were written.
+      baseline.require_uniform_schema("scfi_cli: sweep-diff: " + positional[0]);
+      candidate.require_uniform_schema("scfi_cli: sweep-diff: " + positional[1]);
       const scfi::sweep::DiffReport report =
           scfi::sweep::diff_report(baseline, candidate, thresholds);
       std::fputs(report.render().c_str(), stdout);
@@ -443,33 +471,41 @@ int main(int argc, char** argv) {
       } else {
         source = std::make_unique<scfi::sweep::ZooSource>();
       }
-      // Job matrix: modules x levels x (regions x kinds), all on one backend.
+      // Job matrix: modules x levels x (regions x kinds x targets), all on
+      // one backend and one attacker strength (--faults-k).
       std::vector<scfi::synfi::SynfiConfig> configs;
       for (const std::string& region : scfi::split(regions, ",")) {
         for (const std::string& kind : scfi::split(kinds, ",")) {
-          scfi::synfi::SynfiConfig config;
-          config.wire_prefix = region == "all" ? "" : region;
-          config.kind = scfi::sweep::fault_kind_of(kind);
-          config.backend = scfi::sweep::backend_of(backend_name);
-          config.sat_incremental = !no_incremental;
-          configs.push_back(config);
+          for (const std::string& t : scfi::split(target, ",")) {
+            scfi::synfi::SynfiConfig config;
+            config.wire_prefix = region == "all" ? "" : region;
+            config.kind = scfi::sweep::fault_kind_of(kind);
+            config.target = scfi::sweep::fault_target_of(t);
+            config.faults_k = faults_k;
+            config.backend = scfi::sweep::backend_of(backend_name);
+            config.sat_incremental = !no_incremental;
+            configs.push_back(config);
+          }
         }
       }
       std::vector<scfi::sweep::SweepJob> sweep_jobs =
           scfi::sweep::expand_jobs(*source, modules, parse_levels(levels), configs);
       if (campaign_runs > 0) {
         // Monte-Carlo campaign jobs ride along: one per module x level x
-        // kind x campaign-variant, executed on the streaming planner.
+        // kind x campaign-target x campaign-variant, executed on the
+        // streaming planner.
         std::vector<scfi::sim::CampaignConfig> campaign_configs;
         for (const std::string& kind : scfi::split(kinds, ",")) {
-          scfi::sim::CampaignConfig config;
-          config.runs = campaign_runs;
-          config.cycles = campaign_cycles;
-          config.num_faults = campaign_faults;
-          config.seed = static_cast<std::uint64_t>(campaign_seed);
-          config.kind = scfi::sweep::fault_kind_of(kind);
-          config.target = scfi::sweep::fault_target_of(campaign_target);
-          campaign_configs.push_back(config);
+          for (const std::string& t : scfi::split(campaign_target, ",")) {
+            scfi::sim::CampaignConfig config;
+            config.runs = campaign_runs;
+            config.cycles = campaign_cycles;
+            config.fault.k = campaign_faults;
+            config.seed = static_cast<std::uint64_t>(campaign_seed);
+            config.fault.kinds = {scfi::sweep::fault_kind_of(kind)};
+            config.fault.target = scfi::sweep::fault_target_of(t);
+            campaign_configs.push_back(config);
+          }
         }
         for (const std::string& variant : scfi::split(campaign_variants, ",")) {
           const std::vector<scfi::sweep::SweepJob> campaign_jobs =
@@ -481,6 +517,7 @@ int main(int argc, char** argv) {
 
       scfi::require(!resume || !sweep_out.empty(),
                     "scfi_cli: --resume needs --out (the JSONL store to resume from)");
+      const std::string lanes_note = lanes == 0 ? "auto" : std::to_string(lanes);
 
       const auto print_record = [](const scfi::sweep::SweepResult& r) {
         if (r.status == scfi::sweep::JobStatus::kFailed) {
@@ -526,8 +563,8 @@ int main(int argc, char** argv) {
           fleet_config.poison_key = poison;  // test hook: crash the claimer
         }
         std::printf(
-            "sweep config: %zu job(s), fleet=%d threads=%d lanes=%d backend=%s%s out=%s\n",
-            sweep_jobs.size(), fleet, threads, lanes, backend_name.c_str(),
+            "sweep config: %zu job(s), fleet=%d threads=%d lanes=%s backend=%s%s out=%s\n",
+            sweep_jobs.size(), fleet, threads, lanes_note.c_str(), backend_name.c_str(),
             resume ? " resume" : "", sweep_out.c_str());
         scfi::sweep::FleetSupervisor supervisor(fleet_config);
         const scfi::sweep::FleetStats stats =
@@ -564,8 +601,8 @@ int main(int argc, char** argv) {
       sweep_config.job_timeout = job_timeout;
       sweep_config.fail_fast = fail_fast;
       const std::string out_note = sweep_out.empty() ? "" : " out=" + sweep_out;
-      std::printf("sweep config: %zu job(s), jobs=%d threads=%d lanes=%d backend=%s%s%s\n",
-                  sweep_jobs.size(), jobs, threads, lanes, backend_name.c_str(),
+      std::printf("sweep config: %zu job(s), jobs=%d threads=%d lanes=%s backend=%s%s%s\n",
+                  sweep_jobs.size(), jobs, threads, lanes_note.c_str(), backend_name.c_str(),
                   resume ? " resume" : "", out_note.c_str());
       scfi::sweep::SweepOrchestrator orchestrator(sweep_config);
       const scfi::sweep::SweepStats stats =
@@ -625,31 +662,51 @@ int main(int argc, char** argv) {
     if (command == "synfi") {
       scfi::synfi::SynfiConfig synfi_config;
       synfi_config.backend = scfi::sweep::backend_of(backend_name);
-      synfi_config.lanes = lanes;
+      synfi_config.faults_k = faults_k;
+      synfi_config.target = scfi::sweep::fault_target_of(target);
+      synfi_config.lanes = lanes > 0 ? lanes : scfi::synfi::auto_lanes(*hard.module);
       synfi_config.threads = threads;
       synfi_config.sat_incremental = !no_incremental;
-      std::printf("synfi config: backend=%s lanes=%d threads=%d incremental=%s\n",
-                  backend_name.c_str(), lanes, threads, no_incremental ? "no" : "yes");
-      const scfi::synfi::SynfiReport r = scfi::synfi::analyze(fsm, hard, synfi_config);
+      std::printf(
+          "synfi config: backend=%s k=%d target=%s lanes=%d threads=%d incremental=%s\n",
+          backend_name.c_str(), faults_k, target.c_str(), synfi_config.lanes, threads,
+          no_incremental ? "no" : "yes");
+      scfi::synfi::Analyzer analyzer(fsm, hard);
+      const scfi::synfi::SynfiReport r = analyzer.run(synfi_config);
       std::printf("synfi: %lld sites, %lld injections, %lld exploitable (%.2f%%), %lld detected\n",
                   static_cast<long long>(r.sites), static_cast<long long>(r.injections),
                   static_cast<long long>(r.exploitable), r.exploitable_pct(),
                   static_cast<long long>(r.detected));
+      // The smallest exploitable fault count up to --faults-k; for an
+      // encoding with minimum distance d this is d once k reaches it.
+      const int degree = scfi::synfi::measured_protection_degree(analyzer, synfi_config,
+                                                                 faults_k);
+      if (degree > 0) {
+        std::printf("protection degree: %d (smallest exploitable k, probed up to %d)\n",
+                    degree, faults_k);
+      } else {
+        std::printf("protection degree: > %d (no exploitable fault set up to k=%d)\n",
+                    faults_k, faults_k);
+      }
       return 0;
     }
     if (command == "attack") {
       scfi::sim::CampaignConfig campaign;
       campaign.runs = 1000;
       campaign.cycles = 20;
-      campaign.num_faults = faults;
-      campaign.lanes = lanes;
+      // --faults is the historical name, --faults-k the threat-model
+      // spelling shared with synfi/sweep; either sets the per-run count.
+      campaign.fault.k = faults_k > 1 ? faults_k : faults;
+      campaign.fault.target = scfi::sweep::fault_target_of(target);
+      campaign.lanes = lanes > 0 ? lanes : scfi::synfi::auto_lanes(*hard.module);
       campaign.threads = threads;
-      std::printf("attack config: lanes=%d threads=%d\n", lanes, threads);
+      std::printf("attack config: k=%d target=%s lanes=%d threads=%d\n", campaign.fault.k,
+                  target.c_str(), campaign.lanes, threads);
       const auto r = scfi::sim::run_campaign(fsm, hard, campaign);
       std::printf("attack with %d fault(s): hijack %.2f%%, detected %.2f%% of effective,"
                   " masked %d/%d\n",
-                  faults, 100.0 * r.hijacked / r.runs, 100.0 * r.detection_rate(), r.masked,
-                  r.runs);
+                  campaign.fault.k, 100.0 * r.hijacked / r.runs, 100.0 * r.detection_rate(),
+                  r.masked, r.runs);
       return 0;
     }
     return usage();

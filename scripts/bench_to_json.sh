@@ -96,11 +96,26 @@ EOF
 if [[ -x "$SYNFI_BENCH" ]]; then
   "$SYNFI_BENCH" --json > "$RAW"
   python3 - "$RAW" "$SYNFI_OUT" <<'EOF'
-import json, sys
+import json, os, sys
 
 out = json.load(open(sys.argv[1]))
 assert out.get("bench") == "synfi", "unexpected bench payload"
 assert out.get("engines_agree") is True, "engine reports diverged; not recording"
+assert "kfault_sim" in out and "kfault_sat_incremental" in out, \
+    "k-fault engine throughput missing from bench payload"
+
+# Non-regression gate on the incremental SAT engine (synfi14_n2): a fresh
+# run more than 3x slower than the committed number is a real engine
+# regression, not machine noise — refuse to record it. The committed file
+# is the baseline; delete it first to intentionally re-baseline.
+if os.path.exists(sys.argv[2]):
+    prev = json.load(open(sys.argv[2]))
+    old = prev.get("sat_incremental")
+    new = out.get("sat_incremental")
+    if old and new and prev.get("sat_module") == out.get("sat_module"):
+        assert new >= old / 3.0, (
+            f"sat_incremental regressed on {out['sat_module']}: "
+            f"{new:.0f} q/s vs committed {old:.0f} q/s (>3x slower)")
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print(f"wrote {sys.argv[2]}")
 EOF

@@ -89,4 +89,73 @@ void exactly_one(Solver& solver, const std::vector<Lit>& sels) {
   solver.add_binary(-sels[n - 1], -prev);
 }
 
+CardinalityCounter::CardinalityCounter(Solver& solver, const std::vector<Lit>& sels,
+                                       int k_max)
+    : n_(sels.size()), k_max_(k_max) {
+  check(!sels.empty(), "CardinalityCounter: empty selector set");
+  check(k_max >= 1, "CardinalityCounter: k_max must be >= 1");
+  // Row j encodes the threshold "at least j+1 true". Row k_max exists (when
+  // the input count allows it) purely so exactly-k_max can negate it.
+  const int jmax = std::min(k_max_, static_cast<int>(n_) - 1);
+  rows_.resize(static_cast<std::size_t>(jmax) + 1);
+  for (int j = 0; j <= jmax; ++j) rows_[j].resize(n_ - static_cast<std::size_t>(j));
+  const auto at = [&](std::size_t i, int j) -> Lit { return rows_[j][i - j]; };
+  // Base column i = 0: s_{0,0} <-> sels[0]; s_{0,j>=1} is constant false and
+  // never materialised (the ragged rows simply start at i = j).
+  rows_[0][0] = solver.new_var();
+  solver.add_binary(-sels[0], rows_[0][0]);
+  solver.add_binary(-rows_[0][0], sels[0]);
+  for (std::size_t i = 1; i < n_; ++i) {
+    const int jhi = std::min(jmax, static_cast<int>(i));
+    for (int j = 0; j <= jhi; ++j) {
+      const Lit s = solver.new_var();
+      rows_[j][i - j] = s;
+      // s_{i-1,j} is constant false on the diagonal (j == i); clauses where
+      // it appears positively drop the literal, clauses where it appears
+      // negatively are vacuously true and dropped entirely.
+      const bool have_prev = j < static_cast<int>(i);
+      if (j == 0) {
+        // Forward: carry the count and absorb sels[i].
+        solver.add_binary(-at(i - 1, 0), s);
+        solver.add_binary(-sels[i], s);
+        // Backward: s_{i,0} -> s_{i-1,0} v sels[i].
+        solver.add_ternary(-s, at(i - 1, 0), sels[i]);
+      } else {
+        const Lit below = at(i - 1, j - 1);
+        if (have_prev) solver.add_binary(-at(i - 1, j), s);
+        solver.add_ternary(-sels[i], -below, s);
+        // Backward: s_{i,j} -> s_{i-1,j} v (sels[i] ^ s_{i-1,j-1}).
+        if (have_prev) {
+          solver.add_ternary(-s, at(i - 1, j), sels[i]);
+          solver.add_ternary(-s, at(i - 1, j), below);
+        } else {
+          solver.add_binary(-s, sels[i]);
+          solver.add_binary(-s, below);
+        }
+      }
+    }
+  }
+}
+
+Lit CardinalityCounter::at_least(int count) const {
+  check(count >= 1 && count <= static_cast<int>(rows_.size()),
+        "CardinalityCounter::at_least: count outside the encoded rows");
+  return rows_[count - 1].back();  // s_{n-1, count-1}
+}
+
+std::vector<Lit> CardinalityCounter::assume_exactly(int k) const {
+  check(k >= 0 && k <= k_max_, "assume_exactly: k exceeds k_max");
+  check(k <= static_cast<int>(n_), "assume_exactly: k exceeds the selector count");
+  std::vector<Lit> out;
+  if (k >= 1) out.push_back(at_least(k));
+  if (k < static_cast<int>(n_)) out.push_back(-at_least(k + 1));
+  return out;
+}
+
+std::vector<Lit> CardinalityCounter::assume_at_most(int k) const {
+  check(k >= 0 && k <= k_max_, "assume_at_most: k exceeds k_max");
+  if (k >= static_cast<int>(n_)) return {};
+  return {-at_least(k + 1)};
+}
+
 }  // namespace scfi::sat

@@ -27,4 +27,42 @@ Lit member_of(Solver& solver, const std::vector<int>& vars,
 /// Adds exactly-one constraints over the selector literals (pairwise).
 void exactly_one(Solver& solver, const std::vector<Lit>& sels);
 
+/// Sequential-counter (Sinz) cardinality network over a selector vector,
+/// encoded *bidirectionally* so that thresholds can be forced from the
+/// assumption side: the counter registers s_{i,j} are constrained
+/// s_{i,j} <-> at least j+1 of sels[0..i] are true, for j <= min(i, k_max).
+/// One network answers every query "exactly k" / "at most k" for
+/// k <= k_max via assumptions — no re-encoding per k, which is what lets a
+/// single incremental miter serve a whole k-fault sweep.
+class CardinalityCounter {
+ public:
+  /// Builds the counter clauses immediately. `k_max` bounds the largest
+  /// threshold that can later be assumed (rows above k_max are not encoded).
+  CardinalityCounter(Solver& solver, const std::vector<Lit>& sels, int k_max);
+
+  /// Literal that is true iff at least `count` selectors are true.
+  /// Requires 1 <= count <= min(k_max + 1, sels.size()); one row above
+  /// k_max is kept so assume_exactly(k_max) can negate it.
+  Lit at_least(int count) const;
+
+  /// Assumption set forcing exactly `k` selectors true (0 <= k <= k_max).
+  /// When k == sels.size() the upper bound is vacuous and omitted.
+  std::vector<Lit> assume_exactly(int k) const;
+
+  /// Assumption set forcing at most `k` selectors true (0 <= k <= k_max).
+  /// Vacuous (empty) when k >= sels.size().
+  std::vector<Lit> assume_at_most(int k) const;
+
+  int k_max() const { return k_max_; }
+  int num_inputs() const { return static_cast<int>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  int k_max_ = 0;
+  // rows_[j] holds s_{i,j} for i in [j, n): the "at least j+1" row. Entries
+  // are solver variables; rows are ragged because s_{i,j} is constant false
+  // for j > i and never materialised.
+  std::vector<std::vector<Lit>> rows_;
+};
+
 }  // namespace scfi::sat

@@ -48,10 +48,13 @@ class RawInputPlanner {
   std::unordered_map<std::uint64_t, std::vector<bool>> cache_;
 };
 
-/// One scheduled fault: site index (into the filtered site list) + cycle.
+/// One scheduled fault: site index (into the filtered site list), cycle, and
+/// an index into the spec's kind set. Single-kind specs never draw for the
+/// kind, so their schedules stay bit-identical to the pre-FaultSpec planner.
 struct PlannedFault {
   std::int32_t site = 0;
   std::int32_t cycle = 0;
+  std::int32_t kind = 0;
 };
 
 /// CFG edge indices grouped by source state, for the stimulus walk.
@@ -65,7 +68,7 @@ std::vector<std::vector<std::int32_t>> index_edges_from(const Fsm& fsm,
 }
 
 /// Draws one run — `cycles` walk edges, `cycles`+1 golden states, and
-/// `num_faults` scheduled faults — from `rng`, appending to the out vectors.
+/// `fault.k` scheduled faults — from `rng`, appending to the out vectors.
 /// `pool` must be a permutation of [0, num_sites); distinct fault sites come
 /// from a partial Fisher-Yates over it. The swaps are recorded in `undo` so
 /// the caller can restore the pool afterwards: every run must start from the
@@ -89,7 +92,8 @@ void plan_one_run(const std::vector<std::vector<std::int32_t>>& edges_from,
   // Distinct fault sites via partial Fisher-Yates; only when the request
   // exceeds the population do duplicates become possible (and unavoidable).
   const auto n = static_cast<std::int64_t>(num_sites);
-  for (std::int64_t f = 0; f < config.num_faults; ++f) {
+  const std::size_t num_kinds = config.fault.kinds.size();
+  for (std::int64_t f = 0; f < config.fault.k; ++f) {
     std::int32_t site = 0;
     if (f < n) {
       const std::int64_t j =
@@ -102,7 +106,11 @@ void plan_one_run(const std::vector<std::vector<std::int32_t>>& edges_from,
     }
     const auto cycle =
         static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(config.cycles)));
-    faults_out.push_back(PlannedFault{site, cycle});
+    // The kind draw is appended to the stream only for multi-kind specs, so
+    // a single-kind spec's (seed, run) → plan mapping is unchanged.
+    const std::int32_t kind =
+        num_kinds > 1 ? static_cast<std::int32_t>(rng.below(num_kinds)) : 0;
+    faults_out.push_back(PlannedFault{site, cycle, kind});
   }
 }
 
@@ -144,13 +152,13 @@ CampaignPlan plan_campaign_materialized(const Fsm& fsm, const std::vector<CfgEdg
   CampaignPlan plan;
   plan.runs = config.runs;
   plan.cycles = config.cycles;
-  plan.num_faults = config.num_faults;
+  plan.num_faults = config.fault.k;
   plan.edges.reserve(static_cast<std::size_t>(config.runs) *
                      static_cast<std::size_t>(config.cycles));
   plan.golden.reserve(static_cast<std::size_t>(config.runs) *
                       static_cast<std::size_t>(config.cycles + 1));
   plan.faults.reserve(static_cast<std::size_t>(config.runs) *
-                      static_cast<std::size_t>(config.num_faults));
+                      static_cast<std::size_t>(config.fault.k));
 
   std::vector<std::int32_t> pool(num_sites);
   std::iota(pool.begin(), pool.end(), 0);
@@ -201,7 +209,7 @@ class StreamingPlanView {
     const auto lanes = static_cast<std::size_t>(config.lanes);
     edges_.reserve(lanes * static_cast<std::size_t>(config.cycles));
     golden_.reserve(lanes * static_cast<std::size_t>(config.cycles + 1));
-    faults_.reserve(lanes * static_cast<std::size_t>(config.num_faults));
+    faults_.reserve(lanes * static_cast<std::size_t>(config.fault.k));
   }
 
   void prepare_batch(int base_run, int batch_runs) {
@@ -229,7 +237,7 @@ class StreamingPlanView {
   }
   const PlannedFault& fault_at(int run, int f) const {
     return faults_[static_cast<std::size_t>(run - base_run_) *
-                       static_cast<std::size_t>(config_->num_faults) +
+                       static_cast<std::size_t>(config_->fault.k) +
                    static_cast<std::size_t>(f)];
   }
 
@@ -388,10 +396,11 @@ void execute_batches(const Fsm& fsm, const CompiledFsm& variant,
       }
       // Inject this cycle's faults, lane by lane.
       for (int lane = 0; lane < batch_runs; ++lane) {
-        for (int f = 0; f < config.num_faults; ++f) {
+        for (int f = 0; f < config.fault.k; ++f) {
           const PlannedFault& p = plan.fault_at(base_run + lane, f);
           if (p.cycle == t) {
-            sim.inject_net(site_net[static_cast<std::size_t>(p.site)], config.kind,
+            sim.inject_net(site_net[static_cast<std::size_t>(p.site)],
+                           config.fault.kinds[static_cast<std::size_t>(p.kind)],
                            LaneMask::lane(lane));
           }
         }
@@ -532,7 +541,7 @@ std::int64_t planned_bytes(const CampaignConfig& config) {
   const std::int64_t edges = runs * cycles * static_cast<std::int64_t>(sizeof(std::int32_t));
   const std::int64_t golden =
       runs * (cycles + 1) * static_cast<std::int64_t>(sizeof(std::int32_t));
-  const std::int64_t faults = runs * static_cast<std::int64_t>(config.num_faults) *
+  const std::int64_t faults = runs * static_cast<std::int64_t>(config.fault.k) *
                               static_cast<std::int64_t>(sizeof(PlannedFault));
   return edges + golden + faults;
 }
@@ -559,7 +568,7 @@ CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
     static std::atomic<bool> warned{false};
     if (plan_bytes > config.max_plan_bytes / 2 && !warned.exchange(true)) {
       log_warn(format("run_campaign: campaign plan materializes ~%lld bytes up front "
-                      "(cap %lld); plans are ~8 bytes per run-cycle plus 8 per fault "
+                      "(cap %lld); plans are ~8 bytes per run-cycle plus 12 per fault "
                       "— the streaming planner needs O(lanes) instead",
                       static_cast<long long>(plan_bytes),
                       static_cast<long long>(config.max_plan_bytes)));
@@ -567,7 +576,7 @@ CampaignResult run_campaign(const Fsm& fsm, const CompiledFsm& variant,
   }
   const std::vector<FaultSite> all_sites =
       enumerate_fault_sites(*variant.module, variant.state_wire);
-  const std::vector<FaultSite> sites = filter_sites(all_sites, config.target);
+  const std::vector<FaultSite> sites = filter_sites(all_sites, config.fault.target);
   require(!sites.empty(), "run_campaign: no fault sites for the requested target class");
 
   const std::vector<CfgEdge> cfg = fsm.cfg_edges();

@@ -61,9 +61,11 @@ enum class CampaignPlanner {
 struct CampaignConfig {
   int runs = 1000;
   int cycles = 24;        ///< length of each control-flow walk
-  int num_faults = 1;     ///< simultaneous faults per run (attacker strength)
-  FaultTarget target = FaultTarget::kAny;
-  FaultKind kind = FaultKind::kTransientFlip;
+  /// The adversary: fault count per run (`fault.k`), target-class filter,
+  /// and the kind set schedules draw from. The default FaultSpec is the
+  /// historical single-transient-flip-anywhere attacker, and single-kind
+  /// specs draw bit-identical schedules to the pre-FaultSpec planner.
+  FaultSpec fault;
   std::uint64_t seed = 1;
   CampaignPlanner planner = CampaignPlanner::kStreaming;
   /// Runs per simulator batch (1..kMaxLanes = 64*lane_words); 1 = scalar.
@@ -88,9 +90,9 @@ struct CampaignConfig {
 
 /// Estimated bytes the materializing planner (kStreamingMaterialized)
 /// allocates for `config`: ~8 bytes per run-cycle (a 4-byte
-/// walk edge plus a 4-byte golden state entry) plus 8 bytes per scheduled
-/// fault. The streaming planner's footprint is O(lanes x cycles) per worker
-/// instead.
+/// walk edge plus a 4-byte golden state entry) plus 12 bytes per scheduled
+/// fault (site, cycle, kind index). The streaming planner's footprint is
+/// O(lanes x cycles) per worker instead.
 std::int64_t planned_bytes(const CampaignConfig& config);
 
 struct CampaignResult {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rtlil/module.h"
+#include "sim/netlist_sim.h"
 
 namespace scfi::sim {
 
@@ -39,5 +40,25 @@ std::vector<FaultSite> enumerate_fault_sites(const rtlil::Module& module,
 
 /// Filters sites by target class (kAny keeps everything).
 std::vector<FaultSite> filter_sites(const std::vector<FaultSite>& sites, FaultTarget target);
+
+/// The adversary model shared by every engine (SYNFI, campaign, sweep): how
+/// many concurrent faults per run/query (`k`), which target class they may
+/// land on, and which physical fault kinds the attacker can produce. The
+/// default spec is the historical single-transient-flip-anywhere adversary,
+/// so existing configs keep their exact semantics (and bit-identical
+/// schedules) unless a caller widens the model.
+struct FaultSpec {
+  /// Concurrent faults per campaign run / SYNFI combination. The paper's
+  /// distance argument says an encoding with minimum distance d tolerates
+  /// every k < d; k = d is the first potentially exploitable count.
+  int k = 1;
+  FaultTarget target = FaultTarget::kAny;
+  /// Fault kinds the adversary draws from. Campaign schedules draw uniformly
+  /// per fault when more than one kind is listed; a single-kind spec keeps
+  /// the historical plan stream bit-identical.
+  std::vector<FaultKind> kinds = {FaultKind::kTransientFlip};
+
+  bool operator==(const FaultSpec&) const = default;
+};
 
 }  // namespace scfi::sim

@@ -239,6 +239,11 @@ void Simulator::compile() {
   latch_buf_.resize(ffs_.size() * words);
   transient_slot_.assign(static_cast<std::size_t>(num_nets_), -1);
   faulted_mark_.assign(static_cast<std::size_t>(num_nets_), 0);
+  q_to_ff_.assign(static_cast<std::size_t>(num_nets_), -1);
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    q_to_ff_[static_cast<std::size_t>(ffs_[i].q)] = static_cast<std::int32_t>(i);
+  }
+  skip_slot_.assign(ffs_.size(), -1);
   build_tape();
 }
 
@@ -543,6 +548,21 @@ void Simulator::step() {
       for (std::size_t w = 0; w < words; ++w) latch_buf_[i * words + w] = values_[d + w];
     }
   }
+  // Skip-cycle (clock-glitch) faults suppress this edge for the armed
+  // FFs/lanes: the register keeps its raw stored value instead of latching
+  // D. The raw word (not load()) is kept so a concurrent read-mask fault on
+  // the Q net corrupts readers, not the retained state itself.
+  for (const auto& [ff, lanes] : skip_ffs_) {
+    const std::size_t q =
+        static_cast<std::size_t>(ffs_[static_cast<std::size_t>(ff)].q) * words;
+    const std::size_t base = static_cast<std::size_t>(ff) * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      latch_buf_[base + w] =
+          (latch_buf_[base + w] & ~lanes.w[w]) | (values_[q + w] & lanes.w[w]);
+    }
+    skip_slot_[static_cast<std::size_t>(ff)] = -1;
+  }
+  skip_ffs_.clear();
   for (std::size_t i = 0; i < ffs_.size(); ++i) {
     const std::size_t q = static_cast<std::size_t>(ffs_[i].q) * words;
     for (std::size_t w = 0; w < words; ++w) values_[q + w] = latch_buf_[i * words + w];
@@ -572,6 +592,21 @@ void Simulator::inject(const SigBit& bit, FaultKind kind, const LaneMask& lanes)
 void Simulator::inject_net(std::int32_t net, FaultKind kind, const LaneMask& lanes) {
   check(net >= 2, "Simulator::inject: cannot fault a constant");
   const auto words = static_cast<std::size_t>(lane_words_);
+  if (kind == FaultKind::kSkipCycle) {
+    // Route to the FF whose Q this net is; non-register nets are a
+    // documented no-op (see FaultKind::kSkipCycle). Coalesced per FF so
+    // repeated arms within one cycle merge their lanes.
+    const std::int32_t ff = q_to_ff_[static_cast<std::size_t>(net)];
+    if (ff < 0) return;
+    std::int32_t& slot = skip_slot_[static_cast<std::size_t>(ff)];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(skip_ffs_.size());
+      skip_ffs_.emplace_back(ff, lanes);
+    } else {
+      skip_ffs_[static_cast<std::size_t>(slot)].second |= lanes;
+    }
+    return;
+  }
   const std::size_t n = static_cast<std::size_t>(net) * words;
   // Clear the affected lanes back to pass-through, then overlay the fault.
   // Words with no selected lane are exact no-ops; skipping them keeps the
@@ -595,6 +630,16 @@ void Simulator::inject_net(std::int32_t net, FaultKind kind, const LaneMask& lan
       case FaultKind::kTransientFlip:
         mask_xor_[n + w] |= l;
         break;
+      case FaultKind::kSkipCycle:
+        break;  // handled above, never reaches the mask loop
+    }
+  }
+  if (kind == FaultKind::kNone && !skip_ffs_.empty()) {
+    // Clearing a register net also disarms any pending edge skip there.
+    const std::int32_t ff = q_to_ff_[static_cast<std::size_t>(net)];
+    if (ff >= 0 && skip_slot_[static_cast<std::size_t>(ff)] >= 0) {
+      auto& pending = skip_ffs_[static_cast<std::size_t>(skip_slot_[static_cast<std::size_t>(ff)])];
+      pending.second &= ~lanes;
     }
   }
   if (kind == FaultKind::kTransientFlip) {
@@ -640,6 +685,10 @@ void Simulator::clear_all_faults() {
     transient_slot_[static_cast<std::size_t>(net)] = -1;
   }
   transient_nets_.clear();
+  for (const auto& [ff, lanes] : skip_ffs_) {
+    skip_slot_[static_cast<std::size_t>(ff)] = -1;
+  }
+  skip_ffs_.clear();
   faults_active_ = false;
 }
 

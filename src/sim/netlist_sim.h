@@ -50,6 +50,13 @@ enum class FaultKind : std::uint8_t {
   kStuckAt0,
   kStuckAt1,
   kTransientFlip,  ///< cleared automatically at the end of the next step()
+  /// Clock-glitch model: the flip-flop driving the injected Q net skips the
+  /// next clock edge (keeps its stored value instead of latching D) in the
+  /// chosen lanes, then re-arms to normal. Injecting it on a net that is not
+  /// a register output is a documented no-op — a glitch starves a register,
+  /// not a wire. Not representable as a read-time mask, so it has no SAT
+  /// translation (the SAT backend rejects it).
+  kSkipCycle,
 };
 
 /// Lanes carried by one 64-bit word of a lane block.
@@ -254,6 +261,9 @@ class Simulator {
   int pending_transient_nets() const {
     return static_cast<int>(transient_nets_.size());
   }
+  /// Distinct flip-flops armed to skip the next clock edge (diagnostics;
+  /// coalesced per FF like pending_transient_nets()).
+  int pending_skip_ffs() const { return static_cast<int>(skip_ffs_.size()); }
 
  private:
   std::int32_t net_of(const rtlil::SigBit& bit) const;
@@ -304,6 +314,14 @@ class Simulator {
   /// step()'s clear pass stays O(distinct nets).
   std::vector<std::pair<std::int32_t, LaneMask>> transient_nets_;
   std::vector<std::int32_t> transient_slot_;
+  /// Flip-flops (by ffs_ index) whose next clock edge is suppressed in the
+  /// recorded lanes (kSkipCycle), coalesced per FF via skip_slot_. Applied
+  /// and cleared by the next step(); independent of the read-time mask
+  /// machinery, so arming a skip does not set faults_active_.
+  std::vector<std::pair<std::int32_t, LaneMask>> skip_ffs_;
+  std::vector<std::int32_t> skip_slot_;
+  /// Q-net -> ffs_ index (-1 for non-register nets), for kSkipCycle routing.
+  std::vector<std::int32_t> q_to_ff_;
   /// Every net whose mask block may have left identity since the last
   /// clear_all_faults(), deduplicated via faulted_mark_, so the clear pass
   /// restores O(distinct armed nets x lane_words) words instead of

@@ -25,6 +25,7 @@ const char* fault_kind_name(sim::FaultKind kind) {
     case sim::FaultKind::kStuckAt0: return "stuck0";
     case sim::FaultKind::kStuckAt1: return "stuck1";
     case sim::FaultKind::kTransientFlip: return "flip";
+    case sim::FaultKind::kSkipCycle: return "skip";
     default: return "none";
   }
 }
@@ -33,8 +34,33 @@ sim::FaultKind fault_kind_of(const std::string& name) {
   if (name == "stuck0") return sim::FaultKind::kStuckAt0;
   if (name == "stuck1") return sim::FaultKind::kStuckAt1;
   if (name == "flip") return sim::FaultKind::kTransientFlip;
+  if (name == "skip") return sim::FaultKind::kSkipCycle;
   throw ScfiError("sweep: unknown fault kind '" + name +
-                  "' (expected flip, stuck0, or stuck1)");
+                  "' (expected flip, stuck0, stuck1, or skip)");
+}
+
+std::string fault_kinds_name(const std::vector<sim::FaultKind>& kinds) {
+  require(!kinds.empty(), "sweep: a fault spec needs at least one kind");
+  std::string joined;
+  for (const sim::FaultKind kind : kinds) {
+    if (!joined.empty()) joined += '+';
+    joined += fault_kind_name(kind);
+  }
+  return joined;
+}
+
+std::vector<sim::FaultKind> fault_kinds_of(const std::string& name) {
+  std::vector<sim::FaultKind> kinds;
+  std::string::size_type begin = 0;
+  while (begin <= name.size()) {
+    const std::string::size_type end = name.find('+', begin);
+    const std::string token =
+        name.substr(begin, end == std::string::npos ? std::string::npos : end - begin);
+    kinds.push_back(fault_kind_of(token));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return kinds;
 }
 
 const char* backend_name(synfi::Backend backend) {
@@ -98,7 +124,8 @@ bool reports_equal(const SweepResult& a, const SweepResult& b) {
   // attempt count, worker id, or deadline: those are diagnostics, like
   // timing, not part of the verdict.
   if (a.status != JobStatus::kOk) return true;
-  return a.job.type == JobType::kCampaign ? a.campaign == b.campaign : a.report == b.report;
+  if (a.job.type == JobType::kCampaign) return a.campaign == b.campaign;
+  return a.report == b.report && a.protection_degree == b.protection_degree;
 }
 
 namespace {
@@ -222,13 +249,18 @@ std::string SweepJob::key() const {
   const std::string qualified = source.empty() ? module : source + "::" + module;
   if (type == JobType::kCampaign) {
     return qualified + "|" + variant + "|n" + std::to_string(protection_level) + "|mc|" +
-           fault_kind_name(campaign.kind) + "|t=" + fault_target_name(campaign.target) +
+           fault_kinds_name(campaign.fault.kinds) + "|t=" +
+           fault_target_name(campaign.fault.target) +
            "|runs=" + std::to_string(campaign.runs) + "|c=" + std::to_string(campaign.cycles) +
-           "|f=" + std::to_string(campaign.num_faults) + "|s=" + std::to_string(campaign.seed);
+           "|f=" + std::to_string(campaign.fault.k) + "|s=" + std::to_string(campaign.seed);
   }
   std::string key = qualified + "|" + variant + "|n" + std::to_string(protection_level) +
                     "|r=" + synfi.wire_prefix + "|" + backend_name(synfi.backend) + "|" +
                     fault_kind_name(synfi.kind);
+  // Non-default threat models extend the key; the classic single-fault
+  // any-target sweep keeps its pre-v6 key byte-identical.
+  if (synfi.target != sim::FaultTarget::kAny) key += "|t=" + std::string(fault_target_name(synfi.target));
+  if (synfi.faults_k != 1) key += "|k=" + std::to_string(synfi.faults_k);
   if (synfi.include_inputs) key += "|inputs";
   if (synfi.free_symbol) key += "|free";
   return key;
@@ -254,11 +286,11 @@ std::string ResultStore::to_line(const SweepResult& result) {
   // exist only on ok records.
   if (job.type == JobType::kCampaign) {
     const sim::CampaignResult& c = result.campaign;
-    out << ",\"kind\":\"" << fault_kind_name(job.campaign.kind) << "\"";
-    out << ",\"target\":\"" << fault_target_name(job.campaign.target) << "\"";
+    out << ",\"kind\":\"" << fault_kinds_name(job.campaign.fault.kinds) << "\"";
+    out << ",\"target\":\"" << fault_target_name(job.campaign.fault.target) << "\"";
     out << ",\"runs\":" << job.campaign.runs;
     out << ",\"cycles\":" << job.campaign.cycles;
-    out << ",\"faults\":" << job.campaign.num_faults;
+    out << ",\"faults\":" << job.campaign.fault.k;
     out << ",\"seed\":" << job.campaign.seed;
     if (ok) {
       out << ",\"masked\":" << c.masked;
@@ -273,11 +305,14 @@ std::string ResultStore::to_line(const SweepResult& result) {
     out << ",\"include_inputs\":" << (job.synfi.include_inputs ? "true" : "false");
     out << ",\"backend\":\"" << backend_name(job.synfi.backend) << "\"";
     out << ",\"kind\":\"" << fault_kind_name(job.synfi.kind) << "\"";
+    out << ",\"target\":\"" << fault_target_name(job.synfi.target) << "\"";
+    out << ",\"faults_k\":" << job.synfi.faults_k;
     out << ",\"free_symbol\":" << (job.synfi.free_symbol ? "true" : "false");
     if (ok) {
       out << ",\"sites\":" << r.sites;
       out << ",\"injections\":" << r.injections;
       out << ",\"exploitable\":" << r.exploitable;
+      out << ",\"protection_degree\":" << result.protection_degree;
       out << ",\"detected\":" << r.detected;
       out << ",\"masked\":" << r.masked;
       out << ",\"stalls\":" << r.stalls;
@@ -304,25 +339,32 @@ std::string ResultStore::to_line(const SweepResult& result) {
   return out.str();
 }
 
-SweepResult ResultStore::parse_line(const std::string& line) {
+SweepResult ResultStore::parse_line(const std::string& line, int* schema_out) {
   // Fields are collected first and committed at the end: the `kind`,
-  // `detected`, and `masked` names are shared between the two job types, so
-  // they can only be routed once the (possibly later) `type` field is known.
-  // v1 lines have no `type` field and migrate as SYNFI records; v2 lines
-  // have no `source` field and migrate as zoo records; v3 lines have no
-  // `status`/`attempts` fields and migrate as ok single-attempt records;
-  // v4 lines predate the fleet and carry no `worker`/`deadline` fields or
-  // `leased` status.
+  // `target`, `detected`, and `masked` names are shared between the two job
+  // types, so they can only be routed once the (possibly later) `type` field
+  // is known. v1 lines have no `type` field and migrate as SYNFI records;
+  // v2 lines have no `source` field and migrate as zoo records; v3 lines
+  // have no `status`/`attempts` fields and migrate as ok single-attempt
+  // records; v4 lines predate the fleet and carry no `worker`/`deadline`
+  // fields or `leased` status; v5 lines predate the k-fault threat model
+  // (no `faults_k`/`protection_degree`, and `target` only on campaigns) and
+  // migrate as single-fault records with a derived protection degree.
   int schema = -1;
   std::string type_str = "synfi";
   std::string kind_str;
+  std::string target_str;
   bool saw_kind = false;
+  bool saw_target = false;
   bool saw_source = false;
   bool saw_status = false;
   bool saw_error = false;
   bool saw_attempts = false;
   bool saw_worker = false;
   bool saw_deadline = false;
+  bool saw_faults_k = false;
+  bool saw_degree = false;
+  int faults_k = 1;
   std::int64_t detected = 0;
   std::int64_t masked = 0;
   SweepResult result;
@@ -375,7 +417,14 @@ SweepResult ResultStore::parse_line(const std::string& line) {
         kind_str = parser.parse_string();
         saw_kind = true;
       } else if (field == "target") {
-        result.job.campaign.target = fault_target_of(parser.parse_string());
+        target_str = parser.parse_string();
+        saw_target = true;
+      } else if (field == "faults_k") {
+        faults_k = parser.parse_int_count();
+        saw_faults_k = true;
+      } else if (field == "protection_degree") {
+        result.protection_degree = parser.parse_int_count();
+        saw_degree = true;
       } else if (field == "free_symbol") {
         result.job.synfi.free_symbol = parser.parse_bool();
       } else if (field == "runs") {
@@ -383,7 +432,7 @@ SweepResult ResultStore::parse_line(const std::string& line) {
       } else if (field == "cycles") {
         result.job.campaign.cycles = parser.parse_int_count();
       } else if (field == "faults") {
-        result.job.campaign.num_faults = parser.parse_int_count();
+        result.job.campaign.fault.k = parser.parse_int_count();
       } else if (field == "seed") {
         result.job.campaign.seed = parser.parse_uint();
       } else if (field == "hijacked") {
@@ -438,6 +487,10 @@ SweepResult ResultStore::parse_line(const std::string& line) {
           "result store: schema " + std::to_string(schema) +
               " lines cannot carry worker/deadline fields or a leased status "
               "(fleet leases are v5)");
+  require(schema >= 6 || !(saw_faults_k || saw_degree),
+          "result store: schema " + std::to_string(schema) +
+              " lines cannot carry faults_k/protection_degree fields "
+              "(the k-fault threat model is v6)");
   require(result.attempts >= 1, "result store: attempts must be >= 1");
   require(result.status == JobStatus::kFailed || !saw_error,
           "result store: only failed records can carry an error field");
@@ -446,7 +499,8 @@ SweepResult ResultStore::parse_line(const std::string& line) {
   require(result.status != JobStatus::kLeased || saw_deadline,
           "result store: leased records must carry a deadline field");
   if (result.job.type == JobType::kCampaign) {
-    if (saw_kind) result.job.campaign.kind = fault_kind_of(kind_str);
+    if (saw_kind) result.job.campaign.fault.kinds = fault_kinds_of(kind_str);
+    if (saw_target) result.job.campaign.fault.target = fault_target_of(target_str);
     require(detected >= 0 && detected <= 0x7fffffffLL && masked >= 0 &&
                 masked <= 0x7fffffffLL,
             "result store: count out of range in JSONL line");
@@ -454,10 +508,26 @@ SweepResult ResultStore::parse_line(const std::string& line) {
     result.campaign.detected = static_cast<int>(detected);
     result.campaign.masked = static_cast<int>(masked);
   } else {
+    // `target` on a SYNFI line is itself a v6 extension — campaign lines
+    // carried one since v2, so the gate is per-type.
+    require(schema >= 6 || !saw_target,
+            "result store: schema " + std::to_string(schema) +
+                " synfi lines cannot carry a target field "
+                "(the k-fault threat model is v6)");
     if (saw_kind) result.job.synfi.kind = fault_kind_of(kind_str);
+    if (saw_target) result.job.synfi.target = fault_target_of(target_str);
+    require(faults_k >= 1, "result store: faults_k must be >= 1");
+    result.job.synfi.faults_k = faults_k;
+    result.report.faults_k = faults_k;
     result.report.detected = detected;
     result.report.masked = masked;
+    // v5-and-older ok records are all single-fault sweeps, so their
+    // protection degree is fully determined by the verdict.
+    if (!saw_degree && result.status == JobStatus::kOk) {
+      result.protection_degree = result.report.exploitable > 0 ? 1 : 0;
+    }
   }
+  if (schema_out != nullptr) *schema_out = schema;
   return result;
 }
 
@@ -484,7 +554,10 @@ ResultStore ResultStore::load(const std::string& path, bool recover_torn_tail) {
   }
   for (std::size_t i = 0; i < lines.size(); ++i) {
     try {
-      store.add(parse_line(lines[i].second));
+      int schema = 0;
+      store.add(parse_line(lines[i].second, &schema));
+      if (store.min_schema_ == 0 || schema < store.min_schema_) store.min_schema_ = schema;
+      if (schema > store.max_schema_) store.max_schema_ = schema;
     } catch (const ScfiError& e) {
       if (recover_torn_tail && i + 1 == lines.size()) {
         log_warn("result store: dropping torn final line at " + path + ":" +
@@ -507,6 +580,14 @@ void ResultStore::add(SweepResult result) {
   }
   index_.emplace(key, results_.size());
   results_.push_back(std::move(result));
+}
+
+void ResultStore::require_uniform_schema(const std::string& what) const {
+  if (min_schema_ == 0 || min_schema_ == max_schema_) return;
+  throw ScfiError(what + ": store mixes schema versions v" + std::to_string(min_schema_) +
+                  " and v" + std::to_string(max_schema_) +
+                  "; refusing to migrate mid-operation — rewrite it explicitly with "
+                  "`scfi_cli store-compact --migrate` first");
 }
 
 bool ResultStore::contains(const std::string& key) const { return index_.count(key) > 0; }
@@ -605,7 +686,7 @@ void ResultStore::append_line(const std::string& path, const SweepResult& result
   require(synced, "result store: fsync of " + path + " failed");
 }
 
-ResultStore::CompactStats ResultStore::compact_file(const std::string& path) {
+ResultStore::CompactStats ResultStore::compact_file(const std::string& path, bool migrate) {
   std::error_code ec;
   require(std::filesystem::exists(path, ec),
           "store-compact: " + path + ": no such store file");
@@ -624,6 +705,10 @@ ResultStore::CompactStats ResultStore::compact_file(const std::string& path) {
   // way an atomic rewrite to zero records would destroy whatever was there.
   require(store.size() > 0,
           "store-compact: " + path + ": store holds no complete records");
+  // save() rewrites every line at the current schema, so compacting a
+  // mixed-version store would silently migrate the old half of it; that
+  // needs the explicit --migrate opt-in.
+  if (!migrate) store.require_uniform_schema("store-compact: " + path);
   store.save(path);
   stats.records = store.size();
   return stats;

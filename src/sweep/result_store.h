@@ -27,6 +27,11 @@ namespace scfi::sweep {
 /// parsers throw ScfiError on unknown names.
 const char* fault_kind_name(sim::FaultKind kind);
 sim::FaultKind fault_kind_of(const std::string& name);
+/// A FaultSpec kind set as one token: single kinds print as themselves
+/// ("flip"), multi-kind sets join with '+' ("flip+skip"). The parser
+/// rejects empty sets and unknown member names.
+std::string fault_kinds_name(const std::vector<sim::FaultKind>& kinds);
+std::vector<sim::FaultKind> fault_kinds_of(const std::string& name);
 const char* backend_name(synfi::Backend backend);
 synfi::Backend backend_of(const std::string& name);
 const char* fault_target_name(sim::FaultTarget target);
@@ -78,7 +83,9 @@ struct SweepJob {
   /// Canonical identity string, e.g. "pwrmgr_fsm|scfi|n2|r=mds_|sim|flip"
   /// or "pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=1"; corpus
   /// jobs prefix the module with the source label, e.g.
-  /// "corpus::lion|scfi|n2|r=mds_|sim|flip".
+  /// "corpus::lion|scfi|n2|r=mds_|sim|flip". SYNFI jobs append "|t=<target>"
+  /// and "|k=<n>" only when the threat model departs from the classic
+  /// single-fault any-target sweep, so every pre-v6 key stays byte-identical.
   std::string key() const;
 };
 
@@ -91,6 +98,12 @@ struct SweepResult {
   JobStatus status = JobStatus::kOk;
   synfi::SynfiReport report;      ///< kSynfi payload (status == kOk)
   sim::CampaignResult campaign;   ///< kCampaign payload (status == kOk)
+  /// Ok SYNFI records only: the variant's measured protection degree — the
+  /// smallest k in [1, job.synfi.faults_k] whose k-fault sweep found an
+  /// exploitable outcome, 0 when none did. Deterministic given the job
+  /// identity, so it participates in reports_equal. v5 records (always
+  /// faults_k = 1) migrate it as exploitable > 0 ? 1 : 0.
+  int protection_degree = 0;
   std::string error;              ///< why the job failed (status == kFailed)
   int attempts = 1;               ///< executions spent, retries included
   double seconds = 0.0;
@@ -117,10 +130,11 @@ class ResultStore {
   /// Bumped whenever the line schema changes. load()/parse_line() migrate
   /// v1 lines (SYNFI-only, no `type` field), v2 lines (zoo-only, no
   /// `source` field), v3 lines (always-ok, no `status`/`attempts` fields),
-  /// and v4 lines (pre-fleet, no `worker`/`deadline` fields or `leased`
-  /// status) to v5 records on the fly and reject anything else; to_line()
-  /// always writes the current version.
-  static constexpr int kSchemaVersion = 5;
+  /// v4 lines (pre-fleet, no `worker`/`deadline` fields or `leased`
+  /// status), and v5 lines (single-fault threat model — no `faults_k` /
+  /// `protection_degree` / SYNFI `target` fields) to v6 records on the fly
+  /// and reject anything else; to_line() always writes the current version.
+  static constexpr int kSchemaVersion = 6;
 
   ResultStore() = default;
 
@@ -142,6 +156,18 @@ class ResultStore {
   const SweepResult* find(const std::string& key) const;
   const std::vector<SweepResult>& results() const { return results_; }
   std::size_t size() const { return results_.size(); }
+
+  /// Smallest / largest on-disk schema version among the lines load() read,
+  /// 0 for a store never loaded from a file (records added programmatically
+  /// are implicitly current). load() migrates every line to the in-memory
+  /// v6 shape either way; these only report what the file itself said.
+  int min_schema() const { return min_schema_; }
+  int max_schema() const { return max_schema_; }
+  /// Throws ScfiError naming both versions when the loaded file mixed
+  /// schema versions. Verdict-bearing consumers (store-compact, sweep-diff)
+  /// call this instead of silently migrating half a store mid-comparison;
+  /// `what` prefixes the error ("sweep-diff: old.jsonl").
+  void require_uniform_schema(const std::string& what) const;
 
   /// Folds `other` into this store; on key collisions `other` wins.
   void merge(const ResultStore& other);
@@ -166,8 +192,9 @@ class ResultStore {
   /// Serializes one record as a single JSONL line (no trailing newline).
   static std::string to_line(const SweepResult& result);
   /// Inverse of to_line; throws ScfiError on malformed input or wrong
-  /// schema version.
-  static SweepResult parse_line(const std::string& line);
+  /// schema version. `schema_out`, when non-null, receives the line's
+  /// on-disk schema version (the record itself is always migrated to v6).
+  static SweepResult parse_line(const std::string& line, int* schema_out = nullptr);
   /// Appends one record to a JSONL file (creating it if needed) as one
   /// O_APPEND write followed by fsync: records from concurrent workers
   /// never interleave, and once the call returns the record survives a
@@ -184,12 +211,17 @@ class ResultStore {
   /// tail) via the atomic save() path. A missing file, an empty file, or a
   /// file whose every line is torn is an error — ScfiError naming the path
   /// and the reason — not a silent no-op: compacting nothing means the
-  /// caller pointed at the wrong store.
-  static CompactStats compact_file(const std::string& path);
+  /// caller pointed at the wrong store. A store whose lines mix schema
+  /// versions is rejected the same way (see require_uniform_schema) unless
+  /// `migrate` is set, which deliberately rewrites every record at the
+  /// current version.
+  static CompactStats compact_file(const std::string& path, bool migrate = false);
 
  private:
   std::vector<SweepResult> results_;
   std::map<std::string, std::size_t> index_;  ///< key -> position in results_
+  int min_schema_ = 0;  ///< smallest on-disk schema seen by load(), 0 = none
+  int max_schema_ = 0;  ///< largest on-disk schema seen by load(), 0 = none
 };
 
 }  // namespace scfi::sweep

@@ -83,8 +83,8 @@ void validate_jobs(const std::vector<SweepJob>& jobs, const ModuleSource* source
 SweepOrchestrator::SweepOrchestrator(const SweepConfig& config) : config_(config) {
   require(config_.jobs >= 1, "sweep: jobs must be >= 1");
   require(config_.threads >= 1, "sweep: threads must be >= 1");
-  require(config_.lanes >= 1 && config_.lanes <= sim::kMaxLanes,
-          "sweep: lanes must be in [1, " + std::to_string(sim::kMaxLanes) +
+  require(config_.lanes >= 0 && config_.lanes <= sim::kMaxLanes,
+          "sweep: lanes must be in [0 (auto), " + std::to_string(sim::kMaxLanes) +
               "] (64 x lane_words)");
   require(config_.retries >= 0, "sweep: retries must be >= 0");
   require(config_.job_timeout >= 0.0, "sweep: job timeout must be >= 0");
@@ -194,6 +194,11 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
           }
           continue;
         }
+        // lanes = 0 resolves per compiled module right here — the one place
+        // that holds both the knob and the module; explicit counts pass
+        // through untouched.
+        const int lanes =
+            config_.lanes > 0 ? config_.lanes : synfi::auto_lanes(*compiled->module);
         // The Analyzer is SYNFI-only (it rejects raw/redundant variants);
         // build it lazily so campaign-only groups never pay for — or trip
         // over — it.
@@ -219,7 +224,7 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
               if (result.job.type == JobType::kCampaign) {
                 sim::CampaignConfig config = result.job.campaign;
                 config.planner = sim::CampaignPlanner::kStreaming;
-                config.lanes = config_.lanes;
+                config.lanes = lanes;
                 config.threads = inner;
                 if (cancellable) config.cancel = &cancel;
                 result.campaign = sim::run_campaign(entry->fsm, *compiled, config);
@@ -228,10 +233,24 @@ SweepStats SweepOrchestrator::run(const std::vector<SweepJob>& jobs, ResultStore
                   analyzer = std::make_unique<synfi::Analyzer>(entry->fsm, *compiled);
                 }
                 synfi::SynfiConfig config = result.job.synfi;
-                config.lanes = config_.lanes;
+                config.lanes = lanes;
                 config.threads = inner;
                 if (cancellable) config.cancel = &cancel;
                 result.report = analyzer->run(config);
+                // Measured protection degree: the smallest exploitable k up
+                // to the job's faults_k. The job's own report answers
+                // k = faults_k; smaller k probe the shared (cached)
+                // analyzer, which for the common faults_k = 1 job means no
+                // extra work at all.
+                result.protection_degree = 0;
+                for (int k = 1; k < config.faults_k && result.protection_degree == 0; ++k) {
+                  synfi::SynfiConfig probe = config;
+                  probe.faults_k = k;
+                  if (analyzer->run(probe).exploitable > 0) result.protection_degree = k;
+                }
+                if (result.protection_degree == 0 && result.report.exploitable > 0) {
+                  result.protection_degree = config.faults_k;
+                }
               }
               result.attempts = attempt;
               result.seconds = elapsed();

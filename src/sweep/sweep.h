@@ -49,8 +49,11 @@ struct SweepConfig {
   /// Simulator lanes per pass: (site, edge) injection jobs for
   /// exhaustive-backend SYNFI queries, campaign runs per batch for
   /// campaign jobs. 1..sim::kMaxLanes (64 x lane_words); widths past 64
-  /// use multi-word SoA lane blocks.
-  int lanes = sim::kNumLanes;
+  /// use multi-word SoA lane blocks. 0 picks the count per compiled module
+  /// via synfi::auto_lanes (small modules peak at 128–256 lanes; the
+  /// orchestrator is the layer that knows the module, so the sentinel is
+  /// resolved here — the engines themselves still reject 0).
+  int lanes = 0;
   /// Re-executions granted to a job that throws, beyond its first attempt
   /// (so a job runs at most `retries + 1` times); >= 0. Variant-build
   /// failures and timeouts are deterministic and are never retried.

@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 #include <exception>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -29,17 +30,29 @@ std::string format_site(const SigBit& site) {
 }
 
 std::vector<SigBit> enumerate_region(const rtlil::Module& module, const std::string& prefix,
-                                     bool include_inputs) {
+                                     bool include_inputs, sim::FaultTarget target,
+                                     const std::string& state_wire) {
   std::vector<SigBit> sites;
+  // FT1: the state register Q bits themselves — the class the encoding
+  // distance protects. These are FF-driven, so the combinational walk below
+  // would skip them; resolve the state wire directly instead.
+  if (target == sim::FaultTarget::kStateRegister) {
+    const rtlil::Wire* w = module.wire(state_wire);
+    check(w != nullptr, "synfi: variant has no state wire '" + state_wire + "'");
+    for (int i = 0; i < w->width(); ++i) sites.emplace_back(w, i);
+    return sites;
+  }
   const rtlil::NetlistIndex index(module);
   for (const rtlil::Wire* w : module.wires()) {
     if (!prefix.empty() && !starts_with(w->name(), prefix)) continue;
     if (w->is_input()) {
-      if (include_inputs) {
+      if (target == sim::FaultTarget::kControlInputs ||
+          (target == sim::FaultTarget::kAny && include_inputs)) {
         for (int i = 0; i < w->width(); ++i) sites.emplace_back(w, i);
       }
       continue;
     }
+    if (target == sim::FaultTarget::kControlInputs) continue;
     for (int i = 0; i < w->width(); ++i) {
       const SigBit bit(w, i);
       const rtlil::Cell* driver = index.driver(bit);
@@ -51,11 +64,65 @@ std::vector<SigBit> enumerate_region(const rtlil::Module& module, const std::str
 }
 
 sat::CnfFaultKind to_cnf_kind(sim::FaultKind kind) {
+  require(kind != sim::FaultKind::kSkipCycle,
+          "synfi: the SAT backend cannot model skip-cycle (clock-glitch) faults; "
+          "use the exhaustive simulation backend");
   switch (kind) {
     case sim::FaultKind::kStuckAt0: return sat::CnfFaultKind::kStuckAt0;
     case sim::FaultKind::kStuckAt1: return sat::CnfFaultKind::kStuckAt1;
     default: return sat::CnfFaultKind::kFlip;
   }
+}
+
+// --- lazy combination streaming (k-fault sweeps) ---------------------------
+//
+// k-fault jobs are (combination, edge) pairs in combo-major lexicographic
+// order. Shards claim contiguous *rank* ranges, unrank their first
+// combination once, and then step with the O(k) lexicographic successor —
+// no shard ever materialises the C(n, k) combination list.
+
+std::uint64_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t r = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::uint64_t num = n - k + i;
+    // r * num / i is exact at every step (it equals C(n-k+i, i)).
+    check(r <= std::numeric_limits<std::uint64_t>::max() / num,
+          "synfi: combination count overflows 64 bits");
+    r = r * num / i;
+  }
+  return r;
+}
+
+/// Lexicographic combination of `rank` (0-based) among C(n, k).
+std::vector<std::size_t> unrank_combination(std::uint64_t rank, std::size_t n,
+                                            std::size_t k) {
+  std::vector<std::size_t> c(k);
+  std::size_t x = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    while (true) {
+      const std::uint64_t block = binomial(n - x - 1, k - i - 1);
+      if (rank < block) break;
+      rank -= block;
+      ++x;
+    }
+    c[i] = x++;
+  }
+  return c;
+}
+
+/// Advances to the lexicographic successor; false when `c` was the last one.
+bool next_combination(std::vector<std::size_t>& c, std::size_t n) {
+  const std::size_t k = c.size();
+  for (std::size_t i = k; i-- > 0;) {
+    if (c[i] < n - k + i) {
+      ++c[i];
+      for (std::size_t j = i + 1; j < k; ++j) c[j] = c[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Loop-invariant per-edge stimulus, resolved once per Analyzer and shared
@@ -119,6 +186,51 @@ struct SimContext {
   }
 };
 
+/// Per-edge-alignment stimulus. Jobs stay in (site-major, edge-minor) order,
+/// so a batch starting at job j0 always drives lane k with edge (j0 + k)
+/// mod E: the per-word stimulus and per-lane from/to state indices depend
+/// only on j0 mod E. Precomputed per alignment so the batch loops never
+/// repack bits or divide. Shared verbatim by the single-fault and k-fault
+/// exhaustive shards (k-fault jobs are (combo-major, edge-minor), the same
+/// edge cadence).
+struct AlignedStimulus {
+  std::vector<std::uint64_t> in_words;   ///< symbol bit x word -> lane word
+  std::vector<std::uint64_t> st_words;   ///< state bit x word -> lane word
+  std::vector<std::int32_t> lane_from;   ///< state index per lane
+  std::vector<std::int32_t> lane_to;
+};
+
+std::vector<AlignedStimulus> build_aligned_stimulus(const EdgeTable& edges, int symbol_w,
+                                                    int state_w, int W,
+                                                    std::size_t total_lanes) {
+  const std::size_t num_edges = edges.size();
+  std::vector<AlignedStimulus> aligned(num_edges);
+  for (std::size_t r = 0; r < num_edges; ++r) {
+    AlignedStimulus& a = aligned[r];
+    a.in_words.assign(static_cast<std::size_t>(symbol_w * W), 0);
+    a.st_words.assign(static_cast<std::size_t>(state_w * W), 0);
+    a.lane_from.resize(total_lanes);
+    a.lane_to.resize(total_lanes);
+    std::size_t e = r;
+    for (std::size_t lane = 0; lane < total_lanes; ++lane) {
+      const std::size_t wj = lane >> 6;
+      const std::uint64_t bit = 1ULL << (lane & 63);
+      const std::uint64_t code = edges.code[e];
+      const std::uint64_t from_code = edges.from_code[e];
+      for (int i = 0; i < symbol_w; ++i) {
+        if ((code >> i) & 1) a.in_words[static_cast<std::size_t>(i * W) + wj] |= bit;
+      }
+      for (int i = 0; i < state_w; ++i) {
+        if ((from_code >> i) & 1) a.st_words[static_cast<std::size_t>(i * W) + wj] |= bit;
+      }
+      a.lane_from[lane] = edges.from[e];
+      a.lane_to[lane] = edges.to[e];
+      if (++e == num_edges) e = 0;
+    }
+  }
+  return aligned;
+}
+
 /// Exhaustive-simulation back-end over sites [site_begin, site_end): packs
 /// up to `config.lanes` (site, edge) jobs into every eval/step pass —
 /// 64 x lane_words jobs when the context's simulator carries a multi-word
@@ -169,40 +281,8 @@ void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
   std::vector<std::uint64_t> state_eq(num_states * static_cast<std::size_t>(W));
   std::vector<char> site_hit(site_end - site_begin, 0);
 
-  // Jobs stay in (site-major, edge-minor) order, so a batch starting at job
-  // j0 always drives lane k with edge (j0 + k) mod E: the per-word stimulus
-  // and per-lane from/to state indices depend only on j0 mod E. Precompute
-  // them per alignment so the batch loop never repacks bits or divides.
-  struct AlignedStimulus {
-    std::vector<std::uint64_t> in_words;   ///< symbol bit x word -> lane word
-    std::vector<std::uint64_t> st_words;   ///< state bit x word -> lane word
-    std::vector<std::int32_t> lane_from;   ///< state index per lane
-    std::vector<std::int32_t> lane_to;
-  };
-  std::vector<AlignedStimulus> aligned(num_edges);
-  for (std::size_t r = 0; r < num_edges; ++r) {
-    AlignedStimulus& a = aligned[r];
-    a.in_words.assign(static_cast<std::size_t>(symbol_w * W), 0);
-    a.st_words.assign(static_cast<std::size_t>(state_w * W), 0);
-    a.lane_from.resize(total_lanes);
-    a.lane_to.resize(total_lanes);
-    std::size_t e = r;
-    for (std::size_t lane = 0; lane < total_lanes; ++lane) {
-      const std::size_t wj = lane >> 6;
-      const std::uint64_t bit = 1ULL << (lane & 63);
-      const std::uint64_t code = edges.code[e];
-      const std::uint64_t from_code = edges.from_code[e];
-      for (int i = 0; i < symbol_w; ++i) {
-        if ((code >> i) & 1) a.in_words[static_cast<std::size_t>(i * W) + wj] |= bit;
-      }
-      for (int i = 0; i < state_w; ++i) {
-        if ((from_code >> i) & 1) a.st_words[static_cast<std::size_t>(i * W) + wj] |= bit;
-      }
-      a.lane_from[lane] = edges.from[e];
-      a.lane_to[lane] = edges.to[e];
-      if (++e == num_edges) e = 0;
-    }
-  }
+  const std::vector<AlignedStimulus> aligned =
+      build_aligned_stimulus(edges, symbol_w, state_w, W, total_lanes);
 
   std::size_t cur_site = 0;  ///< shard-local site index of the next job
   std::size_t cur_edge = 0;
@@ -322,6 +402,167 @@ void run_exhaustive_shard(SimContext& ctx, const CompiledFsm& variant,
   }
 }
 
+/// k-fault exhaustive back-end over combination ranks [combo_begin,
+/// combo_end): every job is one lexicographic site combination x one edge
+/// (combo-major, edge-minor), all k faults of a combo injected into the same
+/// lane. Unlike the single-fault shard, any shard can prove any site
+/// exploitable (combinations straddle the whole region), so attribution goes
+/// into a caller-owned full-region bitmap that the merge step ORs; counters
+/// stay plain range sums, so the report remains lanes/threads-invariant.
+void run_exhaustive_kfault_shard(SimContext& ctx, const CompiledFsm& variant,
+                                 const std::vector<SigBit>& sites, const EdgeTable& edges,
+                                 const SynfiConfig& config, std::uint64_t combo_begin,
+                                 std::uint64_t combo_end, std::vector<char>& site_hit,
+                                 ShardReport& out) {
+  sim::Simulator& simulator = ctx.simulator;
+  const sim::Simulator::WireHandle symbol_h = ctx.symbol_h;
+  const sim::Simulator::WireHandle state_h = ctx.state_h;
+  const sim::Simulator::WireHandle alert_h = ctx.alert_h;
+  const int W = simulator.lane_words();
+  const std::size_t total_lanes = static_cast<std::size_t>(W) * 64;
+  const int state_w = state_h.width;
+  const int symbol_w = symbol_h.width;
+  const std::size_t num_states = variant.state_codes.size();
+  const auto fits = [state_w](std::uint64_t code) {
+    return state_w >= 64 || (code >> state_w) == 0;
+  };
+  const auto k = static_cast<std::size_t>(config.faults_k);
+
+  std::vector<std::int32_t> site_net;
+  site_net.reserve(sites.size());
+  for (const SigBit& site : sites) site_net.push_back(simulator.net_index(site));
+
+  const std::size_t num_edges = edges.size();
+  const std::uint64_t num_jobs = (combo_end - combo_begin) * num_edges;
+  const auto lanes = static_cast<std::size_t>(config.lanes);
+  const auto alert_word = [&](int w) {
+    std::uint64_t word = 0;
+    for (std::int32_t i = 0; i < alert_h.width; ++i) {
+      word |= simulator.lane_word(alert_h.base + i, w);
+    }
+    return word;
+  };
+
+  using LaneWords = std::array<std::uint64_t, sim::kMaxLaneWords>;
+  std::vector<std::uint64_t> state_words(static_cast<std::size_t>(state_w * W));
+  std::vector<std::uint64_t> state_eq(num_states * static_cast<std::size_t>(W));
+  const std::vector<AlignedStimulus> aligned =
+      build_aligned_stimulus(edges, symbol_w, state_w, W, total_lanes);
+
+  // Streamed combination bookkeeping: unrank the shard's first combination
+  // once, then advance lexicographically; each lane records the sites of its
+  // combo so exploitable lanes can credit every member.
+  std::vector<std::size_t> combo = unrank_combination(combo_begin, sites.size(), k);
+  std::vector<std::size_t> lane_sites(total_lanes * k);
+  std::size_t cur_edge = 0;
+  for (std::uint64_t job0 = 0; job0 < num_jobs; job0 += lanes) {
+    if (config.cancel != nullptr) config.cancel->check("synfi");
+    const auto batch_jobs =
+        static_cast<std::size_t>(std::min<std::uint64_t>(lanes, num_jobs - job0));
+    const sim::LaneMask batch_mask = sim::LaneMask::first_n(static_cast<int>(batch_jobs));
+    const AlignedStimulus& a = aligned[cur_edge];
+
+    simulator.clear_all_faults();
+    for (int i = 0; i < symbol_w; ++i) {
+      for (int w = 0; w < W; ++w) {
+        simulator.set_input_word(symbol_h, i, a.in_words[static_cast<std::size_t>(i * W + w)], w);
+      }
+    }
+    for (int i = 0; i < state_w; ++i) {
+      for (int w = 0; w < W; ++w) {
+        simulator.set_register_word(state_h, i, a.st_words[static_cast<std::size_t>(i * W + w)],
+                                    w);
+      }
+    }
+    std::size_t e = cur_edge;
+    for (std::size_t lane = 0; lane < batch_jobs; ++lane) {
+      const sim::LaneMask mask = sim::LaneMask::lane(static_cast<int>(lane));
+      for (std::size_t j = 0; j < k; ++j) {
+        simulator.inject_net(site_net[combo[j]], config.kind, mask);
+        lane_sites[lane * k + j] = combo[j];
+      }
+      if (++e == num_edges) {
+        e = 0;
+        next_combination(combo, sites.size());
+      }
+    }
+
+    simulator.eval();
+    LaneWords alert_pre{};
+    if (alert_h.valid()) {
+      for (int w = 0; w < W; ++w) alert_pre[static_cast<std::size_t>(w)] = alert_word(w);
+    }
+    simulator.step();
+    LaneWords alert_post{};
+    if (alert_h.valid()) {
+      for (int w = 0; w < W; ++w) alert_post[static_cast<std::size_t>(w)] = alert_word(w);
+    }
+    for (int i = 0; i < state_w; ++i) {
+      for (int w = 0; w < W; ++w) {
+        state_words[static_cast<std::size_t>(i * W + w)] =
+            simulator.lane_word(state_h.base + i, w);
+      }
+    }
+
+    for (std::size_t sc = 0; sc < num_states; ++sc) {
+      const std::uint64_t code = variant.state_codes[sc];
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t eq = fits(code) ? batch_mask.w[static_cast<std::size_t>(w)] : 0;
+        for (int i = 0; i < state_w && eq != 0; ++i) {
+          const std::uint64_t sw = state_words[static_cast<std::size_t>(i * W + w)];
+          eq &= ((code >> i) & 1) ? sw : ~sw;
+        }
+        state_eq[sc * static_cast<std::size_t>(W) + static_cast<std::size_t>(w)] = eq;
+      }
+    }
+    LaneWords err_eq{};
+    if (variant.has_error_state) {
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t eq = fits(variant.error_code) ? batch_mask.w[static_cast<std::size_t>(w)] : 0;
+        for (int i = 0; i < state_w && eq != 0; ++i) {
+          const std::uint64_t sw = state_words[static_cast<std::size_t>(i * W + w)];
+          eq &= ((variant.error_code >> i) & 1) ? sw : ~sw;
+        }
+        err_eq[static_cast<std::size_t>(w)] = eq;
+      }
+    }
+    LaneWords match_expect{};
+    LaneWords match_from{};
+    for (std::size_t lane = 0; lane < batch_jobs; ++lane) {
+      const std::size_t wj = lane >> 6;
+      const std::uint64_t bit = 1ULL << (lane & 63);
+      match_expect[wj] |= state_eq[static_cast<std::size_t>(a.lane_to[lane]) *
+                                       static_cast<std::size_t>(W) +
+                                   wj] &
+                          bit;
+      match_from[wj] |= state_eq[static_cast<std::size_t>(a.lane_from[lane]) *
+                                     static_cast<std::size_t>(W) +
+                                 wj] &
+                        bit;
+    }
+
+    out.injections += static_cast<std::int64_t>(batch_jobs);
+    for (int w = 0; w < W; ++w) {
+      const auto j = static_cast<std::size_t>(w);
+      const std::uint64_t mask = batch_mask.w[j];
+      const std::uint64_t masked = match_expect[j] & ~alert_pre[j] & mask;
+      const std::uint64_t detected =
+          (alert_pre[j] | alert_post[j] | err_eq[j]) & ~masked & mask;
+      const std::uint64_t expl = mask & ~masked & ~detected;
+
+      out.masked += std::popcount(masked);
+      out.detected += std::popcount(detected);
+      out.exploitable += std::popcount(expl);
+      out.stalls += std::popcount(expl & match_from[j]);
+      for (std::uint64_t hits = expl; hits != 0; hits &= hits - 1) {
+        const auto lane = (j << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+        for (std::size_t m = 0; m < k; ++m) site_hit[lane_sites[lane * k + m]] = 1;
+      }
+    }
+    cur_edge = e;
+  }
+}
+
 /// Interface wires of the miter, resolved once per shard construction.
 struct MiterWires {
   const rtlil::Wire* symbol = nullptr;
@@ -365,6 +606,41 @@ void push_equals(std::vector<sat::Lit>& lits, const std::vector<int>& vars,
   }
 }
 
+/// The exhaustive back-end's detection window spans the latch: the symbol is
+/// held for one evaluation past the fault cycle and the alert is sampled
+/// again (alert_post) before a run is classified, so a fault set whose wrong
+/// state trips the alert one cycle later still counts as detected. Mirror
+/// that here with a post-cycle copy of the module — every FF Q bit bound to
+/// the faulty copy's D reader (the latched faulty state), symbol bits shared
+/// with the fault cycle — and require its alert to stay low as well.
+/// Stuck-at overrides persist across the clock edge exactly like the
+/// simulator's persistent faults; transient flips are cleared at the end of
+/// the fault cycle and do not carry over.
+void add_post_cycle_alert(sat::Solver& solver, const rtlil::Module& module,
+                          const CompiledFsm& variant, const MiterWires& wires,
+                          const MiterInterface& iface, const sat::CnfCopy& faulty,
+                          const std::vector<sat::CnfFault>& faults, sim::FaultKind kind) {
+  if (variant.alert_wire.empty()) return;
+  std::unordered_map<SigBit, int> bound;
+  for (int i = 0; i < wires.symbol->width(); ++i) {
+    bound.emplace(SigBit(wires.symbol, i), iface.xvars[static_cast<std::size_t>(i)]);
+  }
+  for (const rtlil::Cell* cell : module.cells()) {
+    if (!rtlil::is_ff(cell->type())) continue;
+    const rtlil::SigSpec& q = cell->port("Q");
+    const rtlil::SigSpec& d = cell->port("D");
+    for (int i = 0; i < q.width(); ++i) {
+      const SigBit qb = q.bit(i);
+      if (!qb.is_const()) bound.emplace(qb, faulty.reader_var(d.bit(i)));
+    }
+  }
+  const bool persistent =
+      kind == sim::FaultKind::kStuckAt0 || kind == sim::FaultKind::kStuckAt1;
+  const sat::CnfCopy post(solver, module, bound,
+                          persistent ? faults : std::vector<sat::CnfFault>{});
+  solver.add_unit(-post.wire_vars(variant.alert_wire)[0]);
+}
+
 /// One live incremental SAT shard: the solver holds the golden copy plus a
 /// faulty copy whose overrides over sites [site_begin, site_end) are each
 /// gated on a fresh selector literal (exactly_one over the selectors), and
@@ -380,12 +656,15 @@ struct SatShard {
   MiterInterface iface;
   std::vector<sat::Lit> selectors;
   std::vector<int> fn;  ///< faulty next-state variables
+  /// k-fault shards only: the Sinz counter over *all* region selectors, so
+  /// "exactly k faults" is a per-query assumption set.
+  std::unique_ptr<sat::CardinalityCounter> counter;
 };
 
 std::unique_ptr<SatShard> build_sat_shard(const CompiledFsm& variant,
                                           const std::vector<SigBit>& sites,
-                                          sim::FaultKind kind, std::size_t site_begin,
-                                          std::size_t site_end,
+                                          sim::FaultKind kind, int faults_k,
+                                          std::size_t site_begin, std::size_t site_end,
                                           const sat::Solver::WarmStart& warm) {
   const rtlil::Module& module = *variant.module;
   const MiterWires wires = resolve_interface(module, variant);
@@ -394,22 +673,34 @@ std::unique_ptr<SatShard> build_sat_shard(const CompiledFsm& variant,
   shard->iface = bind_interface(solver, wires);
 
   const sat::CnfCopy golden(solver, module, shard->iface.bound);
+  // Single-fault shards gate only their own site range (exactly_one picks
+  // the queried site). k-fault shards must let the other k-1 faults land
+  // anywhere in the region, so every site gets a selector regardless of the
+  // shard's query range, constrained by the cardinality counter instead.
+  const std::size_t sel_begin = faults_k > 1 ? 0 : site_begin;
+  const std::size_t sel_end = faults_k > 1 ? sites.size() : site_end;
   std::vector<sat::CnfFault> faults;
-  shard->selectors.reserve(site_end - site_begin);
-  faults.reserve(site_end - site_begin);
-  for (std::size_t s = site_begin; s < site_end; ++s) {
+  shard->selectors.reserve(sel_end - sel_begin);
+  faults.reserve(sel_end - sel_begin);
+  for (std::size_t s = sel_begin; s < sel_end; ++s) {
     const sat::Lit sel = solver.new_var();
     shard->selectors.push_back(sel);
     faults.push_back(sat::CnfFault{sites[s], to_cnf_kind(kind), sel});
   }
   const sat::CnfCopy faulty(solver, module, shard->iface.bound, faults);
-  sat::exactly_one(solver, shard->selectors);
+  if (faults_k > 1) {
+    shard->counter =
+        std::make_unique<sat::CardinalityCounter>(solver, shard->selectors, faults_k);
+  } else {
+    sat::exactly_one(solver, shard->selectors);
+  }
 
   const std::vector<int> gn = golden.ff_next_vars(variant.state_wire);
   shard->fn = faulty.ff_next_vars(variant.state_wire);
   if (!variant.alert_wire.empty()) {
     solver.add_unit(-faulty.wire_vars(variant.alert_wire)[0]);
   }
+  add_post_cycle_alert(solver, module, variant, wires, shard->iface, faulty, faults, kind);
   solver.add_unit(sat::differ(solver, gn, shard->fn));
   solver.add_unit(sat::member_of(solver, shard->fn, variant.state_codes));
 
@@ -453,6 +744,43 @@ void run_sat_queries(SatShard& shard, const std::vector<SigBit>& sites, const Ed
   }
 }
 
+/// k-fault participation queries over one cardinality-constrained shard:
+/// for every site s in the query range and every edge, "is there an
+/// exactly-k fault set *including s* with an undetected valid-but-wrong next
+/// state?" — selector s plus the counter's exactly-k assumptions. Counting
+/// is per (site, edge) like the single-fault SAT sweep (the exhaustive
+/// back-end counts per (combination, edge) instead; both agree on
+/// exploitable > 0 and on the exploitable site set).
+void run_sat_kfault_queries(SatShard& shard, const std::vector<SigBit>& sites,
+                            const EdgeTable& edges, const SynfiConfig& config,
+                            std::size_t site_begin, std::size_t site_end,
+                            ShardReport& out) {
+  const std::vector<sat::Lit> cardinality =
+      shard.counter->assume_exactly(config.faults_k);
+  std::vector<sat::Lit> assumptions;
+  for (std::size_t s = site_begin; s < site_end; ++s) {
+    bool site_exploitable = false;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (config.cancel != nullptr) config.cancel->check("synfi");
+      ++out.injections;
+      assumptions.clear();
+      assumptions.push_back(shard.selectors[s]);  // global: selectors span the region
+      assumptions.insert(assumptions.end(), cardinality.begin(), cardinality.end());
+      push_equals(assumptions, shard.iface.svars, edges.from_code[e]);
+      if (!config.free_symbol) push_equals(assumptions, shard.iface.xvars, edges.code[e]);
+      if (shard.solver.solve(assumptions) == sat::Result::kSat) {
+        ++out.exploitable;
+        site_exploitable = true;
+        push_equals(assumptions, shard.fn, edges.from_code[e]);
+        if (shard.solver.solve(assumptions) == sat::Result::kSat) ++out.stalls;
+      } else {
+        ++out.detected;
+      }
+    }
+    if (site_exploitable) out.exploitable_sites.push_back(format_site(sites[s]));
+  }
+}
+
 /// Reference SAT back-end: a fresh single-fault miter per (site, edge)
 /// query. Kept as the baseline the incremental engine is validated and
 /// benchmarked against (never cached — it IS the rebuild cost).
@@ -469,8 +797,31 @@ void run_sat_rebuild_shard(const CompiledFsm& variant, const std::vector<SigBit>
       sat::Solver solver;
       const MiterInterface iface = bind_interface(solver, wires);
       const sat::CnfCopy golden(solver, module, iface.bound);
-      const sat::CnfCopy faulty(solver, module, iface.bound,
-                                sat::CnfFault{sites[s], to_cnf_kind(config.kind)});
+      std::vector<sat::CnfFault> fault_set;
+      if (config.faults_k == 1) {
+        fault_set.push_back(sat::CnfFault{sites[s], to_cnf_kind(config.kind)});
+      } else {
+        // Participation query, rebuilt per call: the queried site is an
+        // always-on override, every other region site a gated one, and an
+        // exactly-(k-1) counter over the gates is asserted as units.
+        std::vector<sat::Lit> others;
+        fault_set.reserve(sites.size());
+        others.reserve(sites.size() - 1);
+        for (std::size_t t = 0; t < sites.size(); ++t) {
+          if (t == s) {
+            fault_set.push_back(sat::CnfFault{sites[t], to_cnf_kind(config.kind)});
+          } else {
+            const sat::Lit sel = solver.new_var();
+            others.push_back(sel);
+            fault_set.push_back(sat::CnfFault{sites[t], to_cnf_kind(config.kind), sel});
+          }
+        }
+        const sat::CardinalityCounter counter(solver, others, config.faults_k - 1);
+        for (const sat::Lit lit : counter.assume_exactly(config.faults_k - 1)) {
+          solver.add_unit(lit);
+        }
+      }
+      const sat::CnfCopy faulty(solver, module, iface.bound, fault_set);
 
       // Stimulus constraints.
       std::vector<sat::Lit> units;
@@ -483,6 +834,8 @@ void run_sat_rebuild_shard(const CompiledFsm& variant, const std::vector<SigBit>
       if (!variant.alert_wire.empty()) {
         solver.add_unit(-faulty.wire_vars(variant.alert_wire)[0]);
       }
+      add_post_cycle_alert(solver, module, variant, wires, iface, faulty, fault_set,
+                           config.kind);
       solver.add_unit(sat::differ(solver, gn, fn));
       solver.add_unit(sat::member_of(solver, fn, variant.state_codes));
 
@@ -500,13 +853,16 @@ void run_sat_rebuild_shard(const CompiledFsm& variant, const std::vector<SigBit>
   }
 }
 
-/// Region cache key: the site list depends only on (prefix, include_inputs).
-using RegionKey = std::pair<std::string, bool>;
+/// Region cache key: the site list depends on (prefix, include_inputs,
+/// target class).
+using RegionKey = std::tuple<std::string, bool, sim::FaultTarget>;
 
 /// Incremental SAT shard cache key: the CNF depends on the region, the fault
-/// kind, and the shard's site range (free_symbol and the stimulus live in
-/// the assumptions).
-using SatShardKey = std::tuple<std::string, bool, sim::FaultKind, std::size_t, std::size_t>;
+/// kind, the fault count (selector span + cardinality network), and the
+/// shard's site range (free_symbol and the stimulus live in the
+/// assumptions).
+using SatShardKey = std::tuple<std::string, bool, sim::FaultTarget, sim::FaultKind, int,
+                               std::size_t, std::size_t>;
 
 }  // namespace
 
@@ -525,17 +881,22 @@ struct Analyzer::Impl {
   /// Branching-heuristic snapshot shared across shards of this variant.
   sat::Solver::WarmStart warm;
 
-  const std::vector<SigBit>& region(const std::string& prefix, bool include_inputs) {
-    const RegionKey key{prefix, include_inputs};
+  const std::vector<SigBit>& region(const std::string& prefix, bool include_inputs,
+                                    sim::FaultTarget target) {
+    const RegionKey key{prefix, include_inputs, target};
     const auto it = regions.find(key);
     if (it != regions.end()) return it->second;
-    return regions.emplace(key, enumerate_region(*variant->module, prefix, include_inputs))
+    return regions
+        .emplace(key, enumerate_region(*variant->module, prefix, include_inputs, target,
+                                       variant->state_wire))
         .first->second;
   }
 
   SatShard& sat_shard(const std::vector<SigBit>& sites, const SynfiConfig& config,
                       std::size_t begin, std::size_t end) {
-    const SatShardKey key{config.wire_prefix, config.include_inputs, config.kind, begin, end};
+    const SatShardKey key{config.wire_prefix, config.include_inputs, config.target,
+                          config.kind,        config.faults_k,       begin,
+                          end};
     {
       const std::lock_guard<std::mutex> lock(sat_mutex);
       const auto it = sat_shards.find(key);
@@ -548,7 +909,8 @@ struct Analyzer::Impl {
       const std::lock_guard<std::mutex> lock(sat_mutex);
       warm_copy = warm;
     }
-    auto shard = build_sat_shard(*variant, sites, config.kind, begin, end, warm_copy);
+    auto shard =
+        build_sat_shard(*variant, sites, config.kind, config.faults_k, begin, end, warm_copy);
     const std::lock_guard<std::mutex> lock(sat_mutex);
     return *sat_shards.emplace(key, std::move(shard)).first->second;
   }
@@ -580,6 +942,7 @@ SynfiReport Analyzer::run(const SynfiConfig& user_config) {
   require(user_config.lanes >= 1 && user_config.lanes <= sim::kMaxLanes,
           format("synfi: lanes must be in [1, %d] (64 x lane_words)", sim::kMaxLanes));
   require(user_config.threads >= 1, "synfi: threads must be >= 1");
+  require(user_config.faults_k >= 1, "synfi: faults_k must be >= 1");
   // SCFI_LANE_WORDS_CAP clamps the *derived* simulator width (CI portable
   // leg); lanes is an execution knob, so the report is unchanged.
   SynfiConfig config = user_config;
@@ -587,9 +950,88 @@ SynfiReport Analyzer::run(const SynfiConfig& user_config) {
   const int lane_words = sim::lane_words_for(config.lanes);
   const CompiledFsm& variant = *impl_->variant;
   const std::vector<SigBit>& sites =
-      impl_->region(config.wire_prefix, config.include_inputs);
+      impl_->region(config.wire_prefix, config.include_inputs, config.target);
   require(!sites.empty(), "synfi: no fault sites match prefix '" + config.wire_prefix + "'");
   const EdgeTable& edges = impl_->edges;
+
+  if (static_cast<std::size_t>(config.faults_k) > sites.size()) {
+    // No k-subset of the region exists: zero injections by definition. Kept
+    // a report (not an error) so measured_protection_degree can scan past
+    // the region size of a small variant without special-casing.
+    SynfiReport report;
+    report.faults_k = config.faults_k;
+    report.sites = static_cast<std::int64_t>(sites.size());
+    return report;
+  }
+
+  // k-fault exhaustive sweeps shard over combination *ranks*, not sites:
+  // any combination can involve any site, so shards OR full-region
+  // attribution bitmaps and the site names are emitted once, in global site
+  // order — the same deterministic-merge contract as the single-fault path.
+  if (config.backend == Backend::kExhaustiveSim && config.faults_k > 1) {
+    const std::uint64_t num_combos =
+        binomial(sites.size(), static_cast<std::size_t>(config.faults_k));
+    const int workers = std::max(
+        1, static_cast<int>(std::min<std::uint64_t>(config.threads, num_combos)));
+    if (impl_->sim_pool.size() < static_cast<std::size_t>(workers)) {
+      impl_->sim_pool.resize(static_cast<std::size_t>(workers));
+    }
+    std::vector<ShardReport> partial(static_cast<std::size_t>(workers));
+    std::vector<std::vector<char>> hits(static_cast<std::size_t>(workers),
+                                        std::vector<char>(sites.size(), 0));
+    const auto run_combo_shard = [&](int slot, std::uint64_t begin, std::uint64_t end) {
+      auto& ctx = impl_->sim_pool[static_cast<std::size_t>(slot)];
+      if (ctx == nullptr || ctx->simulator.lane_words() != lane_words) {
+        ctx = std::make_unique<SimContext>(variant, lane_words);
+      }
+      run_exhaustive_kfault_shard(*ctx, variant, sites, edges, config, begin, end,
+                                  hits[static_cast<std::size_t>(slot)],
+                                  partial[static_cast<std::size_t>(slot)]);
+    };
+    if (workers <= 1) {
+      run_combo_shard(0, 0, num_combos);
+    } else {
+      std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        const std::uint64_t begin = num_combos * static_cast<std::uint64_t>(w) /
+                                    static_cast<std::uint64_t>(workers);
+        const std::uint64_t end = num_combos * static_cast<std::uint64_t>(w + 1) /
+                                  static_cast<std::uint64_t>(workers);
+        pool.emplace_back([&, w, begin, end] {
+          try {
+            run_combo_shard(w, begin, end);
+          } catch (...) {
+            errors[static_cast<std::size_t>(w)] = std::current_exception();
+          }
+        });
+      }
+      for (std::thread& th : pool) th.join();
+      for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+    SynfiReport report;
+    report.faults_k = config.faults_k;
+    report.sites = static_cast<std::int64_t>(sites.size());
+    for (const ShardReport& p : partial) {
+      report.injections += p.injections;
+      report.exploitable += p.exploitable;
+      report.detected += p.detected;
+      report.masked += p.masked;
+      report.stalls += p.stalls;
+    }
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      for (const auto& h : hits) {
+        if (h[s]) {
+          report.exploitable_sites.push_back(format_site(sites[s]));
+          break;
+        }
+      }
+    }
+    return report;
+  }
 
   const int workers =
       std::max(1, std::min<int>(config.threads, static_cast<int>(sites.size())));
@@ -609,7 +1051,11 @@ SynfiReport Analyzer::run(const SynfiConfig& user_config) {
       run_exhaustive_shard(*ctx, variant, sites, edges, config, begin, end, out);
     } else if (config.sat_incremental) {
       SatShard& shard = impl_->sat_shard(sites, config, begin, end);
-      run_sat_queries(shard, sites, edges, config, begin, end, out);
+      if (config.faults_k > 1) {
+        run_sat_kfault_queries(shard, sites, edges, config, begin, end, out);
+      } else {
+        run_sat_queries(shard, sites, edges, config, begin, end, out);
+      }
     } else {
       run_sat_rebuild_shard(variant, sites, edges, config, begin, end, out);
     }
@@ -647,7 +1093,8 @@ SynfiReport Analyzer::run(const SynfiConfig& user_config) {
   // the next region/kind starts from trained activities. Done after the
   // join, on the calling thread.
   if (config.backend == Backend::kSat && config.sat_incremental) {
-    const SatShardKey key{config.wire_prefix, config.include_inputs, config.kind, 0,
+    const SatShardKey key{config.wire_prefix, config.include_inputs, config.target,
+                          config.kind,        config.faults_k,       0,
                           sites.size() / static_cast<std::size_t>(workers)};
     const std::lock_guard<std::mutex> lock(impl_->sat_mutex);
     const auto it = impl_->sat_shards.find(key);
@@ -655,6 +1102,7 @@ SynfiReport Analyzer::run(const SynfiConfig& user_config) {
   }
 
   SynfiReport report;
+  report.faults_k = config.faults_k;
   report.sites = static_cast<std::int64_t>(sites.size());
   for (ShardReport& p : partial) {
     report.injections += p.injections;
@@ -671,6 +1119,32 @@ SynfiReport Analyzer::run(const SynfiConfig& user_config) {
 
 SynfiReport analyze(const Fsm& fsm, const CompiledFsm& variant, const SynfiConfig& config) {
   return Analyzer(fsm, variant).run(config);
+}
+
+int measured_protection_degree(Analyzer& analyzer, const SynfiConfig& config, int max_k) {
+  require(max_k >= 1, "synfi: measured_protection_degree needs max_k >= 1");
+  for (int k = 1; k <= max_k; ++k) {
+    SynfiConfig probe = config;
+    probe.faults_k = k;
+    if (analyzer.run(probe).exploitable > 0) return k;
+  }
+  return 0;
+}
+
+int auto_lanes(const rtlil::Module& module) {
+  std::size_t net_bits = 2;  // the two constant nets
+  for (const rtlil::Wire* w : module.wires()) {
+    net_bits += static_cast<std::size_t>(w->width());
+  }
+  // The faulty eval streams ~7 words per net per lane word (value + two mask
+  // words, read and written); keep that working set inside a 128 KiB L2
+  // budget. Small modules land on the measured 128–256 lane sweet spot and
+  // big ones fall back to the portable width instead of thrashing.
+  int words = 4;
+  while (words > 1 && net_bits * static_cast<std::size_t>(words) * 8 * 7 > 128 * 1024) {
+    words /= 2;
+  }
+  return words * sim::kWordLanes;
 }
 
 }  // namespace scfi::synfi

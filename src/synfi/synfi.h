@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fsm/compile.h"
+#include "sim/fault.h"
 #include "sim/netlist_sim.h"
 
 namespace scfi {
@@ -50,6 +51,21 @@ struct SynfiConfig {
   std::string wire_prefix = "mds_";
   Backend backend = Backend::kExhaustiveSim;
   sim::FaultKind kind = sim::FaultKind::kTransientFlip;
+  /// Concurrent faults per injection: 1 reproduces the classic single-fault
+  /// sweep; k > 1 switches the exhaustive back-end to lazily streamed site
+  /// *combinations* (C(sites, k) x edges injections) and the SAT back-end to
+  /// per-site participation queries ("does some exactly-k fault set
+  /// including this site break this edge?") over one cardinality-constrained
+  /// miter. This is how the paper's distance claim is measured directly: an
+  /// encoding with minimum distance d must show no exploitable outcome for
+  /// any k < d.
+  int faults_k = 1;
+  /// Restrict the fault region to one target class of the paper (§3.1):
+  /// kStateRegister faults the state register Q bits themselves (the class
+  /// the encoding distance argument protects), kControlInputs the module
+  /// inputs, kLogic the combinational prefix region. kAny keeps the classic
+  /// prefix region (plus inputs when include_inputs is set).
+  sim::FaultTarget target = sim::FaultTarget::kAny;
   /// SAT back-end only: leave the encoded control symbol unconstrained
   /// (any bus value, not just valid codewords).
   bool free_symbol = false;
@@ -76,6 +92,7 @@ struct SynfiConfig {
 };
 
 struct SynfiReport {
+  int faults_k = 1;              ///< concurrent faults per injection
   std::int64_t sites = 0;        ///< fault locations analyzed
   std::int64_t injections = 0;   ///< sites x transitions (paper: 7644)
   std::int64_t exploitable = 0;  ///< undetected control-flow hijacks (paper: 32)
@@ -137,5 +154,21 @@ class Analyzer {
 /// Analyzer instead.
 SynfiReport analyze(const fsm::Fsm& fsm, const fsm::CompiledFsm& variant,
                     const SynfiConfig& config = {});
+
+/// Measured protection degree of a variant: the smallest k in [1, max_k]
+/// whose k-fault sweep (config with faults_k = k) finds an exploitable
+/// outcome, or 0 when no k up to max_k does. The paper's claim for an
+/// encoding with minimum distance d is degree == d (and 0 when max_k < d);
+/// an unprotected variant measures 1. `config.faults_k` is ignored.
+int measured_protection_degree(Analyzer& analyzer, const SynfiConfig& config, int max_k);
+
+/// Lane-count heuristic for a module (ROADMAP item 3): the widest supported
+/// lane block whose faulty-eval working set (~7 streamed words per net) still
+/// fits a 128 KiB L2 budget, capped at 256 lanes — BENCH_sim.json records
+/// that small modules peak at 128–256 lanes and regress at 512
+/// (`synfi_best_lanes`). Callers that accept lanes = 0 as "auto" resolve it
+/// through this before handing the count to an engine; explicit lane counts
+/// are never second-guessed.
+int auto_lanes(const rtlil::Module& module);
 
 }  // namespace scfi::synfi

@@ -44,7 +44,7 @@ TEST(Integration, CampaignUnprotectedVsScfi) {
   sim::CampaignConfig campaign;
   campaign.runs = 300;
   campaign.cycles = 16;
-  campaign.num_faults = 1;
+  campaign.fault.k = 1;
   campaign.seed = 99;
 
   const sim::CampaignResult pr = sim::run_campaign(f, plain, campaign);
@@ -70,7 +70,7 @@ TEST(Integration, CampaignStateRegisterTarget) {
   sim::CampaignConfig campaign;
   campaign.runs = 200;
   campaign.cycles = 12;
-  campaign.target = sim::FaultTarget::kStateRegister;
+  campaign.fault.target = sim::FaultTarget::kStateRegister;
   campaign.seed = 7;
   const sim::CampaignResult r = sim::run_campaign(f, hard, campaign);
   EXPECT_EQ(r.hijacked, 0);
@@ -86,8 +86,8 @@ TEST(Integration, CampaignMultiFaultScalesWithN) {
   sim::CampaignConfig campaign;
   campaign.runs = 400;
   campaign.cycles = 10;
-  campaign.num_faults = 4;
-  campaign.target = sim::FaultTarget::kControlInputs;
+  campaign.fault.k = 4;
+  campaign.fault.target = sim::FaultTarget::kControlInputs;
   campaign.seed = 5;
 
   rtlil::Design d2;

@@ -183,7 +183,7 @@ TEST_P(RandomFsm, ScfiNeverSilentlyCorrupts) {
   sim::CampaignConfig campaign;
   campaign.runs = 60;
   campaign.cycles = 10;
-  campaign.num_faults = 1 + GetParam() % 3;
+  campaign.fault.k = 1 + GetParam() % 3;
   campaign.seed = static_cast<std::uint64_t>(GetParam());
   const sim::CampaignResult r = sim::run_campaign(f, hard, campaign);
   // A non-codeword can never persist unnoticed: the alert is combinational

@@ -290,8 +290,8 @@ TEST(SimParallel, CampaignInvariantUnderLanesAndThreads) {
         CampaignConfig base;
         base.runs = 200;
         base.cycles = 12;
-        base.num_faults = 2;
-        base.kind = kind;
+        base.fault.k = 2;
+        base.fault.kinds = {kind};
         base.seed = 99;
         base.planner = planner;
         base.lanes = 1;
@@ -330,7 +330,7 @@ TEST(SimParallel, StreamingMatchesMaterializedOracle) {
     CampaignConfig base;
     base.runs = 500;
     base.cycles = 10;
-    base.num_faults = 3;
+    base.fault.k = 3;
     base.seed = 2024;
     base.planner = CampaignPlanner::kStreamingMaterialized;
     const CampaignResult oracle = run_campaign(f, *variant, base);
@@ -357,7 +357,7 @@ TEST(SimParallel, CampaignSeedIsDeterministic) {
   CampaignConfig cfg;
   cfg.runs = 150;
   cfg.cycles = 10;
-  cfg.num_faults = 3;
+  cfg.fault.k = 3;
   cfg.seed = 7;
   cfg.threads = 3;
   const CampaignResult first = run_campaign(f, plain, cfg);
@@ -376,15 +376,15 @@ TEST(SimParallel, DistinctFaultSitesWhenPopulationSuffices) {
   // all of them and verify classification still accounts every run (the old
   // rejection sampler could silently double-fault one site, which showed up
   // as biased masking; here we only require the draw machinery to accept
-  // num_faults == population).
+  // fault.k == population).
   const fsm::Fsm f = test::paper_fsm();
   rtlil::Design d;
   const fsm::CompiledFsm plain = fsm::compile_unprotected(f, d);
   CampaignConfig cfg;
   cfg.runs = 100;
   cfg.cycles = 8;
-  cfg.target = FaultTarget::kStateRegister;
-  cfg.num_faults = plain.state_width;  // == site population for FT1
+  cfg.fault.target = FaultTarget::kStateRegister;
+  cfg.fault.k = plain.state_width;  // == site population for FT1
   cfg.seed = 3;
   const CampaignResult r = run_campaign(f, plain, cfg);
   EXPECT_EQ(r.masked + r.detected + r.hijacked + r.lagged + r.silent_invalid, cfg.runs);
@@ -402,9 +402,9 @@ TEST(SimParallel, PlanBytesCapAppliesToMaterializingPlannersOnly) {
   CampaignConfig cfg;
   cfg.runs = 100;
   cfg.cycles = 8;
-  cfg.num_faults = 2;
-  // ~8 bytes per run-cycle plus 8 per scheduled fault.
-  EXPECT_EQ(planned_bytes(cfg), 100 * (8 * 4 + (8 + 1) * 4) + 100 * 2 * 8);
+  cfg.fault.k = 2;
+  // ~8 bytes per run-cycle plus 12 per scheduled fault (site, cycle, kind).
+  EXPECT_EQ(planned_bytes(cfg), 100 * (8 * 4 + (8 + 1) * 4) + 100 * 2 * 12);
 
   // A 10^8-run campaign would materialize ~8 GB of plan; the default cap
   // rejects the materializing planner up front (ScfiError, not OOM). The
@@ -439,7 +439,7 @@ TEST(SimParallel, OverCapCampaignRunsWithStreamingPlanner) {
   CampaignConfig cfg;
   cfg.runs = 300'000;
   cfg.cycles = 3;
-  cfg.num_faults = 1;
+  cfg.fault.k = 1;
   cfg.seed = 11;
   cfg.max_plan_bytes = 1 << 16;  // 64 KiB: far below the ~10 MB plan
   ASSERT_GT(planned_bytes(cfg), cfg.max_plan_bytes);

@@ -56,8 +56,8 @@ std::vector<SweepJob> slow_campaign_matrix(int runs) {
   return expand_campaign_jobs("pwrmgr*", {2, 3},
                               std::vector<sim::CampaignConfig>{config, [&] {
                                                                  sim::CampaignConfig c = config;
-                                                                 c.kind =
-                                                                     sim::FaultKind::kStuckAt0;
+                                                                 c.fault.kinds = {
+                                                                     sim::FaultKind::kStuckAt0};
                                                                  return c;
                                                                }()});
 }

@@ -55,11 +55,27 @@ SweepResult golden_result() {
   result.report.masked = 73;
   result.report.stalls = 1;
   result.report.exploitable_sites = {"mds_x_12[0]", "mds_a_3[1]"};
+  result.protection_degree = 1;
   result.seconds = 0.125;
   return result;
 }
 
 constexpr const char* kGoldenLine =
+    "{\"schema\":6,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"ok\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\","
+    "\"target\":\"any\",\"faults_k\":1,\"free_symbol\":true,"
+    "\"sites\":75,\"injections\":1275,\"exploitable\":2,\"protection_degree\":1,"
+    "\"detected\":1200,\"masked\":73,"
+    "\"stalls\":1,\"exploitable_sites\":[\"mds_x_12[0]\",\"mds_a_3[1]\"],"
+    "\"attempts\":1,\"seconds\":0.125000}";
+
+/// The same record as a schema-v5 line (single-fault threat model: no
+/// `faults_k`/`protection_degree`/SYNFI `target` fields); load() must keep
+/// accepting these, defaulting the threat model to one any-target fault and
+/// deriving the degree from the single-fault verdict.
+constexpr const char* kGoldenLineV5 =
     "{\"schema\":5,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
     "\"status\":\"ok\",\"region\":\"mds_\","
@@ -99,6 +115,15 @@ SweepResult golden_failed_result() {
 }
 
 constexpr const char* kGoldenFailedLine =
+    "{\"schema\":6,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"failed\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\","
+    "\"target\":\"any\",\"faults_k\":1,\"free_symbol\":true,"
+    "\"error\":\"synfi: no fault sites match prefix 'mds_'\","
+    "\"attempts\":3,\"seconds\":0.125000}";
+
+constexpr const char* kGoldenFailedLineV5 =
     "{\"schema\":5,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
     "\"status\":\"failed\",\"region\":\"mds_\","
@@ -145,7 +170,7 @@ SweepResult golden_campaign_result() {
   result.job.protection_level = 2;
   result.job.campaign.runs = 2000;
   result.job.campaign.cycles = 12;
-  result.job.campaign.num_faults = 1;
+  result.job.campaign.fault.k = 1;
   result.job.campaign.seed = 7;
   result.campaign.runs = 2000;
   result.campaign.masked = 1500;
@@ -158,6 +183,17 @@ SweepResult golden_campaign_result() {
 }
 
 constexpr const char* kGoldenCampaignLine =
+    "{\"schema\":6,\"type\":\"campaign\","
+    "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,"
+    "\"status\":\"ok\",\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"attempts\":1,\"seconds\":0.250000}";
+
+/// The same campaign record as a schema-v5 line (campaign lines carry the
+/// threat model since v2 — kind/target/faults — so only the version bumps).
+constexpr const char* kGoldenCampaignLineV5 =
     "{\"schema\":5,\"type\":\"campaign\","
     "\"key\":\"pwrmgr_fsm|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":2,"
@@ -186,6 +222,15 @@ SweepResult golden_corpus_result() {
 }
 
 constexpr const char* kGoldenCorpusLine =
+    "{\"schema\":6,\"type\":\"campaign\","
+    "\"key\":\"corpus::mcnc/lion|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
+    "\"source\":\"corpus\",\"module\":\"mcnc/lion\",\"variant\":\"scfi\",\"level\":2,"
+    "\"status\":\"ok\",\"kind\":\"flip\","
+    "\"target\":\"any\",\"runs\":2000,\"cycles\":12,\"faults\":1,\"seed\":7,"
+    "\"masked\":1500,\"detected\":480,\"hijacked\":3,\"lagged\":12,\"silent_invalid\":5,"
+    "\"attempts\":1,\"seconds\":0.250000}";
+
+constexpr const char* kGoldenCorpusLineV5 =
     "{\"schema\":5,\"type\":\"campaign\","
     "\"key\":\"corpus::mcnc/lion|scfi|n2|mc|flip|t=any|runs=2000|c=12|f=1|s=7\","
     "\"source\":\"corpus\",\"module\":\"mcnc/lion\",\"variant\":\"scfi\",\"level\":2,"
@@ -247,6 +292,15 @@ SweepResult golden_leased_result() {
 }
 
 constexpr const char* kGoldenLeasedLine =
+    "{\"schema\":6,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
+    "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
+    "\"status\":\"leased\",\"worker\":\"w2.1\",\"region\":\"mds_\","
+    "\"include_inputs\":false,\"backend\":\"sat\",\"kind\":\"stuck1\","
+    "\"target\":\"any\",\"faults_k\":1,\"free_symbol\":true,"
+    "\"deadline\":1754700000.500000,"
+    "\"attempts\":1,\"seconds\":0.000000}";
+
+constexpr const char* kGoldenLeasedLineV5 =
     "{\"schema\":5,\"type\":\"synfi\",\"key\":\"pwrmgr_fsm|scfi|n3|r=mds_|sat|stuck1|free\","
     "\"source\":\"\",\"module\":\"pwrmgr_fsm\",\"variant\":\"scfi\",\"level\":3,"
     "\"status\":\"leased\",\"worker\":\"w2.1\",\"region\":\"mds_\","
@@ -266,16 +320,17 @@ TEST(ResultStore, GoldenLinePinsSchema) {
   EXPECT_EQ(ResultStore::to_line(golden_leased_result()), kGoldenLeasedLine);
 }
 
-TEST(ResultStore, SchemaV4LinesMigrateToV5Unchanged) {
+TEST(ResultStore, SchemaV4LinesMigrateToCurrent) {
   // v4 predates the fleet: lines migrate with empty worker / zero deadline
-  // and re-serialize as v5, byte-identical but for the version number.
-  for (const auto& [v4, v5] : {std::pair{kGoldenLineV4, kGoldenLine},
+  // (and, like every pre-v6 line, a single-fault any-target threat model)
+  // and re-serialize as the current version.
+  for (const auto& [v4, v6] : {std::pair{kGoldenLineV4, kGoldenLine},
                                {kGoldenFailedLineV4, kGoldenFailedLine},
                                {kGoldenCampaignLineV4, kGoldenCampaignLine}}) {
     const SweepResult migrated = ResultStore::parse_line(v4);
     EXPECT_EQ(migrated.worker, "");
     EXPECT_EQ(migrated.deadline, 0.0);
-    EXPECT_EQ(ResultStore::to_line(migrated), v5);
+    EXPECT_EQ(ResultStore::to_line(migrated), v6);
   }
   // Pre-v5 lines cannot smuggle in the fleet fields (worker/deadline and
   // the leased status are v5).
@@ -284,6 +339,46 @@ TEST(ResultStore, SchemaV4LinesMigrateToV5Unchanged) {
                ScfiError);
   EXPECT_THROW(ResultStore::parse_line("{\"schema\":4,\"type\":\"synfi\",\"module\":\"m\","
                                        "\"status\":\"leased\",\"deadline\":1.0}"),
+               ScfiError);
+}
+
+TEST(ResultStore, SchemaV5LinesMigrateToKFaultRecords) {
+  // v5 predates the k-fault threat model: SYNFI lines migrate with
+  // faults_k = 1, an any-target filter, and a protection degree derived
+  // from the single-fault verdict (exploitable > 0 -> degree 1); campaign
+  // lines carried kind/target/faults since v2, so only the version bumps.
+  int schema = 0;
+  for (const auto& [v5, v6] : {std::pair{kGoldenLineV5, kGoldenLine},
+                               {kGoldenFailedLineV5, kGoldenFailedLine},
+                               {kGoldenCampaignLineV5, kGoldenCampaignLine},
+                               {kGoldenCorpusLineV5, kGoldenCorpusLine},
+                               {kGoldenLeasedLineV5, kGoldenLeasedLine}}) {
+    const SweepResult migrated = ResultStore::parse_line(v5, &schema);
+    EXPECT_EQ(schema, 5);
+    EXPECT_EQ(migrated.job.synfi.faults_k, 1);
+    EXPECT_TRUE(migrated.job.synfi.target == sim::FaultTarget::kAny);
+    EXPECT_EQ(migrated.job.campaign.fault.k, 1);
+    EXPECT_EQ(ResultStore::to_line(migrated), v6);
+  }
+  // The ok golden has exploitable = 2, so its migrated degree is 1; a
+  // clean v5 record migrates to degree 0.
+  EXPECT_EQ(ResultStore::parse_line(kGoldenLineV5).protection_degree, 1);
+  std::string clean = kGoldenLineV5;
+  clean.replace(clean.find("\"exploitable\":2"), 15, "\"exploitable\":0");
+  EXPECT_EQ(ResultStore::parse_line(clean).protection_degree, 0);
+  // parse_line reports the current version for current lines.
+  ResultStore::parse_line(kGoldenLine, &schema);
+  EXPECT_EQ(schema, 6);
+  // Pre-v6 lines cannot smuggle in the threat-model fields (faults_k,
+  // protection_degree, and the SYNFI target are v6).
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":5,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"ok\",\"faults_k\":2}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":5,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"ok\",\"protection_degree\":1}"),
+               ScfiError);
+  EXPECT_THROW(ResultStore::parse_line("{\"schema\":5,\"type\":\"synfi\",\"module\":\"m\","
+                                       "\"status\":\"ok\",\"target\":\"state\"}"),
                ScfiError);
 }
 
@@ -478,7 +573,7 @@ TEST(ResultStore, CampaignLineRoundTrip) {
   EXPECT_TRUE(parsed.job.type == JobType::kCampaign);
   EXPECT_EQ(parsed.job.campaign.runs, expected.job.campaign.runs);
   EXPECT_EQ(parsed.job.campaign.cycles, expected.job.campaign.cycles);
-  EXPECT_EQ(parsed.job.campaign.num_faults, expected.job.campaign.num_faults);
+  EXPECT_EQ(parsed.job.campaign.fault.k, expected.job.campaign.fault.k);
   EXPECT_EQ(parsed.job.campaign.seed, expected.job.campaign.seed);
   EXPECT_TRUE(parsed.campaign == expected.campaign);
   EXPECT_TRUE(reports_equal(parsed, expected));
@@ -1027,7 +1122,7 @@ TEST(SweepJobs, ExpandCampaignMatrix) {
   flip.runs = 500;
   flip.cycles = 10;
   sim::CampaignConfig stuck = flip;
-  stuck.kind = sim::FaultKind::kStuckAt1;
+  stuck.fault.kinds = {sim::FaultKind::kStuckAt1};
   const std::vector<SweepJob> jobs =
       expand_campaign_jobs("pwrmgr_fsm,i2c*", {2, 3}, {flip, stuck});
   ASSERT_EQ(jobs.size(), 8u);  // 2 modules x 2 levels x 2 configs
@@ -1255,7 +1350,7 @@ TEST(SweepOrchestrator, MixedSynfiAndCampaignMatrix) {
   sim::CampaignConfig camp;
   camp.runs = 400;
   camp.cycles = 8;
-  camp.num_faults = 1;
+  camp.fault.k = 1;
   camp.seed = 5;
   std::vector<SweepJob> jobs = expand_jobs("pwrmgr_fsm", {2}, {flip});
   const std::vector<SweepJob> campaign_jobs =
